@@ -1,0 +1,182 @@
+//===- bench_churn_gossip.cpp - E4: graceful degradation ------------------===//
+//
+// Part of the dyndist project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Experiment E4 (claim C3's flip side): sweep churn intensity and compare
+// how the four query algorithms fail. Wave algorithms are all-or-nothing —
+// flooding with a legal TTL keeps meeting the spec, echo stops terminating,
+// the DFS token collapses to its issuer-only answer — while gossip always
+// answers and its census error (reported population vs live population)
+// grows smoothly with churn.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dyndist/aggregation/Experiment.h"
+#include "dyndist/aggregation/Token.h"
+#include "dyndist/support/Stats.h"
+#include "dyndist/support/StringUtils.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace dyndist;
+
+namespace {
+
+struct Cell {
+  int Runs = 0;
+  double Terminated = 0, Valid = 0, Coverage = 0, CensusError = 0;
+  double MsgPerMember = 0;
+  double UnitsPerMember = 0;
+};
+
+Cell sweep(RecommendedAlgorithm Algo, double JoinRate, int Seeds,
+           bool GossipDigest = false) {
+  Cell Out;
+  OnlineStats Cov, Err, Msg, Units;
+  int Term = 0, Val = 0, Counted = 0;
+  for (int Seed = 1; Seed <= Seeds; ++Seed) {
+    ExperimentConfig Cfg;
+    Cfg.Seed = static_cast<uint64_t>(Seed) * 571 + 3;
+    Cfg.Class = {ArrivalModel::boundedConcurrency(40),
+                 KnowledgeModel::knownDiameter(10)};
+    Cfg.UseRecommended = false;
+    Cfg.Algorithm = Algo;
+    Cfg.InitialMembers = 24;
+    Cfg.Churn.JoinRate = JoinRate;
+    Cfg.Churn.MeanSession = JoinRate > 0 ? 24.0 / JoinRate : 1e9;
+    Cfg.Churn.Horizon = 600;
+    Cfg.QueryAt = 200;
+    Cfg.Horizon = 1200;
+    Cfg.Gossip.ReportAfter = 60;
+    Cfg.Gossip.Rounds = 30;
+    Cfg.Gossip.RoundEvery = 2;
+    Cfg.Gossip.DigestMode = GossipDigest;
+
+    ExperimentResult R = runQueryExperiment(Cfg);
+    if (!R.ClassAdmissible || !R.QueryIssued)
+      continue;
+    ++Counted;
+    if (R.Verdict.Terminated) {
+      ++Term;
+      Cov.add(R.Verdict.Coverage);
+      if (R.MembersAtResponse > 0)
+        Err.add(std::abs(double(R.Verdict.IncludedCount) -
+                         double(R.MembersAtResponse)) /
+                double(R.MembersAtResponse));
+    }
+    if (R.Verdict.valid())
+      ++Val;
+    if (R.MembersAtQuery > 0) {
+      Msg.add(double(R.Stats.MessagesSent) / double(R.MembersAtQuery));
+      Units.add(double(R.Stats.PayloadUnits) / double(R.MembersAtQuery));
+    }
+  }
+  Out.Runs = Counted;
+  if (Counted > 0) {
+    Out.Terminated = double(Term) / Counted;
+    Out.Valid = double(Val) / Counted;
+  }
+  Out.Coverage = Cov.mean();
+  Out.CensusError = Err.mean();
+  Out.MsgPerMember = Msg.mean();
+  Out.UnitsPerMember = Units.mean();
+  return Out;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  int Seeds = argc > 1 ? std::atoi(argv[1]) : 12;
+
+  std::printf("E4: algorithm behavior vs churn rate (%d seeds/point)\n\n",
+              Seeds);
+
+  struct AlgoCase {
+    RecommendedAlgorithm Algo;
+    bool Digest;
+    const char *Name;
+  } Algos[] = {
+      {RecommendedAlgorithm::FloodingKnownDiameter, false, "flood(D)"},
+      {RecommendedAlgorithm::EchoTermination, false, "echo"},
+      {RecommendedAlgorithm::GossipBestEffort, false, "gossip"},
+      {RecommendedAlgorithm::GossipBestEffort, true, "gossip-digest"},
+  };
+
+  Table T;
+  T.setHeader({"algorithm", "join-rate", "runs", "terminated", "valid",
+               "coverage", "census-err", "msgs/member", "units/member"});
+  for (const auto &A : Algos) {
+    for (double Rate : {0.0, 0.05, 0.1, 0.2, 0.4}) {
+      Cell C = sweep(A.Algo, Rate, Seeds, A.Digest);
+      T.addRow({A.Name, format("%.2f", Rate), format("%d", C.Runs),
+                format("%.2f", C.Terminated), format("%.2f", C.Valid),
+                format("%.2f", C.Coverage), format("%.2f", C.CensusError),
+                format("%.1f", C.MsgPerMember),
+                format("%.0f", C.UnitsPerMember)});
+    }
+  }
+  std::printf("%s\n", T.render().c_str());
+
+  // The DFS token baseline, run separately (it is not an Experiment.h
+  // algorithm family): single-point-of-state fragility.
+  std::printf("token baseline (DFS walk, timeout report):\n");
+  Table T2;
+  T2.setHeader({"join-rate", "runs", "terminated", "valid", "coverage"});
+  for (double Rate : {0.0, 0.05, 0.1, 0.2, 0.4}) {
+    int Counted = 0, Term = 0, Val = 0;
+    OnlineStats Cov;
+    for (int Seed = 1; Seed <= Seeds; ++Seed) {
+      DynamicSystemConfig SysCfg;
+      SysCfg.Seed = static_cast<uint64_t>(Seed) * 733 + 1;
+      SysCfg.Class = {ArrivalModel::boundedConcurrency(40),
+                      KnowledgeModel::knownDiameter(10)};
+      SysCfg.InitialMembers = 24;
+      SysCfg.Churn.JoinRate = Rate;
+      SysCfg.Churn.MeanSession = Rate > 0 ? 24.0 / Rate : 1e9;
+      SysCfg.Churn.Horizon = 600;
+      SysCfg.MonitorUntil = 1200;
+
+      auto TokenCfg = std::make_shared<TokenConfig>();
+      TokenCfg->TimeoutAfter = 400;
+      auto Counter = std::make_shared<int64_t>(0);
+      auto Factory =
+          makeTokenFactory(TokenCfg, [Counter] { return ++*Counter; });
+      DynamicSystem Sys(SysCfg, Factory);
+      ProcessId Issuer = Sys.sim().spawn(Factory());
+      scheduleQueryStart(Sys.sim(), 200, Issuer);
+      RunLimits L;
+      L.MaxTime = 1200;
+      Sys.run(L);
+      if (!Sys.checkClassAdmissible().ok())
+        continue;
+      auto Issue = Sys.sim().trace().firstObservation(Issuer, OtqIssueKey);
+      if (!Issue)
+        continue;
+      QueryVerdict V =
+          checkOneTimeQuery(Sys.sim().trace(), Issuer, Issue->Time, 1200);
+      ++Counted;
+      if (V.Terminated) {
+        ++Term;
+        Cov.add(V.Coverage);
+      }
+      if (V.valid())
+        ++Val;
+    }
+    T2.addRow({format("%.2f", Rate), format("%d", Counted),
+               format("%.2f", Counted ? double(Term) / Counted : 0),
+               format("%.2f", Counted ? double(Val) / Counted : 0),
+               format("%.2f", Cov.mean())});
+  }
+  std::printf("%s\n", T2.render().c_str());
+  std::printf(
+      "Expected shape: flood degrades last; echo's termination rate falls\n"
+      "monotonically with churn; gossip's census error grows smoothly\n"
+      "while it keeps terminating; the token's validity is erratic — one\n"
+      "unlucky in-flight departure loses its entire state, so outcomes\n"
+      "swing run to run rather than degrading gradually.\n");
+  return 0;
+}

@@ -1,0 +1,160 @@
+//===- bench_overlay_churn.cpp - E8: the overlay substrate ----------------===//
+//
+// Part of the dyndist project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Experiment E8: behavior of the churn-maintained overlay — the substrate
+// the knowledge axis is parameterized over. For each attachment policy and
+// target degree, drive a long random join/leave workload and report the
+// diameter's trajectory, degree statistics, and connectivity. This is what
+// justifies using the random-attach overlay for "diameter bounded" classes
+// (its diameter stays small and stable under churn) and the chain overlay
+// as the witness for "diameter unbounded".
+//
+//===----------------------------------------------------------------------===//
+
+#include "dyndist/graph/Algorithms.h"
+#include "dyndist/graph/Overlay.h"
+#include "dyndist/support/Stats.h"
+#include "dyndist/support/StringUtils.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace dyndist;
+
+namespace {
+
+struct OverlayReport {
+  Summary Diameter;
+  double MeanDegree = 0;
+  uint64_t MaxDegree = 0;
+  size_t DisconnectedSamples = 0;
+  size_t FinalSize = 0;
+  size_t CutVertices = 0; ///< Articulation points of the final overlay.
+};
+
+/// Random workload: start with Initial joins, then Steps events, each a
+/// join with probability JoinProb else a leave of a random member;
+/// samples diameter every SampleEvery events.
+OverlayReport drive(AttachMode Mode, size_t Degree, size_t Initial,
+                    size_t Steps, double JoinProb, uint64_t Seed,
+                    size_t SampleEvery = 16,
+                    RepairMode Repair = RepairMode::PatchPath) {
+  DynamicOverlay O(Degree, Rng(Seed), Mode, Repair);
+  Rng R(Seed ^ 0xabcdefULL);
+  ProcessId Next = 0;
+  for (size_t I = 0; I != Initial; ++I)
+    O.join(Next++);
+
+  OverlayReport Rep;
+  std::vector<double> Diameters;
+  for (size_t Step = 0; Step != Steps; ++Step) {
+    bool Join = O.graph().nodeCount() <= 3 || R.nextBernoulli(JoinProb);
+    if (Join) {
+      O.join(Next++);
+    } else {
+      std::vector<ProcessId> Nodes = O.graph().nodes();
+      O.leave(R.pick(Nodes));
+    }
+    if (Step % SampleEvery == 0) {
+      auto D = diameter(O.graph());
+      if (D)
+        Diameters.push_back(static_cast<double>(*D));
+      else
+        ++Rep.DisconnectedSamples;
+    }
+  }
+  Rep.Diameter = Summary::of(Diameters);
+  const Graph &G = O.graph();
+  Rep.FinalSize = G.nodeCount();
+  uint64_t DegreeSum = 0;
+  for (ProcessId P : G.nodes()) {
+    uint64_t Deg = G.degree(P);
+    DegreeSum += Deg;
+    Rep.MaxDegree = std::max(Rep.MaxDegree, Deg);
+  }
+  Rep.MeanDegree =
+      G.nodeCount() ? double(DegreeSum) / double(G.nodeCount()) : 0;
+  Rep.CutVertices = articulationPoints(G).size();
+  return Rep;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  size_t Steps = argc > 1 ? static_cast<size_t>(std::atoi(argv[1])) : 2000;
+
+  std::printf("E8: overlay diameter/degree under churn (%zu events, "
+              "join probability 0.5, initial population 32)\n\n",
+              Steps);
+
+  Table T;
+  T.setHeader({"attach", "degree", "final-n", "diam-mean", "diam-p90",
+               "diam-max", "deg-mean", "deg-max", "disconnected"});
+  struct Cfg {
+    AttachMode Mode;
+    size_t Degree;
+    const char *Name;
+  } Cfgs[] = {
+      {AttachMode::Random, 1, "random"}, {AttachMode::Random, 2, "random"},
+      {AttachMode::Random, 3, "random"}, {AttachMode::Random, 5, "random"},
+      {AttachMode::Chain, 1, "chain"},
+  };
+  for (const Cfg &C : Cfgs) {
+    OverlayReport Rep =
+        drive(C.Mode, C.Degree, /*Initial=*/32, Steps, 0.5, 42);
+    T.addRow({C.Name, format("%zu", C.Degree), format("%zu", Rep.FinalSize),
+              format("%.1f", Rep.Diameter.Mean),
+              format("%.1f", Rep.Diameter.P90),
+              format("%.0f", Rep.Diameter.Max),
+              format("%.1f", Rep.MeanDegree),
+              format("%llu", (unsigned long long)Rep.MaxDegree),
+              format("%zu", Rep.DisconnectedSamples)});
+  }
+  std::printf("%s\n", T.render().c_str());
+
+  // Growth regime: join-heavy workload, where the chain's diameter runs
+  // away linearly while random attachment stays logarithmic.
+  std::printf("growth regime (join probability 0.9):\n");
+  Table T2;
+  T2.setHeader({"attach", "degree", "final-n", "diam-max"});
+  for (const Cfg &C : Cfgs) {
+    OverlayReport Rep = drive(C.Mode, C.Degree, /*Initial=*/8, Steps / 4,
+                              0.9, 7, /*SampleEvery=*/128);
+    T2.addRow({C.Name, format("%zu", C.Degree), format("%zu", Rep.FinalSize),
+               format("%.0f", Rep.Diameter.Max)});
+  }
+  std::printf("%s\n", T2.render().c_str());
+  // Repair-rule ablation: the deterministic patch rule vs one-random-link
+  // rewiring, under a departure-heavy workload where repair quality shows.
+  std::printf("repair-rule ablation (join probability 0.45, departures "
+              "dominate):\n");
+  Table T3;
+  T3.setHeader({"repair", "degree", "diam-mean", "deg-mean", "deg-max",
+                "disconnected-samples", "cut-vertices"});
+  for (RepairMode Repair : {RepairMode::PatchPath, RepairMode::RandomRewire}) {
+    for (size_t Degree : {1, 2, 3}) {
+      OverlayReport Rep = drive(AttachMode::Random, Degree, /*Initial=*/48,
+                                Steps, 0.45, 99, 16, Repair);
+      T3.addRow({Repair == RepairMode::PatchPath ? "patch-path"
+                                                 : "random-rewire",
+                 format("%zu", Degree), format("%.1f", Rep.Diameter.Mean),
+                 format("%.1f", Rep.MeanDegree),
+                 format("%llu", (unsigned long long)Rep.MaxDegree),
+                 format("%zu", Rep.DisconnectedSamples),
+                 format("%zu", Rep.CutVertices)});
+    }
+  }
+  std::printf("%s\n", T3.render().c_str());
+
+  std::printf(
+      "Expected shape: zero disconnected samples under the patch rule at\n"
+      "any degree (its guarantee is deterministic) at the cost of degree\n"
+      "inflation; random rewiring keeps degrees near the target but buys\n"
+      "only probabilistic connectivity — occasional disconnected samples\n"
+      "are the price. Random attachment keeps the diameter small and flat\n"
+      "while the chain's diameter grows with the population.\n");
+  return 0;
+}

@@ -1,0 +1,94 @@
+//===- bench_solvability.cpp - E1: the solvability matrix -----------------===//
+//
+// Part of the dyndist project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Experiment E1 (claims C1-C4): for every cell of the arrival x knowledge
+// grid, run the oracle-recommended algorithm over many seeds and report the
+// fraction of class-admissible runs in which the one-time query met its
+// spec. Expected shape: ~1.0 in every cell the oracle calls solvable (and
+// in quiescent-solvable cells run in their quiescent regime), well below
+// 1.0 in the unsolvable cells, where the recommended entry is best-effort
+// gossip and the spec cannot be met in every run.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dyndist/aggregation/Experiment.h"
+#include "dyndist/support/StringUtils.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace dyndist;
+
+int main(int argc, char **argv) {
+  int Seeds = argc > 1 ? std::atoi(argv[1]) : 20;
+  const uint64_t FiniteN = 60, B = 28, D = 10;
+
+  std::printf("E1: one-time-query solvability matrix "
+              "(%d seeds per cell; n=%llu, b=%llu, D=%llu)\n\n",
+              Seeds, (unsigned long long)FiniteN, (unsigned long long)B,
+              (unsigned long long)D);
+
+  Table T;
+  T.setHeader({"class", "oracle", "algorithm", "runs", "terminated",
+               "valid-rate", "mean-coverage", "oracle-agrees"});
+
+  for (const SystemClass &Class : canonicalClassGrid(FiniteN, B, D)) {
+    int Admissible = 0, Terminated = 0, Valid = 0;
+    double CoverageSum = 0;
+    int CoverageRuns = 0;
+    for (int Seed = 1; Seed <= Seeds; ++Seed) {
+      ExperimentConfig Cfg;
+      Cfg.Seed = static_cast<uint64_t>(Seed) * 131 + 7;
+      Cfg.Class = Class;
+      Cfg.Churn.JoinRate = 0.05;
+      Cfg.Churn.MeanSession = 400;
+      Cfg.Churn.Horizon = 600;
+      Cfg.QueryAt = 200;
+      Cfg.Horizon = 900;
+      if (Class.Arrival.Kind == ArrivalKind::FiniteArrival)
+        Cfg.Churn.QuiesceAt = 150;
+      if (Class.Arrival.Kind == ArrivalKind::InfiniteArrival &&
+          Class.Knowledge.Diameter != DiameterKnowledge::KnownBound) {
+        // The adversarial regime of the unsolvable cells: fierce arrivals
+        // and, where the class allows it, an unboundedly stretching
+        // overlay.
+        Cfg.Churn.JoinRate = 0.5;
+        Cfg.Churn.MeanSession = 150;
+        if (Class.Knowledge.Diameter == DiameterKnowledge::Unbounded)
+          Cfg.Attach = AttachMode::Chain;
+      }
+      Cfg.Gossip.ReportAfter = 60;
+      Cfg.Gossip.Rounds = 30;
+      Cfg.Gossip.RoundEvery = 2;
+
+      ExperimentResult R = runQueryExperiment(Cfg);
+      if (!R.ClassAdmissible || !R.QueryIssued)
+        continue;
+      ++Admissible;
+      if (R.Verdict.Terminated) {
+        ++Terminated;
+        CoverageSum += R.Verdict.Coverage;
+        ++CoverageRuns;
+      }
+      if (R.Verdict.valid())
+        ++Valid;
+    }
+
+    Solvability Oracle = oneTimeQuerySolvability(Class);
+    double ValidRate = Admissible ? double(Valid) / Admissible : 0.0;
+    bool Agrees = Oracle == Solvability::Unsolvable ? ValidRate < 1.0
+                                                    : ValidRate == 1.0;
+    T.addRow({Class.name(), solvabilityName(Oracle),
+              algorithmName(recommendedAlgorithm(Class)),
+              format("%d", Admissible),
+              format("%.2f", Admissible ? double(Terminated) / Admissible : 0),
+              format("%.2f", ValidRate),
+              format("%.2f", CoverageRuns ? CoverageSum / CoverageRuns : 0),
+              Agrees ? "yes" : "NO"});
+  }
+  std::printf("%s\n", T.render().c_str());
+  return 0;
+}

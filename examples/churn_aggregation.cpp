@@ -1,0 +1,122 @@
+//===- churn_aggregation.cpp - aggregation under churn --------------------===//
+//
+// Part of the dyndist project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Sweeps the churn rate and shows how the three query algorithms respond:
+// flooding (with a legal TTL) keeps meeting the spec, echo stops
+// terminating once churn interferes with its wave, and gossip degrades
+// gracefully — partial coverage instead of collapse.
+//
+//   $ ./churn_aggregation [seeds-per-point]
+//
+//===----------------------------------------------------------------------===//
+
+#include "dyndist/aggregation/Experiment.h"
+#include "dyndist/support/Stats.h"
+#include "dyndist/support/StringUtils.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace dyndist;
+
+namespace {
+
+struct Row {
+  double TerminationRate = 0;
+  double MeanCoverage = 0;
+  double ValidRate = 0;
+  double MeanCensusError = 0; ///< |reported census - live population| rel.
+  int Runs = 0;
+};
+
+Row sweep(RecommendedAlgorithm Algo, double JoinRate, int Seeds) {
+  Row Out;
+  OnlineStats Coverage, CensusError;
+  int Terminated = 0, Valid = 0, Counted = 0;
+  for (int Seed = 1; Seed <= Seeds; ++Seed) {
+    ExperimentConfig Cfg;
+    Cfg.Seed = static_cast<uint64_t>(Seed) * 977;
+    Cfg.Class = {ArrivalModel::boundedConcurrency(40),
+                 KnowledgeModel::knownDiameter(10)};
+    Cfg.UseRecommended = false;
+    Cfg.Algorithm = Algo;
+    Cfg.InitialMembers = 24;
+    Cfg.Churn.JoinRate = JoinRate;
+    // Keep the population roughly stable as the join rate grows.
+    Cfg.Churn.MeanSession = JoinRate > 0 ? 24.0 / JoinRate : 1e9;
+    Cfg.Churn.Horizon = 600;
+    Cfg.QueryAt = 200;
+    Cfg.Horizon = 900;
+    Cfg.Gossip.ReportAfter = 60;
+    Cfg.Gossip.Rounds = 30;
+    Cfg.Gossip.RoundEvery = 2;
+
+    ExperimentResult R = runQueryExperiment(Cfg);
+    if (!R.ClassAdmissible || !R.QueryIssued)
+      continue; // Not a behavior of the declared class: skip.
+    ++Counted;
+    if (R.Verdict.Terminated) {
+      ++Terminated;
+      Coverage.add(R.Verdict.Coverage);
+      if (R.MembersAtResponse > 0) {
+        double Err = std::abs(double(R.Verdict.IncludedCount) -
+                              double(R.MembersAtResponse)) /
+                     double(R.MembersAtResponse);
+        CensusError.add(Err);
+      }
+    }
+    if (R.Verdict.valid())
+      ++Valid;
+  }
+  Out.Runs = Counted;
+  if (Counted > 0) {
+    Out.TerminationRate = double(Terminated) / Counted;
+    Out.ValidRate = double(Valid) / Counted;
+  }
+  Out.MeanCoverage = Coverage.mean();
+  Out.MeanCensusError = CensusError.mean();
+  return Out;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  int Seeds = argc > 1 ? std::atoi(argv[1]) : 10;
+
+  const double Rates[] = {0.0, 0.02, 0.05, 0.1, 0.2, 0.4};
+  struct {
+    RecommendedAlgorithm Algo;
+    const char *Name;
+  } Algos[] = {
+      {RecommendedAlgorithm::FloodingKnownDiameter, "flood(D)"},
+      {RecommendedAlgorithm::EchoTermination, "echo"},
+      {RecommendedAlgorithm::GossipBestEffort, "gossip"},
+  };
+
+  Table T;
+  T.setHeader({"algorithm", "join-rate", "runs", "terminated", "coverage",
+               "census-err", "valid"});
+  for (const auto &A : Algos) {
+    for (double Rate : Rates) {
+      Row R = sweep(A.Algo, Rate, Seeds);
+      T.addRow({A.Name, format("%.2f", Rate), format("%d", R.Runs),
+                format("%.2f", R.TerminationRate),
+                format("%.2f", R.MeanCoverage),
+                format("%.2f", R.MeanCensusError),
+                format("%.2f", R.ValidRate)});
+    }
+  }
+  std::printf("%s\n", T.render().c_str());
+  std::printf(
+      "Expected shape: flood(D) stays valid across rates; echo's\n"
+      "termination rate collapses as churn rises (missing echoes block its\n"
+      "wave); gossip always terminates and stays spec-complete on the\n"
+      "shrinking required set, but its census error — how far the reported\n"
+      "population drifts from the live one — grows with churn: graceful\n"
+      "degradation instead of collapse.\n");
+  return 0;
+}

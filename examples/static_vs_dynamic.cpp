@@ -1,0 +1,106 @@
+//===- static_vs_dynamic.cpp - where the definitions part ways ------------===//
+//
+// Part of the dyndist project.
+//
+//===----------------------------------------------------------------------===//
+//
+// The paper's opening move, played out in code: take a textbook
+// static-system algorithm — FloodSet consensus, correct for n known
+// processes and up to f crashes in f+1 rounds — and watch each of the two
+// dynamic dimensions dismantle a different assumption it rests on.
+//
+//   Act 1: the static system. Full mesh, fixed membership, f crashes.
+//          FloodSet agrees, every time.
+//   Act 2: the geographical dimension. Same membership, but entities know
+//          only neighbors on a ring: f+1 rounds of flooding can't cross
+//          the overlay and decisions diverge.
+//   Act 3: the arrival dimension. Full knowledge again, but one entity
+//          arrives late: it floods into silence and decides alone.
+//
+//   $ ./static_vs_dynamic
+//
+//===----------------------------------------------------------------------===//
+
+#include "dyndist/consensus/FloodSet.h"
+#include "dyndist/graph/Generators.h"
+#include "dyndist/graph/Overlay.h"
+#include "dyndist/support/StringUtils.h"
+
+#include <cstdio>
+
+using namespace dyndist;
+
+namespace {
+
+void report(const char *Act, const Trace &T) {
+  FloodSetOutcome Out = collectFloodSetOutcome(T);
+  std::vector<std::string> Decisions;
+  for (int64_t D : Out.DistinctDecisions)
+    Decisions.push_back(format("%lld", (long long)D));
+  std::printf("%-45s participants=%zu decided=%zu decisions={%s} -> %s\n",
+              Act, Out.Participants, Out.Decided,
+              join(Decisions, ",").c_str(),
+              Out.DistinctDecisions.size() <= 1 ? "AGREEMENT" : "SPLIT");
+}
+
+} // namespace
+
+int main() {
+  auto Cfg = std::make_shared<FloodSetConfig>();
+  Cfg->Faults = 1;
+
+  // Act 1: the comfortable static world (full mesh, 8 processes, one
+  // crash mid-protocol).
+  {
+    Simulator S(1);
+    auto Value = std::make_shared<int64_t>(99);
+    auto Factory = makeFloodSetFactory(Cfg, [Value] { return ++*Value; });
+    std::vector<ProcessId> Pids;
+    for (int I = 0; I != 8; ++I)
+      Pids.push_back(S.spawn(Factory()));
+    S.scheduleAt(1, [=](Simulator &Sim) { Sim.crash(Pids[2]); });
+    RunLimits L;
+    L.MaxTime = 100;
+    S.run(L);
+    report("act 1: static mesh, 1 crash", S.trace());
+  }
+
+  // Act 2: same entities, but each knows only its ring neighbors.
+  {
+    Simulator S(2);
+    DynamicOverlay O(2, Rng(3));
+    O.attachTo(S);
+    auto Value = std::make_shared<int64_t>(99);
+    auto Factory = makeFloodSetFactory(Cfg, [Value] { return ++*Value; });
+    for (int I = 0; I != 12; ++I)
+      S.spawn(Factory());
+    O.seed(makeRing(12));
+    RunLimits L;
+    L.MaxTime = 100;
+    S.run(L);
+    report("act 2: ring overlay (locality dimension)", S.trace());
+  }
+
+  // Act 3: full knowledge, but membership moves (one late arrival).
+  {
+    Simulator S(3);
+    auto Value = std::make_shared<int64_t>(99);
+    auto Factory = makeFloodSetFactory(Cfg, [Value] { return ++*Value; });
+    for (int I = 0; I != 8; ++I)
+      S.spawn(Factory());
+    S.scheduleAt(30, [Cfg](Simulator &Sim) {
+      Sim.spawn(std::make_unique<FloodSetActor>(Cfg, /*InitialValue=*/7));
+    });
+    RunLimits L;
+    L.MaxTime = 200;
+    S.run(L);
+    report("act 3: one late arrival (arrival dimension)", S.trace());
+  }
+
+  std::printf("\nThe same algorithm, three worlds: static assumptions are\n"
+              "load-bearing, and each dynamic dimension removes a\n"
+              "different one. That asymmetry is why the paper argues a\n"
+              "dynamic system needs its own definition, not a patched\n"
+              "static one.\n");
+  return 0;
+}

@@ -1,0 +1,95 @@
+//===- Experiment.cpp - Query experiments --------------------------------------===//
+//
+// Part of the dyndist project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dyndist/aggregation/Experiment.h"
+
+#include "dyndist/aggregation/Echo.h"
+#include "dyndist/aggregation/Flooding.h"
+#include "dyndist/aggregation/Token.h"
+
+#include <cassert>
+
+using namespace dyndist;
+
+ExperimentResult dyndist::runQueryExperiment(const ExperimentConfig &Config) {
+  RecommendedAlgorithm Algo = Config.UseRecommended
+                                  ? recommendedAlgorithm(Config.Class)
+                                  : Config.Algorithm;
+
+  DynamicSystemConfig SysCfg;
+  SysCfg.Seed = Config.Seed;
+  SysCfg.Class = Config.Class;
+  SysCfg.InitialMembers = Config.InitialMembers;
+  SysCfg.OverlayDegree = Config.OverlayDegree;
+  SysCfg.Attach = Config.Attach;
+  SysCfg.Churn = Config.Churn;
+  SysCfg.Latency = Config.Latency;
+  SysCfg.DiameterSampleEvery = 16;
+  SysCfg.MonitorUntil = Config.Horizon;
+
+  // Input values: a shared counter so every member declares a distinct
+  // value (keeps the aggregate-consistency clause sharp).
+  auto Counter = std::make_shared<int64_t>(0);
+  auto NextValue = [Counter] { return ++*Counter; };
+
+  ChurnDriver::ActorFactory Factory;
+  switch (Algo) {
+  case RecommendedAlgorithm::FloodingKnownDiameter:
+  case RecommendedAlgorithm::FloodingDerivedBound: {
+    auto FloodCfg = std::make_shared<FloodConfig>();
+    if (Config.TtlOverride > 0) {
+      FloodCfg->Ttl = Config.TtlOverride;
+    } else if (auto Ttl = derivableTtl(Config.Class)) {
+      FloodCfg->Ttl = *Ttl;
+    } else {
+      FloodCfg->Ttl = 16; // Sensitivity sweeps outside any legal grant.
+    }
+    FloodCfg->MaxLatency = Config.MaxLatencyForDeadline;
+    Factory = makeFloodFactory(FloodCfg, NextValue);
+    break;
+  }
+  case RecommendedAlgorithm::EchoTermination:
+    Factory = makeEchoFactory(NextValue);
+    break;
+  case RecommendedAlgorithm::GossipBestEffort: {
+    auto GossipCfg = std::make_shared<GossipConfig>(Config.Gossip);
+    Factory = makeGossipFactory(GossipCfg, NextValue);
+    break;
+  }
+  }
+
+  DynamicSystem Sys(SysCfg, Factory);
+  ProcessId Issuer = Sys.sim().spawn(Factory());
+  scheduleQueryStart(Sys.sim(), Config.QueryAt, Issuer);
+
+  RunLimits Limits;
+  Limits.MaxTime = Config.Horizon;
+  Sys.run(Limits);
+
+  ExperimentResult R;
+  Status Admissible = Sys.checkClassAdmissible();
+  R.ClassAdmissible = Admissible.ok();
+  if (!Admissible.ok())
+    R.AdmissibilityError = Admissible.error().str();
+  R.Stats = Sys.sim().stats();
+  R.MaxDiameter = Sys.maxObservedDiameter();
+  R.DisconnectedSamples = Sys.disconnectedSamples();
+  R.Arrivals = Sys.churn().arrivals();
+  R.MembersAtQuery = Sys.sim().trace().membersAt(Config.QueryAt).size();
+
+  auto Issue = Sys.sim().trace().firstObservation(Issuer, OtqIssueKey);
+  if (Issue) {
+    R.QueryIssued = true;
+    R.Verdict = checkOneTimeQuery(Sys.sim().trace(), Issuer, Issue->Time,
+                                  Config.Horizon);
+    if (R.Verdict.Terminated)
+      R.MembersAtResponse =
+          Sys.sim().trace().membersAt(R.Verdict.ResponseTime).size();
+  }
+  if (Config.KeepTrace)
+    R.RecordedTrace = Sys.sim().trace();
+  return R;
+}

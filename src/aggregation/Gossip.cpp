@@ -1,0 +1,142 @@
+//===- Gossip.cpp - Epidemic best-effort query ---------------------------------===//
+//
+// Part of the dyndist project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dyndist/aggregation/Gossip.h"
+
+#include <cassert>
+
+using namespace dyndist;
+
+void GossipActor::onMessage(Context &Ctx, ProcessId From,
+                            const MessageBody &Body) {
+  switch (Body.kind()) {
+  case MsgQueryStart:
+    startQuery(Ctx);
+    return;
+  case MsgGossipPush: {
+    const auto &Push = bodyAs<GossipPushMsg>(Body);
+    merge(Push.Known);
+    infect(Ctx, Push.QueryId);
+    Ctx.send(From, makeBody<GossipPullMsg>(Push.QueryId, Known));
+    return;
+  }
+  case MsgGossipPull: {
+    const auto &Pull = bodyAs<GossipPullMsg>(Body);
+    if (Infected && Pull.QueryId == QueryId)
+      merge(Pull.Known);
+    return;
+  }
+  case MsgGossipDigest: {
+    const auto &Digest = bodyAs<GossipDigestMsg>(Body);
+    infect(Ctx, Digest.QueryId);
+    // Entries the sender lacks; identities we lack.
+    Contributions Missing;
+    for (const auto &[P, V] : Known)
+      if (!Digest.KnownIds.count(P))
+        Missing.emplace(P, V);
+    std::set<ProcessId> Want;
+    for (ProcessId P : Digest.KnownIds)
+      if (!Known.count(P))
+        Want.insert(P);
+    if (!Missing.empty() || !Want.empty())
+      Ctx.send(From, makeBody<GossipDeltaMsg>(Digest.QueryId,
+                                              std::move(Missing),
+                                              std::move(Want)));
+    return;
+  }
+  case MsgGossipDelta: {
+    const auto &Delta = bodyAs<GossipDeltaMsg>(Body);
+    if (!Infected || Delta.QueryId != QueryId)
+      return;
+    merge(Delta.Entries);
+    // Serve the peer's wants (second half of the exchange).
+    Contributions Wanted;
+    for (ProcessId P : Delta.WantIds) {
+      auto It = Known.find(P);
+      if (It != Known.end())
+        Wanted.emplace(It->first, It->second);
+    }
+    if (!Wanted.empty())
+      Ctx.send(From, makeBody<GossipDeltaMsg>(Delta.QueryId,
+                                              std::move(Wanted),
+                                              std::set<ProcessId>()));
+    return;
+  }
+  default:
+    assert(false && "gossip actor received foreign message kind");
+  }
+}
+
+void GossipActor::startQuery(Context &Ctx) {
+  if (Issuing)
+    return;
+  Issuing = true;
+  Ctx.observe(OtqIssueKey, static_cast<int64_t>(Ctx.now()));
+  infect(Ctx, (Ctx.self() << 20) ^ Ctx.now());
+  ReportTimer = Ctx.setTimer(Config->ReportAfter);
+}
+
+void GossipActor::infect(Context &Ctx, uint64_t Qid) {
+  Known.emplace(Ctx.self(), Value);
+  if (Infected)
+    return;
+  Infected = true;
+  QueryId = Qid;
+  RoundsLeft = Config->Rounds;
+  RoundTimer = Ctx.setTimer(Config->RoundEvery);
+}
+
+void GossipActor::merge(const Contributions &Other) {
+  for (const auto &[P, V] : Other)
+    Known.emplace(P, V);
+}
+
+void GossipActor::gossipRound(Context &Ctx) {
+  if (RoundsLeft == 0)
+    return;
+  --RoundsLeft;
+  std::vector<ProcessId> Nbrs = Ctx.neighbors();
+  if (!Nbrs.empty()) {
+    for (size_t I = 0, E = std::min(Config->FanOut, Nbrs.size()); I != E;
+         ++I) {
+      ProcessId Target = Nbrs[static_cast<size_t>(
+          Ctx.rng().nextBelow(Nbrs.size()))];
+      if (Config->DigestMode) {
+        std::set<ProcessId> Ids;
+        for (const auto &[P, V] : Known) {
+          (void)V;
+          Ids.insert(P);
+        }
+        Ctx.send(Target,
+                 makeBody<GossipDigestMsg>(QueryId, std::move(Ids)));
+      } else {
+        Ctx.send(Target, makeBody<GossipPushMsg>(QueryId, Known));
+      }
+    }
+  }
+  if (RoundsLeft > 0)
+    RoundTimer = Ctx.setTimer(Config->RoundEvery);
+}
+
+void GossipActor::onTimer(Context &Ctx, TimerId Id) {
+  if (Id == RoundTimer && Infected) {
+    gossipRound(Ctx);
+    return;
+  }
+  if (Id == ReportTimer && Issuing && !Reported) {
+    Reported = true;
+    reportResult(Ctx, Known, Config->Aggregate);
+  }
+}
+
+std::function<std::unique_ptr<Actor>()>
+dyndist::makeGossipFactory(std::shared_ptr<const GossipConfig> Config,
+                           std::function<int64_t()> NextValue) {
+  assert(Config && NextValue && "factory needs config and value source");
+  return [Config, NextValue]() {
+    return std::make_unique<GossipActor>(Config, NextValue());
+  };
+}

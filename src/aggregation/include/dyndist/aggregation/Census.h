@@ -1,0 +1,94 @@
+//===- dyndist/aggregation/Census.h - Repeated census service ---*- C++ -*-===//
+//
+// Part of the dyndist project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The monitoring application the paper's aggregation problem abstracts:
+/// a census service that re-issues the one-time query periodically and
+/// produces a time series of population measurements over the churning
+/// system. Each round is an independent TTL-flood wave (relay side handled
+/// by the ordinary FloodActor members, which dedup per query id), so the
+/// issuer composes with an unmodified flooding population.
+///
+/// Every round is individually gradable by the one-time-query checker; the
+/// series extractor below pairs each issue record with its round's report
+/// and verdict, giving experiments a per-round validity/coverage series.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNDIST_AGGREGATION_CENSUS_H
+#define DYNDIST_AGGREGATION_CENSUS_H
+
+#include "dyndist/aggregation/Flooding.h"
+
+#include <vector>
+
+namespace dyndist {
+
+/// Census-service tuning.
+struct CensusConfig {
+  /// Per-round flood parameters (TTL legality is the caller's business,
+  /// exactly as for one-shot floods).
+  FloodConfig Flood;
+
+  /// Ticks between round starts; must exceed the round's reply deadline
+  /// ((Ttl + 1) * MaxLatency + Slack) so rounds do not overlap.
+  SimTime Period = 50;
+
+  /// Rounds to run; 0 = keep going until the run ends.
+  uint64_t Rounds = 0;
+};
+
+/// The repeating issuer. Rounds start on the QueryStart stimulus and then
+/// self-schedule every Period ticks. Relay and contributor roles are the
+/// ordinary FloodActor; this actor only issues.
+class CensusIssuerActor : public AggregationActor {
+public:
+  CensusIssuerActor(std::shared_ptr<const CensusConfig> Config,
+                    int64_t Value)
+      : AggregationActor(Value), Config(std::move(Config)) {}
+
+  void onMessage(Context &Ctx, ProcessId From,
+                 const MessageBody &Body) override;
+  void onTimer(Context &Ctx, TimerId Id) override;
+
+  /// Rounds completed (reported) so far.
+  uint64_t roundsDone() const { return RoundsDone; }
+
+private:
+  void startRound(Context &Ctx);
+  void closeRound(Context &Ctx);
+
+  std::shared_ptr<const CensusConfig> Config;
+  bool Running = false;
+  uint64_t RoundsDone = 0;
+  uint64_t CurrentQueryId = 0;
+  Contributions Gathered;
+  TimerId Deadline = 0;
+  TimerId NextRound = 0;
+};
+
+/// One measured point of the census series.
+struct CensusPoint {
+  SimTime IssueAt = 0;
+  SimTime ReportAt = 0;
+  size_t Included = 0;
+  int64_t Aggregate = 0;
+  double Coverage = 0.0;
+  bool Valid = false;
+  size_t LivePopulation = 0; ///< membersAt(ReportAt), for accuracy plots.
+};
+
+/// Extracts the per-round series for \p Issuer from a recorded run,
+/// grading each round with the one-time-query checker over its own window.
+std::vector<CensusPoint> collectCensusSeries(const Trace &T,
+                                             ProcessId Issuer,
+                                             SimTime Horizon,
+                                             AggregateKind Kind =
+                                                 AggregateKind::Sum);
+
+} // namespace dyndist
+
+#endif // DYNDIST_AGGREGATION_CENSUS_H

@@ -1,0 +1,101 @@
+//===- dyndist/aggregation/Echo.h - PIF echo-wave query ---------*- C++ -*-===//
+//
+// Part of the dyndist project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The claim-C2 algorithm: Propagation of Information with Feedback (PIF,
+/// the Segall echo wave) with built-in termination detection, usable when
+/// no diameter bound is known.
+///
+/// Protocol: the issuer sends REQUEST to its neighbors. On first receipt a
+/// process adopts the sender as parent, forwards REQUEST to its remaining
+/// neighbors, and waits; a leaf (or a process whose neighbors all answered)
+/// sends an ECHO carrying its accumulated contributions to its parent. A
+/// process receiving a duplicate REQUEST answers immediately with an empty
+/// ECHO. When a process has heard one ECHO per forwarded REQUEST it echoes
+/// the merged contributions upward; when the issuer completes, it reports.
+///
+/// Termination is *detected*, not timed: no knowledge about the diameter or
+/// latency enters the algorithm. The price is fragility under churn — a
+/// crashed child's missing echo blocks the wave forever, and a process that
+/// joins behind the wave front is missed. This is exactly the paper's
+/// point: the echo wave solves the one-time query in finite-arrival systems
+/// once churn quiesces (experiment E3 shows the before/after contrast), and
+/// cannot cope with sustained arrivals.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNDIST_AGGREGATION_ECHO_H
+#define DYNDIST_AGGREGATION_ECHO_H
+
+#include "dyndist/aggregation/Protocol.h"
+
+#include <functional>
+#include <map>
+#include <memory>
+
+namespace dyndist {
+
+/// Echo wave payloads.
+struct EchoRequestMsg : MessageBody {
+  static constexpr int KindId = MsgEchoRequest;
+  EchoRequestMsg(uint64_t QueryId, ProcessId Issuer)
+      : MessageBody(KindId), QueryId(QueryId), Issuer(Issuer) {}
+  uint64_t QueryId;
+  ProcessId Issuer;
+};
+
+struct EchoReplyMsg : MessageBody {
+  static constexpr int KindId = MsgEchoReply;
+  EchoReplyMsg(uint64_t QueryId, Contributions Contribs)
+      : MessageBody(KindId), QueryId(QueryId), Contribs(std::move(Contribs)) {}
+  uint64_t QueryId;
+  Contributions Contribs;
+  size_t weight() const override { return 1 + 2 * Contribs.size(); }
+};
+
+/// Actor implementing the echo-wave one-time query.
+class EchoActor : public AggregationActor {
+public:
+  explicit EchoActor(int64_t Value,
+                     AggregateKind Aggregate = AggregateKind::Sum)
+      : AggregationActor(Value), Aggregate(Aggregate) {}
+
+  void onMessage(Context &Ctx, ProcessId From,
+                 const MessageBody &Body) override;
+
+  /// True when this actor, as issuer, has reported.
+  bool reported() const { return Reported; }
+
+private:
+  /// Per-query wave state at this node.
+  struct WaveState {
+    ProcessId Parent = InvalidProcess; ///< InvalidProcess at the issuer.
+    size_t Pending = 0;
+    Contributions Accumulated;
+  };
+
+  void startQuery(Context &Ctx);
+  void handleRequest(Context &Ctx, ProcessId From, const EchoRequestMsg &Req);
+  void handleReply(Context &Ctx, const EchoReplyMsg &Reply);
+  void engage(Context &Ctx, uint64_t QueryId, ProcessId Parent,
+              ProcessId Issuer);
+  void completeIfDone(Context &Ctx, uint64_t QueryId);
+
+  std::map<uint64_t, WaveState> Waves;
+  AggregateKind Aggregate;
+  bool Issuing = false;
+  bool Reported = false;
+  uint64_t MyQueryId = 0;
+};
+
+/// Factory for ChurnDriver / manual spawns.
+std::function<std::unique_ptr<Actor>()>
+makeEchoFactory(std::function<int64_t()> NextValue,
+                AggregateKind Aggregate = AggregateKind::Sum);
+
+} // namespace dyndist
+
+#endif // DYNDIST_AGGREGATION_ECHO_H

@@ -1,0 +1,93 @@
+//===- dyndist/aggregation/Experiment.h - Query experiments -----*- C++ -*-===//
+//
+// Part of the dyndist project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one-stop harness behind the examples and the E1-E5 benchmarks: given
+/// a system class, an algorithm choice, and churn/latency parameters, it
+/// assembles a DynamicSystem, populates it with the right actors, issues
+/// one query, and returns both the checker's verdict and the run's
+/// class-admissibility certificate. Experiment tables are built by sweeping
+/// this function over seeds and parameters.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNDIST_AGGREGATION_EXPERIMENT_H
+#define DYNDIST_AGGREGATION_EXPERIMENT_H
+
+#include "dyndist/aggregation/Gossip.h"
+#include "dyndist/core/DynamicSystem.h"
+#include "dyndist/core/OneTimeQuery.h"
+#include "dyndist/core/Solvability.h"
+
+#include <optional>
+#include <string>
+
+namespace dyndist {
+
+/// Full description of one experiment run.
+struct ExperimentConfig {
+  uint64_t Seed = 1;
+  SystemClass Class;
+
+  /// Which algorithm family the members run; defaults to the oracle's
+  /// recommendation for the class when UseRecommended is true.
+  RecommendedAlgorithm Algorithm =
+      RecommendedAlgorithm::FloodingKnownDiameter;
+  bool UseRecommended = true;
+
+  /// System shape.
+  size_t InitialMembers = 20;
+  size_t OverlayDegree = 3;
+  AttachMode Attach = AttachMode::Random;
+  ChurnParams Churn;
+  LatencyConfig Latency;
+
+  /// Query schedule: issue at QueryAt, grade against Horizon.
+  SimTime QueryAt = 200;
+  SimTime Horizon = 900;
+
+  /// Flooding tuning: 0 means "use the class's derivable TTL" (falling
+  /// back to 16 when the class grants nothing — an illegal but measurable
+  /// choice used by sensitivity sweeps).
+  uint64_t TtlOverride = 0;
+  SimTime MaxLatencyForDeadline = 1;
+
+  /// Gossip tuning (used when the algorithm is GossipBestEffort).
+  GossipConfig Gossip;
+
+  /// Retain the full execution trace in the result (off by default: traces
+  /// of long runs are large).
+  bool KeepTrace = false;
+};
+
+/// Everything a sweep wants to tabulate about one run.
+struct ExperimentResult {
+  bool ClassAdmissible = false;
+  std::string AdmissibilityError;
+  bool QueryIssued = false;
+  QueryVerdict Verdict;
+  SimStats Stats;
+  uint64_t MaxDiameter = 0;
+  size_t DisconnectedSamples = 0;
+  uint64_t Arrivals = 0;
+  size_t MembersAtQuery = 0;
+
+  /// Population size at the instant the result was reported (0 when the
+  /// query never terminated). |IncludedCount - MembersAtResponse| measures
+  /// how far the reported census drifted from the live population — the
+  /// accuracy axis of experiment E4.
+  size_t MembersAtResponse = 0;
+
+  /// The recorded execution, when ExperimentConfig::KeepTrace was set.
+  std::optional<Trace> RecordedTrace;
+};
+
+/// Runs one experiment; deterministic in (config, seed).
+ExperimentResult runQueryExperiment(const ExperimentConfig &Config);
+
+} // namespace dyndist
+
+#endif // DYNDIST_AGGREGATION_EXPERIMENT_H

@@ -1,0 +1,115 @@
+//===- dyndist/aggregation/Flooding.h - TTL-flooding query ------*- C++ -*-===//
+//
+// Part of the dyndist project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's claim-C1 algorithm: a query wave flooded with a TTL equal to
+/// a known diameter bound D.
+///
+/// Protocol: the issuer floods REQUEST(qid, ttl=D, issuer) to its
+/// neighbors; each process, on its first sight of qid, sends its value
+/// straight back to the issuer (identities learned from a message may be
+/// contacted — the standard overlay assumption) and re-floods the request
+/// with ttl-1 while ttl > 0. The issuer collects replies until a deadline
+/// of (D + 1) message delays plus slack, then reports.
+///
+/// Why TTL = D suffices: every process up throughout the query interval is,
+/// in class C1 systems, within D hops of the issuer in every snapshot, so
+/// the wave front reaches it before the TTL expires; its direct reply needs
+/// one more delay. Why the deadline is sound: with a latency bound L the
+/// wave dies by D*L and replies land by (D+1)*L — in classes without a
+/// latency bound (heavy tail), flooding keeps its validity *modulo* late
+/// replies, which is experiment E2's sensitivity knob.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNDIST_AGGREGATION_FLOODING_H
+#define DYNDIST_AGGREGATION_FLOODING_H
+
+#include "dyndist/aggregation/Protocol.h"
+
+#include <functional>
+#include <memory>
+#include <set>
+
+namespace dyndist {
+
+/// Tuning of a flooding query; shared by all actors of one system.
+struct FloodConfig {
+  /// The wave TTL, legally = the class's derivable bound (Solvability.h).
+  uint64_t Ttl = 8;
+
+  /// Upper bound on one message delay used to size the deadline; use the
+  /// latency model's bound (1 for synchronous, Hi for partial synchrony).
+  SimTime MaxLatency = 1;
+
+  /// Extra ticks added to the reply deadline.
+  SimTime Slack = 2;
+
+  /// Aggregate monoid the issuer reports under.
+  AggregateKind Aggregate = AggregateKind::Sum;
+};
+
+/// Flooding wave payloads.
+struct FloodRequestMsg : MessageBody {
+  static constexpr int KindId = MsgFloodRequest;
+  FloodRequestMsg(uint64_t QueryId, ProcessId Issuer, uint64_t Ttl)
+      : MessageBody(KindId), QueryId(QueryId), Issuer(Issuer), Ttl(Ttl) {}
+  uint64_t QueryId;
+  ProcessId Issuer;
+  uint64_t Ttl;
+};
+
+struct FloodReplyMsg : MessageBody {
+  static constexpr int KindId = MsgFloodReply;
+  FloodReplyMsg(uint64_t QueryId, ProcessId Contributor, int64_t Value)
+      : MessageBody(KindId), QueryId(QueryId), Contributor(Contributor),
+        Value(Value) {}
+  uint64_t QueryId;
+  ProcessId Contributor;
+  int64_t Value;
+};
+
+/// Actor implementing the flooding one-time query (issuer and relay roles;
+/// the issuer role activates on QueryStartMsg).
+class FloodActor : public AggregationActor {
+public:
+  FloodActor(std::shared_ptr<const FloodConfig> Config, int64_t Value)
+      : AggregationActor(Value), Config(std::move(Config)) {}
+
+  void onMessage(Context &Ctx, ProcessId From,
+                 const MessageBody &Body) override;
+  void onTimer(Context &Ctx, TimerId Id) override;
+
+  /// Issuer-side: contributions gathered so far (inspection for tests).
+  const Contributions &gathered() const { return Gathered; }
+
+private:
+  void startQuery(Context &Ctx);
+  void handleRequest(Context &Ctx, const FloodRequestMsg &Req);
+  void handleReply(const FloodReplyMsg &Reply);
+
+  std::shared_ptr<const FloodConfig> Config;
+
+  // Relay state.
+  std::set<uint64_t> SeenQueries;
+
+  // Issuer state.
+  bool Issuing = false;
+  bool Reported = false;
+  uint64_t MyQueryId = 0;
+  TimerId Deadline = 0;
+  Contributions Gathered;
+};
+
+/// Factory for ChurnDriver / manual spawns: every actor shares \p Config
+/// and draws its input value from \p NextValue.
+std::function<std::unique_ptr<Actor>()>
+makeFloodFactory(std::shared_ptr<const FloodConfig> Config,
+                 std::function<int64_t()> NextValue);
+
+} // namespace dyndist
+
+#endif // DYNDIST_AGGREGATION_FLOODING_H

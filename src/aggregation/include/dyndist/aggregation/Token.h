@@ -1,0 +1,88 @@
+//===- dyndist/aggregation/Token.h - DFS token baseline ---------*- C++ -*-===//
+//
+// Part of the dyndist project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Baseline: a depth-first token traversal. A single token walks the
+/// overlay, accumulating values, and reports when the walk returns to the
+/// issuer with nothing left to visit. It needs no diameter knowledge and no
+/// timers — but its single point of state makes it maximally fragile: one
+/// crash of the token holder (or one message to a departed process) loses
+/// everything. The benchmarks use it as the contrast case showing that
+/// wave redundancy, not mere locality-compatibility, is what buys
+/// robustness in dynamic systems.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNDIST_AGGREGATION_TOKEN_H
+#define DYNDIST_AGGREGATION_TOKEN_H
+
+#include "dyndist/aggregation/Protocol.h"
+
+#include <functional>
+#include <memory>
+#include <set>
+#include <vector>
+
+namespace dyndist {
+
+/// Tuning of the token query.
+struct TokenConfig {
+  /// Issuer gives up and reports its (nearly empty) local view after this
+  /// many ticks; 0 disables the timeout (a lost token then means
+  /// non-termination).
+  SimTime TimeoutAfter = 0;
+
+  /// Aggregate monoid the issuer reports under.
+  AggregateKind Aggregate = AggregateKind::Sum;
+};
+
+/// The traveling token.
+struct TokenMsg : MessageBody {
+  static constexpr int KindId = MsgToken;
+  TokenMsg(uint64_t QueryId, ProcessId Issuer, Contributions Known,
+           std::set<ProcessId> Visited, std::vector<ProcessId> Path)
+      : MessageBody(KindId), QueryId(QueryId), Issuer(Issuer),
+        Known(std::move(Known)), Visited(std::move(Visited)),
+        Path(std::move(Path)) {}
+  uint64_t QueryId;
+  ProcessId Issuer;
+  Contributions Known;
+  std::set<ProcessId> Visited; ///< Nodes the token has touched.
+  std::vector<ProcessId> Path; ///< Ancestor stack; top is the parent.
+  size_t weight() const override {
+    return 1 + 2 * Known.size() + Visited.size() + Path.size();
+  }
+};
+
+/// Actor implementing the DFS-token one-time query.
+class TokenActor : public AggregationActor {
+public:
+  TokenActor(std::shared_ptr<const TokenConfig> Config, int64_t Value)
+      : AggregationActor(Value), Config(std::move(Config)) {}
+
+  void onMessage(Context &Ctx, ProcessId From,
+                 const MessageBody &Body) override;
+  void onTimer(Context &Ctx, TimerId Id) override;
+
+private:
+  void startQuery(Context &Ctx);
+  void handleToken(Context &Ctx, const TokenMsg &Token);
+
+  std::shared_ptr<const TokenConfig> Config;
+  bool Issuing = false;
+  bool Reported = false;
+  uint64_t MyQueryId = 0;
+  TimerId Timeout = 0;
+};
+
+/// Factory for ChurnDriver / manual spawns.
+std::function<std::unique_ptr<Actor>()>
+makeTokenFactory(std::shared_ptr<const TokenConfig> Config,
+                 std::function<int64_t()> NextValue);
+
+} // namespace dyndist
+
+#endif // DYNDIST_AGGREGATION_TOKEN_H

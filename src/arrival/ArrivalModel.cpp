@@ -1,0 +1,77 @@
+//===- ArrivalModel.cpp - Arrival models --------------------------------------===//
+//
+// Part of the dyndist project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dyndist/arrival/ArrivalModel.h"
+
+#include "dyndist/support/StringUtils.h"
+
+#include <cassert>
+
+using namespace dyndist;
+
+ArrivalModel ArrivalModel::finiteArrival(uint64_t N, bool Known) {
+  assert(N > 0 && "finite arrival bound must be positive");
+  ArrivalModel M;
+  M.Kind = ArrivalKind::FiniteArrival;
+  M.TotalBound = N;
+  M.BoundKnown = Known;
+  return M;
+}
+
+ArrivalModel ArrivalModel::boundedConcurrency(uint64_t B, bool Known) {
+  assert(B > 0 && "concurrency bound must be positive");
+  ArrivalModel M;
+  M.Kind = ArrivalKind::BoundedConcurrency;
+  M.ConcurrencyBound = B;
+  M.BoundKnown = Known;
+  return M;
+}
+
+ArrivalModel ArrivalModel::infiniteArrival() {
+  ArrivalModel M;
+  M.Kind = ArrivalKind::InfiniteArrival;
+  return M;
+}
+
+Status ArrivalModel::checkAdmissible(const Trace &T) const {
+  switch (Kind) {
+  case ArrivalKind::FiniteArrival:
+    if (T.totalArrivals() > TotalBound)
+      return Error(Error::Code::ProtocolViolation,
+                   format("finite-arrival model allows %llu arrivals, trace "
+                          "has %zu",
+                          static_cast<unsigned long long>(TotalBound),
+                          T.totalArrivals()));
+    return Status::success();
+  case ArrivalKind::BoundedConcurrency:
+    if (T.maxConcurrency() > ConcurrencyBound)
+      return Error(Error::Code::ProtocolViolation,
+                   format("concurrency bound %llu exceeded: peak %zu",
+                          static_cast<unsigned long long>(ConcurrencyBound),
+                          T.maxConcurrency()));
+    return Status::success();
+  case ArrivalKind::InfiniteArrival:
+    return Status::success();
+  }
+  assert(false && "unknown arrival kind");
+  return Status::success();
+}
+
+std::string ArrivalModel::name() const {
+  switch (Kind) {
+  case ArrivalKind::FiniteArrival:
+    return format("M^n(%llu,%s)", static_cast<unsigned long long>(TotalBound),
+                  BoundKnown ? "known" : "unknown");
+  case ArrivalKind::BoundedConcurrency:
+    return format("M^b(%llu,%s)",
+                  static_cast<unsigned long long>(ConcurrencyBound),
+                  BoundKnown ? "known" : "unknown");
+  case ArrivalKind::InfiniteArrival:
+    return "M^inf";
+  }
+  assert(false && "unknown arrival kind");
+  return "?";
+}

@@ -1,0 +1,102 @@
+//===- Churn.cpp - Churn generation -------------------------------------------===//
+//
+// Part of the dyndist project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dyndist/arrival/Churn.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace dyndist;
+
+ChurnDriver::ChurnDriver(ArrivalModel Model, ChurnParams Params,
+                         ActorFactory Factory, Rng R)
+    : Model(Model), Params(Params), Factory(std::move(Factory)), R(R) {
+  assert(this->Factory && "churn driver needs an actor factory");
+  assert(Params.MeanSession > 0.0 && "mean session must be positive");
+}
+
+SimTime ChurnDriver::sampleSession() {
+  double Ticks = 0.0;
+  switch (Params.Dist) {
+  case SessionDist::Exponential:
+    Ticks = R.nextExponential(1.0 / Params.MeanSession);
+    break;
+  case SessionDist::Pareto: {
+    // Choose Xm so the Pareto mean equals MeanSession when Alpha > 1;
+    // otherwise fall back to Xm = MeanSession (mean is infinite anyway).
+    double Alpha = Params.ParetoAlpha;
+    double Xm = Alpha > 1.0 ? Params.MeanSession * (Alpha - 1.0) / Alpha
+                            : Params.MeanSession;
+    Ticks = R.nextPareto(Xm, Alpha);
+    break;
+  }
+  }
+  return std::max<SimTime>(1, static_cast<SimTime>(std::llround(Ticks)));
+}
+
+void ChurnDriver::spawnOne(Simulator &S) {
+  ProcessId P = S.spawn(Factory());
+  ++Arrivals;
+  SimTime Session = sampleSession();
+  SimTime DepartAt = S.now() + Session;
+  if (Params.QuiesceAt && DepartAt > *Params.QuiesceAt)
+    return; // Quiesced: this process stays forever.
+  bool Crash = R.nextBernoulli(Params.CrashFraction);
+  S.scheduleAt(DepartAt, [P, Crash](Simulator &Sim) {
+    if (!Sim.isUp(P))
+      return;
+    if (Crash)
+      Sim.crash(P);
+    else
+      Sim.leave(P);
+  });
+}
+
+void ChurnDriver::populateInitial(Simulator &S, size_t Count) {
+  for (size_t I = 0; I != Count; ++I) {
+    if (Model.Kind == ArrivalKind::BoundedConcurrency &&
+        S.upCount() >= Model.ConcurrencyBound)
+      break;
+    if (Model.Kind == ArrivalKind::FiniteArrival &&
+        Arrivals >= Model.TotalBound)
+      break;
+    spawnOne(S);
+  }
+}
+
+void ChurnDriver::start(Simulator &S) {
+  if (Params.JoinRate <= 0.0)
+    return;
+  scheduleNextJoin(S);
+}
+
+void ChurnDriver::scheduleNextJoin(Simulator &S) {
+  double Gap = R.nextExponential(Params.JoinRate);
+  SimTime Delay = std::max<SimTime>(1, static_cast<SimTime>(std::llround(Gap)));
+  SimTime JoinAt = S.now() + Delay;
+  SimTime JoinDeadline = Params.Horizon;
+  if (Params.QuiesceAt)
+    JoinDeadline = std::min(JoinDeadline, *Params.QuiesceAt);
+  if (JoinAt > JoinDeadline)
+    return; // Join process ends.
+  S.scheduleAt(JoinAt, [this](Simulator &Sim) { attemptJoin(Sim); });
+}
+
+void ChurnDriver::attemptJoin(Simulator &S) {
+  bool Blocked = false;
+  if (Model.Kind == ArrivalKind::FiniteArrival &&
+      Arrivals >= Model.TotalBound)
+    return; // Arrival budget exhausted: the join process dies out (M^n).
+  if (Model.Kind == ArrivalKind::BoundedConcurrency &&
+      S.upCount() >= Model.ConcurrencyBound) {
+    ++Suppressed;
+    Blocked = true;
+  }
+  if (!Blocked)
+    spawnOne(S);
+  scheduleNextJoin(S);
+}

@@ -1,0 +1,73 @@
+//===- Replay.cpp - Membership replay -------------------------------------------===//
+//
+// Part of the dyndist project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dyndist/arrival/Replay.h"
+
+#include <cassert>
+#include <map>
+#include <memory>
+
+using namespace dyndist;
+
+std::vector<MembershipEvent>
+dyndist::extractMembershipSchedule(const Trace &T) {
+  std::vector<MembershipEvent> Out;
+  for (const TraceEvent &E : T.events()) {
+    MembershipEvent M;
+    M.At = E.Time;
+    M.Original = E.Subject;
+    switch (E.Kind) {
+    case TraceKind::Join:
+      M.What = MembershipEvent::Kind::Join;
+      break;
+    case TraceKind::Leave:
+      M.What = MembershipEvent::Kind::Leave;
+      break;
+    case TraceKind::Crash:
+      M.What = MembershipEvent::Kind::Crash;
+      break;
+    default:
+      continue;
+    }
+    Out.push_back(M);
+  }
+  return Out;
+}
+
+size_t dyndist::replayMembership(Simulator &S,
+                                 const std::vector<MembershipEvent> &Schedule,
+                                 ChurnDriver::ActorFactory Factory) {
+  assert(S.now() == 0 && "replay must be installed before the run");
+  assert(Factory && "replay needs an actor factory");
+  auto IdMap = std::make_shared<std::map<ProcessId, ProcessId>>();
+  auto Fac =
+      std::make_shared<ChurnDriver::ActorFactory>(std::move(Factory));
+  for (const MembershipEvent &E : Schedule) {
+    switch (E.What) {
+    case MembershipEvent::Kind::Join:
+      S.scheduleAt(E.At, [IdMap, Fac, Orig = E.Original](Simulator &Sim) {
+        (*IdMap)[Orig] = Sim.spawn((*Fac)());
+      });
+      break;
+    case MembershipEvent::Kind::Leave:
+    case MembershipEvent::Kind::Crash: {
+      bool IsCrash = E.What == MembershipEvent::Kind::Crash;
+      S.scheduleAt(E.At,
+                   [IdMap, Orig = E.Original, IsCrash](Simulator &Sim) {
+                     auto It = IdMap->find(Orig);
+                     if (It == IdMap->end() || !Sim.isUp(It->second))
+                       return;
+                     if (IsCrash)
+                       Sim.crash(It->second);
+                     else
+                       Sim.leave(It->second);
+                   });
+      break;
+    }
+    }
+  }
+  return Schedule.size();
+}

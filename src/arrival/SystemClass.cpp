@@ -1,0 +1,101 @@
+//===- SystemClass.cpp - Dynamic-system classes -------------------------------===//
+//
+// Part of the dyndist project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dyndist/arrival/SystemClass.h"
+
+#include "dyndist/support/StringUtils.h"
+
+#include <cassert>
+
+using namespace dyndist;
+
+KnowledgeModel KnowledgeModel::knownDiameter(uint64_t D) {
+  assert(D >= 1 && "diameter bound must be positive");
+  KnowledgeModel K;
+  K.Diameter = DiameterKnowledge::KnownBound;
+  K.DiameterBound = D;
+  return K;
+}
+
+KnowledgeModel KnowledgeModel::boundedUnknownDiameter() {
+  KnowledgeModel K;
+  K.Diameter = DiameterKnowledge::BoundedUnknown;
+  return K;
+}
+
+KnowledgeModel KnowledgeModel::unboundedDiameter() {
+  KnowledgeModel K;
+  K.Diameter = DiameterKnowledge::Unbounded;
+  return K;
+}
+
+std::string KnowledgeModel::name() const {
+  switch (Diameter) {
+  case DiameterKnowledge::KnownBound:
+    return format("D<=%llu", static_cast<unsigned long long>(DiameterBound));
+  case DiameterKnowledge::BoundedUnknown:
+    return "D-bounded";
+  case DiameterKnowledge::Unbounded:
+    return "D-unbounded";
+  }
+  assert(false && "unknown diameter knowledge");
+  return "?";
+}
+
+std::string SystemClass::name() const {
+  return Arrival.name() + " x " + Knowledge.name();
+}
+
+int SystemClass::arrivalRank() const {
+  switch (Arrival.Kind) {
+  case ArrivalKind::FiniteArrival:
+    return 0;
+  case ArrivalKind::BoundedConcurrency:
+    return 1;
+  case ArrivalKind::InfiniteArrival:
+    return 2;
+  }
+  assert(false && "unknown arrival kind");
+  return 0;
+}
+
+int SystemClass::knowledgeRank() const {
+  switch (Knowledge.Diameter) {
+  case DiameterKnowledge::KnownBound:
+    return 0;
+  case DiameterKnowledge::BoundedUnknown:
+    return 1;
+  case DiameterKnowledge::Unbounded:
+    return 2;
+  }
+  assert(false && "unknown diameter knowledge");
+  return 0;
+}
+
+bool SystemClass::atLeastAsHostileAs(const SystemClass &Other) const {
+  return arrivalRank() >= Other.arrivalRank() &&
+         knowledgeRank() >= Other.knowledgeRank();
+}
+
+std::vector<SystemClass> dyndist::canonicalClassGrid(uint64_t FiniteN,
+                                                     uint64_t B, uint64_t D) {
+  std::vector<ArrivalModel> Arrivals = {
+      ArrivalModel::finiteArrival(FiniteN, /*Known=*/false),
+      ArrivalModel::boundedConcurrency(B, /*Known=*/true),
+      ArrivalModel::infiniteArrival(),
+  };
+  std::vector<KnowledgeModel> Knowledges = {
+      KnowledgeModel::knownDiameter(D),
+      KnowledgeModel::boundedUnknownDiameter(),
+      KnowledgeModel::unboundedDiameter(),
+  };
+  std::vector<SystemClass> Grid;
+  Grid.reserve(9);
+  for (const ArrivalModel &A : Arrivals)
+    for (const KnowledgeModel &K : Knowledges)
+      Grid.push_back(SystemClass{A, K});
+  return Grid;
+}

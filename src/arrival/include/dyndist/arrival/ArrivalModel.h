@@ -1,0 +1,78 @@
+//===- dyndist/arrival/ArrivalModel.h - Arrival models ----------*- C++ -*-===//
+//
+// Part of the dyndist project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's first dimension of dynamicity: how the set of entities varies
+/// over time. Following Merritt & Taubenfeld's process models (adopted by
+/// the paper):
+///
+///  - Finite arrival (M^n): finitely many processes ever enter the system;
+///    the number may be known or unknown to the algorithms.
+///  - Infinite arrival with bounded concurrency (M^b): over an infinite run
+///    infinitely many processes may enter, but at any instant at most b are
+///    simultaneously up; b may be known or unknown.
+///  - Infinite arrival, unbounded concurrency (M^inf): no bound at all.
+///
+/// An ArrivalModel is both a *constraint on executions* (checkAdmissible
+/// verifies a recorded Trace against it) and a *grant of knowledge* (which
+/// constants an algorithm in this model may read).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNDIST_ARRIVAL_ARRIVALMODEL_H
+#define DYNDIST_ARRIVAL_ARRIVALMODEL_H
+
+#include "dyndist/sim/Trace.h"
+#include "dyndist/support/Result.h"
+
+#include <string>
+
+namespace dyndist {
+
+/// The arrival-dimension taxonomy.
+enum class ArrivalKind {
+  FiniteArrival,      ///< M^n: finitely many arrivals ever.
+  BoundedConcurrency, ///< M^b: unbounded arrivals, <= b up at once.
+  InfiniteArrival,    ///< M^inf: unbounded arrivals and concurrency.
+};
+
+/// One point on the arrival axis.
+struct ArrivalModel {
+  ArrivalKind Kind = ArrivalKind::InfiniteArrival;
+
+  /// FiniteArrival: maximum number of processes that ever enter (> 0).
+  uint64_t TotalBound = 0;
+
+  /// BoundedConcurrency: maximum simultaneously-up processes (> 0).
+  uint64_t ConcurrencyBound = 0;
+
+  /// True when algorithms are allowed to read the relevant bound
+  /// (TotalBound resp. ConcurrencyBound). "Known b" and "unknown b" are
+  /// different system classes in the paper.
+  bool BoundKnown = false;
+
+  /// M^n with \p N total arrivals; \p Known grants algorithms the value.
+  static ArrivalModel finiteArrival(uint64_t N, bool Known = false);
+
+  /// M^b with concurrency bound \p B; \p Known grants algorithms the value.
+  static ArrivalModel boundedConcurrency(uint64_t B, bool Known = true);
+
+  /// M^inf.
+  static ArrivalModel infiniteArrival();
+
+  /// Verifies that a recorded execution is admissible in this model:
+  /// FiniteArrival => total arrivals <= TotalBound; BoundedConcurrency =>
+  /// peak concurrency <= ConcurrencyBound; InfiniteArrival admits
+  /// everything.
+  Status checkAdmissible(const Trace &T) const;
+
+  /// Short display name, e.g. "M^n(64,known)" or "M^inf".
+  std::string name() const;
+};
+
+} // namespace dyndist
+
+#endif // DYNDIST_ARRIVAL_ARRIVALMODEL_H

@@ -1,0 +1,106 @@
+//===- dyndist/arrival/Churn.h - Churn generation ---------------*- C++ -*-===//
+//
+// Part of the dyndist project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Synthetic churn: a driver that populates a simulator with joins and
+/// departures drawn from configurable stochastic processes, constrained to
+/// stay admissible in a declared ArrivalModel. This replaces the open
+/// peer-to-peer deployments the paper gestures at (see DESIGN.md,
+/// substitutions table): joins form a Poisson process, session lengths are
+/// exponential or heavy-tailed Pareto, and departures are graceful leaves
+/// or silent crashes in a configurable ratio.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNDIST_ARRIVAL_CHURN_H
+#define DYNDIST_ARRIVAL_CHURN_H
+
+#include "dyndist/arrival/ArrivalModel.h"
+#include "dyndist/sim/Simulator.h"
+#include "dyndist/support/Random.h"
+
+#include <functional>
+#include <memory>
+#include <optional>
+
+namespace dyndist {
+
+/// Session-length distribution families.
+enum class SessionDist {
+  Exponential, ///< Memoryless sessions with the given mean.
+  Pareto,      ///< Heavy-tailed sessions (few very long stayers).
+};
+
+/// Churn-process parameters.
+struct ChurnParams {
+  /// Expected joins per tick (Poisson process rate). 0 disables joins.
+  double JoinRate = 0.05;
+
+  /// Mean session length in ticks (> 0 when departures are enabled).
+  double MeanSession = 200.0;
+
+  /// Session-length family; Pareto uses ParetoAlpha (heavier for smaller
+  /// alpha; mean exists only for alpha > 1).
+  SessionDist Dist = SessionDist::Exponential;
+  double ParetoAlpha = 1.5;
+
+  /// Probability that a departure is a silent crash instead of a graceful
+  /// leave.
+  double CrashFraction = 0.0;
+
+  /// No joins are attempted after this time.
+  SimTime Horizon = ~0ULL;
+
+  /// When set, the system quiesces: departures that would occur after this
+  /// time are suppressed (those processes stay forever), and joins stop at
+  /// min(Horizon, QuiesceAt). Used by experiment E3 (finite arrival +
+  /// eventual quiescence).
+  std::optional<SimTime> QuiesceAt;
+};
+
+/// Drives churn on one simulator. Construct, then start(); must outlive the
+/// run. Spawned processes run actors produced by the factory.
+class ChurnDriver {
+public:
+  using ActorFactory = std::function<std::unique_ptr<Actor>()>;
+
+  /// \p Model constrains generation (joins are suppressed rather than
+  /// violate it); \p R should be a dedicated stream (Rng::split()).
+  ChurnDriver(ArrivalModel Model, ChurnParams Params, ActorFactory Factory,
+              Rng R);
+
+  /// Spawns \p Count processes immediately (the initial population) and
+  /// schedules their departures per the session distribution.
+  void populateInitial(Simulator &S, size_t Count);
+
+  /// Schedules the join process starting from the current time.
+  void start(Simulator &S);
+
+  /// Total processes this driver spawned (including initial population).
+  uint64_t arrivals() const { return Arrivals; }
+
+  /// Join attempts suppressed by the concurrency bound. A nonzero value
+  /// means the run saturated its M^b bound — evidence the bound was binding
+  /// rather than slack.
+  uint64_t suppressedJoins() const { return Suppressed; }
+
+private:
+  void scheduleNextJoin(Simulator &S);
+  void attemptJoin(Simulator &S);
+  void spawnOne(Simulator &S);
+  SimTime sampleSession();
+
+  ArrivalModel Model;
+  ChurnParams Params;
+  ActorFactory Factory;
+  Rng R;
+  uint64_t Arrivals = 0;
+  uint64_t Suppressed = 0;
+};
+
+} // namespace dyndist
+
+#endif // DYNDIST_ARRIVAL_CHURN_H

@@ -1,0 +1,53 @@
+//===- dyndist/arrival/Replay.h - Membership replay -------------*- C++ -*-===//
+//
+// Part of the dyndist project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Replays the membership schedule of a recorded execution into a fresh
+/// simulator: every join, graceful leave, and crash happens to the same
+/// (relabeled) entities at the same instants. This turns churn into a
+/// controlled variable — two algorithms can be compared against the *same*
+/// arrival/departure sequence, the paired-experiment design that removes
+/// churn sampling noise from A/B comparisons (and, composed with TraceIO,
+/// lets recorded schedules be archived and replayed across builds).
+///
+/// Identities are relabeled: the replayed simulator assigns its own
+/// ProcessIds in join order, which matches the original's ids exactly when
+/// the original also started empty (ids are assigned densely in arrival
+/// order there too).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNDIST_ARRIVAL_REPLAY_H
+#define DYNDIST_ARRIVAL_REPLAY_H
+
+#include "dyndist/arrival/Churn.h"
+#include "dyndist/sim/Simulator.h"
+#include "dyndist/sim/Trace.h"
+
+namespace dyndist {
+
+/// Extracted membership schedule: one entry per join/leave/crash.
+struct MembershipEvent {
+  enum class Kind { Join, Leave, Crash } What = Kind::Join;
+  SimTime At = 0;
+  ProcessId Original = InvalidProcess; ///< Id in the source trace.
+};
+
+/// Pulls the membership schedule out of \p T, in time order.
+std::vector<MembershipEvent> extractMembershipSchedule(const Trace &T);
+
+/// Installs \p Schedule into \p S: joins spawn actors from \p Factory at
+/// the recorded instants (events at time 0 spawn immediately), departures
+/// leave/crash the corresponding replayed process. Must be called at
+/// simulation time 0 on a simulator with no prior spawns (so replayed ids
+/// line up with join order). Returns the number of scheduled events.
+size_t replayMembership(Simulator &S,
+                        const std::vector<MembershipEvent> &Schedule,
+                        ChurnDriver::ActorFactory Factory);
+
+} // namespace dyndist
+
+#endif // DYNDIST_ARRIVAL_REPLAY_H

@@ -1,0 +1,88 @@
+//===- dyndist/arrival/SystemClass.h - Dynamic-system classes ---*- C++ -*-===//
+//
+// Part of the dyndist project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's central object: a *class of dynamic systems* is a point in
+/// the product of its two orthogonal dimensions —
+///
+///   arrival axis   x   geographical (knowledge) axis
+///
+/// The geographical axis is abstracted by what is known about the overlay's
+/// diameter, since that is exactly what a query wave needs: a known bound D
+/// (algorithms may use the constant), the promise of some bound that is not
+/// disclosed, or no bound at all over the run.
+///
+/// The static system of classical distributed computing is the bottom of
+/// the lattice: finite known arrivals and diameter known (complete
+/// knowledge makes it 1). Hostility grows along both axes independently —
+/// that independence is claim C4, tested by experiment E5.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNDIST_ARRIVAL_SYSTEMCLASS_H
+#define DYNDIST_ARRIVAL_SYSTEMCLASS_H
+
+#include "dyndist/arrival/ArrivalModel.h"
+
+#include <string>
+#include <vector>
+
+namespace dyndist {
+
+/// What algorithms know about the overlay's diameter.
+enum class DiameterKnowledge {
+  KnownBound,     ///< A bound D is promised and disclosed.
+  BoundedUnknown, ///< A bound exists but is not disclosed.
+  Unbounded,      ///< The diameter may grow without bound over the run.
+};
+
+/// The geographical / knowledge axis.
+struct KnowledgeModel {
+  DiameterKnowledge Diameter = DiameterKnowledge::Unbounded;
+
+  /// When KnownBound: the disclosed bound (>= actual diameter of every
+  /// connected snapshot during the window of interest).
+  uint64_t DiameterBound = 0;
+
+  /// Convenience constructors.
+  static KnowledgeModel knownDiameter(uint64_t D);
+  static KnowledgeModel boundedUnknownDiameter();
+  static KnowledgeModel unboundedDiameter();
+
+  /// Short display name, e.g. "D<=8", "D-bounded", "D-unbounded".
+  std::string name() const;
+};
+
+/// A class of dynamic systems: one point on each axis.
+struct SystemClass {
+  ArrivalModel Arrival;
+  KnowledgeModel Knowledge;
+
+  /// "arrival x knowledge" display name.
+  std::string name() const;
+
+  /// Partial order of hostility: true when this class is at least as
+  /// hostile as \p Other on *both* axes (i.e. every system of Other is a
+  /// system of this class, modulo bound values). Used by tests of the
+  /// lattice structure.
+  bool atLeastAsHostileAs(const SystemClass &Other) const;
+
+  /// Rank of this class's arrival axis (0 = most benign).
+  int arrivalRank() const;
+
+  /// Rank of this class's knowledge axis (0 = most benign).
+  int knowledgeRank() const;
+};
+
+/// The canonical 3x3 grid of classes used by experiment E1, with the given
+/// concrete bounds where applicable. Row-major: arrival rank outer,
+/// knowledge rank inner.
+std::vector<SystemClass> canonicalClassGrid(uint64_t FiniteN, uint64_t B,
+                                            uint64_t D);
+
+} // namespace dyndist
+
+#endif // DYNDIST_ARRIVAL_SYSTEMCLASS_H

@@ -1,0 +1,39 @@
+//===- ConsensusChain.cpp - t+1 construction -----------------------------------===//
+//
+// Part of the dyndist project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dyndist/consensus/ConsensusChain.h"
+
+#include <cassert>
+
+using namespace dyndist;
+
+ConsensusChain::ConsensusChain(size_t Tolerated) {
+  for (size_t I = 0; I != Tolerated + 1; ++I)
+    Objects.push_back(
+        std::make_shared<BaseConsensus>(FailureMode::Responsive));
+}
+
+ConsensusChain::ConsensusChain(
+    std::vector<std::shared_ptr<BaseConsensus>> Objects)
+    : Objects(std::move(Objects)) {
+  assert(!this->Objects.empty() && "need at least one base object");
+  for (const auto &O : this->Objects)
+    assert(O->mode() == FailureMode::Responsive &&
+           "chain construction requires responsive base objects");
+}
+
+int64_t ConsensusChain::propose(int64_t Value) {
+  int64_t Estimate = Value;
+  for (auto &O : Objects) {
+    ++BaseOps;
+    // Responsive objects complete inline; the stack capture is safe.
+    O->asyncPropose(Estimate, [&Estimate](std::optional<int64_t> Res) {
+      if (Res)
+        Estimate = *Res;
+    });
+  }
+  return Estimate;
+}

@@ -1,0 +1,48 @@
+//===- QuorumConsensusAttempt.cpp - lower bound --------------------------------===//
+//
+// Part of the dyndist project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dyndist/consensus/QuorumConsensusAttempt.h"
+
+#include "dyndist/objects/Quorum.h"
+
+#include <cassert>
+#include <map>
+
+using namespace dyndist;
+
+QuorumConsensusAttempt::QuorumConsensusAttempt(
+    std::vector<std::shared_ptr<BaseConsensus>> Objects, size_t WaitFor)
+    : Objects(std::move(Objects)), WaitFor(WaitFor) {
+  assert(WaitFor >= 1 && WaitFor <= this->Objects.size() &&
+         "quorum size must be in [1, n]");
+  for (const auto &O : this->Objects)
+    assert(O->mode() == FailureMode::Nonresponsive &&
+           "attempt family targets the nonresponsive model");
+}
+
+std::optional<int64_t>
+QuorumConsensusAttempt::propose(int64_t Value,
+                                std::chrono::milliseconds Timeout) {
+  auto Latch = std::make_shared<QuorumLatch>(WaitFor);
+  // Adoption rule: the first answer received wins.
+  auto First = std::make_shared<std::optional<int64_t>>();
+  for (auto &Object : Objects) {
+    Object->asyncPropose(Value,
+                         [Latch, First](std::optional<int64_t> Res) {
+                           if (Res)
+                             Latch->withLock([&] {
+                               if (!First->has_value())
+                                 *First = *Res;
+                             });
+                           Latch->arrive();
+                         });
+  }
+  if (!Latch->awaitFor(Timeout))
+    return std::nullopt; // "Never returns", made observable.
+  std::optional<int64_t> Adopted;
+  Latch->withLock([&] { Adopted = *First; });
+  return Adopted;
+}

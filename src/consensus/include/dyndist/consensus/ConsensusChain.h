@@ -1,0 +1,79 @@
+//===- dyndist/consensus/ConsensusChain.h - t+1 construction ----*- C++ -*-===//
+//
+// Part of the dyndist project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Self-implementation of a reliable, wait-free consensus object from
+/// **t+1 base consensus objects with responsive crash failures**
+/// (Guerraoui & Raynal, PaCT 2007):
+///
+///   propose(v):
+///     est := v
+///     for j := 0 .. t:
+///       res := C[j].propose(est)
+///       if res != ⊥:  est := res
+///     return est
+///
+/// Why it works: at least one C[k] never crashes. Every process that
+/// reaches stage k proposes its current estimate to C[k] and — since C[k]
+/// answers everyone — adopts C[k]'s sticky decision d. From stage k on,
+/// every estimate in the system is d, so later (possibly crashed) objects
+/// can only confirm it or answer ⊥, and everyone returns d. Validity holds
+/// because estimates are only ever replaced by base-object decisions, which
+/// are themselves proposed estimates.
+///
+/// With **nonresponsive** base consensus objects no such chain exists —
+/// C[j].propose() may simply never answer, and waiting on quorums of base
+/// *consensus* objects is not safe the way it is for registers (two
+/// processes can be served by disjoint object sets that decided
+/// differently). QuorumConsensusAttempt materializes the natural-but-wrong
+/// algorithm family so tests and experiment E7 can exhibit the failure.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNDIST_CONSENSUS_CONSENSUSCHAIN_H
+#define DYNDIST_CONSENSUS_CONSENSUSCHAIN_H
+
+#include "dyndist/objects/BaseConsensus.h"
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+namespace dyndist {
+
+/// The t+1 responsive-crash consensus self-implementation.
+class ConsensusChain {
+public:
+  /// Builds over \p Tolerated + 1 fresh responsive-crash base objects.
+  explicit ConsensusChain(size_t Tolerated);
+
+  /// Builds over caller-provided base objects (shared with an adversary).
+  /// All must be FailureMode::Responsive.
+  explicit ConsensusChain(
+      std::vector<std::shared_ptr<BaseConsensus>> Objects);
+
+  /// Proposes \p Value; returns the (common) decision. Wait-free: every
+  /// stage's base object answers (possibly ⊥) because failures are
+  /// responsive. Callable concurrently from any number of threads.
+  int64_t propose(int64_t Value);
+
+  /// Number of base objects (t + 1).
+  size_t baseCount() const { return Objects.size(); }
+
+  /// Access to base object \p I for failure injection in tests.
+  BaseConsensus &object(size_t I) { return *Objects[I]; }
+
+  /// Total base-object invocations issued — the cost metric of E7.
+  uint64_t baseInvocations() const { return BaseOps.load(); }
+
+private:
+  std::vector<std::shared_ptr<BaseConsensus>> Objects;
+  std::atomic<uint64_t> BaseOps{0};
+};
+
+} // namespace dyndist
+
+#endif // DYNDIST_CONSENSUS_CONSENSUSCHAIN_H

@@ -1,0 +1,66 @@
+//===- dyndist/consensus/QuorumConsensusAttempt.h - lower bound -*- C++ -*-===//
+//
+// Part of the dyndist project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The natural-but-impossible algorithm family for consensus over
+/// **nonresponsive** base consensus objects, materialized so the
+/// impossibility can be demonstrated execution by execution.
+///
+/// A member of the family proposes to all n base objects, waits for
+/// \p WaitFor of them to answer, and adopts the first answer received. The
+/// dilemma, demonstrated by the test suite and experiment E7 with
+/// suspend/resume adversaries:
+///
+///  - WaitFor > n - t: a t-fault adversary silences t objects and the call
+///    never returns (termination lost);
+///  - WaitFor <= n - t (t >= 1): an adversary serves two proposers from
+///    disjoint object sets whose sticky values differ (agreement lost) —
+///    unlike registers, base *consensus* objects cannot be overwritten to
+///    reconcile quorums, so no write-back trick exists.
+///
+/// Since every member fails one way or the other, no parameter choice
+/// yields consensus: the empirical face of the tutorial's impossibility
+/// result for nonresponsive consensus self-implementation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNDIST_CONSENSUS_QUORUMCONSENSUSATTEMPT_H
+#define DYNDIST_CONSENSUS_QUORUMCONSENSUSATTEMPT_H
+
+#include "dyndist/objects/BaseConsensus.h"
+
+#include <chrono>
+#include <memory>
+#include <optional>
+#include <vector>
+
+namespace dyndist {
+
+/// One member of the doomed family.
+class QuorumConsensusAttempt {
+public:
+  /// \p Objects must all be FailureMode::Nonresponsive; \p WaitFor in
+  /// [1, n].
+  QuorumConsensusAttempt(
+      std::vector<std::shared_ptr<BaseConsensus>> Objects, size_t WaitFor);
+
+  /// Proposes \p Value. Returns the adopted decision, or nullopt when the
+  /// quorum did not answer within \p Timeout (the checkable stand-in for
+  /// "never returns").
+  std::optional<int64_t> propose(int64_t Value,
+                                 std::chrono::milliseconds Timeout);
+
+  /// Number of base objects (n).
+  size_t baseCount() const { return Objects.size(); }
+
+private:
+  std::vector<std::shared_ptr<BaseConsensus>> Objects;
+  size_t WaitFor;
+};
+
+} // namespace dyndist
+
+#endif // DYNDIST_CONSENSUS_QUORUMCONSENSUSATTEMPT_H

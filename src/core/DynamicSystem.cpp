@@ -1,0 +1,104 @@
+//===- DynamicSystem.cpp - Assembled dynamic system ---------------------------===//
+//
+// Part of the dyndist project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dyndist/core/DynamicSystem.h"
+
+#include "dyndist/core/Solvability.h"
+#include "dyndist/graph/Algorithms.h"
+#include "dyndist/support/StringUtils.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace dyndist;
+
+static std::unique_ptr<LatencyModel> makeLatency(const LatencyConfig &L) {
+  switch (L.Kind) {
+  case LatencyKind::Synchronous:
+    return std::make_unique<FixedLatency>(1);
+  case LatencyKind::PartialSync:
+    return std::make_unique<UniformLatency>(L.Lo, L.Hi);
+  case LatencyKind::HeavyTail:
+    return std::make_unique<HeavyTailLatency>(L.Lo, L.Alpha, L.Cap);
+  }
+  assert(false && "unknown latency kind");
+  return nullptr;
+}
+
+DynamicSystem::DynamicSystem(const DynamicSystemConfig &Config,
+                             ChurnDriver::ActorFactory Factory)
+    : Config(Config), Sim(Config.Seed),
+      Overlay(Config.OverlayDegree, Sim.rng().split(), Config.Attach) {
+  Sim.setLatencyModel(makeLatency(Config.Latency));
+  Overlay.attachTo(Sim);
+  Driver = std::make_unique<ChurnDriver>(Config.Class.Arrival, Config.Churn,
+                                         std::move(Factory),
+                                         Sim.rng().split());
+  Driver->populateInitial(Sim, Config.InitialMembers);
+  Driver->start(Sim);
+  if (Config.DiameterSampleEvery > 0 && Config.MonitorUntil > 0)
+    armMonitor(Config.DiameterSampleEvery);
+}
+
+void DynamicSystem::armMonitor(SimTime At) {
+  if (At > Config.MonitorUntil)
+    return;
+  Sim.scheduleAt(At, [this](Simulator &S) {
+    DiameterSample Sample;
+    Sample.Time = S.now();
+    auto Diam = diameter(Overlay.graph());
+    Sample.Connected = Diam.has_value();
+    Sample.Diameter = Diam.value_or(0);
+    Samples.push_back(Sample);
+    armMonitor(S.now() + Config.DiameterSampleEvery);
+  });
+}
+
+std::optional<uint64_t> DynamicSystem::grantedTtl() const {
+  return derivableTtl(Config.Class);
+}
+
+StopReason DynamicSystem::run(RunLimits Limits) { return Sim.run(Limits); }
+
+uint64_t DynamicSystem::maxObservedDiameter() const {
+  uint64_t Best = 0;
+  for (const DiameterSample &S : Samples)
+    if (S.Connected)
+      Best = std::max(Best, S.Diameter);
+  return Best;
+}
+
+size_t DynamicSystem::disconnectedSamples() const {
+  size_t N = 0;
+  for (const DiameterSample &S : Samples)
+    if (!S.Connected)
+      ++N;
+  return N;
+}
+
+Status DynamicSystem::checkClassAdmissible() const {
+  if (Status S = Config.Class.Arrival.checkAdmissible(Sim.trace()); !S)
+    return S;
+  if (Config.Class.Knowledge.Diameter == DiameterKnowledge::KnownBound) {
+    uint64_t Bound = Config.Class.Knowledge.DiameterBound;
+    for (const DiameterSample &S : Samples) {
+      if (!S.Connected)
+        return Error(Error::Code::ProtocolViolation,
+                     format("disclosed diameter bound %llu but overlay was "
+                            "disconnected at t=%llu",
+                            static_cast<unsigned long long>(Bound),
+                            static_cast<unsigned long long>(S.Time)));
+      if (S.Diameter > Bound)
+        return Error(Error::Code::ProtocolViolation,
+                     format("disclosed diameter bound %llu exceeded: %llu "
+                            "at t=%llu",
+                            static_cast<unsigned long long>(Bound),
+                            static_cast<unsigned long long>(S.Diameter),
+                            static_cast<unsigned long long>(S.Time)));
+    }
+  }
+  return Status::success();
+}

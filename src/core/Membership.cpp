@@ -1,0 +1,76 @@
+//===- Membership.cpp - Local membership detector ------------------------------===//
+//
+// Part of the dyndist project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dyndist/core/Membership.h"
+
+#include <cassert>
+
+using namespace dyndist;
+
+void MembershipActor::onStart(Context &Ctx) { heartbeatRound(Ctx); }
+
+void MembershipActor::onMessage(Context &Ctx, ProcessId From,
+                                const MessageBody &Body) {
+  assert(Body.kind() == MsgHeartbeat &&
+         "membership actor received foreign message kind");
+  (void)Body;
+  LastHeard[From] = Ctx.now();
+  if (Suspected.erase(From))
+    Ctx.observe(MemberRestoreKey, static_cast<int64_t>(From));
+}
+
+void MembershipActor::onTimer(Context &Ctx, TimerId Id) {
+  if (Id != RoundTimer)
+    return;
+  heartbeatRound(Ctx);
+}
+
+void MembershipActor::heartbeatRound(Context &Ctx) {
+  std::vector<ProcessId> Nbrs = Ctx.neighbors();
+  auto Beat = makeBody<HeartbeatMsg>();
+  for (ProcessId N : Nbrs) {
+    Ctx.send(N, Beat);
+    // Start the clock for neighbors we meet for the first time: silence is
+    // only meaningful once a heartbeat could have been answered.
+    LastHeard.try_emplace(N, Ctx.now());
+  }
+
+  // Forget departed neighbors: the overlay already routed around them, so
+  // they are outside this process's (purely local) responsibility.
+  std::set<ProcessId> Current(Nbrs.begin(), Nbrs.end());
+  for (auto It = LastHeard.begin(); It != LastHeard.end();) {
+    if (!Current.count(It->first)) {
+      Suspected.erase(It->first);
+      It = LastHeard.erase(It);
+    } else {
+      ++It;
+    }
+  }
+
+  // Suspect the silent.
+  for (const auto &[N, Heard] : LastHeard) {
+    if (Ctx.now() - Heard <= Config->SuspectAfter)
+      continue;
+    if (Suspected.insert(N).second)
+      Ctx.observe(MemberSuspectKey, static_cast<int64_t>(N));
+  }
+
+  RoundTimer = Ctx.setTimer(Config->HeartbeatEvery);
+}
+
+std::vector<ProcessId> MembershipActor::liveView(Context &Ctx) const {
+  std::vector<ProcessId> Out;
+  for (ProcessId N : Ctx.neighbors())
+    if (!Suspected.count(N))
+      Out.push_back(N);
+  return Out;
+}
+
+std::function<std::unique_ptr<Actor>()> dyndist::makeMembershipFactory(
+    std::shared_ptr<const MembershipConfig> Config) {
+  assert(Config && "factory needs a config");
+  return [Config]() { return std::make_unique<MembershipActor>(Config); };
+}

@@ -1,0 +1,169 @@
+//===- OneTimeQuery.cpp - The canonical problem checker ----------------------===//
+//
+// Part of the dyndist project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dyndist/core/OneTimeQuery.h"
+
+#include "dyndist/support/StringUtils.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <map>
+#include <set>
+
+using namespace dyndist;
+
+int64_t dyndist::foldAggregate(AggregateKind Kind, const Contributions &C) {
+  switch (Kind) {
+  case AggregateKind::Sum: {
+    int64_t Acc = 0;
+    for (const auto &[P, V] : C) {
+      (void)P;
+      Acc += V;
+    }
+    return Acc;
+  }
+  case AggregateKind::Count:
+    return static_cast<int64_t>(C.size());
+  case AggregateKind::Min: {
+    int64_t Acc = std::numeric_limits<int64_t>::max();
+    for (const auto &[P, V] : C) {
+      (void)P;
+      Acc = std::min(Acc, V);
+    }
+    return Acc;
+  }
+  case AggregateKind::Max: {
+    int64_t Acc = std::numeric_limits<int64_t>::min();
+    for (const auto &[P, V] : C) {
+      (void)P;
+      Acc = std::max(Acc, V);
+    }
+    return Acc;
+  }
+  }
+  assert(false && "unknown aggregate kind");
+  return 0;
+}
+
+std::string dyndist::aggregateName(AggregateKind Kind) {
+  switch (Kind) {
+  case AggregateKind::Sum:
+    return "sum";
+  case AggregateKind::Count:
+    return "count";
+  case AggregateKind::Min:
+    return "min";
+  case AggregateKind::Max:
+    return "max";
+  }
+  assert(false && "unknown aggregate kind");
+  return "?";
+}
+
+std::string QueryVerdict::str() const {
+  if (!Terminated)
+    return "no-termination";
+  return format("t=%llu agg=%lld included=%zu required=%zu coverage=%.3f "
+                "%s%s%s",
+                static_cast<unsigned long long>(ResponseTime),
+                static_cast<long long>(Aggregate), IncludedCount,
+                RequiredCount, Coverage, Complete ? "complete" : "INCOMPLETE",
+                NoInvention ? "" : " INVENTED",
+                AggregateConsistent ? "" : " INCONSISTENT");
+}
+
+QueryVerdict dyndist::checkOneTimeQuery(const Trace &T, ProcessId Issuer,
+                                        SimTime IssueTime, SimTime Horizon,
+                                        AggregateKind Kind) {
+  QueryVerdict V;
+
+  // Clause 1: find the first result report in [IssueTime, Horizon].
+  for (const TraceEvent &E : T.events()) {
+    if (E.Kind != TraceKind::Observe || E.Subject != Issuer ||
+        E.Key != OtqResultKey)
+      continue;
+    if (E.Time < IssueTime || E.Time > Horizon)
+      continue;
+    V.Terminated = true;
+    V.ResponseTime = E.Time;
+    V.Aggregate = E.Value;
+    break;
+  }
+  if (!V.Terminated)
+    return V;
+
+  // Contributor set: include records by the issuer up to the response.
+  std::set<ProcessId> Included;
+  for (const TraceEvent &E : T.events()) {
+    if (E.Kind != TraceKind::Observe || E.Subject != Issuer ||
+        E.Key != OtqIncludeKey)
+      continue;
+    if (E.Time < IssueTime || E.Time > V.ResponseTime)
+      continue;
+    Included.insert(static_cast<ProcessId>(E.Value));
+  }
+  V.IncludedCount = Included.size();
+
+  // Declared inputs: first otq.value observation per process.
+  std::map<ProcessId, int64_t> Inputs;
+  for (const TraceEvent &E : T.events()) {
+    if (E.Kind != TraceKind::Observe || E.Key != OtqValueKey)
+      continue;
+    Inputs.try_emplace(E.Subject, E.Value);
+  }
+
+  // Clause 2: completeness over the required set.
+  std::vector<ProcessId> Required =
+      T.membersThroughout(IssueTime, V.ResponseTime);
+  V.RequiredCount = Required.size();
+  size_t Covered = 0;
+  for (ProcessId P : Required) {
+    if (Included.count(P))
+      ++Covered;
+    else
+      V.Missed.push_back(P);
+  }
+  V.Complete = V.Missed.empty();
+  V.Coverage = Required.empty()
+                   ? 1.0
+                   : static_cast<double>(Covered) /
+                         static_cast<double>(Required.size());
+
+  // Clause 3: no invention — every contributor was up at some instant of
+  // the query window.
+  const auto &Presence = T.presence();
+  for (ProcessId P : Included) {
+    auto It = Presence.find(P);
+    bool Present = It != Presence.end() &&
+                   It->second.JoinTime <= V.ResponseTime &&
+                   (!It->second.EndTime || *It->second.EndTime > IssueTime);
+    if (!Present)
+      V.Invented.push_back(P);
+  }
+  V.NoInvention = V.Invented.empty();
+
+  // Clause 4: aggregate consistency — re-fold the contributor set under
+  // the declared monoid. Skipped when the algorithm reports no
+  // contributor set at all.
+  if (Included.empty()) {
+    V.AggregateConsistent = true;
+  } else {
+    Contributions Declared;
+    bool AllDeclared = true;
+    for (ProcessId P : Included) {
+      auto It = Inputs.find(P);
+      if (It == Inputs.end()) {
+        AllDeclared = false;
+        break;
+      }
+      Declared.emplace(P, It->second);
+    }
+    V.AggregateConsistent =
+        AllDeclared && foldAggregate(Kind, Declared) == V.Aggregate;
+  }
+  return V;
+}

@@ -1,0 +1,78 @@
+//===- Solvability.cpp - The paper's claim matrix ------------------------------===//
+//
+// Part of the dyndist project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dyndist/core/Solvability.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace dyndist;
+
+std::string dyndist::algorithmName(RecommendedAlgorithm A) {
+  switch (A) {
+  case RecommendedAlgorithm::FloodingKnownDiameter:
+    return "flood(D)";
+  case RecommendedAlgorithm::FloodingDerivedBound:
+    return "flood(b-1)";
+  case RecommendedAlgorithm::EchoTermination:
+    return "echo";
+  case RecommendedAlgorithm::GossipBestEffort:
+    return "gossip";
+  }
+  assert(false && "unknown algorithm");
+  return "?";
+}
+
+std::string dyndist::solvabilityName(Solvability S) {
+  switch (S) {
+  case Solvability::Solvable:
+    return "solvable";
+  case Solvability::SolvableIfQuiescent:
+    return "quiescent-solvable";
+  case Solvability::Unsolvable:
+    return "unsolvable";
+  }
+  assert(false && "unknown solvability");
+  return "?";
+}
+
+std::optional<uint64_t> dyndist::derivableTtl(const SystemClass &C) {
+  std::optional<uint64_t> Ttl;
+  if (C.Knowledge.Diameter == DiameterKnowledge::KnownBound)
+    Ttl = C.Knowledge.DiameterBound;
+  if (C.Arrival.Kind == ArrivalKind::BoundedConcurrency &&
+      C.Arrival.BoundKnown && C.Arrival.ConcurrencyBound >= 1) {
+    // A connected snapshot has at most b nodes, hence diameter <= b - 1.
+    uint64_t Derived = C.Arrival.ConcurrencyBound - 1;
+    Ttl = Ttl ? std::min(*Ttl, Derived) : Derived;
+  }
+  // A known finite-arrival total bound n likewise caps any snapshot at n
+  // nodes.
+  if (C.Arrival.Kind == ArrivalKind::FiniteArrival && C.Arrival.BoundKnown &&
+      C.Arrival.TotalBound >= 1) {
+    uint64_t Derived = C.Arrival.TotalBound - 1;
+    Ttl = Ttl ? std::min(*Ttl, Derived) : Derived;
+  }
+  return Ttl;
+}
+
+Solvability dyndist::oneTimeQuerySolvability(const SystemClass &C) {
+  if (derivableTtl(C))
+    return Solvability::Solvable; // C1 (and the b-1 conversion).
+  if (C.Arrival.Kind == ArrivalKind::FiniteArrival)
+    return Solvability::SolvableIfQuiescent; // C2.
+  return Solvability::Unsolvable; // C3.
+}
+
+RecommendedAlgorithm dyndist::recommendedAlgorithm(const SystemClass &C) {
+  if (C.Knowledge.Diameter == DiameterKnowledge::KnownBound)
+    return RecommendedAlgorithm::FloodingKnownDiameter;
+  if (derivableTtl(C))
+    return RecommendedAlgorithm::FloodingDerivedBound;
+  if (C.Arrival.Kind == ArrivalKind::FiniteArrival)
+    return RecommendedAlgorithm::EchoTermination;
+  return RecommendedAlgorithm::GossipBestEffort;
+}

@@ -1,0 +1,135 @@
+//===- dyndist/core/DynamicSystem.h - Assembled dynamic system --*- C++ -*-===//
+//
+// Part of the dyndist project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The executable form of the paper's model: a DynamicSystem bundles the
+/// event kernel, a churn-maintained overlay, a churn driver constrained by
+/// an arrival model, and the knowledge grants of a SystemClass — i.e. "a
+/// system of class C" that algorithms can be dropped into.
+///
+/// Class membership is *certified, not assumed*: the system samples the
+/// overlay's diameter during the run, and checkClassAdmissible() verifies
+/// after the fact that the recorded execution really was a behavior of the
+/// declared class (arrival bounds respected, diameter promise kept).
+/// Experiment harnesses discard runs that fall outside their class instead
+/// of crediting or blaming algorithms for them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNDIST_CORE_DYNAMICSYSTEM_H
+#define DYNDIST_CORE_DYNAMICSYSTEM_H
+
+#include "dyndist/arrival/Churn.h"
+#include "dyndist/arrival/SystemClass.h"
+#include "dyndist/graph/Overlay.h"
+#include "dyndist/sim/Simulator.h"
+#include "dyndist/support/Result.h"
+
+#include <optional>
+#include <vector>
+
+namespace dyndist {
+
+/// Synchrony regime of the message substrate.
+enum class LatencyKind {
+  Synchronous, ///< Every message takes exactly one tick.
+  PartialSync, ///< Uniform in [Lo, Hi]: a known delay bound exists.
+  HeavyTail,   ///< Pareto tail: no useful bound in practice.
+};
+
+/// Latency configuration; fields beyond the selected kind are ignored.
+struct LatencyConfig {
+  LatencyKind Kind = LatencyKind::Synchronous;
+  SimTime Lo = 1;
+  SimTime Hi = 4;
+  double Alpha = 1.5;
+  SimTime Cap = 64;
+};
+
+/// Everything needed to instantiate a system of a class.
+struct DynamicSystemConfig {
+  uint64_t Seed = 1;
+  SystemClass Class;
+  size_t InitialMembers = 16;
+  size_t OverlayDegree = 3;
+  AttachMode Attach = AttachMode::Random;
+  ChurnParams Churn;
+  LatencyConfig Latency;
+
+  /// Overlay diameter is sampled every this many ticks (0 disables) up to
+  /// MonitorUntil.
+  SimTime DiameterSampleEvery = 16;
+  SimTime MonitorUntil = 0;
+};
+
+/// An assembled, runnable dynamic system.
+class DynamicSystem {
+public:
+  /// One diameter sample of the overlay.
+  struct DiameterSample {
+    SimTime Time = 0;
+    bool Connected = false;
+    uint64_t Diameter = 0; ///< Valid when Connected.
+  };
+
+  /// Builds the system: spawns the initial population (actors from
+  /// \p Factory), wires the overlay, starts churn, and arms the monitor.
+  DynamicSystem(const DynamicSystemConfig &Config,
+                ChurnDriver::ActorFactory Factory);
+
+  DynamicSystem(const DynamicSystem &) = delete;
+  DynamicSystem &operator=(const DynamicSystem &) = delete;
+
+  /// The event kernel.
+  Simulator &sim() { return Sim; }
+  const Simulator &sim() const { return Sim; }
+
+  /// The overlay.
+  DynamicOverlay &overlay() { return Overlay; }
+  const DynamicOverlay &overlay() const { return Overlay; }
+
+  /// The churn driver.
+  ChurnDriver &churn() { return *Driver; }
+
+  /// The declared class.
+  const SystemClass &systemClass() const { return Config.Class; }
+
+  /// The TTL the class's knowledge grants allow a wave to use (see
+  /// derivableTtl() in Solvability.h); nullopt when none.
+  std::optional<uint64_t> grantedTtl() const;
+
+  /// Runs the kernel.
+  StopReason run(RunLimits Limits = RunLimits());
+
+  /// Diameter samples recorded so far.
+  const std::vector<DiameterSample> &diameterSamples() const {
+    return Samples;
+  }
+
+  /// Largest diameter among connected samples (0 when none).
+  uint64_t maxObservedDiameter() const;
+
+  /// Number of samples that found the overlay disconnected.
+  size_t disconnectedSamples() const;
+
+  /// Certifies the recorded execution against the declared class: arrival
+  /// admissibility plus, for a disclosed diameter bound, that every sample
+  /// was connected with diameter within the bound.
+  Status checkClassAdmissible() const;
+
+private:
+  void armMonitor(SimTime At);
+
+  DynamicSystemConfig Config;
+  Simulator Sim;
+  DynamicOverlay Overlay;
+  std::unique_ptr<ChurnDriver> Driver;
+  std::vector<DiameterSample> Samples;
+};
+
+} // namespace dyndist
+
+#endif // DYNDIST_CORE_DYNAMICSYSTEM_H

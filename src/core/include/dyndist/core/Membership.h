@@ -1,0 +1,97 @@
+//===- dyndist/core/Membership.h - Local membership detector ----*- C++ -*-===//
+//
+// Part of the dyndist project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A heartbeat-based local membership detector: the knowledge machinery a
+/// real dynamic system runs under the paper's geographical dimension. Each
+/// entity periodically heartbeats its current overlay neighbors and tracks
+/// when it last heard from each; silence beyond a timeout turns into
+/// *suspicion*, later heartbeats lift it.
+///
+/// The detector is local by construction — a process only ever forms
+/// opinions about its neighbors — and inherits the classic failure-detector
+/// trade-off: with bounded message delay and SuspectAfter above the bound,
+/// it is accurate (no live neighbor suspected) and complete (every departed
+/// neighbor eventually suspected); under heavy-tailed delay it can only be
+/// *eventually* accurate, and the suspicion/restore observations it records
+/// let the tests measure exactly that.
+///
+/// Observation keys: "member.suspect" / "member.restore" with the subject
+/// neighbor's id as value.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNDIST_CORE_MEMBERSHIP_H
+#define DYNDIST_CORE_MEMBERSHIP_H
+
+#include "dyndist/sim/Actor.h"
+#include "dyndist/sim/Message.h"
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+namespace dyndist {
+
+/// Observation keys recorded by the detector.
+inline const char *const MemberSuspectKey = "member.suspect";
+inline const char *const MemberRestoreKey = "member.restore";
+
+/// Message kind of the heartbeat (disjoint from other families).
+enum MembershipMsgKind : int { MsgHeartbeat = 70 };
+
+/// The heartbeat payload (content-free: receipt is the information).
+struct HeartbeatMsg : MessageBody {
+  static constexpr int KindId = MsgHeartbeat;
+  HeartbeatMsg() : MessageBody(KindId) {}
+};
+
+/// Detector tuning shared by all members of one system.
+struct MembershipConfig {
+  /// Ticks between heartbeat rounds.
+  SimTime HeartbeatEvery = 4;
+
+  /// Silence threshold: a neighbor unheard-from for more than this many
+  /// ticks is suspected. Must exceed HeartbeatEvery plus the worst
+  /// round-trip latency for accuracy to hold.
+  SimTime SuspectAfter = 12;
+};
+
+/// The per-process membership detector.
+class MembershipActor : public Actor {
+public:
+  explicit MembershipActor(std::shared_ptr<const MembershipConfig> Config)
+      : Config(std::move(Config)) {}
+
+  void onStart(Context &Ctx) override;
+  void onMessage(Context &Ctx, ProcessId From,
+                 const MessageBody &Body) override;
+  void onTimer(Context &Ctx, TimerId Id) override;
+
+  /// The local view: overlay neighbors currently believed up.
+  std::vector<ProcessId> liveView(Context &Ctx) const;
+
+  /// Currently suspected ids (inspection for tests).
+  const std::set<ProcessId> &suspected() const { return Suspected; }
+
+private:
+  void heartbeatRound(Context &Ctx);
+
+  std::shared_ptr<const MembershipConfig> Config;
+  std::map<ProcessId, SimTime> LastHeard;
+  std::set<ProcessId> Suspected;
+  TimerId RoundTimer = 0;
+};
+
+/// Factory for ChurnDriver / manual spawns.
+std::function<std::unique_ptr<Actor>()>
+makeMembershipFactory(std::shared_ptr<const MembershipConfig> Config);
+
+} // namespace dyndist
+
+#endif // DYNDIST_CORE_MEMBERSHIP_H

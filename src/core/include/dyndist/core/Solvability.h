@@ -1,0 +1,78 @@
+//===- dyndist/core/Solvability.h - The paper's claim matrix ----*- C++ -*-===//
+//
+// Part of the dyndist project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The solvability oracle: for a given class of dynamic systems, can the
+/// one-time query be solved, and by which algorithm? This encodes the
+/// paper's claims C1-C4 (see DESIGN.md §1) as an executable function, which
+/// experiment E1 then validates empirically: for each cell of the class
+/// grid the recommended algorithm is run, and the recorded executions must
+/// match the oracle's verdict.
+///
+/// The matrix (rows = arrival axis, columns = diameter knowledge):
+///
+///               | D known       | D bounded-unknown   | D unbounded
+///   ------------+----------------+---------------------+---------------
+///   M^n         | flood(D)       | echo, if quiescent  | echo, if quiescent
+///   M^b known b | flood(D)       | flood(b-1) [*]      | flood(b-1) [*]
+///   M^b unkn. b | flood(D)       | unsolvable          | unsolvable
+///   M^inf       | flood(D)       | unsolvable          | unsolvable
+///
+/// [*] The subtlety the paper aims at: a *known* concurrency bound b
+/// silently tames the geographical axis, because any connected snapshot has
+/// at most b nodes and therefore diameter at most b-1 — one axis's
+/// knowledge converts into the other's. With b unknown no such conversion
+/// exists and the class behaves like M^inf.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNDIST_CORE_SOLVABILITY_H
+#define DYNDIST_CORE_SOLVABILITY_H
+
+#include "dyndist/arrival/SystemClass.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace dyndist {
+
+/// Oracle verdict for the one-time query in a system class.
+enum class Solvability {
+  Solvable,           ///< Always solvable (wave with a derivable TTL).
+  SolvableIfQuiescent,///< Solvable in runs where churn eventually stops.
+  Unsolvable,         ///< No algorithm meets the spec in every run.
+};
+
+/// Which algorithm the oracle recommends per cell.
+enum class RecommendedAlgorithm {
+  FloodingKnownDiameter, ///< TTL = disclosed D.
+  FloodingDerivedBound,  ///< TTL = b - 1 from the known concurrency bound.
+  EchoTermination,       ///< PIF wave with termination detection.
+  GossipBestEffort,      ///< Approximate only; spec cannot be met.
+};
+
+/// Human-readable name of an algorithm choice.
+std::string algorithmName(RecommendedAlgorithm A);
+
+/// Human-readable name of a verdict.
+std::string solvabilityName(Solvability S);
+
+/// The claim matrix as a function.
+Solvability oneTimeQuerySolvability(const SystemClass &C);
+
+/// Recommended algorithm per cell (GossipBestEffort for unsolvable cells).
+RecommendedAlgorithm recommendedAlgorithm(const SystemClass &C);
+
+/// The TTL a flooding wave may legally use in class \p C, when one is
+/// derivable from the class's knowledge grants: the disclosed D, or b-1
+/// from a known concurrency bound (taking the smaller when both exist).
+/// nullopt when the class discloses neither.
+std::optional<uint64_t> derivableTtl(const SystemClass &C);
+
+} // namespace dyndist
+
+#endif // DYNDIST_CORE_SOLVABILITY_H

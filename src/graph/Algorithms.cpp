@@ -1,0 +1,176 @@
+//===- Algorithms.cpp - Graph algorithms ------------------------------------===//
+//
+// Part of the dyndist project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dyndist/graph/Algorithms.h"
+
+#include <algorithm>
+#include <deque>
+
+using namespace dyndist;
+
+std::map<ProcessId, uint64_t> dyndist::bfsDistances(const Graph &G,
+                                                    ProcessId Source) {
+  std::map<ProcessId, uint64_t> Dist;
+  if (!G.hasNode(Source))
+    return Dist;
+  std::deque<ProcessId> Work;
+  Dist[Source] = 0;
+  Work.push_back(Source);
+  while (!Work.empty()) {
+    ProcessId P = Work.front();
+    Work.pop_front();
+    uint64_t D = Dist[P];
+    for (ProcessId N : G.adjacency().at(P)) {
+      if (Dist.count(N))
+        continue;
+      Dist[N] = D + 1;
+      Work.push_back(N);
+    }
+  }
+  return Dist;
+}
+
+bool dyndist::isConnected(const Graph &G) {
+  if (G.nodeCount() == 0)
+    return true;
+  ProcessId First = G.adjacency().begin()->first;
+  return bfsDistances(G, First).size() == G.nodeCount();
+}
+
+std::vector<std::vector<ProcessId>>
+dyndist::connectedComponents(const Graph &G) {
+  std::vector<std::vector<ProcessId>> Components;
+  std::set<ProcessId> Seen;
+  for (const auto &[P, Nbrs] : G.adjacency()) {
+    (void)Nbrs;
+    if (Seen.count(P))
+      continue;
+    auto Dist = bfsDistances(G, P);
+    std::vector<ProcessId> Component;
+    Component.reserve(Dist.size());
+    for (const auto &[Q, D] : Dist) {
+      (void)D;
+      Component.push_back(Q);
+      Seen.insert(Q);
+    }
+    Components.push_back(std::move(Component));
+  }
+  return Components;
+}
+
+std::optional<uint64_t> dyndist::eccentricity(const Graph &G,
+                                              ProcessId Source) {
+  if (!G.hasNode(Source))
+    return std::nullopt;
+  auto Dist = bfsDistances(G, Source);
+  if (Dist.size() != G.nodeCount())
+    return std::nullopt;
+  uint64_t Ecc = 0;
+  for (const auto &[P, D] : Dist) {
+    (void)P;
+    Ecc = std::max(Ecc, D);
+  }
+  return Ecc;
+}
+
+std::optional<uint64_t> dyndist::diameter(const Graph &G) {
+  if (G.nodeCount() == 0)
+    return std::nullopt;
+  uint64_t Diam = 0;
+  for (const auto &[P, Nbrs] : G.adjacency()) {
+    (void)Nbrs;
+    auto Ecc = eccentricity(G, P);
+    if (!Ecc)
+      return std::nullopt;
+    Diam = std::max(Diam, *Ecc);
+  }
+  return Diam;
+}
+
+std::vector<ProcessId> dyndist::ballAround(const Graph &G, ProcessId Source,
+                                           uint64_t MaxHops) {
+  std::vector<ProcessId> Out;
+  for (const auto &[P, D] : bfsDistances(G, Source))
+    if (D <= MaxHops)
+      Out.push_back(P);
+  return Out; // Map iteration already ascends.
+}
+
+std::map<ProcessId, ProcessId> dyndist::bfsTree(const Graph &G,
+                                                ProcessId Source) {
+  std::map<ProcessId, ProcessId> Parent;
+  if (!G.hasNode(Source))
+    return Parent;
+  std::deque<ProcessId> Work;
+  Parent[Source] = Source;
+  Work.push_back(Source);
+  while (!Work.empty()) {
+    ProcessId P = Work.front();
+    Work.pop_front();
+    for (ProcessId N : G.adjacency().at(P)) {
+      if (Parent.count(N))
+        continue;
+      Parent[N] = P;
+      Work.push_back(N);
+    }
+  }
+  return Parent;
+}
+
+std::vector<ProcessId> dyndist::articulationPoints(const Graph &G) {
+  // Iterative Tarjan low-link DFS (the recursion could be deep on chain
+  // overlays, which are exactly a case we analyze).
+  std::map<ProcessId, uint64_t> Disc, Low;
+  std::map<ProcessId, ProcessId> Parent;
+  std::map<ProcessId, size_t> RootChildren;
+  std::set<ProcessId> Cuts;
+  uint64_t Clock = 0;
+
+  struct Frame {
+    ProcessId Node;
+    std::vector<ProcessId> Nbrs;
+    size_t NextNbr = 0;
+  };
+
+  for (const auto &[Root, RootNbrs] : G.adjacency()) {
+    (void)RootNbrs;
+    if (Disc.count(Root))
+      continue;
+    Parent[Root] = Root;
+    std::vector<Frame> Stack;
+    Stack.push_back({Root, G.neighbors(Root)});
+    Disc[Root] = Low[Root] = ++Clock;
+
+    while (!Stack.empty()) {
+      Frame &Top = Stack.back();
+      if (Top.NextNbr < Top.Nbrs.size()) {
+        ProcessId Next = Top.Nbrs[Top.NextNbr++];
+        if (!Disc.count(Next)) {
+          Parent[Next] = Top.Node;
+          if (Top.Node == Root)
+            ++RootChildren[Root];
+          Disc[Next] = Low[Next] = ++Clock;
+          Stack.push_back({Next, G.neighbors(Next)});
+        } else if (Next != Parent[Top.Node]) {
+          Low[Top.Node] = std::min(Low[Top.Node], Disc[Next]);
+        }
+        continue;
+      }
+      // Done with Top: fold its low-link into the parent.
+      ProcessId Done = Top.Node;
+      Stack.pop_back();
+      if (Stack.empty())
+        continue;
+      ProcessId Up = Stack.back().Node;
+      Low[Up] = std::min(Low[Up], Low[Done]);
+      if (Up != Root && Low[Done] >= Disc[Up])
+        Cuts.insert(Up);
+    }
+    if (RootChildren[Root] >= 2)
+      Cuts.insert(Root);
+  }
+  return std::vector<ProcessId>(Cuts.begin(), Cuts.end());
+}

@@ -1,0 +1,48 @@
+//===- Dot.cpp - Graphviz export ------------------------------------------------===//
+//
+// Part of the dyndist project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dyndist/graph/Dot.h"
+
+#include "dyndist/support/StringUtils.h"
+
+#include <cstdio>
+
+using namespace dyndist;
+
+std::string dyndist::toDot(const Graph &G,
+                           const std::set<ProcessId> &Highlight,
+                           const std::string &Name) {
+  std::string Out = "graph " + Name + " {\n  node [shape=circle];\n";
+  for (ProcessId P : G.nodes()) {
+    Out += format("  n%llu", (unsigned long long)P);
+    if (Highlight.count(P))
+      Out += " [style=filled, fillcolor=salmon]";
+    Out += ";\n";
+  }
+  // Each undirected edge once (smaller endpoint first; neighbors ascend).
+  for (const auto &[P, Nbrs] : G.adjacency())
+    for (ProcessId N : Nbrs)
+      if (P < N)
+        Out += format("  n%llu -- n%llu;\n", (unsigned long long)P,
+                      (unsigned long long)N);
+  Out += "}\n";
+  return Out;
+}
+
+Status dyndist::writeDotFile(const Graph &G, const std::string &Path,
+                             const std::set<ProcessId> &Highlight,
+                             const std::string &Name) {
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F)
+    return Error(Error::Code::InvalidArgument,
+                 "cannot open for writing: " + Path);
+  std::string Data = toDot(G, Highlight, Name);
+  size_t Written = std::fwrite(Data.data(), 1, Data.size(), F);
+  std::fclose(F);
+  if (Written != Data.size())
+    return Error(Error::Code::InvalidArgument, "short write to " + Path);
+  return Status::success();
+}

@@ -1,0 +1,173 @@
+//===- Generators.cpp - Overlay generators -----------------------------------===//
+//
+// Part of the dyndist project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dyndist/graph/Generators.h"
+
+#include "dyndist/graph/Algorithms.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace dyndist;
+
+Graph dyndist::makeRing(size_t N) {
+  assert(N >= 3 && "a ring needs at least 3 nodes");
+  Graph G;
+  for (size_t I = 0; I != N; ++I)
+    G.addNode(I);
+  for (size_t I = 0; I != N; ++I)
+    G.addEdge(I, (I + 1) % N);
+  return G;
+}
+
+Graph dyndist::makeLine(size_t N) {
+  assert(N >= 1 && "a line needs at least 1 node");
+  Graph G;
+  for (size_t I = 0; I != N; ++I)
+    G.addNode(I);
+  for (size_t I = 0; I + 1 < N; ++I)
+    G.addEdge(I, I + 1);
+  return G;
+}
+
+Graph dyndist::makeTorus(size_t Width, size_t Height) {
+  assert(Width >= 2 && Height >= 2 && "torus needs both dimensions >= 2");
+  Graph G;
+  auto Id = [Width](size_t X, size_t Y) { return Y * Width + X; };
+  for (size_t Y = 0; Y != Height; ++Y)
+    for (size_t X = 0; X != Width; ++X)
+      G.addNode(Id(X, Y));
+  for (size_t Y = 0; Y != Height; ++Y) {
+    for (size_t X = 0; X != Width; ++X) {
+      // Width/Height == 2 would duplicate wrap edges; addEdge dedups them.
+      G.addEdge(Id(X, Y), Id((X + 1) % Width, Y));
+      G.addEdge(Id(X, Y), Id(X, (Y + 1) % Height));
+    }
+  }
+  return G;
+}
+
+Graph dyndist::makeComplete(size_t N) {
+  Graph G;
+  for (size_t I = 0; I != N; ++I)
+    G.addNode(I);
+  for (size_t I = 0; I != N; ++I)
+    for (size_t J = I + 1; J != N; ++J)
+      G.addEdge(I, J);
+  return G;
+}
+
+Graph dyndist::makeErdosRenyi(size_t N, double P, Rng &R,
+                              bool ForceConnected) {
+  assert(N >= 1 && P >= 0.0 && P <= 1.0 && "bad G(n,p) parameters");
+  for (int Attempt = 0; Attempt != 1000; ++Attempt) {
+    Graph G;
+    for (size_t I = 0; I != N; ++I)
+      G.addNode(I);
+    for (size_t I = 0; I != N; ++I)
+      for (size_t J = I + 1; J != N; ++J)
+        if (R.nextBernoulli(P))
+          G.addEdge(I, J);
+    if (!ForceConnected || isConnected(G))
+      return G;
+  }
+  assert(false && "G(n,p) never came out connected; raise P");
+  return Graph();
+}
+
+Graph dyndist::makeRandomRegular(size_t N, size_t K, Rng &R,
+                                 bool ForceConnected) {
+  assert(K < N && (N * K) % 2 == 0 && "K-regular needs K < N and N*K even");
+  for (int Attempt = 0; Attempt != 1000; ++Attempt) {
+    // Pairing model: K stubs per node, match uniformly, reject multi-edges
+    // and loops.
+    std::vector<ProcessId> Stubs;
+    Stubs.reserve(N * K);
+    for (size_t I = 0; I != N; ++I)
+      for (size_t J = 0; J != K; ++J)
+        Stubs.push_back(I);
+    R.shuffle(Stubs);
+
+    Graph G;
+    for (size_t I = 0; I != N; ++I)
+      G.addNode(I);
+    bool Simple = true;
+    for (size_t I = 0; I + 1 < Stubs.size(); I += 2) {
+      ProcessId A = Stubs[I], B = Stubs[I + 1];
+      if (A == B || G.hasEdge(A, B)) {
+        Simple = false;
+        break;
+      }
+      G.addEdge(A, B);
+    }
+    if (!Simple)
+      continue;
+    if (!ForceConnected || isConnected(G))
+      return G;
+  }
+  assert(false && "pairing model never produced a usable K-regular graph");
+  return Graph();
+}
+
+Graph dyndist::makeBarabasiAlbert(size_t N, size_t LinksPerNode, Rng &R) {
+  assert(LinksPerNode >= 1 && N > LinksPerNode &&
+         "Barabasi-Albert needs N > LinksPerNode >= 1");
+  Graph G;
+  // Seed clique of LinksPerNode + 1 nodes.
+  size_t SeedSize = LinksPerNode + 1;
+  for (size_t I = 0; I != SeedSize; ++I)
+    G.addNode(I);
+  for (size_t I = 0; I != SeedSize; ++I)
+    for (size_t J = I + 1; J != SeedSize; ++J)
+      G.addEdge(I, J);
+
+  // Degree-proportional sampling via a repeated-endpoint list.
+  std::vector<ProcessId> Endpoints;
+  for (size_t I = 0; I != SeedSize; ++I)
+    for (size_t J = 0; J != SeedSize - 1; ++J)
+      Endpoints.push_back(I);
+
+  for (size_t NewNode = SeedSize; NewNode != N; ++NewNode) {
+    G.addNode(NewNode);
+    std::set<ProcessId> Targets;
+    while (Targets.size() < LinksPerNode)
+      Targets.insert(R.pick(Endpoints));
+    for (ProcessId T : Targets) {
+      G.addEdge(NewNode, T);
+      Endpoints.push_back(NewNode);
+      Endpoints.push_back(T);
+    }
+  }
+  return G;
+}
+
+Graph dyndist::makeGeometric(size_t N, double Radius, Rng &R,
+                             bool ForceConnected) {
+  assert(N >= 1 && Radius > 0.0 && "bad geometric graph parameters");
+  for (int Attempt = 0; Attempt != 1000; ++Attempt) {
+    std::vector<std::pair<double, double>> Pos(N);
+    for (auto &[X, Y] : Pos) {
+      X = R.nextDouble();
+      Y = R.nextDouble();
+    }
+    Graph G;
+    for (size_t I = 0; I != N; ++I)
+      G.addNode(I);
+    double R2 = Radius * Radius;
+    for (size_t I = 0; I != N; ++I) {
+      for (size_t J = I + 1; J != N; ++J) {
+        double DX = Pos[I].first - Pos[J].first;
+        double DY = Pos[I].second - Pos[J].second;
+        if (DX * DX + DY * DY <= R2)
+          G.addEdge(I, J);
+      }
+    }
+    if (!ForceConnected || isConnected(G))
+      return G;
+  }
+  assert(false && "geometric graph never came out connected; raise Radius");
+  return Graph();
+}

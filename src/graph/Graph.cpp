@@ -1,0 +1,98 @@
+//===- Graph.cpp - Undirected dynamic graph ---------------------------------===//
+//
+// Part of the dyndist project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dyndist/graph/Graph.h"
+
+#include <cassert>
+
+using namespace dyndist;
+
+bool Graph::addNode(ProcessId P) {
+  return Adjacency.try_emplace(P).second;
+}
+
+bool Graph::removeNode(ProcessId P) {
+  auto It = Adjacency.find(P);
+  if (It == Adjacency.end())
+    return false;
+  for (ProcessId N : It->second) {
+    Adjacency[N].erase(P);
+    --Edges;
+  }
+  Adjacency.erase(It);
+  return true;
+}
+
+bool Graph::addEdge(ProcessId A, ProcessId B) {
+  assert(A != B && "self-loops are not allowed");
+  auto ItA = Adjacency.find(A);
+  auto ItB = Adjacency.find(B);
+  assert(ItA != Adjacency.end() && ItB != Adjacency.end() &&
+         "addEdge() endpoints must exist");
+  if (!ItA->second.insert(B).second)
+    return false;
+  ItB->second.insert(A);
+  ++Edges;
+  return true;
+}
+
+bool Graph::removeEdge(ProcessId A, ProcessId B) {
+  auto ItA = Adjacency.find(A);
+  if (ItA == Adjacency.end() || !ItA->second.erase(B))
+    return false;
+  Adjacency[B].erase(A);
+  --Edges;
+  return true;
+}
+
+bool Graph::hasNode(ProcessId P) const { return Adjacency.count(P) != 0; }
+
+bool Graph::hasEdge(ProcessId A, ProcessId B) const {
+  auto It = Adjacency.find(A);
+  return It != Adjacency.end() && It->second.count(B) != 0;
+}
+
+std::vector<ProcessId> Graph::neighbors(ProcessId P) const {
+  auto It = Adjacency.find(P);
+  if (It == Adjacency.end())
+    return {};
+  return std::vector<ProcessId>(It->second.begin(), It->second.end());
+}
+
+size_t Graph::degree(ProcessId P) const {
+  auto It = Adjacency.find(P);
+  return It == Adjacency.end() ? 0 : It->second.size();
+}
+
+std::vector<ProcessId> Graph::nodes() const {
+  std::vector<ProcessId> Out;
+  Out.reserve(Adjacency.size());
+  for (const auto &[P, Nbrs] : Adjacency) {
+    (void)Nbrs;
+    Out.push_back(P);
+  }
+  return Out;
+}
+
+void Graph::clear() {
+  Adjacency.clear();
+  Edges = 0;
+}
+
+bool Graph::checkConsistency() const {
+  size_t HalfEdges = 0;
+  for (const auto &[P, Nbrs] : Adjacency) {
+    if (Nbrs.count(P))
+      return false; // Self-loop.
+    for (ProcessId N : Nbrs) {
+      auto It = Adjacency.find(N);
+      if (It == Adjacency.end() || !It->second.count(P))
+        return false; // Dangling or asymmetric edge.
+    }
+    HalfEdges += Nbrs.size();
+  }
+  return HalfEdges == 2 * Edges;
+}

@@ -1,0 +1,88 @@
+//===- Overlay.cpp - Churn-maintained overlay --------------------------------===//
+//
+// Part of the dyndist project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dyndist/graph/Overlay.h"
+
+#include <cassert>
+
+using namespace dyndist;
+
+DynamicOverlay::DynamicOverlay(size_t TargetDegree, Rng R, AttachMode Mode,
+                               RepairMode Repair)
+    : TargetDegree(TargetDegree), R(R), Mode(Mode), Repair(Repair) {
+  assert(TargetDegree >= 1 && "overlay target degree must be >= 1");
+}
+
+void DynamicOverlay::join(ProcessId P) {
+  assert(!G.hasNode(P) && "node already in the overlay");
+  std::vector<ProcessId> Members = G.nodes();
+  G.addNode(P);
+  if (Members.empty()) {
+    LastJoined = P;
+    return;
+  }
+  if (Mode == AttachMode::Chain) {
+    ProcessId Anchor =
+        G.hasNode(LastJoined) && LastJoined != P ? LastJoined : Members.back();
+    G.addEdge(P, Anchor);
+    LastJoined = P;
+    return;
+  }
+  size_t Links = std::min(TargetDegree, Members.size());
+  R.shuffle(Members);
+  for (size_t I = 0; I != Links; ++I)
+    G.addEdge(P, Members[I]);
+  LastJoined = P;
+}
+
+void DynamicOverlay::leave(ProcessId P) {
+  if (!G.hasNode(P))
+    return;
+  std::vector<ProcessId> Nbrs = G.neighbors(P);
+  switch (Repair) {
+  case RepairMode::PatchPath:
+    // Path through the (sorted) neighbor list: every route through P is
+    // rerouted, so connectivity survives deterministically.
+    for (size_t I = 0; I + 1 < Nbrs.size(); ++I)
+      if (!G.hasEdge(Nbrs[I], Nbrs[I + 1]))
+        G.addEdge(Nbrs[I], Nbrs[I + 1]);
+    break;
+  case RepairMode::RandomRewire: {
+    G.removeNode(P);
+    // Top orphans back up to the target degree with random links. Degrees
+    // stay bounded, but nothing guarantees the replacement links restore
+    // every severed route: connectivity becomes probabilistic.
+    std::vector<ProcessId> Members = G.nodes();
+    if (Members.size() < 2)
+      return;
+    for (ProcessId N : Nbrs) {
+      if (!G.hasNode(N))
+        continue;
+      for (int Attempt = 0;
+           Attempt != 8 && G.degree(N) < TargetDegree; ++Attempt) {
+        ProcessId Target = R.pick(Members);
+        if (Target == N || G.hasEdge(N, Target))
+          continue;
+        G.addEdge(N, Target);
+      }
+    }
+    return;
+  }
+  }
+  G.removeNode(P);
+}
+
+void DynamicOverlay::seed(Graph Initial) { G = std::move(Initial); }
+
+std::vector<ProcessId> DynamicOverlay::neighborsOf(ProcessId P) const {
+  return G.neighbors(P);
+}
+
+void DynamicOverlay::attachTo(Simulator &S) {
+  S.setTopologyProvider(this);
+  S.setMembershipHooks([this](ProcessId P) { join(P); },
+                       [this](ProcessId P) { leave(P); });
+}

@@ -1,0 +1,67 @@
+//===- dyndist/graph/Algorithms.h - Graph algorithms ------------*- C++ -*-===//
+//
+// Part of the dyndist project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Graph analyses used to characterize overlays: BFS distances, connectivity,
+/// connected components, eccentricity, and exact diameter. The diameter is
+/// the load-bearing quantity of the paper's geographical dimension — the
+/// one-time query is solvable with TTL flooding exactly when a bound on it
+/// is known — so the experiment harnesses measure it exactly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNDIST_GRAPH_ALGORITHMS_H
+#define DYNDIST_GRAPH_ALGORITHMS_H
+
+#include "dyndist/graph/Graph.h"
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+namespace dyndist {
+
+/// Hop distance from \p Source to every reachable node (Source included,
+/// distance 0). Unreachable nodes are absent from the map.
+std::map<ProcessId, uint64_t> bfsDistances(const Graph &G, ProcessId Source);
+
+/// True when the graph is connected (vacuously true when empty).
+bool isConnected(const Graph &G);
+
+/// Connected components; each component's nodes ascend, and components are
+/// ordered by their smallest node.
+std::vector<std::vector<ProcessId>> connectedComponents(const Graph &G);
+
+/// Eccentricity of \p Source (max distance to any reachable node); nullopt
+/// when the graph is disconnected from Source's view (some node
+/// unreachable) or Source is unknown.
+std::optional<uint64_t> eccentricity(const Graph &G, ProcessId Source);
+
+/// Exact diameter via all-sources BFS; nullopt when disconnected or empty.
+/// O(V * E) — fine at experiment scales (thousands of nodes).
+std::optional<uint64_t> diameter(const Graph &G);
+
+/// Nodes within \p MaxHops of \p Source (Source included), ascending. This
+/// is the exact coverage set of a TTL-flooding wave with TTL = MaxHops over
+/// a static snapshot, used by the E2 checker.
+std::vector<ProcessId> ballAround(const Graph &G, ProcessId Source,
+                                  uint64_t MaxHops);
+
+/// A BFS spanning tree rooted at \p Source: map child -> parent (the root
+/// maps to itself). Only reachable nodes appear.
+std::map<ProcessId, ProcessId> bfsTree(const Graph &G, ProcessId Source);
+
+/// Articulation points (cut vertices): nodes whose departure disconnects
+/// their component. The overlay's *fragility margin* — a repair rule is
+/// only as good as its ability to keep this set small, since each cut
+/// vertex is one crash away from a partition (experiment E8 tracks it).
+/// Tarjan's low-link algorithm, iterative, O(V + E).
+std::vector<ProcessId> articulationPoints(const Graph &G);
+
+} // namespace dyndist
+
+#endif // DYNDIST_GRAPH_ALGORITHMS_H

@@ -1,0 +1,38 @@
+//===- dyndist/graph/Dot.h - Graphviz export --------------------*- C++ -*-===//
+//
+// Part of the dyndist project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Graphviz DOT rendering of overlay graphs, for eyeballing the topologies
+/// the experiments run on (`dot -Tsvg overlay.dot -o overlay.svg`).
+/// Optional per-node highlighting marks sets of interest — the E8 analyses
+/// use it for articulation points.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNDIST_GRAPH_DOT_H
+#define DYNDIST_GRAPH_DOT_H
+
+#include "dyndist/graph/Graph.h"
+#include "dyndist/support/Result.h"
+
+#include <set>
+#include <string>
+
+namespace dyndist {
+
+/// Renders \p G as an undirected DOT graph. Nodes in \p Highlight are
+/// drawn filled (e.g. cut vertices).
+std::string toDot(const Graph &G, const std::set<ProcessId> &Highlight = {},
+                  const std::string &Name = "overlay");
+
+/// Writes toDot() output to \p Path.
+Status writeDotFile(const Graph &G, const std::string &Path,
+                    const std::set<ProcessId> &Highlight = {},
+                    const std::string &Name = "overlay");
+
+} // namespace dyndist
+
+#endif // DYNDIST_GRAPH_DOT_H

@@ -1,0 +1,63 @@
+//===- dyndist/graph/Generators.h - Overlay generators ----------*- C++ -*-===//
+//
+// Part of the dyndist project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Synthetic overlay topologies over nodes 0..N-1. These realize the
+/// paper's geographical spectrum: rings and grids have diameter Theta(n) /
+/// Theta(sqrt(n)) (locality bites hard), random and scale-free graphs have
+/// logarithmic diameter (a small known bound is plausible), and the
+/// generator choice is the knob of experiment E8.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNDIST_GRAPH_GENERATORS_H
+#define DYNDIST_GRAPH_GENERATORS_H
+
+#include "dyndist/graph/Graph.h"
+#include "dyndist/support/Random.h"
+
+#include <cstddef>
+
+namespace dyndist {
+
+/// Cycle over N nodes (N >= 3): diameter floor(N/2).
+Graph makeRing(size_t N);
+
+/// Path over N nodes (N >= 1): diameter N-1, the worst locality case.
+Graph makeLine(size_t N);
+
+/// Width x Height torus grid (both >= 2), 4-regular.
+Graph makeTorus(size_t Width, size_t Height);
+
+/// Complete graph over N nodes: the static-knowledge corner (diameter 1).
+Graph makeComplete(size_t N);
+
+/// Erdos-Renyi G(N, P). When \p ForceConnected, retries (new edges flips)
+/// until connected — P must then be comfortably above the connectivity
+/// threshold ln(N)/N or this loops for a long time (asserts after 1000
+/// attempts).
+Graph makeErdosRenyi(size_t N, double P, Rng &R, bool ForceConnected = true);
+
+/// Random K-regular graph via the pairing model with retries (N*K even,
+/// K < N). Connected with high probability for K >= 3; retries until simple
+/// and, when \p ForceConnected, connected.
+Graph makeRandomRegular(size_t N, size_t K, Rng &R,
+                        bool ForceConnected = true);
+
+/// Barabasi-Albert preferential attachment: each new node links to
+/// \p LinksPerNode existing nodes chosen by degree. Connected by
+/// construction; scale-free degree distribution, small diameter.
+Graph makeBarabasiAlbert(size_t N, size_t LinksPerNode, Rng &R);
+
+/// Random geometric graph on the unit square with connection radius
+/// \p Radius. Models proximity networks (MANET-style dynamic systems).
+/// When \p ForceConnected, resamples positions until connected.
+Graph makeGeometric(size_t N, double Radius, Rng &R,
+                    bool ForceConnected = true);
+
+} // namespace dyndist
+
+#endif // DYNDIST_GRAPH_GENERATORS_H

@@ -1,0 +1,84 @@
+//===- dyndist/graph/Graph.h - Undirected dynamic graph ---------*- C++ -*-===//
+//
+// Part of the dyndist project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The overlay graph of a dynamic system: an undirected simple graph over
+/// ProcessId vertices supporting incremental mutation (nodes and edges come
+/// and go as entities join and leave). Deterministic iteration order
+/// (ordered containers) keeps whole experiments seed-reproducible.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNDIST_GRAPH_GRAPH_H
+#define DYNDIST_GRAPH_GRAPH_H
+
+#include "dyndist/sim/Types.h"
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <vector>
+
+namespace dyndist {
+
+/// Undirected simple graph with stable, deterministic iteration order.
+class Graph {
+public:
+  /// Adds a node; no-op if present. Returns true when newly added.
+  bool addNode(ProcessId P);
+
+  /// Removes a node and all incident edges; no-op if absent. Returns true
+  /// when the node existed.
+  bool removeNode(ProcessId P);
+
+  /// Adds the edge {A, B}; both endpoints must exist and A != B. Returns
+  /// true when the edge was newly added.
+  bool addEdge(ProcessId A, ProcessId B);
+
+  /// Removes the edge {A, B}; returns true when it existed.
+  bool removeEdge(ProcessId A, ProcessId B);
+
+  /// True when the node exists.
+  bool hasNode(ProcessId P) const;
+
+  /// True when the edge {A, B} exists.
+  bool hasEdge(ProcessId A, ProcessId B) const;
+
+  /// Neighbors of \p P in ascending order; empty for unknown nodes.
+  std::vector<ProcessId> neighbors(ProcessId P) const;
+
+  /// Degree of \p P; 0 for unknown nodes.
+  size_t degree(ProcessId P) const;
+
+  /// All nodes in ascending order.
+  std::vector<ProcessId> nodes() const;
+
+  /// Number of nodes.
+  size_t nodeCount() const { return Adjacency.size(); }
+
+  /// Number of edges.
+  size_t edgeCount() const { return Edges; }
+
+  /// Removes everything.
+  void clear();
+
+  /// Validates structural invariants (symmetry, no self-loops, edge count);
+  /// returns true when consistent. Used by tests and assertions.
+  bool checkConsistency() const;
+
+  /// Read-only access to the adjacency structure (for algorithms).
+  const std::map<ProcessId, std::set<ProcessId>> &adjacency() const {
+    return Adjacency;
+  }
+
+private:
+  std::map<ProcessId, std::set<ProcessId>> Adjacency;
+  size_t Edges = 0;
+};
+
+} // namespace dyndist
+
+#endif // DYNDIST_GRAPH_GRAPH_H

@@ -1,0 +1,117 @@
+//===- BaseConsensus.cpp - Unreliable consensus --------------------------------===//
+//
+// Part of the dyndist project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dyndist/objects/BaseConsensus.h"
+
+#include <cassert>
+
+using namespace dyndist;
+
+BaseConsensus::BaseConsensus(FailureMode Mode) : Mode(Mode) {}
+
+void BaseConsensus::asyncPropose(int64_t Value, ProposeCallback Done) {
+  assert(Done && "propose needs a completion callback");
+  std::optional<int64_t> Inline;
+  bool CompleteInline = false;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    switch (State) {
+    case ObjectState::Ok:
+      if (!Decided)
+        Decided = Value; // First proposal sticks.
+      Inline = Decided;
+      CompleteInline = true;
+      break;
+    case ObjectState::Suspended:
+      Deferred.push_back({Value, std::move(Done)});
+      return;
+    case ObjectState::Crashed:
+      if (Mode == FailureMode::Responsive) {
+        Inline = std::nullopt;
+        CompleteInline = true;
+      } else {
+        ++Dropped;
+      }
+      break;
+    }
+  }
+  if (CompleteInline)
+    Done(Inline);
+}
+
+void BaseConsensus::crash() {
+  std::vector<Pending> Orphans;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    if (State == ObjectState::Crashed)
+      return;
+    State = ObjectState::Crashed;
+    Orphans.swap(Deferred);
+    if (Mode == FailureMode::Nonresponsive)
+      Dropped += Orphans.size();
+  }
+  if (Mode == FailureMode::Responsive) {
+    for (Pending &P : Orphans)
+      P.Done(std::nullopt);
+  }
+}
+
+void BaseConsensus::suspend() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (State == ObjectState::Ok)
+    State = ObjectState::Suspended;
+}
+
+void BaseConsensus::resume() {
+  for (;;) {
+    Pending P;
+    std::optional<int64_t> Result;
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      if (State == ObjectState::Suspended)
+        State = ObjectState::Ok;
+      if (State != ObjectState::Ok || Deferred.empty())
+        return;
+      P = std::move(Deferred.front());
+      Deferred.erase(Deferred.begin());
+      if (!Decided)
+        Decided = P.Value;
+      Result = Decided;
+    }
+    P.Done(Result);
+  }
+}
+
+void BaseConsensus::resumeOne(size_t Index) {
+  Pending P;
+  std::optional<int64_t> Result;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    if (State != ObjectState::Suspended || Index >= Deferred.size())
+      return;
+    P = std::move(Deferred[Index]);
+    Deferred.erase(Deferred.begin() + static_cast<long>(Index));
+    if (!Decided)
+      Decided = P.Value;
+    Result = Decided;
+  }
+  P.Done(Result);
+}
+
+size_t BaseConsensus::deferredCount() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Deferred.size();
+}
+
+ObjectState BaseConsensus::state() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return State;
+}
+
+std::optional<int64_t> BaseConsensus::decision() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Decided;
+}

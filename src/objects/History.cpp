@@ -1,0 +1,286 @@
+//===- History.cpp - Histories and checkers ------------------------------------===//
+//
+// Part of the dyndist project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dyndist/objects/History.h"
+
+#include "dyndist/support/StringUtils.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <set>
+
+using namespace dyndist;
+
+std::vector<Operation> History::byClient(uint64_t Client) const {
+  std::vector<Operation> Out;
+  for (const Operation &O : Ops)
+    if (O.Client == Client)
+      Out.push_back(O);
+  std::sort(Out.begin(), Out.end(),
+            [](const Operation &A, const Operation &B) {
+              return A.InvSeq < B.InvSeq;
+            });
+  return Out;
+}
+
+bool History::allComplete() const {
+  for (const Operation &O : Ops)
+    if (!O.Completed)
+      return false;
+  return true;
+}
+
+uint64_t HistoryRecorder::beginOp(uint64_t Client, OpKind Kind,
+                                  int64_t Value) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Operation O;
+  O.Id = Ops.size();
+  O.Client = Client;
+  O.Kind = Kind;
+  O.Value = Value;
+  O.InvSeq = NextStamp++;
+  Ops.push_back(O);
+  return O.Id;
+}
+
+void HistoryRecorder::endOp(uint64_t OpId, int64_t Value, bool Failed) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  assert(OpId < Ops.size() && "unknown operation id");
+  Operation &O = Ops[OpId];
+  assert(!O.Completed && "operation completed twice");
+  O.Completed = true;
+  O.Failed = Failed;
+  if (O.Kind == OpKind::Read)
+    O.Value = Value;
+  O.ResSeq = NextStamp++;
+}
+
+History HistoryRecorder::snapshot() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  History H;
+  H.Ops = Ops;
+  return H;
+}
+
+/// Splits \p H into the (sequential) write list indexed 0..m — index 0 is
+/// the virtual initial write — and the read list. Returns an error message
+/// when the shape assumptions fail.
+static Status splitSwmrHistory(const History &H, int64_t Initial,
+                               std::vector<Operation> &Writes,
+                               std::vector<Operation> &Reads,
+                               std::map<int64_t, size_t> &IndexOf) {
+  if (!H.allComplete())
+    return Error(Error::Code::InvalidArgument,
+                 "checker requires a complete history");
+  std::set<uint64_t> WriterClients;
+  for (const Operation &O : H.Ops) {
+    if (O.Failed)
+      return Error(Error::Code::InvalidArgument,
+                   "checker requires non-failed operations");
+    if (O.Kind == OpKind::Write) {
+      Writes.push_back(O);
+      WriterClients.insert(O.Client);
+    } else {
+      Reads.push_back(O);
+    }
+  }
+  if (WriterClients.size() > 1)
+    return Error(Error::Code::InvalidArgument,
+                 "single-writer checker saw multiple writer clients");
+  std::sort(Writes.begin(), Writes.end(),
+            [](const Operation &A, const Operation &B) {
+              return A.InvSeq < B.InvSeq;
+            });
+  // Prepend the virtual initial write (stamps 0 precede everything).
+  Operation Init;
+  Init.Kind = OpKind::Write;
+  Init.Value = Initial;
+  Init.Completed = true;
+  Writes.insert(Writes.begin(), Init);
+
+  for (size_t I = 0; I != Writes.size(); ++I) {
+    if (!IndexOf.emplace(Writes[I].Value, I).second)
+      return Error(Error::Code::InvalidArgument,
+                   format("written values must be distinct; %lld repeats",
+                          static_cast<long long>(Writes[I].Value)));
+  }
+  return Status::success();
+}
+
+/// Index of the last write whose response precedes stamp \p InvSeq.
+static size_t lastWriteCompletedBefore(const std::vector<Operation> &Writes,
+                                       uint64_t InvSeq) {
+  size_t Best = 0;
+  for (size_t I = 1; I != Writes.size(); ++I)
+    if (Writes[I].ResSeq < InvSeq)
+      Best = I;
+    else
+      break; // Writes are sequential: ResSeq increases with index.
+  return Best;
+}
+
+/// Shared core of the regularity and atomicity checks; \p CheckInversions
+/// adds the reads-don't-go-backwards clause that upgrades regular to
+/// atomic.
+static Status checkSwmrCore(const History &H, int64_t Initial,
+                            bool CheckInversions) {
+  std::vector<Operation> Writes, Reads;
+  std::map<int64_t, size_t> IndexOf;
+  if (Status S = splitSwmrHistory(H, Initial, Writes, Reads, IndexOf); !S)
+    return S;
+
+  std::vector<size_t> ReadIndex(Reads.size());
+  for (size_t R = 0; R != Reads.size(); ++R) {
+    const Operation &Rd = Reads[R];
+    auto It = IndexOf.find(Rd.Value);
+    if (It == IndexOf.end())
+      return Error(Error::Code::ProtocolViolation,
+                   format("read by client %llu returned %lld, which was "
+                          "never written",
+                          static_cast<unsigned long long>(Rd.Client),
+                          static_cast<long long>(Rd.Value)));
+    size_t I = It->second;
+    ReadIndex[R] = I;
+    // (i) The write must have started before the read ended.
+    if (I != 0 && Writes[I].InvSeq > Rd.ResSeq)
+      return Error(Error::Code::ProtocolViolation,
+                   format("read returned %lld before that write began",
+                          static_cast<long long>(Rd.Value)));
+    // (ii) The value must not predate the last write completed before the
+    // read began.
+    size_t Floor = lastWriteCompletedBefore(Writes, Rd.InvSeq);
+    if (I < Floor)
+      return Error(
+          Error::Code::ProtocolViolation,
+          format("stale read: returned write #%zu but write #%zu had "
+                 "completed before the read began",
+                 I, Floor));
+  }
+
+  if (!CheckInversions)
+    return Status::success();
+
+  // (iii) No new/old inversion between real-time-ordered reads.
+  for (size_t A = 0; A != Reads.size(); ++A) {
+    for (size_t B = 0; B != Reads.size(); ++B) {
+      if (Reads[A].ResSeq < Reads[B].InvSeq && ReadIndex[B] < ReadIndex[A])
+        return Error(
+            Error::Code::ProtocolViolation,
+            format("new/old inversion: a read of write #%zu preceded a "
+                   "read of write #%zu",
+                   ReadIndex[A], ReadIndex[B]));
+    }
+  }
+  return Status::success();
+}
+
+Status dyndist::checkSwmrAtomicity(const History &H, int64_t Initial) {
+  return checkSwmrCore(H, Initial, /*CheckInversions=*/true);
+}
+
+Status dyndist::checkSwmrRegularity(const History &H, int64_t Initial) {
+  return checkSwmrCore(H, Initial, /*CheckInversions=*/false);
+}
+
+namespace {
+
+/// Backtracking linearizability search (Wing & Gong) over register
+/// histories, with memoization of failed (linearized-set, value) states.
+class LinSearch {
+public:
+  LinSearch(const std::vector<Operation> &Ops, int64_t Initial)
+      : Ops(Ops), Initial(Initial) {}
+
+  bool run() { return search(0, Initial); }
+
+private:
+  bool search(uint64_t Mask, int64_t Value) {
+    if (Mask == (1ULL << Ops.size()) - 1)
+      return true;
+    if (!FailedStates.insert({Mask, Value}).second)
+      return false;
+    // Minimal-op rule: an op is schedulable next iff no unlinearized op
+    // responded before it was invoked.
+    uint64_t MinRes = ~0ULL;
+    for (size_t I = 0; I != Ops.size(); ++I)
+      if (!(Mask & (1ULL << I)))
+        MinRes = std::min(MinRes, Ops[I].ResSeq);
+    for (size_t I = 0; I != Ops.size(); ++I) {
+      if (Mask & (1ULL << I))
+        continue;
+      const Operation &O = Ops[I];
+      if (O.InvSeq > MinRes)
+        continue;
+      if (O.Kind == OpKind::Read) {
+        if (O.Value != Value)
+          continue;
+        if (search(Mask | (1ULL << I), Value))
+          return true;
+      } else {
+        if (search(Mask | (1ULL << I), O.Value))
+          return true;
+      }
+    }
+    return false;
+  }
+
+  const std::vector<Operation> &Ops;
+  int64_t Initial;
+  std::set<std::pair<uint64_t, int64_t>> FailedStates;
+};
+
+} // namespace
+
+Status dyndist::checkLinearizableRegister(const History &H, int64_t Initial) {
+  if (!H.allComplete())
+    return Error(Error::Code::InvalidArgument,
+                 "checker requires a complete history");
+  for (const Operation &O : H.Ops)
+    if (O.Failed)
+      return Error(Error::Code::InvalidArgument,
+                   "checker requires non-failed operations");
+  if (H.Ops.size() > 24)
+    return Error(Error::Code::Unsupported,
+                 "general linearizability search capped at 24 operations");
+  LinSearch Search(H.Ops, Initial);
+  if (!Search.run())
+    return Error(Error::Code::ProtocolViolation,
+                 "history admits no linearization");
+  return Status::success();
+}
+
+Status
+dyndist::checkConsensusRun(const std::vector<ConsensusRecord> &Records,
+                           bool RequireAllDecide) {
+  std::set<int64_t> Proposed;
+  for (const ConsensusRecord &R : Records)
+    Proposed.insert(R.Proposed);
+
+  std::optional<int64_t> Agreed;
+  for (const ConsensusRecord &R : Records) {
+    if (!R.Decided) {
+      if (RequireAllDecide)
+        return Error(Error::Code::ProtocolViolation,
+                     format("client %llu never decided",
+                            static_cast<unsigned long long>(R.Client)));
+      continue;
+    }
+    if (!Proposed.count(R.Decision))
+      return Error(Error::Code::ProtocolViolation,
+                   format("validity violated: %lld was never proposed",
+                          static_cast<long long>(R.Decision)));
+    if (!Agreed) {
+      Agreed = R.Decision;
+    } else if (*Agreed != R.Decision) {
+      return Error(Error::Code::ProtocolViolation,
+                   format("agreement violated: saw both %lld and %lld",
+                          static_cast<long long>(*Agreed),
+                          static_cast<long long>(R.Decision)));
+    }
+  }
+  return Status::success();
+}

@@ -1,0 +1,83 @@
+//===- dyndist/objects/BaseConsensus.h - Unreliable consensus ---*- C++ -*-===//
+//
+// Part of the dyndist project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The unreliable base consensus object: a sticky one-shot agreement cell.
+/// The first propose() to land fixes the decision; every later propose()
+/// returns that same decision ("sticky bit" generalized to int64 values).
+/// Crash and suspension semantics mirror BaseRegister: responsive crashes
+/// answer ⊥, nonresponsive crashes never answer, suspended proposals take
+/// effect at resume time in invocation order.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNDIST_OBJECTS_BASECONSENSUS_H
+#define DYNDIST_OBJECTS_BASECONSENSUS_H
+
+#include "dyndist/objects/Failures.h"
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+namespace dyndist {
+
+/// The unreliable sticky consensus object.
+class BaseConsensus {
+public:
+  /// Proposal completion: the decided value, or nullopt for ⊥.
+  using ProposeCallback = std::function<void(std::optional<int64_t>)>;
+
+  explicit BaseConsensus(FailureMode Mode = FailureMode::Responsive);
+
+  /// Proposes \p Value; completes with the object's (sticky) decision.
+  void asyncPropose(int64_t Value, ProposeCallback Done);
+
+  /// Crashes the object (idempotent); see BaseRegister::crash().
+  void crash();
+
+  /// Withholds proposals until resume(); see BaseRegister::suspend().
+  void suspend();
+
+  /// Applies and completes withheld proposals in invocation order, and
+  /// lifts the suspension.
+  void resume();
+
+  /// Applies and completes only the \p Index-th withheld proposal, leaving
+  /// the object suspended; see BaseRegister::resumeOne().
+  void resumeOne(size_t Index);
+
+  /// Number of currently withheld proposals.
+  size_t deferredCount() const;
+
+  /// Current lifecycle state.
+  ObjectState state() const;
+
+  /// The failure severity this object exhibits when crashed.
+  FailureMode mode() const { return Mode; }
+
+  /// The decision, if one has landed (inspection for tests).
+  std::optional<int64_t> decision() const;
+
+private:
+  struct Pending {
+    int64_t Value;
+    ProposeCallback Done;
+  };
+
+  FailureMode Mode;
+  mutable std::mutex Mutex;
+  ObjectState State = ObjectState::Ok;
+  std::optional<int64_t> Decided;
+  std::vector<Pending> Deferred;
+  uint64_t Dropped = 0;
+};
+
+} // namespace dyndist
+
+#endif // DYNDIST_OBJECTS_BASECONSENSUS_H

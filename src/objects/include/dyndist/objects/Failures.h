@@ -1,0 +1,48 @@
+//===- dyndist/objects/Failures.h - Object failure model --------*- C++ -*-===//
+//
+// Part of the dyndist project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The object-failure model of the companion tutorial (Guerraoui & Raynal,
+/// PaCT 2007): base objects — registers and consensus objects — can suffer
+/// crash failures of two severities:
+///
+///  - **Responsive** crash: after the crash, every operation invocation
+///    returns the default value ⊥ ("I am broken"). The object still
+///    answers, so callers can wait for it.
+///  - **Nonresponsive** crash: after the crash, invocations never return.
+///    Callers that wait on a specific object may wait forever, so correct
+///    algorithms may only wait for n-t of n objects.
+///
+/// Base objects here additionally support *suspension*: an adversary can
+/// hold an object's responses back and release them later. A suspended
+/// object is indistinguishable (to the algorithm) from a nonresponsive-
+/// crashed one while suspended — this is exactly the ambiguity the
+/// impossibility arguments exploit, and the test suite uses it to drive
+/// the executions that defeat under-provisioned constructions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNDIST_OBJECTS_FAILURES_H
+#define DYNDIST_OBJECTS_FAILURES_H
+
+namespace dyndist {
+
+/// Crash-failure severity of a base object.
+enum class FailureMode {
+  Responsive,    ///< Crashed object answers ⊥ to everything.
+  Nonresponsive, ///< Crashed object never answers again.
+};
+
+/// Lifecycle state of a base object.
+enum class ObjectState {
+  Ok,        ///< Operating normally.
+  Suspended, ///< Responses withheld until resume() (adversary control).
+  Crashed,   ///< Failed; behavior per FailureMode.
+};
+
+} // namespace dyndist
+
+#endif // DYNDIST_OBJECTS_FAILURES_H

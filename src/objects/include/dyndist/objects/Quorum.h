@@ -1,0 +1,85 @@
+//===- dyndist/objects/Quorum.h - k-of-n completion latch -------*- C++ -*-===//
+//
+// Part of the dyndist project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The waiting discipline of the nonresponsive failure model: an algorithm
+/// issues an operation on each of n base objects and continues once any k
+/// have completed — it must never wait on a specific object, because that
+/// object may be nonresponsive-crashed. QuorumLatch packages the counting;
+/// callbacks capture it via shared_ptr so completions arriving after the
+/// waiter moved on (or never arriving at all) stay safe.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNDIST_OBJECTS_QUORUM_H
+#define DYNDIST_OBJECTS_QUORUM_H
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+
+namespace dyndist {
+
+/// Blocks a caller until k of n issued operations have completed.
+class QuorumLatch {
+public:
+  /// \p Needed is k: completions to wait for.
+  explicit QuorumLatch(size_t Needed) : Needed(Needed) {}
+
+  /// Signals one completion (thread-safe, callable after await returned).
+  void arrive() {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ++Arrived;
+    if (Arrived >= Needed)
+      Cv.notify_all();
+  }
+
+  /// Blocks until k completions arrived. With inline-completing objects
+  /// this usually returns immediately; it genuinely blocks only while an
+  /// adversary suspends objects (another thread must resume them).
+  void await() {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    Cv.wait(Lock, [this] { return Arrived >= Needed; });
+  }
+
+  /// Like await(), but gives up after \p Timeout; returns whether the
+  /// quorum was reached. Used by lower-bound demonstrations, where "this
+  /// call never returns" must become a checkable outcome.
+  template <typename Rep, typename Period>
+  bool awaitFor(std::chrono::duration<Rep, Period> Timeout) {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    return Cv.wait_for(Lock, Timeout,
+                       [this] { return Arrived >= Needed; });
+  }
+
+  /// Non-blocking probe: true when the quorum has been reached.
+  bool reached() const {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    return Arrived >= Needed;
+  }
+
+  /// Runs \p Fn under the latch's lock — used to collect per-completion
+  /// results without a second mutex.
+  template <typename FnT> void withLock(FnT Fn) {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Fn();
+  }
+
+private:
+  size_t Needed;
+  size_t Arrived = 0;
+  mutable std::mutex Mutex;
+  std::condition_variable Cv;
+};
+
+/// Shared handle used by completion callbacks.
+using QuorumRef = std::shared_ptr<QuorumLatch>;
+
+} // namespace dyndist
+
+#endif // DYNDIST_OBJECTS_QUORUM_H

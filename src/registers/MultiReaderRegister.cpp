@@ -1,0 +1,79 @@
+//===- MultiReaderRegister.cpp - SWSR -> SWMR ----------------------------------===//
+//
+// Part of the dyndist project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dyndist/registers/MultiReaderRegister.h"
+
+#include <cassert>
+
+using namespace dyndist;
+
+MultiReaderRegister::MultiReaderRegister(size_t Readers, size_t Tolerated)
+    : Readers(Readers) {
+  assert(Readers >= 1 && "need at least one reader");
+  WR.reserve(Readers);
+  for (size_t I = 0; I != Readers; ++I)
+    WR.push_back(std::make_unique<StackRegister>(Tolerated));
+  RR.resize(Readers);
+  for (size_t J = 0; J != Readers; ++J) {
+    RR[J].resize(Readers);
+    for (size_t I = 0; I != Readers; ++I)
+      if (I != J)
+        RR[J][I] = std::make_unique<StackRegister>(Tolerated);
+  }
+}
+
+void MultiReaderRegister::write(int64_t Value) {
+  writeTagged(TaggedValue{NextSeq + 1, Value});
+}
+
+void MultiReaderRegister::writeTagged(TaggedValue V) {
+  assert(V.Seq >= NextSeq && "tags must be nondecreasing");
+  NextSeq = V.Seq;
+  for (auto &Cell : WR)
+    Cell->writeTagged(V);
+}
+
+int64_t MultiReaderRegister::read(size_t ReaderIndex) {
+  return readTagged(ReaderIndex).Value;
+}
+
+TaggedValue MultiReaderRegister::readTagged(size_t ReaderIndex) {
+  assert(ReaderIndex < Readers && "reader index out of range");
+  TaggedValue Best = WR[ReaderIndex]->readTagged();
+  for (size_t J = 0; J != Readers; ++J) {
+    if (J == ReaderIndex)
+      continue;
+    TaggedValue Announced = RR[J][ReaderIndex]->readTagged();
+    if (Announced.Seq > Best.Seq)
+      Best = Announced;
+  }
+  for (size_t I = 0; I != Readers; ++I) {
+    if (I == ReaderIndex)
+      continue;
+    RR[ReaderIndex][I]->writeTagged(Best);
+  }
+  return Best;
+}
+
+uint64_t MultiReaderRegister::baseInvocations() const {
+  uint64_t Total = 0;
+  for (const auto &Cell : WR)
+    Total += Cell->baseInvocations();
+  for (const auto &Row : RR)
+    for (const auto &Cell : Row)
+      if (Cell)
+        Total += Cell->baseInvocations();
+  return Total;
+}
+
+size_t MultiReaderRegister::cellCount() const {
+  return Readers + Readers * (Readers - 1);
+}
+
+size_t MultiReaderRegister::baseCount() const {
+  size_t PerCell = WR.empty() ? 0 : WR.front()->baseCount();
+  return PerCell * cellCount();
+}

@@ -1,0 +1,51 @@
+//===- MultiWriterRegister.cpp - SWMR -> MWMR ----------------------------------===//
+//
+// Part of the dyndist project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dyndist/registers/MultiWriterRegister.h"
+
+#include <cassert>
+
+using namespace dyndist;
+
+MultiWriterRegister::MultiWriterRegister(size_t Writers, size_t Readers,
+                                         size_t Tolerated)
+    : Writers(Writers), Readers(Readers) {
+  assert(Writers >= 1 && "need at least one writer");
+  Cells.reserve(Writers);
+  for (size_t I = 0; I != Writers; ++I)
+    Cells.push_back(
+        std::make_unique<MultiReaderRegister>(Writers + Readers, Tolerated));
+}
+
+TaggedValue MultiWriterRegister::scan(size_t Slot) {
+  TaggedValue Best; // Packed tag 0 = the initial value.
+  for (auto &Cell : Cells) {
+    TaggedValue V = Cell->readTagged(Slot);
+    if (V.Seq > Best.Seq)
+      Best = V;
+  }
+  return Best;
+}
+
+void MultiWriterRegister::write(size_t WriterIndex, int64_t Value) {
+  assert(WriterIndex < Writers && "writer index out of range");
+  TaggedValue Max = scan(WriterIndex);
+  uint64_t Ts = Max.Seq / Writers; // Unpack the timestamp half.
+  uint64_t Packed = (Ts + 1) * Writers + WriterIndex;
+  Cells[WriterIndex]->writeTagged(TaggedValue{Packed, Value});
+}
+
+int64_t MultiWriterRegister::read(size_t ReaderIndex) {
+  assert(ReaderIndex < Readers && "reader index out of range");
+  return scan(Writers + ReaderIndex).Value;
+}
+
+uint64_t MultiWriterRegister::baseInvocations() const {
+  uint64_t Total = 0;
+  for (const auto &Cell : Cells)
+    Total += Cell->baseInvocations();
+  return Total;
+}

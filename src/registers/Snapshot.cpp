@@ -1,0 +1,82 @@
+//===- Snapshot.cpp - Double-collect snapshot ----------------------------------===//
+//
+// Part of the dyndist project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dyndist/registers/Snapshot.h"
+
+#include <cassert>
+
+using namespace dyndist;
+
+SnapshotObject::~SnapshotObject() {
+  Cell *C = Head.load();
+  while (C) {
+    Record *R = C->Current.load();
+    while (R) {
+      Record *Older = R->Older;
+      delete R;
+      R = Older;
+    }
+    Cell *Next = C->Next;
+    delete C;
+    C = Next;
+  }
+}
+
+SnapshotObject::Cell *SnapshotObject::findCell(uint64_t Id) const {
+  for (Cell *C = Head.load(std::memory_order_acquire); C; C = C->Next)
+    if (C->Id == Id)
+      return C;
+  return nullptr;
+}
+
+void SnapshotObject::update(uint64_t Id, int64_t Value) {
+  Cell *C = findCell(Id);
+  if (!C) {
+    // First update by this (single-writer) identity: link a fresh cell.
+    C = new Cell(Id, Head.load(std::memory_order_relaxed));
+    while (!Head.compare_exchange_weak(C->Next, C,
+                                       std::memory_order_release,
+                                       std::memory_order_relaxed)) {
+    }
+    Count.fetch_add(1, std::memory_order_relaxed);
+  }
+  Record *Old = C->Current.load(std::memory_order_relaxed);
+  Record *Fresh = new Record{Old ? Old->Version + 1 : 1, Value, Old};
+  // Single writer per identity: a plain release store suffices.
+  C->Current.store(Fresh, std::memory_order_release);
+}
+
+std::map<uint64_t, std::pair<uint64_t, int64_t>>
+SnapshotObject::collectOnce() const {
+  std::map<uint64_t, std::pair<uint64_t, int64_t>> Out;
+  for (Cell *C = Head.load(std::memory_order_acquire); C; C = C->Next) {
+    Record *R = C->Current.load(std::memory_order_acquire);
+    if (R)
+      Out[C->Id] = {R->Version, R->Value};
+  }
+  return Out;
+}
+
+Result<SnapshotObject::View>
+SnapshotObject::scan(size_t MaxAttempts) const {
+  auto Previous = collectOnce();
+  for (size_t Attempt = 0; Attempt != MaxAttempts; ++Attempt) {
+    auto Current = collectOnce();
+    if (Current == Previous) {
+      View Stable;
+      for (const auto &[Id, Pair] : Current)
+        Stable[Id] = Pair.second;
+      return Stable;
+    }
+    Previous = std::move(Current);
+  }
+  return Error(Error::Code::Timeout,
+               "no stable double collect within the attempt budget");
+}
+
+size_t SnapshotObject::identityCount() const {
+  return Count.load(std::memory_order_relaxed);
+}

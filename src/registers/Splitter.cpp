@@ -1,0 +1,61 @@
+//===- Splitter.cpp - Splitters and renaming -----------------------------------===//
+//
+// Part of the dyndist project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dyndist/registers/Splitter.h"
+
+#include <cassert>
+
+using namespace dyndist;
+
+SplitterExit Splitter::enter(uint64_t Me) {
+  assert(Me != 0 && "splitter ids must be nonzero");
+  X.store(Me);
+  if (DoorClosed.load())
+    return SplitterExit::Right;
+  DoorClosed.store(true);
+  if (X.load() == Me) {
+    Owner.store(Me);
+    return SplitterExit::Stop;
+  }
+  return SplitterExit::Down;
+}
+
+RenamingGrid::RenamingGrid(size_t Size) : Size(Size) {
+  assert(Size >= 1 && "grid needs at least one cell");
+  for (size_t Row = 0; Row != Size; ++Row) {
+    for (size_t Col = 0; Row + Col < Size; ++Col) {
+      CellIndex[{Row, Col}] = Cells.size();
+      Cells.push_back(std::make_unique<Splitter>());
+    }
+  }
+}
+
+uint64_t RenamingGrid::indexOf(size_t Row, size_t Col) const {
+  uint64_t D = Row + Col;
+  return D * (D + 1) / 2 + Row;
+}
+
+uint64_t RenamingGrid::nameBound(uint64_t K) { return K * (K + 1) / 2; }
+
+std::optional<uint64_t> RenamingGrid::acquire(uint64_t OriginalId) {
+  size_t Row = 0, Col = 0;
+  for (;;) {
+    if (Row + Col >= Size)
+      return std::nullopt; // Overflow: more participants than the grid.
+    Splitter &Cell = *Cells[CellIndex.at({Row, Col})];
+    switch (Cell.enter(OriginalId)) {
+    case SplitterExit::Stop:
+      ++Assigned;
+      return indexOf(Row, Col);
+    case SplitterExit::Right:
+      ++Col;
+      break;
+    case SplitterExit::Down:
+      ++Row;
+      break;
+    }
+  }
+}

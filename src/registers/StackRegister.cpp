@@ -1,0 +1,62 @@
+//===- StackRegister.cpp - t+1 construction ------------------------------------===//
+//
+// Part of the dyndist project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dyndist/registers/StackRegister.h"
+
+#include <cassert>
+
+using namespace dyndist;
+
+AtomicRegister::~AtomicRegister() = default;
+
+StackRegister::StackRegister(size_t Tolerated) {
+  for (size_t I = 0; I != Tolerated + 1; ++I)
+    Bases.push_back(std::make_shared<BaseRegister>(FailureMode::Responsive));
+}
+
+StackRegister::StackRegister(
+    std::vector<std::shared_ptr<BaseRegister>> Bases)
+    : Bases(std::move(Bases)) {
+  assert(!this->Bases.empty() && "need at least one base register");
+  for (const auto &B : this->Bases)
+    assert(B->mode() == FailureMode::Responsive &&
+           "stack construction requires responsive base registers");
+}
+
+void StackRegister::write(int64_t Value) {
+  writeTagged(TaggedValue{NextSeq + 1, Value});
+}
+
+void StackRegister::writeTagged(TaggedValue V) {
+  assert(V.Seq >= NextSeq && "tags must be nondecreasing");
+  NextSeq = V.Seq;
+  // Ascending order; responsive ⊥ answers are simply skipped — the object
+  // is dead and will answer ⊥ to readers too. Responsive base registers
+  // complete inline, so stack-captured callbacks are safe.
+  for (auto &B : Bases) {
+    ++BaseOps;
+    B->asyncWrite(V, [](bool) {});
+  }
+}
+
+int64_t StackRegister::read(size_t ReaderIndex) {
+  (void)ReaderIndex; // SWSR: one logical reader.
+  return readTagged().Value;
+}
+
+TaggedValue StackRegister::readTagged() {
+  TaggedValue Best = ReaderCache;
+  // Descending order (opposite of the writer).
+  for (size_t I = Bases.size(); I != 0; --I) {
+    ++BaseOps;
+    Bases[I - 1]->asyncRead([&Best](std::optional<TaggedValue> V) {
+      if (V && V->Seq > Best.Seq)
+        Best = *V;
+    });
+  }
+  ReaderCache = Best;
+  return Best;
+}

@@ -1,0 +1,58 @@
+//===- StoreCollect.cpp - Store-collect ----------------------------------------===//
+//
+// Part of the dyndist project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dyndist/registers/StoreCollect.h"
+
+#include <cassert>
+
+using namespace dyndist;
+
+StoreCollect::~StoreCollect() {
+  Slot *S = Head.load();
+  while (S) {
+    Slot *Next = S->Next;
+    delete S;
+    S = Next;
+  }
+}
+
+StoreCollect::Slot *StoreCollect::find(uint64_t Id) const {
+  for (Slot *S = Head.load(std::memory_order_acquire); S; S = S->Next)
+    if (S->Id == Id)
+      return S;
+  return nullptr;
+}
+
+void StoreCollect::store(uint64_t Id, int64_t Value) {
+  if (Slot *S = find(Id)) {
+    S->Value.store(Value, std::memory_order_release);
+    return;
+  }
+  // First store by this identity. Identities are single-writer (an entity
+  // stores under its own id), so no concurrent first-store for the same id
+  // can race us; concurrent arrivals of *other* ids are absorbed by the
+  // push retry loop. The value is set before the slot becomes reachable,
+  // so collects never see an unpublished slot.
+  Slot *Fresh = new Slot(Id, Head.load(std::memory_order_relaxed));
+  Fresh->Value.store(Value, std::memory_order_relaxed);
+  while (!Head.compare_exchange_weak(Fresh->Next, Fresh,
+                                     std::memory_order_release,
+                                     std::memory_order_relaxed)) {
+    // Fresh->Next was refreshed by the failed CAS; retry.
+  }
+  Count.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::map<uint64_t, int64_t> StoreCollect::collect() const {
+  std::map<uint64_t, int64_t> View;
+  for (Slot *S = Head.load(std::memory_order_acquire); S; S = S->Next)
+    View[S->Id] = S->Value.load(std::memory_order_acquire);
+  return View;
+}
+
+size_t StoreCollect::identityCount() const {
+  return Count.load(std::memory_order_relaxed);
+}

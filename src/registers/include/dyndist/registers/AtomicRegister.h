@@ -1,0 +1,48 @@
+//===- dyndist/registers/AtomicRegister.h - Reliable register ---*- C++ -*-===//
+//
+// Part of the dyndist project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The target abstraction of the register self-implementations: a reliable
+/// atomic register, built from unreliable base registers. Operations are
+/// blocking but wait-free as long as the construction's failure bound t is
+/// respected — a caller waits only on quorums that a t-bounded adversary
+/// cannot block.
+///
+/// The writer is unique (single-writer discipline, matching the companion
+/// tutorial's constructions); readers identify themselves with a dense
+/// index so constructions that keep per-reader state (or per-reader base
+/// registers) can route them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNDIST_REGISTERS_ATOMICREGISTER_H
+#define DYNDIST_REGISTERS_ATOMICREGISTER_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dyndist {
+
+/// Reliable single-writer multi-reader atomic register interface.
+class AtomicRegister {
+public:
+  virtual ~AtomicRegister();
+
+  /// Writes \p Value (single-writer: at most one thread may ever write).
+  virtual void write(int64_t Value) = 0;
+
+  /// Reads the register as reader \p ReaderIndex (dense, < reader count
+  /// declared at construction where applicable).
+  virtual int64_t read(size_t ReaderIndex) = 0;
+
+  /// Total base-object invocations issued so far — the cost metric of
+  /// experiment E6.
+  virtual uint64_t baseInvocations() const = 0;
+};
+
+} // namespace dyndist
+
+#endif // DYNDIST_REGISTERS_ATOMICREGISTER_H

@@ -1,0 +1,80 @@
+//===- dyndist/registers/MultiReaderRegister.h - SWSR -> SWMR ---*- C++ -*-===//
+//
+// Part of the dyndist project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The classical single-writer/single-reader to single-writer/multi-reader
+/// atomic register transformation, composed on top of the t+1 stack
+/// construction — a genuine two-storey self-implementation:
+///
+///   unreliable base registers  --StackRegister-->  reliable SWSR cells
+///   reliable SWSR cells  --MultiReaderRegister-->  reliable SWMR register
+///
+/// Layout for R readers (every cell is one StackRegister over t+1
+/// responsive-crash base registers):
+///
+///   WR[i]     written by the writer, read by reader i
+///   RR[j][i]  written by reader j, read by reader i   (j != i)
+///
+///   write(v):  Seq++; for every i: WR[i] := {Seq, v}
+///   read(i):   best := WR[i]; for every j != i: best := max_Seq(best,
+///              RR[j][i]); for every j != i: RR[i][j] := best;
+///              return best.value
+///
+/// The reader-to-reader announcement is what prevents new/old inversions
+/// *across* readers: once reader i returns a value, every later-starting
+/// read sees at least that fresh a pair in RR[i][.].
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNDIST_REGISTERS_MULTIREADERREGISTER_H
+#define DYNDIST_REGISTERS_MULTIREADERREGISTER_H
+
+#include "dyndist/registers/StackRegister.h"
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+namespace dyndist {
+
+/// SWMR atomic register for a fixed reader count, tolerating \p Tolerated
+/// responsive crashes *within every cell* (cells fail independently).
+class MultiReaderRegister : public AtomicRegister {
+public:
+  /// \p Readers >= 1 dense reader identities; \p Tolerated per-cell crash
+  /// budget.
+  MultiReaderRegister(size_t Readers, size_t Tolerated);
+
+  void write(int64_t Value) override;
+  int64_t read(size_t ReaderIndex) override;
+  uint64_t baseInvocations() const override;
+
+  /// Tagged interface for use as a cell of the multi-writer
+  /// transformation: tags must be nondecreasing across writeTagged calls.
+  void writeTagged(TaggedValue V);
+  TaggedValue readTagged(size_t ReaderIndex);
+
+  /// Number of SWSR cells (R + R*(R-1)).
+  size_t cellCount() const;
+
+  /// Total base registers across all cells ((t+1) * cellCount()).
+  size_t baseCount() const;
+
+  /// Cell accessors for failure injection in tests.
+  StackRegister &writerCell(size_t Reader) { return *WR[Reader]; }
+  StackRegister &readerCell(size_t From, size_t To) { return *RR[From][To]; }
+
+private:
+  size_t Readers;
+  uint64_t NextSeq = 0; // Single writer.
+  std::vector<std::unique_ptr<StackRegister>> WR;
+  // RR[j][i]: reader j's announcement to reader i (RR[i][i] unused, null).
+  std::vector<std::vector<std::unique_ptr<StackRegister>>> RR;
+};
+
+} // namespace dyndist
+
+#endif // DYNDIST_REGISTERS_MULTIREADERREGISTER_H

@@ -1,0 +1,81 @@
+//===- dyndist/registers/MultiWriterRegister.h - SWMR -> MWMR ---*- C++ -*-===//
+//
+// Part of the dyndist project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The top storey of the register self-implementation tower: a
+/// multi-writer multi-reader atomic register from single-writer cells
+/// (the classical timestamp transformation à la Vitányi-Awerbuch):
+///
+///   unreliable base registers --StackRegister--> reliable SWSR cells
+///   SWSR cells --MultiReaderRegister--> reliable SWMR cells
+///   SWMR cells --MultiWriterRegister--> reliable MWMR register
+///
+/// Layout for W writers: CELL[i] is an SWMR register written by writer i
+/// and read by every writer and every reader.
+///
+///   write_i(v): read every CELL[j]; ts := 1 + max timestamp seen;
+///               CELL[i] := (ts, i, v)
+///   read():     read every CELL[j]; return the value with the
+///               lexicographically largest (ts, writer-id)
+///
+/// Tie-break by writer id makes concurrent timestamps totally ordered; the
+/// pair is packed into the cell tag as ts * W + i, which is monotone per
+/// cell (each writer's successive timestamps strictly grow) and globally
+/// unique.
+///
+/// Every storey tolerates \p Tolerated responsive crashes inside each of
+/// its SWSR cells, independently — failure budgets compose per cell.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNDIST_REGISTERS_MULTIWRITERREGISTER_H
+#define DYNDIST_REGISTERS_MULTIWRITERREGISTER_H
+
+#include "dyndist/registers/MultiReaderRegister.h"
+
+#include <memory>
+#include <vector>
+
+namespace dyndist {
+
+/// MWMR atomic register for fixed writer/reader populations.
+class MultiWriterRegister {
+public:
+  /// \p Writers >= 1 and \p Readers >= 0 dense identities; \p Tolerated
+  /// per-SWSR-cell responsive-crash budget.
+  MultiWriterRegister(size_t Writers, size_t Readers, size_t Tolerated);
+
+  /// Writes \p Value as writer \p WriterIndex (< Writers). Each writer
+  /// identity must be driven by at most one thread.
+  void write(size_t WriterIndex, int64_t Value);
+
+  /// Reads as reader \p ReaderIndex (< Readers).
+  int64_t read(size_t ReaderIndex);
+
+  /// Total base-register invocations across the whole tower.
+  uint64_t baseInvocations() const;
+
+  /// Number of SWMR cells (= writer count).
+  size_t cellCount() const { return Cells.size(); }
+
+  /// Cell accessor for failure injection in tests.
+  MultiReaderRegister &cell(size_t Writer) { return *Cells[Writer]; }
+
+private:
+  /// Reads every cell in identity \p Slot's reader lane and returns the
+  /// lexicographic maximum (packed) tag with its value.
+  TaggedValue scan(size_t Slot);
+
+  size_t Writers;
+  size_t Readers;
+  // Cell reader lanes: slots [0, Writers) are the writers, slots
+  // [Writers, Writers + Readers) are the readers.
+  std::vector<std::unique_ptr<MultiReaderRegister>> Cells;
+};
+
+} // namespace dyndist
+
+#endif // DYNDIST_REGISTERS_MULTIWRITERREGISTER_H

@@ -1,0 +1,88 @@
+//===- dyndist/registers/Snapshot.h - Double-collect snapshot ---*- C++ -*-===//
+//
+// Part of the dyndist project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A lock-free atomic snapshot over an unbounded identity universe, via the
+/// classical double-collect rule: repeat collecting until two consecutive
+/// collects return identical per-identity versions — a stable double
+/// collect is a view that actually existed at every instant between the
+/// two collects, hence linearizable.
+///
+/// Per-identity cells hold an immutable (version, value) record behind an
+/// atomic pointer; an update installs a fresh record, so a collect reads
+/// each cell's version and value together atomically and version equality
+/// across two collects genuinely means "no update landed in between"
+/// (versions grow monotonically — no ABA).
+///
+/// Progress is lock-free, not wait-free: a scanner starves only while
+/// updates keep completing — the standard guarantee in the unbounded-
+/// universe setting, where the fixed-n helping constructions have no array
+/// to help through. scan() therefore takes an attempt budget and reports
+/// exhaustion instead of spinning forever under a pathological updater.
+///
+/// Like StoreCollect, the registry is grow-only: memory tracks *arrivals*
+/// (and here, update counts), the honest price of the unbounded universe.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNDIST_REGISTERS_SNAPSHOT_H
+#define DYNDIST_REGISTERS_SNAPSHOT_H
+
+#include "dyndist/support/Result.h"
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+
+namespace dyndist {
+
+/// Lock-free atomic snapshot; identities are single-writer.
+class SnapshotObject {
+public:
+  SnapshotObject() = default;
+  ~SnapshotObject();
+
+  SnapshotObject(const SnapshotObject &) = delete;
+  SnapshotObject &operator=(const SnapshotObject &) = delete;
+
+  /// Publishes \p Value under \p Id (single writer per identity).
+  void update(uint64_t Id, int64_t Value);
+
+  /// An instantaneous view: identity -> value.
+  using View = std::map<uint64_t, int64_t>;
+
+  /// Double-collects until stable; fails with Timeout after
+  /// \p MaxAttempts consecutive unstable collect pairs.
+  Result<View> scan(size_t MaxAttempts = 1u << 16) const;
+
+  /// Identities that ever updated.
+  size_t identityCount() const;
+
+private:
+  struct Record {
+    uint64_t Version;
+    int64_t Value;
+    Record *Older; ///< Retired-records chain, freed at destruction.
+  };
+  struct Cell {
+    uint64_t Id;
+    std::atomic<Record *> Current{nullptr};
+    Cell *Next;
+    Cell(uint64_t Id, Cell *Next) : Id(Id), Next(Next) {}
+  };
+
+  /// One pass: identity -> (version, value).
+  std::map<uint64_t, std::pair<uint64_t, int64_t>> collectOnce() const;
+
+  Cell *findCell(uint64_t Id) const;
+
+  std::atomic<Cell *> Head{nullptr};
+  std::atomic<size_t> Count{0};
+};
+
+} // namespace dyndist
+
+#endif // DYNDIST_REGISTERS_SNAPSHOT_H

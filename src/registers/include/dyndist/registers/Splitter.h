@@ -1,0 +1,116 @@
+//===- dyndist/registers/Splitter.h - Splitters and renaming ----*- C++ -*-===//
+//
+// Part of the dyndist project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Adaptive renaming on the register substrate — the signature *algorithmic*
+/// problem of the arrival models the paper adopts: entities arrive with no
+/// identities arranged in advance (the universe of names is unbounded) and
+/// must acquire small distinct names, with complexity depending only on how
+/// many actually showed up (contention), never on any global n.
+///
+/// Building block: Lamport's splitter. A splitter is a wait-free gadget
+/// built from two shared registers (a door and an owner slot) with the
+/// guarantee that of k >= 1 processes entering, at most 1 *stops*, at most
+/// k-1 go *right*, at most k-1 go *down* — so no two processes can stop at
+/// the same splitter, and contention strictly decreases along both exits.
+///
+///   enter():  X := me
+///             if door closed: return Right
+///             door := closed
+///             if X == me: return Stop
+///             return Down
+///
+/// Renaming: arrange splitters in a half-grid (Moir & Anderson). A process
+/// walks from (0,0), moving right/down as directed; it stops somewhere
+/// within the first k-1 anti-diagonals when k processes participate, and
+/// takes the splitter's grid index as its name — at most k(k-1)/2 + 1
+/// distinct names ever handed out, adaptively.
+///
+/// The splitter's registers are reliable registers built by this library's
+/// own constructions, so the tower reads: unreliable base registers ->
+/// reliable registers -> splitters -> adaptive renaming for arriving
+/// entities.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNDIST_REGISTERS_SPLITTER_H
+#define DYNDIST_REGISTERS_SPLITTER_H
+
+#include "dyndist/objects/BaseRegister.h"
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+namespace dyndist {
+
+/// Outcome of one splitter visit.
+enum class SplitterExit { Stop, Right, Down };
+
+/// A wait-free splitter over two MWMR registers. The registers here are
+/// plain atomic cells (std::atomic), standing for the reliable registers
+/// the rest of the library shows how to construct; the splitter logic is
+/// exactly the register-based algorithm.
+class Splitter {
+public:
+  Splitter() = default;
+
+  /// Runs the splitter protocol for the caller \p Me (any nonzero id).
+  SplitterExit enter(uint64_t Me);
+
+  /// True when some process stopped here.
+  bool captured() const { return Owner.load() != 0; }
+
+  /// The stopper's id (0 when none).
+  uint64_t owner() const { return Owner.load(); }
+
+private:
+  std::atomic<uint64_t> X{0};
+  std::atomic<bool> DoorClosed{false};
+  std::atomic<uint64_t> Owner{0};
+};
+
+/// Moir-Anderson half-grid renaming. Thread-safe; names are grid indices
+/// in [0, Size*(Size+1)/2). Processes may carry arbitrary 64-bit original
+/// identities (nonzero), matching the unbounded-universe assumption of the
+/// arrival models.
+class RenamingGrid {
+public:
+  /// \p Size bounds the grid's side; k <= Size participants are guaranteed
+  /// to acquire names (more may overflow and be reported as failure).
+  explicit RenamingGrid(size_t Size);
+
+  /// Walks the grid; returns the acquired name, or nullopt on overflow
+  /// (more than Size concurrent participants).
+  std::optional<uint64_t> acquire(uint64_t OriginalId);
+
+  /// Names handed out so far (inspection for tests).
+  uint64_t namesAssigned() const { return Assigned.load(); }
+
+  /// The bound on names for \p K participants: K*(K-1)/2 + ... summed
+  /// anti-diagonals — i.e. the largest grid index reachable within the
+  /// first K anti-diagonals.
+  static uint64_t nameBound(uint64_t K);
+
+private:
+  /// Grid index of cell (Row, Col) in anti-diagonal order: all cells with
+  /// Row+Col == d precede those with larger d, so names grow with the
+  /// distance walked — the adaptivity measure.
+  uint64_t indexOf(size_t Row, size_t Col) const;
+
+  size_t Size;
+  std::vector<std::unique_ptr<Splitter>> Cells; // Row-major half grid.
+  std::map<std::pair<size_t, size_t>, size_t> CellIndex;
+  std::atomic<uint64_t> Assigned{0};
+};
+
+} // namespace dyndist
+
+#endif // DYNDIST_REGISTERS_SPLITTER_H

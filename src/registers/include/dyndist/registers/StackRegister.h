@@ -1,0 +1,75 @@
+//===- dyndist/registers/StackRegister.h - t+1 construction -----*- C++ -*-===//
+//
+// Part of the dyndist project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Self-implementation of a reliable SWSR atomic register from **t+1 base
+/// registers with responsive crash failures** (Guerraoui & Raynal, PaCT
+/// 2007). This is the cheap construction: responsive failures answer ⊥, so
+/// the algorithm may wait for every base object and t+1 copies suffice
+/// (at least one survives).
+///
+///   write(v): Seq++; for j = 0 .. t:   R[j].write({Seq, v})   (ascending)
+///   read():   for j = t .. 0:          scan R[j], skip ⊥;
+///             among non-⊥ values take the largest Seq; return the larger
+///             of that and the reader's last returned (Seq, value).
+///
+/// The ascending-write / descending-read discipline plus sequence tags
+/// gives regularity; the reader-local monotone cache removes new/old
+/// inversions, yielding atomicity for the single reader. Multi-reader
+/// atomicity is *not* provided by this object (two readers' caches are
+/// independent) — that is exactly why MultiReaderRegister exists.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNDIST_REGISTERS_STACKREGISTER_H
+#define DYNDIST_REGISTERS_STACKREGISTER_H
+
+#include "dyndist/objects/BaseRegister.h"
+#include "dyndist/registers/AtomicRegister.h"
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+namespace dyndist {
+
+/// The t+1 responsive-crash construction (SWSR).
+class StackRegister : public AtomicRegister {
+public:
+  /// Builds over \p Tolerated + 1 fresh responsive-crash base registers.
+  explicit StackRegister(size_t Tolerated);
+
+  /// Builds over caller-provided base registers (shared with an adversary
+  /// that injects crashes). All must be FailureMode::Responsive.
+  explicit StackRegister(
+      std::vector<std::shared_ptr<BaseRegister>> Bases);
+
+  void write(int64_t Value) override;
+  int64_t read(size_t ReaderIndex) override;
+  uint64_t baseInvocations() const override { return BaseOps.load(); }
+
+  /// Tagged interface used when this cell is a building block of a larger
+  /// construction (MultiReaderRegister stores externally-tagged pairs):
+  /// writes must carry nondecreasing Seq tags.
+  void writeTagged(TaggedValue V);
+  TaggedValue readTagged();
+
+  /// Number of base registers (t + 1).
+  size_t baseCount() const { return Bases.size(); }
+
+  /// Access to base register \p I for failure injection in tests.
+  BaseRegister &base(size_t I) { return *Bases[I]; }
+
+private:
+  std::vector<std::shared_ptr<BaseRegister>> Bases;
+  uint64_t NextSeq = 0;              // Single writer: no lock needed.
+  TaggedValue ReaderCache;           // Single reader: its monotone cache.
+  std::atomic<uint64_t> BaseOps{0};
+};
+
+} // namespace dyndist
+
+#endif // DYNDIST_REGISTERS_STACKREGISTER_H

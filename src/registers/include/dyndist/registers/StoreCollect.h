@@ -1,0 +1,79 @@
+//===- dyndist/registers/StoreCollect.h - Store-collect ---------*- C++ -*-===//
+//
+// Part of the dyndist project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The store-collect object: the natural communication abstraction for the
+/// arrival models. Entities arrive from an unbounded identifier universe
+/// with no registers pre-assigned to them; each may *store* (publish or
+/// overwrite) a value under its identity, and anyone may *collect* a view
+/// of all published pairs. Store-collect is weaker than a snapshot — a
+/// collect need not be instantaneous — but is wait-free with arbitrary
+/// arrivals, which snapshots over a fixed register array cannot offer.
+///
+/// Guarantees (regularity of views):
+///  - a collect contains every store that completed before the collect
+///    began (freshest value per identity among the completed ones, or a
+///    newer concurrent one);
+///  - a collect never invents: every pair it returns was stored by someone
+///    at some point;
+///  - per-identity values never regress across sequential collects.
+///
+/// Implementation: a grow-only lock-free registry (Treiber-style push) of
+/// per-identity slots; the first store by an identity links a fresh slot,
+/// later stores overwrite the slot's atomic value, collects walk the list.
+/// Slots are never unlinked — memory grows with *arrivals*, the honest
+/// price of the unbounded-universe model (the finite-arrival model is
+/// exactly the promise that this stays bounded).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNDIST_REGISTERS_STORECOLLECT_H
+#define DYNDIST_REGISTERS_STORECOLLECT_H
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+
+namespace dyndist {
+
+/// Wait-free store-collect over an unbounded identity universe.
+class StoreCollect {
+public:
+  StoreCollect() = default;
+  ~StoreCollect();
+
+  StoreCollect(const StoreCollect &) = delete;
+  StoreCollect &operator=(const StoreCollect &) = delete;
+
+  /// Publishes (or overwrites) \p Value under \p Id. Wait-free: one list
+  /// scan plus at most one push retry loop against concurrent arrivals.
+  void store(uint64_t Id, int64_t Value);
+
+  /// Returns the current view: identity -> freshest value seen.
+  std::map<uint64_t, int64_t> collect() const;
+
+  /// Number of identities that ever stored (registry size).
+  size_t identityCount() const;
+
+private:
+  struct Slot {
+    uint64_t Id;
+    std::atomic<int64_t> Value;
+    std::atomic<bool> Published{false}; ///< First value landed.
+    Slot *Next;
+    Slot(uint64_t Id, Slot *Next) : Id(Id), Value(0), Next(Next) {}
+  };
+
+  /// Finds \p Id's slot, or null.
+  Slot *find(uint64_t Id) const;
+
+  std::atomic<Slot *> Head{nullptr};
+  std::atomic<size_t> Count{0};
+};
+
+} // namespace dyndist
+
+#endif // DYNDIST_REGISTERS_STORECOLLECT_H

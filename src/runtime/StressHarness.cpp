@@ -1,0 +1,78 @@
+//===- StressHarness.cpp - Stress drivers --------------------------------------===//
+//
+// Part of the dyndist project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dyndist/runtime/StressHarness.h"
+
+#include "dyndist/runtime/ThreadRunner.h"
+
+#include <thread>
+
+using namespace dyndist;
+
+void dyndist::jitter(Rng &R, uint64_t MaxYields) {
+  uint64_t N = R.nextBelow(MaxYields + 1);
+  for (uint64_t I = 0; I != N; ++I)
+    std::this_thread::yield();
+}
+
+History dyndist::stressRegister(AtomicRegister &Reg,
+                                const RegisterStressOptions &Options) {
+  HistoryRecorder Rec;
+  ThreadRunner Runner;
+
+  // Writer: client 0, values 1..Writes (distinct, as the checker needs).
+  Runner.spawn([&Reg, &Rec, &Options] {
+    Rng R(Options.Seed ^ 0x57a7e5ULL);
+    for (size_t K = 1; K <= Options.Writes; ++K) {
+      auto It = Options.InjectBeforeWrite.find(K);
+      if (It != Options.InjectBeforeWrite.end())
+        It->second();
+      uint64_t Op =
+          Rec.beginOp(0, OpKind::Write, static_cast<int64_t>(K));
+      Reg.write(static_cast<int64_t>(K));
+      Rec.endOp(Op);
+      jitter(R);
+    }
+  });
+
+  // Readers: clients 1..Readers, register reader indices 0..Readers-1.
+  for (size_t I = 0; I != Options.Readers; ++I) {
+    Runner.spawn([&Reg, &Rec, &Options, I] {
+      Rng R(Options.Seed ^ (0xbeef00ULL + I));
+      for (size_t K = 0; K != Options.ReadsPerReader; ++K) {
+        uint64_t Op = Rec.beginOp(I + 1, OpKind::Read);
+        int64_t V = Reg.read(I);
+        Rec.endOp(Op, V);
+        jitter(R);
+      }
+    });
+  }
+
+  Runner.joinAll();
+  return Rec.snapshot();
+}
+
+std::vector<ConsensusRecord>
+dyndist::stressConsensus(ConsensusChain &Chain,
+                         const ConsensusStressOptions &Options) {
+  std::vector<ConsensusRecord> Records(Options.Proposers);
+  ThreadRunner Runner;
+  for (size_t I = 0; I != Options.Proposers; ++I) {
+    Records[I].Client = I;
+    Records[I].Proposed = 100 + static_cast<int64_t>(I);
+    Runner.spawn([&Chain, &Records, &Options, I] {
+      Rng R(Options.Seed ^ (0xc0de00ULL + I));
+      jitter(R);
+      auto It = Options.InjectBeforePropose.find(I);
+      if (It != Options.InjectBeforePropose.end())
+        It->second();
+      Records[I].Decision = Chain.propose(Records[I].Proposed);
+      Records[I].Decided = true;
+    });
+  }
+  Runner.joinAll();
+  return Records;
+}

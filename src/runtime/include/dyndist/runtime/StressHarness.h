@@ -1,0 +1,67 @@
+//===- dyndist/runtime/StressHarness.h - Stress drivers ---------*- C++ -*-===//
+//
+// Part of the dyndist project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reusable stress drivers for the object constructions: a writer thread
+/// and a configurable set of reader threads hammer an AtomicRegister while
+/// failures are injected at chosen points; every operation is logged to a
+/// HistoryRecorder so checkSwmrAtomicity() can pass judgment afterwards. A
+/// companion driver runs concurrent proposers against a consensus
+/// construction and collects ConsensusRecords for checkConsensusRun().
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNDIST_RUNTIME_STRESSHARNESS_H
+#define DYNDIST_RUNTIME_STRESSHARNESS_H
+
+#include "dyndist/consensus/ConsensusChain.h"
+#include "dyndist/objects/History.h"
+#include "dyndist/registers/AtomicRegister.h"
+#include "dyndist/support/Random.h"
+
+#include <functional>
+#include <map>
+
+namespace dyndist {
+
+/// Configuration of a register stress run.
+struct RegisterStressOptions {
+  size_t Readers = 2;       ///< Reader threads (indices 0..Readers-1).
+  size_t Writes = 100;      ///< Writer writes values 1..Writes in order.
+  size_t ReadsPerReader = 100;
+  uint64_t Seed = 1;        ///< Drives the yield jitter.
+
+  /// Actions run by the writer thread just *before* write #k (1-based):
+  /// the hook for crashing base objects mid-run.
+  std::map<size_t, std::function<void()>> InjectBeforeWrite;
+};
+
+/// Runs the stress schedule against \p Reg and returns the recorded
+/// history (client 0 is the writer; readers are clients 1..Readers).
+History stressRegister(AtomicRegister &Reg,
+                       const RegisterStressOptions &Options);
+
+/// Configuration of a consensus stress run.
+struct ConsensusStressOptions {
+  size_t Proposers = 4;    ///< One thread per proposer.
+  uint64_t Seed = 1;
+
+  /// Action run by proposer thread \p first just before proposing — the
+  /// hook for crashing base objects concurrently with proposals.
+  std::map<size_t, std::function<void()>> InjectBeforePropose;
+};
+
+/// Each proposer i proposes 100 + i; returns one record per proposer.
+std::vector<ConsensusRecord>
+stressConsensus(ConsensusChain &Chain, const ConsensusStressOptions &Options);
+
+/// Cooperative jitter: yields the CPU a random (seeded) number of times so
+/// single-core schedulers interleave client threads.
+void jitter(Rng &R, uint64_t MaxYields = 3);
+
+} // namespace dyndist
+
+#endif // DYNDIST_RUNTIME_STRESSHARNESS_H

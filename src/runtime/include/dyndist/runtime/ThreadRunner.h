@@ -1,0 +1,58 @@
+//===- dyndist/runtime/ThreadRunner.h - Thread harness ----------*- C++ -*-===//
+//
+// Part of the dyndist project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Thin thread-pool-of-one-shot-threads used by the shared-memory
+/// simulations: spawn client closures, join them all, destructor joins as a
+/// backstop. This is the "simulation with threads" leg of the
+/// reproduction — real std::thread concurrency over the object
+/// constructions, with the recorded histories judged by the checkers in
+/// dyndist_objects.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNDIST_RUNTIME_THREADRUNNER_H
+#define DYNDIST_RUNTIME_THREADRUNNER_H
+
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace dyndist {
+
+/// Owns a set of client threads.
+class ThreadRunner {
+public:
+  ThreadRunner() = default;
+  ThreadRunner(const ThreadRunner &) = delete;
+  ThreadRunner &operator=(const ThreadRunner &) = delete;
+
+  /// Joins any still-running clients.
+  ~ThreadRunner() { joinAll(); }
+
+  /// Starts a client running \p Fn.
+  void spawn(std::function<void()> Fn) {
+    Threads.emplace_back(std::move(Fn));
+  }
+
+  /// Blocks until every spawned client finished.
+  void joinAll() {
+    for (std::thread &T : Threads)
+      if (T.joinable())
+        T.join();
+    Threads.clear();
+  }
+
+  /// Number of clients spawned since the last joinAll().
+  size_t count() const { return Threads.size(); }
+
+private:
+  std::vector<std::thread> Threads;
+};
+
+} // namespace dyndist
+
+#endif // DYNDIST_RUNTIME_THREADRUNNER_H

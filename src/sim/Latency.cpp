@@ -1,0 +1,50 @@
+//===- Latency.cpp - Message latency models --------------------------------===//
+//
+// Part of the dyndist project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dyndist/sim/Latency.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace dyndist;
+
+LatencyModel::~LatencyModel() = default;
+
+FixedLatency::FixedLatency(SimTime Delay) : Delay(Delay) {
+  assert(Delay >= 1 && "latency must be at least one tick");
+}
+
+SimTime FixedLatency::sample(Rng &R, ProcessId Src, ProcessId Dst) {
+  (void)R;
+  (void)Src;
+  (void)Dst;
+  return Delay;
+}
+
+UniformLatency::UniformLatency(SimTime Lo, SimTime Hi) : Lo(Lo), Hi(Hi) {
+  assert(Lo >= 1 && Lo <= Hi && "uniform latency needs 1 <= Lo <= Hi");
+}
+
+SimTime UniformLatency::sample(Rng &R, ProcessId Src, ProcessId Dst) {
+  (void)Src;
+  (void)Dst;
+  return Lo + R.nextBelow(Hi - Lo + 1);
+}
+
+HeavyTailLatency::HeavyTailLatency(SimTime Min, double Alpha, SimTime Cap)
+    : Min(Min), Alpha(Alpha), Cap(Cap) {
+  assert(Min >= 1 && Alpha > 0.0 && Cap >= Min &&
+         "heavy-tail latency needs Min >= 1, Alpha > 0, Cap >= Min");
+}
+
+SimTime HeavyTailLatency::sample(Rng &R, ProcessId Src, ProcessId Dst) {
+  (void)Src;
+  (void)Dst;
+  double Value = R.nextPareto(static_cast<double>(Min), Alpha);
+  SimTime Ticks = static_cast<SimTime>(std::llround(Value));
+  return std::clamp<SimTime>(Ticks, Min, Cap);
+}

@@ -1,0 +1,355 @@
+//===- Simulator.cpp - Discrete-event kernel --------------------------------===//
+//
+// Part of the dyndist project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dyndist/sim/Simulator.h"
+
+#include <cassert>
+
+using namespace dyndist;
+
+MessageBody::~MessageBody() = default;
+Context::~Context() = default;
+Actor::~Actor() = default;
+TopologyProvider::~TopologyProvider() = default;
+
+void Actor::onStart(Context &Ctx) { (void)Ctx; }
+void Actor::onMessage(Context &Ctx, ProcessId From, const MessageBody &Body) {
+  (void)Ctx;
+  (void)From;
+  (void)Body;
+}
+void Actor::onTimer(Context &Ctx, TimerId Id) {
+  (void)Ctx;
+  (void)Id;
+}
+void Actor::onStop(Context &Ctx) { (void)Ctx; }
+
+/// A scheduled kernel event.
+struct Simulator::Event {
+  enum class Kind { Deliver, Timer, Action };
+  Kind K = Kind::Action;
+  SimTime Time = 0;
+  uint64_t Seq = 0;
+  ProcessId Src = InvalidProcess;
+  ProcessId Dst = InvalidProcess;
+  MessageRef Body;
+  TimerId Tid = 0;
+  std::function<void(Simulator &)> Action;
+};
+
+struct Simulator::EventCompare {
+  // std::priority_queue is a max-heap; invert to get (time, seq) min order.
+  bool operator()(const Event &A, const Event &B) const {
+    if (A.Time != B.Time)
+      return A.Time > B.Time;
+    return A.Seq > B.Seq;
+  }
+};
+
+struct Simulator::Queue {
+  std::priority_queue<Event, std::vector<Event>, EventCompare> Heap;
+};
+
+/// Context implementation bound to one (simulator, process) pair for the
+/// duration of a single hook invocation.
+class Simulator::ContextImpl : public Context {
+public:
+  ContextImpl(Simulator &S, ProcessId P) : S(S), P(P) {}
+
+  SimTime now() const override { return S.Clock; }
+  ProcessId self() const override { return P; }
+
+  std::vector<ProcessId> neighbors() const override {
+    return S.neighborsOf(P);
+  }
+
+  void send(ProcessId To, MessageRef Body) override {
+    S.sendMessage(P, To, std::move(Body));
+  }
+
+  TimerId setTimer(SimTime Delay) override { return S.armTimer(P, Delay); }
+
+  void cancelTimer(TimerId Id) override { S.CancelledTimers.insert(Id); }
+
+  Rng &rng() override { return S.ActorRng; }
+
+  void observe(const std::string &Key, int64_t Value) override {
+    TraceEvent E;
+    E.Kind = TraceKind::Observe;
+    E.Time = S.Clock;
+    E.Subject = P;
+    E.Key = Key;
+    E.Value = Value;
+    S.Log.append(std::move(E));
+  }
+
+  void leaveSystem() override { S.leave(P); }
+
+private:
+  Simulator &S;
+  ProcessId P;
+};
+
+Simulator::Simulator(uint64_t Seed)
+    : KernelRng(Seed), ActorRng(KernelRng.split()),
+      Latency(std::make_unique<FixedLatency>(1)),
+      Pending(std::make_unique<Queue>()) {}
+
+Simulator::~Simulator() = default;
+
+void Simulator::setLatencyModel(std::unique_ptr<LatencyModel> Model) {
+  assert(Model && "latency model must not be null");
+  Latency = std::move(Model);
+}
+
+void Simulator::setLossRate(double Probability) {
+  assert(Probability >= 0.0 && Probability <= 1.0 &&
+         "loss rate must be a probability");
+  LossRate = Probability;
+}
+
+void Simulator::setTopologyProvider(const TopologyProvider *Provider) {
+  Topology = Provider;
+}
+
+void Simulator::setMembershipHooks(std::function<void(ProcessId)> OnUp,
+                                   std::function<void(ProcessId)> OnDown) {
+  OnUpHook = std::move(OnUp);
+  OnDownHook = std::move(OnDown);
+}
+
+ProcessId Simulator::spawn(std::unique_ptr<Actor> A) {
+  assert(A && "spawn() requires an actor");
+  ProcessId P = NextProcess++;
+  ProcessRecord &Rec = Processes[P];
+  Rec.TheActor = std::move(A);
+  Rec.Up = true;
+
+  TraceEvent E;
+  E.Kind = TraceKind::Join;
+  E.Time = Clock;
+  E.Subject = P;
+  Log.append(std::move(E));
+
+  if (OnUpHook)
+    OnUpHook(P);
+
+  ContextImpl Ctx(*this, P);
+  Rec.TheActor->onStart(Ctx);
+  return P;
+}
+
+void Simulator::markDown(ProcessId P, bool Crashed) {
+  auto It = Processes.find(P);
+  assert(It != Processes.end() && "unknown process");
+  if (!It->second.Up)
+    return;
+  It->second.Up = false;
+
+  TraceEvent E;
+  E.Kind = Crashed ? TraceKind::Crash : TraceKind::Leave;
+  E.Time = Clock;
+  E.Subject = P;
+  Log.append(std::move(E));
+
+  if (OnDownHook)
+    OnDownHook(P);
+}
+
+void Simulator::leave(ProcessId P) {
+  auto It = Processes.find(P);
+  if (It == Processes.end() || !It->second.Up)
+    return;
+  ContextImpl Ctx(*this, P);
+  It->second.TheActor->onStop(Ctx);
+  markDown(P, /*Crashed=*/false);
+}
+
+void Simulator::crash(ProcessId P) { markDown(P, /*Crashed=*/true); }
+
+bool Simulator::isUp(ProcessId P) const {
+  auto It = Processes.find(P);
+  return It != Processes.end() && It->second.Up;
+}
+
+std::vector<ProcessId> Simulator::upProcesses() const {
+  std::vector<ProcessId> Out;
+  for (const auto &[P, Rec] : Processes)
+    if (Rec.Up)
+      Out.push_back(P);
+  return Out;
+}
+
+size_t Simulator::upCount() const {
+  size_t N = 0;
+  for (const auto &[P, Rec] : Processes) {
+    (void)P;
+    if (Rec.Up)
+      ++N;
+  }
+  return N;
+}
+
+std::vector<ProcessId> Simulator::neighborsOf(ProcessId P) const {
+  if (Topology)
+    return Topology->neighborsOf(P);
+  // Default: full mesh over up processes (the static-knowledge corner).
+  std::vector<ProcessId> Out;
+  for (const auto &[Q, Rec] : Processes)
+    if (Rec.Up && Q != P)
+      Out.push_back(Q);
+  return Out;
+}
+
+void Simulator::pushEvent(Event E) {
+  E.Seq = NextSeq++;
+  Pending->Heap.push(std::move(E));
+}
+
+void Simulator::sendMessage(ProcessId From, ProcessId To, MessageRef Body) {
+  assert(Body && "message body must not be null");
+  ++Stats.MessagesSent;
+  Stats.PayloadUnits += Body->weight();
+
+  TraceEvent TE;
+  TE.Kind = TraceKind::Send;
+  TE.Time = Clock;
+  TE.Subject = From;
+  TE.Peer = To;
+  TE.MsgKind = Body->kind();
+  Log.append(std::move(TE));
+
+  if (LossRate > 0.0 && KernelRng.nextBernoulli(LossRate)) {
+    ++Stats.MessagesDropped;
+    TraceEvent Lost;
+    Lost.Kind = TraceKind::Drop;
+    Lost.Time = Clock;
+    Lost.Subject = To;
+    Lost.Peer = From;
+    Lost.MsgKind = Body->kind();
+    Log.append(std::move(Lost));
+    return;
+  }
+
+  Event E;
+  E.K = Event::Kind::Deliver;
+  E.Time = Clock + Latency->sample(KernelRng, From, To);
+  E.Src = From;
+  E.Dst = To;
+  E.Body = std::move(Body);
+  pushEvent(std::move(E));
+}
+
+void Simulator::injectStimulus(ProcessId To, MessageRef Body) {
+  assert(Body && "stimulus body must not be null");
+  Event E;
+  E.K = Event::Kind::Deliver;
+  E.Time = Clock + 1;
+  E.Src = To;
+  E.Dst = To;
+  E.Body = std::move(Body);
+  pushEvent(std::move(E));
+}
+
+TimerId Simulator::armTimer(ProcessId P, SimTime Delay) {
+  TimerId Id = ++NextTimer;
+  Event E;
+  E.K = Event::Kind::Timer;
+  E.Time = Clock + Delay;
+  E.Dst = P;
+  E.Tid = Id;
+  pushEvent(std::move(E));
+  return Id;
+}
+
+void Simulator::scheduleAt(SimTime When,
+                           std::function<void(Simulator &)> Action) {
+  assert(When >= Clock && "cannot schedule in the past");
+  Event E;
+  E.K = Event::Kind::Action;
+  E.Time = When;
+  E.Action = std::move(Action);
+  pushEvent(std::move(E));
+}
+
+void Simulator::scheduleAfter(SimTime Delay,
+                              std::function<void(Simulator &)> Action) {
+  scheduleAt(Clock + Delay, std::move(Action));
+}
+
+void Simulator::execute(const Event &E) {
+  switch (E.K) {
+  case Event::Kind::Deliver: {
+    auto It = Processes.find(E.Dst);
+    if (It == Processes.end() || !It->second.Up) {
+      ++Stats.MessagesDropped;
+      TraceEvent TE;
+      TE.Kind = TraceKind::Drop;
+      TE.Time = Clock;
+      TE.Subject = E.Dst;
+      TE.Peer = E.Src;
+      TE.MsgKind = E.Body->kind();
+      Log.append(std::move(TE));
+      return;
+    }
+    ++Stats.MessagesDelivered;
+    TraceEvent TE;
+    TE.Kind = TraceKind::Deliver;
+    TE.Time = Clock;
+    TE.Subject = E.Dst;
+    TE.Peer = E.Src;
+    TE.MsgKind = E.Body->kind();
+    Log.append(std::move(TE));
+
+    ContextImpl Ctx(*this, E.Dst);
+    It->second.TheActor->onMessage(Ctx, E.Src, *E.Body);
+    return;
+  }
+  case Event::Kind::Timer: {
+    if (CancelledTimers.erase(E.Tid))
+      return;
+    auto It = Processes.find(E.Dst);
+    if (It == Processes.end() || !It->second.Up)
+      return;
+    ++Stats.TimersFired;
+    ContextImpl Ctx(*this, E.Dst);
+    It->second.TheActor->onTimer(Ctx, E.Tid);
+    return;
+  }
+  case Event::Kind::Action:
+    E.Action(*this);
+    return;
+  }
+}
+
+StopReason Simulator::run(RunLimits Limits) {
+  HaltRequested = false;
+  while (!Pending->Heap.empty()) {
+    if (HaltRequested)
+      return StopReason::Halted;
+    if (Stats.EventsExecuted >= Limits.MaxEvents)
+      return StopReason::EventLimit;
+    const Event &Top = Pending->Heap.top();
+    if (Top.Time > Limits.MaxTime)
+      return StopReason::TimeLimit;
+    assert(Top.Time >= Clock && "event queue went backwards");
+    Event E = Top; // Copy out before pop (heap top is const).
+    Pending->Heap.pop();
+    Clock = E.Time;
+    ++Stats.EventsExecuted;
+    execute(E);
+  }
+  return StopReason::QueueExhausted;
+}
+
+void Simulator::halt() { HaltRequested = true; }
+
+Actor *Simulator::actorFor(ProcessId P) const {
+  auto It = Processes.find(P);
+  if (It == Processes.end())
+    return nullptr;
+  return It->second.TheActor.get();
+}

@@ -1,0 +1,110 @@
+//===- Trace.cpp - Execution traces ----------------------------------------===//
+//
+// Part of the dyndist project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dyndist/sim/Trace.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace dyndist;
+
+void Trace::append(TraceEvent E) {
+  assert((Events.empty() || Events.back().Time <= E.Time) &&
+         "trace records must be appended in time order");
+  switch (E.Kind) {
+  case TraceKind::Join: {
+    PresenceInterval &I = Intervals[E.Subject];
+    I.JoinTime = E.Time;
+    I.EndTime.reset();
+    I.Crashed = false;
+    break;
+  }
+  case TraceKind::Leave:
+  case TraceKind::Crash: {
+    auto It = Intervals.find(E.Subject);
+    assert(It != Intervals.end() && "leave/crash for a process never joined");
+    It->second.EndTime = E.Time;
+    It->second.Crashed = E.Kind == TraceKind::Crash;
+    break;
+  }
+  default:
+    break;
+  }
+  Events.push_back(std::move(E));
+}
+
+std::vector<ProcessId> Trace::membersAt(SimTime T) const {
+  std::vector<ProcessId> Out;
+  for (const auto &[P, I] : Intervals)
+    if (I.upAt(T))
+      Out.push_back(P);
+  return Out;
+}
+
+std::vector<ProcessId> Trace::membersThroughout(SimTime From,
+                                                SimTime To) const {
+  std::vector<ProcessId> Out;
+  for (const auto &[P, I] : Intervals)
+    if (I.upThroughout(From, To))
+      Out.push_back(P);
+  return Out;
+}
+
+size_t Trace::maxConcurrency() const {
+  // Sweep join/end instants. Presence is [Join, End): a process whose
+  // interval ends at T is no longer up at T, so ends sort before joins at
+  // equal timestamps — consistent with PresenceInterval::upAt().
+  size_t Best = 0, Cur = 0;
+  std::vector<std::pair<SimTime, int>> Deltas;
+  Deltas.reserve(Intervals.size() * 2);
+  for (const auto &[P, I] : Intervals) {
+    (void)P;
+    Deltas.emplace_back(I.JoinTime, +1);
+    if (I.EndTime)
+      Deltas.emplace_back(*I.EndTime, -1);
+  }
+  std::sort(Deltas.begin(), Deltas.end(),
+            [](const auto &A, const auto &B) {
+              if (A.first != B.first)
+                return A.first < B.first;
+              return A.second < B.second; // Ends before joins at equal time.
+            });
+  for (const auto &[T, D] : Deltas) {
+    (void)T;
+    Cur = static_cast<size_t>(static_cast<long>(Cur) + D);
+    Best = std::max(Best, Cur);
+  }
+  return Best;
+}
+
+std::vector<TraceEvent> Trace::observations(const std::string &Key) const {
+  std::vector<TraceEvent> Out;
+  for (const TraceEvent &E : Events)
+    if (E.Kind == TraceKind::Observe && E.Key == Key)
+      Out.push_back(E);
+  return Out;
+}
+
+std::optional<TraceEvent>
+Trace::firstObservation(ProcessId Subject, const std::string &Key) const {
+  for (const TraceEvent &E : Events)
+    if (E.Kind == TraceKind::Observe && E.Subject == Subject && E.Key == Key)
+      return E;
+  return std::nullopt;
+}
+
+size_t Trace::countKind(TraceKind Kind) const {
+  size_t N = 0;
+  for (const TraceEvent &E : Events)
+    if (E.Kind == Kind)
+      ++N;
+  return N;
+}
+
+void Trace::clear() {
+  Events.clear();
+  Intervals.clear();
+}

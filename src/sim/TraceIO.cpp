@@ -1,0 +1,214 @@
+//===- TraceIO.cpp - Trace serialization ----------------------------------------===//
+//
+// Part of the dyndist project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dyndist/sim/TraceIO.h"
+
+#include "dyndist/support/StringUtils.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace dyndist;
+
+static const char *kindName(TraceKind K) {
+  switch (K) {
+  case TraceKind::Join:
+    return "join";
+  case TraceKind::Leave:
+    return "leave";
+  case TraceKind::Crash:
+    return "crash";
+  case TraceKind::Send:
+    return "send";
+  case TraceKind::Deliver:
+    return "deliver";
+  case TraceKind::Drop:
+    return "drop";
+  case TraceKind::Observe:
+    return "observe";
+  }
+  return "?";
+}
+
+static bool kindFromName(const std::string &Name, TraceKind &Out) {
+  if (Name == "join")
+    Out = TraceKind::Join;
+  else if (Name == "leave")
+    Out = TraceKind::Leave;
+  else if (Name == "crash")
+    Out = TraceKind::Crash;
+  else if (Name == "send")
+    Out = TraceKind::Send;
+  else if (Name == "deliver")
+    Out = TraceKind::Deliver;
+  else if (Name == "drop")
+    Out = TraceKind::Drop;
+  else if (Name == "observe")
+    Out = TraceKind::Observe;
+  else
+    return false;
+  return true;
+}
+
+static std::string escapeString(const std::string &S) {
+  std::string Out;
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      Out += '\\';
+    Out += C;
+  }
+  return Out;
+}
+
+std::string dyndist::traceToJsonLines(const Trace &T) {
+  std::string Out;
+  for (const TraceEvent &E : T.events()) {
+    Out += format("{\"kind\":\"%s\",\"t\":%llu,\"subject\":%llu,"
+                  "\"peer\":%llu,\"msg\":%d,\"key\":\"%s\",\"value\":%lld}\n",
+                  kindName(E.Kind), (unsigned long long)E.Time,
+                  (unsigned long long)E.Subject, (unsigned long long)E.Peer,
+                  E.MsgKind, escapeString(E.Key).c_str(),
+                  (long long)E.Value);
+  }
+  return Out;
+}
+
+namespace {
+
+/// Minimal scanner over one serialized line (fixed key order).
+class LineScanner {
+public:
+  explicit LineScanner(const std::string &Line) : Line(Line) {}
+
+  bool literal(const char *Text) {
+    size_t Len = std::char_traits<char>::length(Text);
+    if (Line.compare(Pos, Len, Text) != 0)
+      return false;
+    Pos += Len;
+    return true;
+  }
+
+  bool number(uint64_t &Out) {
+    size_t Start = Pos;
+    while (Pos < Line.size() && Line[Pos] >= '0' && Line[Pos] <= '9')
+      ++Pos;
+    if (Pos == Start)
+      return false;
+    Out = std::strtoull(Line.c_str() + Start, nullptr, 10);
+    return true;
+  }
+
+  bool signedNumber(int64_t &Out) {
+    bool Negative = Pos < Line.size() && Line[Pos] == '-';
+    if (Negative)
+      ++Pos;
+    uint64_t Magnitude = 0;
+    if (!number(Magnitude))
+      return false;
+    Out = Negative ? -static_cast<int64_t>(Magnitude)
+                   : static_cast<int64_t>(Magnitude);
+    return true;
+  }
+
+  bool quotedString(std::string &Out) {
+    if (Pos >= Line.size() || Line[Pos] != '"')
+      return false;
+    ++Pos;
+    Out.clear();
+    while (Pos < Line.size() && Line[Pos] != '"') {
+      if (Line[Pos] == '\\' && Pos + 1 < Line.size())
+        ++Pos;
+      Out += Line[Pos++];
+    }
+    if (Pos >= Line.size())
+      return false;
+    ++Pos; // Closing quote.
+    return true;
+  }
+
+  bool atEnd() const { return Pos == Line.size(); }
+
+private:
+  const std::string &Line;
+  size_t Pos = 0;
+};
+
+} // namespace
+
+Result<Trace> dyndist::traceFromJsonLines(const std::string &Text) {
+  Trace T;
+  size_t LineNo = 0;
+  size_t Start = 0;
+  while (Start < Text.size()) {
+    size_t End = Text.find('\n', Start);
+    if (End == std::string::npos)
+      End = Text.size();
+    std::string Line = Text.substr(Start, End - Start);
+    Start = End + 1;
+    ++LineNo;
+    if (Line.empty())
+      continue;
+
+    LineScanner Scan(Line);
+    std::string KindName, Key;
+    uint64_t Time = 0, Subject = 0, Peer = 0, Msg = 0;
+    int64_t Value = 0;
+    TraceKind Kind;
+    bool Ok = Scan.literal("{\"kind\":") && Scan.quotedString(KindName) &&
+              Scan.literal(",\"t\":") && Scan.number(Time) &&
+              Scan.literal(",\"subject\":") && Scan.number(Subject) &&
+              Scan.literal(",\"peer\":") && Scan.number(Peer) &&
+              Scan.literal(",\"msg\":") && Scan.number(Msg) &&
+              Scan.literal(",\"key\":") && Scan.quotedString(Key) &&
+              Scan.literal(",\"value\":") && Scan.signedNumber(Value) &&
+              Scan.literal("}") && Scan.atEnd() &&
+              kindFromName(KindName, Kind);
+    if (!Ok)
+      return Error(Error::Code::InvalidArgument,
+                   format("malformed trace line %zu", LineNo));
+
+    TraceEvent E;
+    E.Kind = Kind;
+    E.Time = Time;
+    E.Subject = Subject;
+    E.Peer = Peer;
+    E.MsgKind = static_cast<int>(Msg);
+    E.Key = std::move(Key);
+    E.Value = Value;
+    if (!T.events().empty() && T.events().back().Time > E.Time)
+      return Error(Error::Code::InvalidArgument,
+                   format("trace line %zu goes back in time", LineNo));
+    T.append(std::move(E));
+  }
+  return T;
+}
+
+Status dyndist::writeTraceFile(const Trace &T, const std::string &Path) {
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F)
+    return Error(Error::Code::InvalidArgument,
+                 "cannot open for writing: " + Path);
+  std::string Data = traceToJsonLines(T);
+  size_t Written = std::fwrite(Data.data(), 1, Data.size(), F);
+  std::fclose(F);
+  if (Written != Data.size())
+    return Error(Error::Code::InvalidArgument, "short write to " + Path);
+  return Status::success();
+}
+
+Result<Trace> dyndist::readTraceFile(const std::string &Path) {
+  std::FILE *F = std::fopen(Path.c_str(), "r");
+  if (!F)
+    return Error(Error::Code::InvalidArgument,
+                 "cannot open for reading: " + Path);
+  std::string Data;
+  char Buffer[4096];
+  size_t Got;
+  while ((Got = std::fread(Buffer, 1, sizeof(Buffer), F)) > 0)
+    Data.append(Buffer, Got);
+  std::fclose(F);
+  return traceFromJsonLines(Data);
+}

@@ -1,0 +1,89 @@
+//===- dyndist/sim/Actor.h - Simulated process interface --------*- C++ -*-===//
+//
+// Part of the dyndist project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The process-side programming model of the simulator. An algorithm is an
+/// Actor subclass; the kernel invokes its hooks with a Context through which
+/// the actor can read the clock, learn its current neighbors (its only view
+/// of the system, per the paper's locality dimension), send messages, and
+/// arm timers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNDIST_SIM_ACTOR_H
+#define DYNDIST_SIM_ACTOR_H
+
+#include "dyndist/sim/Message.h"
+#include "dyndist/sim/Types.h"
+#include "dyndist/support/Random.h"
+
+#include <string>
+#include <vector>
+
+namespace dyndist {
+
+/// Capabilities handed to an actor while one of its hooks runs. A Context
+/// is only valid for the duration of the hook invocation.
+class Context {
+public:
+  virtual ~Context();
+
+  /// Current virtual time.
+  virtual SimTime now() const = 0;
+
+  /// The identity of the running actor.
+  virtual ProcessId self() const = 0;
+
+  /// Identities of the actor's current overlay neighbors. This is the only
+  /// membership information an actor ever gets: the geographical dimension
+  /// of the paper ("each entity knows only a few other entities").
+  virtual std::vector<ProcessId> neighbors() const = 0;
+
+  /// Sends \p Body to \p To with model-sampled latency.
+  virtual void send(ProcessId To, MessageRef Body) = 0;
+
+  /// Arms a one-shot timer firing after \p Delay ticks; returns its id.
+  virtual TimerId setTimer(SimTime Delay) = 0;
+
+  /// Cancels a pending timer; ignores already-fired or unknown ids.
+  virtual void cancelTimer(TimerId Id) = 0;
+
+  /// Deterministic randomness for the algorithm (shared simulator stream).
+  virtual Rng &rng() = 0;
+
+  /// Records an algorithm output in the trace (e.g. the decided aggregate).
+  virtual void observe(const std::string &Key, int64_t Value) = 0;
+
+  /// Departs the system gracefully at the current instant; no further hooks
+  /// run for this actor.
+  virtual void leaveSystem() = 0;
+};
+
+/// A simulated process. Subclass and override the hooks of interest; all
+/// defaults are no-ops. One Actor instance is owned by the simulator per
+/// spawned process and lives until the run ends (even if the process
+/// crashed, so post-run state inspection is possible).
+class Actor {
+public:
+  virtual ~Actor();
+
+  /// Runs once when the process joins the system.
+  virtual void onStart(Context &Ctx);
+
+  /// Runs on delivery of a message sent by \p From.
+  virtual void onMessage(Context &Ctx, ProcessId From,
+                         const MessageBody &Body);
+
+  /// Runs when timer \p Id fires.
+  virtual void onTimer(Context &Ctx, TimerId Id);
+
+  /// Runs on graceful leave (not on crash: crashes are silent).
+  virtual void onStop(Context &Ctx);
+};
+
+} // namespace dyndist
+
+#endif // DYNDIST_SIM_ACTOR_H

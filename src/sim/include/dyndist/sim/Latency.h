@@ -1,0 +1,70 @@
+//===- dyndist/sim/Latency.h - Message latency models -----------*- C++ -*-===//
+//
+// Part of the dyndist project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pluggable message-delay models. The choice of model selects the synchrony
+/// assumption of the simulated system: a constant delay of one tick gives a
+/// synchronous round structure; bounded-uniform gives partial synchrony;
+/// heavy-tail approximates an asynchronous open network where any fixed
+/// bound is exceeded eventually.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNDIST_SIM_LATENCY_H
+#define DYNDIST_SIM_LATENCY_H
+
+#include "dyndist/sim/Types.h"
+#include "dyndist/support/Random.h"
+
+namespace dyndist {
+
+/// Samples the delivery delay of one message.
+class LatencyModel {
+public:
+  virtual ~LatencyModel();
+
+  /// Returns the delay in ticks for a message from \p Src to \p Dst; must be
+  /// at least 1 so causality (send < deliver) always holds.
+  virtual SimTime sample(Rng &R, ProcessId Src, ProcessId Dst) = 0;
+};
+
+/// Constant delay; Delay=1 yields lock-step synchronous rounds.
+class FixedLatency : public LatencyModel {
+public:
+  explicit FixedLatency(SimTime Delay = 1);
+  SimTime sample(Rng &R, ProcessId Src, ProcessId Dst) override;
+
+private:
+  SimTime Delay;
+};
+
+/// Uniform delay in [Lo, Hi]: partially synchronous with a known bound Hi.
+class UniformLatency : public LatencyModel {
+public:
+  UniformLatency(SimTime Lo, SimTime Hi);
+  SimTime sample(Rng &R, ProcessId Src, ProcessId Dst) override;
+
+private:
+  SimTime Lo;
+  SimTime Hi;
+};
+
+/// Pareto-tailed delay with minimum \p Min and shape \p Alpha; smaller Alpha
+/// means heavier tail. Models an open network with no effective bound.
+class HeavyTailLatency : public LatencyModel {
+public:
+  HeavyTailLatency(SimTime Min, double Alpha, SimTime Cap = 1 << 20);
+  SimTime sample(Rng &R, ProcessId Src, ProcessId Dst) override;
+
+private:
+  SimTime Min;
+  double Alpha;
+  SimTime Cap;
+};
+
+} // namespace dyndist
+
+#endif // DYNDIST_SIM_LATENCY_H

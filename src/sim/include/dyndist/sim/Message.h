@@ -1,0 +1,66 @@
+//===- dyndist/sim/Message.h - Protocol message envelope --------*- C++ -*-===//
+//
+// Part of the dyndist project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Message payloads for simulated protocols.
+///
+/// Protocols define payloads as subclasses of MessageBody carrying a
+/// protocol-chosen integer \c Kind discriminator, and dispatch with manual
+/// tag checks plus static_cast (closed hierarchy, no dynamic_cast), in the
+/// style recommended by the LLVM Programmer's Manual for closed type
+/// hierarchies. Payloads are immutable after sending and shared by
+/// reference so a broadcast does not copy the body per recipient.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNDIST_SIM_MESSAGE_H
+#define DYNDIST_SIM_MESSAGE_H
+
+#include <cassert>
+#include <memory>
+
+namespace dyndist {
+
+/// Base class of all protocol message payloads.
+class MessageBody {
+public:
+  explicit MessageBody(int Kind) : Kind(Kind) {}
+  virtual ~MessageBody();
+
+  /// Protocol-defined discriminator; see bodyAs<T>().
+  int kind() const { return Kind; }
+
+  /// Abstract payload size in "units": one unit per scalar field carried
+  /// (an identity is one unit, a value one unit, so a contribution entry
+  /// is two). The kernel accumulates it into SimStats::PayloadUnits,
+  /// giving experiments a bandwidth axis beyond message counts — the
+  /// state a protocol ships grows with the system in exactly the way the
+  /// paper's "very large number of entities" worries about. Default: 1.
+  virtual size_t weight() const { return 1; }
+
+private:
+  const int Kind;
+};
+
+/// Shared immutable reference to a payload.
+using MessageRef = std::shared_ptr<const MessageBody>;
+
+/// Checked downcast helper: asserts that \p Body's kind matches \p T::KindId
+/// and returns it as const T&. Each payload type must expose a
+/// \c static constexpr int KindId member.
+template <typename T> const T &bodyAs(const MessageBody &Body) {
+  assert(Body.kind() == T::KindId && "message kind mismatch");
+  return static_cast<const T &>(Body);
+}
+
+/// Convenience constructor for payloads.
+template <typename T, typename... Args> MessageRef makeBody(Args &&...As) {
+  return std::make_shared<const T>(std::forward<Args>(As)...);
+}
+
+} // namespace dyndist
+
+#endif // DYNDIST_SIM_MESSAGE_H

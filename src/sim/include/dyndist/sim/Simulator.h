@@ -1,0 +1,203 @@
+//===- dyndist/sim/Simulator.h - Discrete-event kernel ----------*- C++ -*-===//
+//
+// Part of the dyndist project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The deterministic discrete-event simulation kernel.
+///
+/// Events (message deliveries, timer firings, environment actions) are
+/// executed in (time, sequence) order, where sequence numbers are assigned
+/// at scheduling time; together with the seeded Rng this makes every run a
+/// pure function of its seed and configuration. The kernel is intentionally
+/// mechanism-only: membership policy (who joins/leaves when) belongs to the
+/// arrival models, and topology policy (who neighbors whom) is delegated to
+/// a TopologyProvider installed by the layer above (dyndist_core).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNDIST_SIM_SIMULATOR_H
+#define DYNDIST_SIM_SIMULATOR_H
+
+#include "dyndist/sim/Actor.h"
+#include "dyndist/sim/Latency.h"
+#include "dyndist/sim/Message.h"
+#include "dyndist/sim/Trace.h"
+#include "dyndist/sim/Types.h"
+#include "dyndist/support/Random.h"
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <queue>
+#include <set>
+#include <vector>
+
+namespace dyndist {
+
+/// Supplies the overlay neighborhood of each up process. Installed by the
+/// dynamic-system layer; the default (when none is installed) is a full
+/// mesh over all up processes, i.e. the static-system corner where locality
+/// is not a constraint.
+class TopologyProvider {
+public:
+  virtual ~TopologyProvider();
+
+  /// Current neighbors of \p P among up processes.
+  virtual std::vector<ProcessId> neighborsOf(ProcessId P) const = 0;
+};
+
+/// Run limits; a run stops when any limit is hit or no events remain.
+struct RunLimits {
+  SimTime MaxTime = ~0ULL;      ///< Stop before executing events past this.
+  uint64_t MaxEvents = 50'000'000; ///< Hard event-count backstop.
+};
+
+/// Reason a run stopped.
+enum class StopReason { QueueExhausted, TimeLimit, EventLimit, Halted };
+
+/// Aggregate message-economy counters for benchmarks.
+struct SimStats {
+  uint64_t MessagesSent = 0;
+  uint64_t MessagesDelivered = 0;
+  uint64_t MessagesDropped = 0;
+  uint64_t PayloadUnits = 0; ///< Sum of MessageBody::weight() over sends.
+  uint64_t TimersFired = 0;
+  uint64_t EventsExecuted = 0;
+};
+
+/// The deterministic event-driven kernel.
+class Simulator {
+public:
+  /// Creates a kernel seeded with \p Seed; latency defaults to
+  /// FixedLatency(1) until setLatencyModel() is called.
+  explicit Simulator(uint64_t Seed);
+  ~Simulator();
+
+  Simulator(const Simulator &) = delete;
+  Simulator &operator=(const Simulator &) = delete;
+
+  /// Replaces the latency model (owned by the simulator).
+  void setLatencyModel(std::unique_ptr<LatencyModel> Model);
+
+  /// Sets an independent per-message loss probability in [0, 1] (default
+  /// 0: reliable channels). Lost messages are recorded as Drop events at
+  /// send time and never delivered — fair-lossy channels, the message-
+  /// passing face of an unreliable environment.
+  void setLossRate(double Probability);
+
+  /// Installs the topology provider (not owned; must outlive the run).
+  /// Passing nullptr restores the default full mesh.
+  void setTopologyProvider(const TopologyProvider *Provider);
+
+  /// Optional hook invoked right after a process joins / right after it
+  /// leaves or crashes; the dynamic-system layer uses these to keep the
+  /// overlay in sync with membership.
+  void setMembershipHooks(std::function<void(ProcessId)> OnUp,
+                          std::function<void(ProcessId)> OnDown);
+
+  /// Spawns a new process running \p A; it joins (and onStart runs) at the
+  /// current instant. Returns its never-reused identity.
+  ProcessId spawn(std::unique_ptr<Actor> A);
+
+  /// Gracefully removes \p P at the current instant (onStop runs).
+  void leave(ProcessId P);
+
+  /// Crashes \p P at the current instant (silent; no hook runs).
+  void crash(ProcessId P);
+
+  /// True when \p P is currently up.
+  bool isUp(ProcessId P) const;
+
+  /// Identities of all currently-up processes (ascending).
+  std::vector<ProcessId> upProcesses() const;
+
+  /// Number of currently-up processes.
+  size_t upCount() const;
+
+  /// Schedules an environment action (churn driver, experiment step) at
+  /// absolute time \p When. Actions run interleaved with protocol events in
+  /// deterministic order.
+  void scheduleAt(SimTime When, std::function<void(Simulator &)> Action);
+
+  /// Schedules an environment action after \p Delay ticks.
+  void scheduleAfter(SimTime Delay, std::function<void(Simulator &)> Action);
+
+  /// Runs until limits; returns why the run stopped.
+  StopReason run(RunLimits Limits = RunLimits());
+
+  /// Requests the current run() to stop after the executing event.
+  void halt();
+
+  /// Current virtual time.
+  SimTime now() const { return Clock; }
+
+  /// The recorded execution so far.
+  const Trace &trace() const { return Log; }
+
+  /// Message-economy counters.
+  const SimStats &stats() const { return Stats; }
+
+  /// Kernel randomness (environment stream; actors draw from a split).
+  Rng &rng() { return KernelRng; }
+
+  /// The actor object for \p P (valid even after it left or crashed, for
+  /// post-run inspection); null for unknown ids.
+  Actor *actorFor(ProcessId P) const;
+
+  /// Sends a message on behalf of \p From (used by Context and by drivers
+  /// that inject external stimuli).
+  void sendMessage(ProcessId From, ProcessId To, MessageRef Body);
+
+  /// Delivers \p Body to \p To as a harness stimulus: one tick of delay,
+  /// exempt from the loss model (stimuli are experiment control, not
+  /// protocol traffic). The sender is recorded as \p To itself.
+  void injectStimulus(ProcessId To, MessageRef Body);
+
+  /// Neighborhood of \p P under the installed topology provider.
+  std::vector<ProcessId> neighborsOf(ProcessId P) const;
+
+private:
+  struct Event;
+  struct EventCompare;
+  class ContextImpl;
+  friend class ContextImpl;
+
+  void execute(const Event &E);
+  TimerId armTimer(ProcessId P, SimTime Delay);
+  void pushEvent(Event E);
+  void markDown(ProcessId P, bool Crashed);
+
+  SimTime Clock = 0;
+  uint64_t NextSeq = 0;
+  ProcessId NextProcess = 0;
+  TimerId NextTimer = 0;
+  bool HaltRequested = false;
+
+  Rng KernelRng;
+  Rng ActorRng;
+  double LossRate = 0.0;
+  std::unique_ptr<LatencyModel> Latency;
+  const TopologyProvider *Topology = nullptr;
+  std::function<void(ProcessId)> OnUpHook;
+  std::function<void(ProcessId)> OnDownHook;
+
+  struct ProcessRecord {
+    std::unique_ptr<Actor> TheActor;
+    bool Up = false;
+  };
+  std::map<ProcessId, ProcessRecord> Processes;
+  std::set<TimerId> CancelledTimers;
+
+  // Owned via unique_ptr because Event is incomplete here.
+  struct Queue;
+  std::unique_ptr<Queue> Pending;
+
+  Trace Log;
+  SimStats Stats;
+};
+
+} // namespace dyndist
+
+#endif // DYNDIST_SIM_SIMULATOR_H

@@ -1,0 +1,119 @@
+//===- dyndist/sim/Trace.h - Execution traces -------------------*- C++ -*-===//
+//
+// Part of the dyndist project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recorded executions. Every run of the simulator produces a Trace: the
+/// ordered list of joins, leaves, crashes, message events, and
+/// algorithm-reported observations. Problem checkers (e.g. the One-Time
+/// Query validity checker in dyndist_core) and arrival-model admissibility
+/// checkers work purely over traces, so "the algorithm is correct in this
+/// class of systems" is always a statement verified against a recorded
+/// execution rather than trusted from the algorithm.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNDIST_SIM_TRACE_H
+#define DYNDIST_SIM_TRACE_H
+
+#include "dyndist/sim/Types.h"
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dyndist {
+
+/// Kinds of trace records.
+enum class TraceKind {
+  Join,    ///< Subject entered the system (became up).
+  Leave,   ///< Subject left gracefully.
+  Crash,   ///< Subject crashed (silent).
+  Send,    ///< Subject sent a message of MsgKind to Peer.
+  Deliver, ///< Subject received a message of MsgKind from Peer.
+  Drop,    ///< Message from Peer to Subject was lost (dst down).
+  Observe, ///< Subject reported an algorithm output (Key, Value).
+};
+
+/// One trace record. Field meaning depends on Kind; unused fields are 0.
+struct TraceEvent {
+  TraceKind Kind;
+  SimTime Time = 0;
+  ProcessId Subject = InvalidProcess;
+  ProcessId Peer = InvalidProcess;
+  int MsgKind = 0;
+  std::string Key;
+  int64_t Value = 0;
+};
+
+/// Presence interval of a process: [JoinTime, EndTime), with EndTime absent
+/// while the process is still up at the end of the run.
+struct PresenceInterval {
+  SimTime JoinTime = 0;
+  std::optional<SimTime> EndTime;
+  bool Crashed = false;
+
+  /// True when the process is up at \p T.
+  bool upAt(SimTime T) const {
+    return T >= JoinTime && (!EndTime || T < *EndTime);
+  }
+
+  /// True when the process is up during the whole closed interval
+  /// [\p From, \p To].
+  bool upThroughout(SimTime From, SimTime To) const {
+    return JoinTime <= From && (!EndTime || *EndTime > To);
+  }
+};
+
+/// The recorded execution.
+class Trace {
+public:
+  /// Appends one record (called by the simulator).
+  void append(TraceEvent E);
+
+  /// All records in time order.
+  const std::vector<TraceEvent> &events() const { return Events; }
+
+  /// Presence interval per process that ever joined.
+  const std::map<ProcessId, PresenceInterval> &presence() const {
+    return Intervals;
+  }
+
+  /// Processes up at time \p T.
+  std::vector<ProcessId> membersAt(SimTime T) const;
+
+  /// Processes up during the whole closed interval [\p From, \p To].
+  std::vector<ProcessId> membersThroughout(SimTime From, SimTime To) const;
+
+  /// Largest number of simultaneously-up processes over the run. This is
+  /// the empirical concurrency of the execution, checked against the
+  /// declared arrival model's bound.
+  size_t maxConcurrency() const;
+
+  /// Total number of distinct processes that ever joined.
+  size_t totalArrivals() const { return Intervals.size(); }
+
+  /// All Observe records with key \p Key, in time order.
+  std::vector<TraceEvent> observations(const std::string &Key) const;
+
+  /// First Observe record with key \p Key by \p Subject, if any.
+  std::optional<TraceEvent> firstObservation(ProcessId Subject,
+                                             const std::string &Key) const;
+
+  /// Count of records with the given kind.
+  size_t countKind(TraceKind Kind) const;
+
+  /// Discards all records (used when reusing a simulator across runs).
+  void clear();
+
+private:
+  std::vector<TraceEvent> Events;
+  std::map<ProcessId, PresenceInterval> Intervals;
+};
+
+} // namespace dyndist
+
+#endif // DYNDIST_SIM_TRACE_H

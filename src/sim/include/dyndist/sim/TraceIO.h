@@ -1,0 +1,47 @@
+//===- dyndist/sim/TraceIO.h - Trace serialization --------------*- C++ -*-===//
+//
+// Part of the dyndist project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// JSON-lines serialization of execution traces: one record per line, keys
+/// in fixed order. Lets experiments archive runs for offline analysis
+/// (plotting, replay through the checkers) and lets tests ship recorded
+/// regression executions. The parser accepts exactly this library's output
+/// format (fixed schema), not arbitrary JSON.
+///
+/// Line format:
+///   {"kind":"join","t":12,"subject":3,"peer":18446744073709551615,
+///    "msg":0,"key":"","value":0}
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNDIST_SIM_TRACEIO_H
+#define DYNDIST_SIM_TRACEIO_H
+
+#include "dyndist/sim/Trace.h"
+#include "dyndist/support/Result.h"
+
+#include <string>
+
+namespace dyndist {
+
+/// Renders \p T as JSON lines (one TraceEvent per line, trailing newline).
+std::string traceToJsonLines(const Trace &T);
+
+/// Parses text produced by traceToJsonLines(). Fails with InvalidArgument
+/// on any malformed line; events must be in nondecreasing time order (the
+/// Trace invariant).
+Result<Trace> traceFromJsonLines(const std::string &Text);
+
+/// Writes \p T to \p Path; fails with InvalidArgument when the file cannot
+/// be opened.
+Status writeTraceFile(const Trace &T, const std::string &Path);
+
+/// Reads a trace from \p Path.
+Result<Trace> readTraceFile(const std::string &Path);
+
+} // namespace dyndist
+
+#endif // DYNDIST_SIM_TRACEIO_H

@@ -1,0 +1,38 @@
+//===- dyndist/sim/Types.h - Simulation base types --------------*- C++ -*-===//
+//
+// Part of the dyndist project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Base vocabulary of the discrete-event simulation kernel: virtual time,
+/// process identity, timer identity.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNDIST_SIM_TYPES_H
+#define DYNDIST_SIM_TYPES_H
+
+#include <cstdint>
+
+namespace dyndist {
+
+/// Virtual simulation time in abstract ticks. A tick has no wall-clock
+/// meaning; latencies and churn rates are expressed in ticks.
+using SimTime = uint64_t;
+
+/// Identity of a process (an entity of the dynamic system). Identifiers are
+/// assigned in arrival order, never reused, and totally ordered, which is
+/// exactly the "new name per arrival" assumption of the infinite arrival
+/// models: the universe of identities is unbounded.
+using ProcessId = uint64_t;
+
+/// Sentinel for "no process".
+inline constexpr ProcessId InvalidProcess = ~0ULL;
+
+/// Identity of a pending timer, unique per simulator instance.
+using TimerId = uint64_t;
+
+} // namespace dyndist
+
+#endif // DYNDIST_SIM_TYPES_H

@@ -1,0 +1,48 @@
+//===- Logging.cpp - Minimal leveled logging -------------------------------===//
+//
+// Part of the dyndist project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dyndist/support/Logging.h"
+
+using namespace dyndist;
+
+// Plain scalars with constant initialization; no static constructors.
+static LogLevel CurrentLevel = LogLevel::Warn;
+static std::FILE *CurrentSink = nullptr;
+
+void Logger::setLevel(LogLevel Level) { CurrentLevel = Level; }
+
+LogLevel Logger::level() { return CurrentLevel; }
+
+void Logger::setSink(std::FILE *Sink) { CurrentSink = Sink; }
+
+bool Logger::enabled(LogLevel Level) {
+  return static_cast<int>(Level) <= static_cast<int>(CurrentLevel) &&
+         Level != LogLevel::None;
+}
+
+void Logger::log(LogLevel Level, const std::string &Message) {
+  if (!enabled(Level))
+    return;
+  const char *Tag = "?";
+  switch (Level) {
+  case LogLevel::None:
+    return;
+  case LogLevel::Warn:
+    Tag = "warn";
+    break;
+  case LogLevel::Info:
+    Tag = "info";
+    break;
+  case LogLevel::Debug:
+    Tag = "debug";
+    break;
+  case LogLevel::Trace:
+    Tag = "trace";
+    break;
+  }
+  std::FILE *Sink = CurrentSink ? CurrentSink : stderr;
+  std::fprintf(Sink, "[%s] %s\n", Tag, Message.c_str());
+}

@@ -1,0 +1,138 @@
+//===- Stats.cpp - Streaming statistics -----------------------------------===//
+//
+// Part of the dyndist project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dyndist/support/Stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+using namespace dyndist;
+
+void OnlineStats::add(double Value) {
+  ++Count;
+  double Delta = Value - Mean;
+  Mean += Delta / static_cast<double>(Count);
+  M2 += Delta * (Value - Mean);
+  Min = std::min(Min, Value);
+  Max = std::max(Max, Value);
+}
+
+void OnlineStats::merge(const OnlineStats &Other) {
+  if (Other.Count == 0)
+    return;
+  if (Count == 0) {
+    *this = Other;
+    return;
+  }
+  uint64_t Total = Count + Other.Count;
+  double Delta = Other.Mean - Mean;
+  double NewMean =
+      Mean + Delta * static_cast<double>(Other.Count) / static_cast<double>(Total);
+  M2 += Other.M2 + Delta * Delta * static_cast<double>(Count) *
+                       static_cast<double>(Other.Count) /
+                       static_cast<double>(Total);
+  Mean = NewMean;
+  Count = Total;
+  Min = std::min(Min, Other.Min);
+  Max = std::max(Max, Other.Max);
+}
+
+double OnlineStats::variance() const {
+  if (Count < 2)
+    return 0.0;
+  return M2 / static_cast<double>(Count - 1);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+double dyndist::quantile(std::vector<double> Samples, double Q) {
+  if (Samples.empty())
+    return 0.0;
+  assert(Q >= 0.0 && Q <= 1.0 && "quantile Q must be in [0, 1]");
+  std::sort(Samples.begin(), Samples.end());
+  if (Samples.size() == 1)
+    return Samples[0];
+  double Rank = Q * static_cast<double>(Samples.size() - 1);
+  size_t LoIdx = static_cast<size_t>(std::floor(Rank));
+  size_t HiIdx = std::min(LoIdx + 1, Samples.size() - 1);
+  double Frac = Rank - static_cast<double>(LoIdx);
+  return Samples[LoIdx] * (1.0 - Frac) + Samples[HiIdx] * Frac;
+}
+
+Summary Summary::of(const std::vector<double> &Samples) {
+  Summary S;
+  if (Samples.empty())
+    return S;
+  OnlineStats Acc;
+  for (double V : Samples)
+    Acc.add(V);
+  S.Count = Acc.count();
+  S.Mean = Acc.mean();
+  S.Stddev = Acc.stddev();
+  S.Min = Acc.min();
+  S.Max = Acc.max();
+  S.P50 = quantile(Samples, 0.50);
+  S.P90 = quantile(Samples, 0.90);
+  S.P99 = quantile(Samples, 0.99);
+  return S;
+}
+
+std::string Summary::str() const {
+  char Buffer[160];
+  std::snprintf(Buffer, sizeof(Buffer),
+                "n=%llu mean=%.4g sd=%.4g min=%.4g p50=%.4g p90=%.4g "
+                "p99=%.4g max=%.4g",
+                static_cast<unsigned long long>(Count), Mean, Stddev, Min, P50,
+                P90, P99, Max);
+  return Buffer;
+}
+
+Histogram::Histogram(double Lo, double Hi, size_t BucketCount)
+    : Lo(Lo), Hi(Hi), Buckets(BucketCount, 0) {
+  assert(Lo < Hi && "histogram range must be non-empty");
+  assert(BucketCount > 0 && "histogram needs at least one bucket");
+}
+
+void Histogram::add(double Value) {
+  double Pos = (Value - Lo) / (Hi - Lo) * static_cast<double>(Buckets.size());
+  long Index = static_cast<long>(std::floor(Pos));
+  if (Index < 0)
+    Index = 0;
+  if (Index >= static_cast<long>(Buckets.size()))
+    Index = static_cast<long>(Buckets.size()) - 1;
+  ++Buckets[static_cast<size_t>(Index)];
+  ++Total;
+}
+
+double Histogram::bucketLo(size_t Index) const {
+  assert(Index < Buckets.size() && "bucket index out of range");
+  return Lo + (Hi - Lo) * static_cast<double>(Index) /
+                  static_cast<double>(Buckets.size());
+}
+
+std::string Histogram::render(size_t MaxBarWidth) const {
+  uint64_t Peak = 0;
+  for (uint64_t C : Buckets)
+    Peak = std::max(Peak, C);
+  std::string Out;
+  for (size_t I = 0, E = Buckets.size(); I != E; ++I) {
+    char Line[64];
+    std::snprintf(Line, sizeof(Line), "%10.3g | ", bucketLo(I));
+    Out += Line;
+    size_t Width =
+        Peak == 0 ? 0
+                  : static_cast<size_t>(static_cast<double>(Buckets[I]) /
+                                        static_cast<double>(Peak) *
+                                        static_cast<double>(MaxBarWidth));
+    Out.append(Width, '#');
+    std::snprintf(Line, sizeof(Line), " %llu\n",
+                  static_cast<unsigned long long>(Buckets[I]));
+    Out += Line;
+  }
+  return Out;
+}

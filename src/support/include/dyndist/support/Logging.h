@@ -1,0 +1,60 @@
+//===- dyndist/support/Logging.h - Minimal leveled logging ------*- C++ -*-===//
+//
+// Part of the dyndist project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny leveled logger. Library code logs through this (never stdout
+/// directly); tests silence it, examples and benches may raise the level.
+/// The sink is a FILE* (default stderr) so library code stays free of
+/// <iostream> static constructors.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNDIST_SUPPORT_LOGGING_H
+#define DYNDIST_SUPPORT_LOGGING_H
+
+#include <cstdio>
+#include <string>
+
+namespace dyndist {
+
+/// Severity levels in increasing verbosity order.
+enum class LogLevel { None = 0, Warn = 1, Info = 2, Debug = 3, Trace = 4 };
+
+/// Process-wide logger configuration.
+class Logger {
+public:
+  /// Sets the maximum level that will be emitted (default Warn).
+  static void setLevel(LogLevel Level);
+
+  /// Current maximum level.
+  static LogLevel level();
+
+  /// Redirects output (default stderr). Passing nullptr restores stderr.
+  static void setSink(std::FILE *Sink);
+
+  /// Emits one line at \p Level with a "[level] " prefix when enabled.
+  static void log(LogLevel Level, const std::string &Message);
+
+  /// True when \p Level would be emitted; use to avoid building expensive
+  /// messages that would be dropped.
+  static bool enabled(LogLevel Level);
+};
+
+} // namespace dyndist
+
+/// Convenience macros; the message expression is only evaluated when the
+/// level is enabled.
+#define DYNDIST_LOG(Level, Msg)                                               \
+  do {                                                                         \
+    if (::dyndist::Logger::enabled(Level))                                     \
+      ::dyndist::Logger::log(Level, Msg);                                      \
+  } while (false)
+
+#define DYNDIST_WARN(Msg) DYNDIST_LOG(::dyndist::LogLevel::Warn, Msg)
+#define DYNDIST_INFO(Msg) DYNDIST_LOG(::dyndist::LogLevel::Info, Msg)
+#define DYNDIST_DEBUG(Msg) DYNDIST_LOG(::dyndist::LogLevel::Debug, Msg)
+
+#endif // DYNDIST_SUPPORT_LOGGING_H

@@ -1,0 +1,110 @@
+//===- dyndist/support/Random.h - Deterministic random numbers -*- C++ -*-===//
+//
+// Part of the dyndist project: a library for dynamic distributed systems,
+// reproducing Baldoni, Bertier, Raynal, Tucci-Piergiovanni (PaCT 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic, seed-stable random number generation.
+///
+/// Every stochastic component of the library (adversarial schedulers, churn
+/// traces, overlay generators) draws from an explicitly-passed Rng so whole
+/// experiments replay bit-identically from a single seed. The generator is
+/// xoshiro256** seeded through SplitMix64, which is fast, has a 256-bit
+/// state, and is reproducible across platforms (unlike std::mt19937
+/// distributions, whose std::uniform_int_distribution output is
+/// implementation-defined).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNDIST_SUPPORT_RANDOM_H
+#define DYNDIST_SUPPORT_RANDOM_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace dyndist {
+
+/// SplitMix64 step: used to expand a 64-bit seed into generator state.
+///
+/// \param State in/out seed state; advanced by the fixed SplitMix64 gamma.
+/// \returns the next 64-bit output of the SplitMix64 sequence.
+uint64_t splitMix64(uint64_t &State);
+
+/// Deterministic xoshiro256** generator with convenience distributions.
+///
+/// All distributions are implemented in terms of next() with fixed,
+/// platform-independent algorithms, so a given seed yields the same stream
+/// of variates everywhere.
+class Rng {
+public:
+  /// Seeds the generator by running SplitMix64 on \p Seed.
+  explicit Rng(uint64_t Seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Returns the next raw 64-bit value.
+  uint64_t next();
+
+  /// Returns an unbiased integer in [0, Bound). \p Bound must be > 0.
+  uint64_t nextBelow(uint64_t Bound);
+
+  /// Returns an integer uniform in the closed range [Lo, Hi].
+  int64_t nextInRange(int64_t Lo, int64_t Hi);
+
+  /// Returns a double uniform in [0, 1) with 53 bits of randomness.
+  double nextDouble();
+
+  /// Returns true with probability \p P (clamped to [0, 1]).
+  bool nextBernoulli(double P);
+
+  /// Returns an exponential variate with rate \p Lambda (> 0).
+  double nextExponential(double Lambda);
+
+  /// Returns a Poisson variate with mean \p Mean (>= 0).
+  ///
+  /// Uses Knuth's product method for small means and a normal approximation
+  /// (rounded, clamped at 0) for means above 64; the approximation keeps the
+  /// method O(1) and is ample for churn-trace generation.
+  uint64_t nextPoisson(double Mean);
+
+  /// Returns a geometric variate: number of failures before first success
+  /// with success probability \p P in (0, 1].
+  uint64_t nextGeometric(double P);
+
+  /// Returns a standard normal variate (Box-Muller, one value per call).
+  double nextNormal();
+
+  /// Returns a Pareto (heavy-tail) variate with minimum \p Xm and shape
+  /// \p Alpha; both must be positive. Used for heavy-tailed session times.
+  double nextPareto(double Xm, double Alpha);
+
+  /// Fisher-Yates shuffles \p Values in place.
+  template <typename T> void shuffle(std::vector<T> &Values) {
+    if (Values.size() < 2)
+      return;
+    for (std::size_t I = Values.size() - 1; I != 0; --I) {
+      std::size_t J = static_cast<std::size_t>(nextBelow(I + 1));
+      std::swap(Values[I], Values[J]);
+    }
+  }
+
+  /// Returns a uniformly random element of \p Values (must be non-empty).
+  template <typename T> const T &pick(const std::vector<T> &Values) {
+    assert(!Values.empty() && "pick() from empty vector");
+    return Values[static_cast<std::size_t>(nextBelow(Values.size()))];
+  }
+
+  /// Derives an independent child generator; used to give each subsystem
+  /// (churn, scheduler, overlay) its own stream from one experiment seed.
+  Rng split();
+
+private:
+  uint64_t State[4];
+};
+
+} // namespace dyndist
+
+#endif // DYNDIST_SUPPORT_RANDOM_H

@@ -1,0 +1,113 @@
+//===- dyndist/support/Result.h - Recoverable-error carrier -----*- C++ -*-===//
+//
+// Part of the dyndist project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small Expected-style carrier for recoverable errors. The library does
+/// not use exceptions; programmatic errors are asserts, and recoverable
+/// errors (bad configuration, unsatisfiable system class, operation on a
+/// crashed object) travel through Result<T> / Status return values.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNDIST_SUPPORT_RESULT_H
+#define DYNDIST_SUPPORT_RESULT_H
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace dyndist {
+
+/// A recoverable error: a machine-checkable code plus a human message.
+struct Error {
+  /// Stable category for dispatching on failures.
+  enum class Code {
+    InvalidArgument,   ///< Caller-supplied configuration is unusable.
+    Unsupported,       ///< Combination of options has no implementation.
+    ObjectCrashed,     ///< Operation hit a crashed (responsive) base object.
+    Timeout,           ///< Operation exceeded its allotted horizon.
+    Unsolvable,        ///< Problem is impossible in the given system class.
+    ProtocolViolation, ///< A checker found a spec violation in a trace.
+  };
+
+  Code Kind;
+  std::string Message;
+
+  Error(Code Kind, std::string Message)
+      : Kind(Kind), Message(std::move(Message)) {}
+
+  /// Renders "code: message" for diagnostics.
+  std::string str() const;
+};
+
+/// Value-or-Error. Construct from a T for success or an Error for failure.
+template <typename T> class Result {
+public:
+  /*implicit*/ Result(T Value) : Storage(std::move(Value)) {}
+  /*implicit*/ Result(Error E) : Storage(std::move(E)) {}
+
+  /// True when a value is present.
+  bool ok() const { return std::holds_alternative<T>(Storage); }
+  explicit operator bool() const { return ok(); }
+
+  /// Accesses the value; asserts on failure results.
+  T &value() {
+    assert(ok() && "value() on a failed Result");
+    return std::get<T>(Storage);
+  }
+  const T &value() const {
+    assert(ok() && "value() on a failed Result");
+    return std::get<T>(Storage);
+  }
+  T &operator*() { return value(); }
+  const T &operator*() const { return value(); }
+  T *operator->() { return &value(); }
+  const T *operator->() const { return &value(); }
+
+  /// Accesses the error; asserts on success results.
+  const Error &error() const {
+    assert(!ok() && "error() on a successful Result");
+    return std::get<Error>(Storage);
+  }
+
+  /// Moves the value out; asserts on failure results.
+  T take() {
+    assert(ok() && "take() on a failed Result");
+    return std::move(std::get<T>(Storage));
+  }
+
+private:
+  std::variant<T, Error> Storage;
+};
+
+/// Success-or-Error for operations with no payload.
+class Status {
+public:
+  /// The success value.
+  static Status success() { return Status(); }
+
+  /*implicit*/ Status(Error E) : Failure(std::move(E)) {}
+
+  /// True on success.
+  bool ok() const { return !Failure.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  /// Accesses the error; asserts on success.
+  const Error &error() const {
+    assert(!ok() && "error() on a successful Status");
+    return *Failure;
+  }
+
+private:
+  Status() = default;
+  std::optional<Error> Failure;
+};
+
+} // namespace dyndist
+
+#endif // DYNDIST_SUPPORT_RESULT_H

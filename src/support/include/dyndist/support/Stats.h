@@ -1,0 +1,121 @@
+//===- dyndist/support/Stats.h - Streaming statistics -----------*- C++ -*-===//
+//
+// Part of the dyndist project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Streaming and batch statistics used by the benchmark harnesses and the
+/// experiment checkers: Welford online mean/variance, percentile extraction,
+/// and fixed-bucket histograms.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNDIST_SUPPORT_STATS_H
+#define DYNDIST_SUPPORT_STATS_H
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace dyndist {
+
+/// Online mean/variance accumulator (Welford's algorithm).
+///
+/// Numerically stable for long streams; O(1) per observation.
+class OnlineStats {
+public:
+  /// Adds one observation.
+  void add(double Value);
+
+  /// Merges another accumulator into this one (parallel-combine form).
+  void merge(const OnlineStats &Other);
+
+  /// Number of observations added so far.
+  uint64_t count() const { return Count; }
+
+  /// Mean of the observations; 0 when empty.
+  double mean() const { return Count == 0 ? 0.0 : Mean; }
+
+  /// Unbiased sample variance; 0 with fewer than two observations.
+  double variance() const;
+
+  /// Sample standard deviation.
+  double stddev() const;
+
+  /// Smallest observation; +inf when empty.
+  double min() const { return Min; }
+
+  /// Largest observation; -inf when empty.
+  double max() const { return Max; }
+
+private:
+  uint64_t Count = 0;
+  double Mean = 0.0;
+  double M2 = 0.0;
+  double Min = std::numeric_limits<double>::infinity();
+  double Max = -std::numeric_limits<double>::infinity();
+};
+
+/// Returns the \p Q quantile (Q in [0, 1]) of \p Samples using linear
+/// interpolation between closest ranks. Copies and sorts internally; 0 for
+/// an empty sample set.
+double quantile(std::vector<double> Samples, double Q);
+
+/// Batch summary of a sample set: count, mean, stddev, min, p50, p90, p99,
+/// max. Convenience for experiment tables.
+struct Summary {
+  uint64_t Count = 0;
+  double Mean = 0.0;
+  double Stddev = 0.0;
+  double Min = 0.0;
+  double P50 = 0.0;
+  double P90 = 0.0;
+  double P99 = 0.0;
+  double Max = 0.0;
+
+  /// Computes all fields from \p Samples.
+  static Summary of(const std::vector<double> &Samples);
+
+  /// Renders "mean=... sd=... p50=... p99=..." for log lines.
+  std::string str() const;
+};
+
+/// Fixed-width-bucket histogram over [Lo, Hi); out-of-range observations are
+/// clamped into the first/last bucket.
+class Histogram {
+public:
+  /// Creates \p BucketCount equal buckets spanning [Lo, Hi). Requires
+  /// Lo < Hi and BucketCount > 0.
+  Histogram(double Lo, double Hi, size_t BucketCount);
+
+  /// Adds one observation.
+  void add(double Value);
+
+  /// Total number of observations.
+  uint64_t total() const { return Total; }
+
+  /// Count in bucket \p Index.
+  uint64_t bucketCount(size_t Index) const { return Buckets[Index]; }
+
+  /// Number of buckets.
+  size_t bucketCountTotal() const { return Buckets.size(); }
+
+  /// Inclusive lower edge of bucket \p Index.
+  double bucketLo(size_t Index) const;
+
+  /// Renders a compact ASCII bar chart, one bucket per line.
+  std::string render(size_t MaxBarWidth = 40) const;
+
+private:
+  double Lo;
+  double Hi;
+  std::vector<uint64_t> Buckets;
+  uint64_t Total = 0;
+};
+
+} // namespace dyndist
+
+#endif // DYNDIST_SUPPORT_STATS_H

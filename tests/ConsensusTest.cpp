@@ -1,0 +1,241 @@
+//===- ConsensusTest.cpp - consensus self-implementation tests -----------------===//
+//
+// Part of the dyndist project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dyndist/consensus/ConsensusChain.h"
+#include "dyndist/consensus/QuorumConsensusAttempt.h"
+#include "dyndist/objects/History.h"
+#include "dyndist/runtime/StressHarness.h"
+#include "dyndist/runtime/ThreadRunner.h"
+
+#include <gtest/gtest.h>
+
+using namespace dyndist;
+
+//===----------------------------------------------------------------------===//
+// ConsensusChain: t+1 responsive-crash construction
+//===----------------------------------------------------------------------===//
+
+TEST(ConsensusChain, SingleProposerDecidesOwnValue) {
+  ConsensusChain C(/*Tolerated=*/2);
+  EXPECT_EQ(C.baseCount(), 3u);
+  EXPECT_EQ(C.propose(7), 7);
+  // A second proposal (even by the same client) sees the fixed decision.
+  EXPECT_EQ(C.propose(9), 7);
+}
+
+TEST(ConsensusChain, SequentialProposersAgree) {
+  ConsensusChain C(1);
+  int64_t D1 = C.propose(10);
+  int64_t D2 = C.propose(20);
+  int64_t D3 = C.propose(30);
+  EXPECT_EQ(D1, 10);
+  EXPECT_EQ(D2, 10);
+  EXPECT_EQ(D3, 10);
+}
+
+TEST(ConsensusChain, SurvivesTCrashesAnywhereInTheChain) {
+  // Crash every t-subset position pattern of a t=2 chain before proposing.
+  for (size_t A = 0; A != 3; ++A) {
+    for (size_t B = 0; B != 3; ++B) {
+      if (A == B)
+        continue;
+      ConsensusChain C(2);
+      C.object(A).crash();
+      C.object(B).crash();
+      int64_t D1 = C.propose(10);
+      int64_t D2 = C.propose(20);
+      EXPECT_EQ(D1, 10) << "crashed " << A << "," << B;
+      EXPECT_EQ(D2, 10) << "crashed " << A << "," << B;
+    }
+  }
+}
+
+TEST(ConsensusChain, CrashBetweenProposersStillAgrees) {
+  ConsensusChain C(1); // Objects 0, 1; tolerate one crash.
+  int64_t D1 = C.propose(10);
+  C.object(0).crash(); // The object that fixed the decision dies.
+  int64_t D2 = C.propose(20);
+  EXPECT_EQ(D1, 10);
+  EXPECT_EQ(D2, 10); // Object 1 carried the decision forward.
+}
+
+TEST(ConsensusChain, ConcurrentProposersAgree) {
+  for (uint64_t Seed = 1; Seed <= 5; ++Seed) {
+    ConsensusChain C(2);
+    ConsensusStressOptions Opt;
+    Opt.Proposers = 6;
+    Opt.Seed = Seed;
+    auto Records = stressConsensus(C, Opt);
+    Status S = checkConsensusRun(Records);
+    EXPECT_TRUE(S.ok()) << "seed " << Seed << ": " << S.error().str();
+  }
+}
+
+TEST(ConsensusChain, ConcurrentProposersWithConcurrentCrashesAgree) {
+  for (uint64_t Seed = 1; Seed <= 5; ++Seed) {
+    ConsensusChain C(2);
+    ConsensusStressOptions Opt;
+    Opt.Proposers = 6;
+    Opt.Seed = Seed;
+    // Two of the three objects die while proposals are in flight.
+    Opt.InjectBeforePropose[2] = [&C] { C.object(0).crash(); };
+    Opt.InjectBeforePropose[4] = [&C] { C.object(2).crash(); };
+    auto Records = stressConsensus(C, Opt);
+    Status S = checkConsensusRun(Records);
+    EXPECT_TRUE(S.ok()) << "seed " << Seed << ": " << S.error().str();
+  }
+}
+
+TEST(ConsensusChain, BaseInvocationCostIsChainLength) {
+  ConsensusChain C(3);
+  C.propose(1);
+  EXPECT_EQ(C.baseInvocations(), 4u);
+  C.propose(2);
+  EXPECT_EQ(C.baseInvocations(), 8u);
+}
+
+//===----------------------------------------------------------------------===//
+// The nonresponsive impossibility, member by member
+//===----------------------------------------------------------------------===//
+
+namespace {
+std::vector<std::shared_ptr<BaseConsensus>> makeNonresponsive(size_t N) {
+  std::vector<std::shared_ptr<BaseConsensus>> Out;
+  for (size_t I = 0; I != N; ++I)
+    Out.push_back(
+        std::make_shared<BaseConsensus>(FailureMode::Nonresponsive));
+  return Out;
+}
+} // namespace
+
+TEST(QuorumConsensusAttempt, FailureFreeCaseWorks) {
+  auto Objects = makeNonresponsive(3);
+  QuorumConsensusAttempt P1(Objects, /*WaitFor=*/3);
+  auto D = P1.propose(5, std::chrono::milliseconds(100));
+  ASSERT_TRUE(D.has_value());
+  EXPECT_EQ(*D, 5);
+}
+
+TEST(QuorumConsensusAttempt, WaitingForTooManyBlocksUnderFailures) {
+  // WaitFor = n: one nonresponsive crash and the call never returns.
+  auto Objects = makeNonresponsive(3);
+  Objects[1]->crash();
+  QuorumConsensusAttempt P(Objects, /*WaitFor=*/3);
+  auto D = P.propose(5, std::chrono::milliseconds(50));
+  EXPECT_FALSE(D.has_value()); // Termination lost.
+}
+
+TEST(QuorumConsensusAttempt, WaitingForFewerLosesAgreement) {
+  // WaitFor = n - t = 1 with n = 2, t = 1: an adversary serves the two
+  // proposers from disjoint objects whose sticky values differ.
+  auto Objects = makeNonresponsive(2);
+  Objects[1]->suspend();
+  QuorumConsensusAttempt P1(Objects, /*WaitFor=*/1);
+  auto D1 = P1.propose(5, std::chrono::milliseconds(100));
+  ASSERT_TRUE(D1.has_value());
+  EXPECT_EQ(*D1, 5); // Served by object 0 only.
+
+  // Object 1 holds P1's deferred proposal. Now silence object 0 and let a
+  // second proposer be served by object 1 — but linearize *its* proposal
+  // first there.
+  Objects[0]->suspend();
+  std::optional<int64_t> D2;
+  ThreadRunner Runner;
+  QuorumConsensusAttempt P2(Objects, /*WaitFor=*/1);
+  Runner.spawn([&] { D2 = P2.propose(9, std::chrono::milliseconds(2000)); });
+  // Wait until P2's proposal is queued at object 1 behind P1's.
+  for (int I = 0; I != 2000 && Objects[1]->deferredCount() < 2; ++I)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  ASSERT_EQ(Objects[1]->deferredCount(), 2u);
+  Objects[1]->resumeOne(1); // P2's proposal lands first: sticky 9.
+  Runner.joinAll();
+
+  ASSERT_TRUE(D2.has_value());
+  EXPECT_EQ(*D2, 9);
+
+  // Agreement is violated; the checker concurs.
+  std::vector<ConsensusRecord> Records = {{0, 5, true, *D1},
+                                          {1, 9, true, *D2}};
+  Status S = checkConsensusRun(Records);
+  ASSERT_FALSE(S.ok());
+  EXPECT_EQ(S.error().Kind, Error::Code::ProtocolViolation);
+
+  Objects[0]->resume();
+  Objects[1]->resume();
+}
+
+TEST(QuorumConsensusAttempt, EveryParameterChoiceFailsSomewhere) {
+  // The dilemma, swept over the whole family for n = 3, t = 1: choices
+  // waiting for more than n - t lose termination; the rest lose agreement.
+  const size_t N = 3, T = 1;
+  for (size_t WaitFor = 1; WaitFor <= N; ++WaitFor) {
+    if (WaitFor > N - T) {
+      auto Objects = makeNonresponsive(N);
+      Objects[0]->crash(); // t = 1 nonresponsive fault.
+      QuorumConsensusAttempt P(Objects, WaitFor);
+      EXPECT_FALSE(P.propose(5, std::chrono::milliseconds(50)).has_value())
+          << "WaitFor=" << WaitFor << " should block under one fault";
+      continue;
+    }
+    // WaitFor <= n - t = 2: break agreement. Phase 1 — proposer 1 is
+    // served by objects [0, WaitFor), which become 5-sticky; its proposals
+    // on the rest hang in flight. Phase 2 — suspend everything, let
+    // proposer 2's value land *first* on a swing object (legal: the
+    // in-flight proposals are concurrent), so its first answer is 9, then
+    // fill its quorum from 5-sticky objects whose late answers are
+    // ignored by the adoption rule.
+    auto Objects = makeNonresponsive(N);
+    for (size_t I = WaitFor; I != N; ++I)
+      Objects[I]->suspend();
+    QuorumConsensusAttempt P1(Objects, WaitFor);
+    auto D1 = P1.propose(5, std::chrono::milliseconds(100));
+    ASSERT_TRUE(D1.has_value());
+    EXPECT_EQ(*D1, 5);
+
+    for (size_t I = 0; I != WaitFor; ++I)
+      Objects[I]->suspend();
+    QuorumConsensusAttempt P2(Objects, WaitFor);
+    std::optional<int64_t> D2;
+    ThreadRunner Runner;
+    Runner.spawn(
+        [&] { D2 = P2.propose(9, std::chrono::milliseconds(5000)); });
+
+    // The swing object (index WaitFor) holds [P1's 5, P2's 9]; linearize
+    // the 9 first, making it 9-sticky and P2's first answer.
+    size_t Swing = WaitFor;
+    for (int Spin = 0; Spin != 2000 && Objects[Swing]->deferredCount() < 2;
+         ++Spin)
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    ASSERT_GE(Objects[Swing]->deferredCount(), 2u) << "WaitFor=" << WaitFor;
+    Objects[Swing]->resumeOne(1);
+
+    // Fill the rest of P2's quorum from the (5-sticky) early objects.
+    for (size_t I = 0; I + 1 < WaitFor; ++I)
+      Objects[I]->resumeOne(0);
+    Runner.joinAll();
+    ASSERT_TRUE(D2.has_value()) << "WaitFor=" << WaitFor;
+    EXPECT_EQ(*D2, 9) << "WaitFor=" << WaitFor;
+    EXPECT_NE(*D1, *D2) << "agreement should break for WaitFor=" << WaitFor;
+    for (auto &O : Objects)
+      O->resume();
+  }
+}
+
+/// The t+1 count is tight: with only t objects a t-fault adversary crashes
+/// them all, every propose() answers ⊥ at every stage, and each proposer
+/// is left with its own estimate — disagreement.
+TEST(ConsensusChain, TObjectsAreNotEnough) {
+  ConsensusChain C(/*Tolerated=*/1); // 2 objects, claimed to tolerate 1...
+  C.object(0).crash();
+  C.object(1).crash(); // ...but the adversary spends 2 crashes.
+  int64_t D1 = C.propose(10);
+  int64_t D2 = C.propose(20);
+  EXPECT_EQ(D1, 10);
+  EXPECT_EQ(D2, 20); // Split: nothing sticky survived to arbitrate.
+  std::vector<ConsensusRecord> Records = {{0, 10, true, D1},
+                                          {1, 20, true, D2}};
+  EXPECT_FALSE(checkConsensusRun(Records).ok());
+}

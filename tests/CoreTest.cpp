@@ -1,0 +1,343 @@
+//===- CoreTest.cpp - dyndist_core unit tests ----------------------------------===//
+//
+// Part of the dyndist project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dyndist/core/DynamicSystem.h"
+#include "dyndist/core/OneTimeQuery.h"
+#include "dyndist/core/Solvability.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+using namespace dyndist;
+
+namespace {
+
+/// Builds a hand-crafted trace: joins/leaves plus issuer reports.
+struct TraceBuilder {
+  Trace T;
+  TraceBuilder &join(SimTime At, ProcessId P) {
+    T.append({TraceKind::Join, At, P, InvalidProcess, 0, "", 0});
+    return *this;
+  }
+  TraceBuilder &leave(SimTime At, ProcessId P) {
+    T.append({TraceKind::Leave, At, P, InvalidProcess, 0, "", 0});
+    return *this;
+  }
+  TraceBuilder &value(SimTime At, ProcessId P, int64_t V) {
+    T.append({TraceKind::Observe, At, P, InvalidProcess, 0, OtqValueKey, V});
+    return *this;
+  }
+  TraceBuilder &include(SimTime At, ProcessId Issuer, ProcessId P) {
+    T.append({TraceKind::Observe, At, Issuer, InvalidProcess, 0,
+              OtqIncludeKey, static_cast<int64_t>(P)});
+    return *this;
+  }
+  TraceBuilder &result(SimTime At, ProcessId Issuer, int64_t Agg) {
+    T.append(
+        {TraceKind::Observe, At, Issuer, InvalidProcess, 0, OtqResultKey, Agg});
+    return *this;
+  }
+};
+
+} // namespace
+
+TEST(OneTimeQueryChecker, ValidCompleteQuery) {
+  TraceBuilder B;
+  B.join(0, 1).join(0, 2).join(0, 3);
+  B.value(0, 1, 10).value(0, 2, 20).value(0, 3, 30);
+  B.include(50, 1, 1).include(50, 1, 2).include(50, 1, 3);
+  B.result(50, 1, 60);
+  QueryVerdict V = checkOneTimeQuery(B.T, 1, 10, 100);
+  EXPECT_TRUE(V.Terminated);
+  EXPECT_EQ(V.ResponseTime, 50u);
+  EXPECT_TRUE(V.Complete);
+  EXPECT_TRUE(V.NoInvention);
+  EXPECT_TRUE(V.AggregateConsistent);
+  EXPECT_TRUE(V.valid());
+  EXPECT_DOUBLE_EQ(V.Coverage, 1.0);
+  EXPECT_EQ(V.Aggregate, 60);
+}
+
+TEST(OneTimeQueryChecker, NonTermination) {
+  TraceBuilder B;
+  B.join(0, 1).value(0, 1, 5);
+  QueryVerdict V = checkOneTimeQuery(B.T, 1, 10, 100);
+  EXPECT_FALSE(V.Terminated);
+  EXPECT_FALSE(V.valid());
+  EXPECT_EQ(V.str(), "no-termination");
+}
+
+TEST(OneTimeQueryChecker, ResultOutsideWindowIgnored) {
+  TraceBuilder B;
+  B.join(0, 1).value(0, 1, 5);
+  B.result(5, 1, 5);   // Before issue: a different, earlier query.
+  B.result(200, 1, 5); // After horizon.
+  QueryVerdict V = checkOneTimeQuery(B.T, 1, 10, 100);
+  EXPECT_FALSE(V.Terminated);
+}
+
+TEST(OneTimeQueryChecker, MissedPersistentMember) {
+  TraceBuilder B;
+  B.join(0, 1).join(0, 2).join(0, 3);
+  B.value(0, 1, 1).value(0, 2, 2).value(0, 3, 4);
+  B.include(50, 1, 1).include(50, 1, 2);
+  B.result(50, 1, 3);
+  QueryVerdict V = checkOneTimeQuery(B.T, 1, 10, 100);
+  EXPECT_TRUE(V.Terminated);
+  EXPECT_FALSE(V.Complete);
+  EXPECT_EQ(V.Missed, (std::vector<ProcessId>{3}));
+  EXPECT_NEAR(V.Coverage, 2.0 / 3.0, 1e-12);
+  EXPECT_TRUE(V.NoInvention);
+  EXPECT_TRUE(V.AggregateConsistent);
+  EXPECT_FALSE(V.valid());
+}
+
+TEST(OneTimeQueryChecker, DepartedMemberIsNotRequired) {
+  TraceBuilder B;
+  B.join(0, 1).join(0, 2).join(0, 3);
+  B.value(0, 1, 1).value(0, 2, 2).value(0, 3, 4);
+  B.leave(30, 3); // Departs mid-query: not required.
+  B.include(50, 1, 1).include(50, 1, 2);
+  B.result(50, 1, 3);
+  QueryVerdict V = checkOneTimeQuery(B.T, 1, 10, 100);
+  EXPECT_TRUE(V.Complete);
+  EXPECT_TRUE(V.valid());
+  EXPECT_EQ(V.RequiredCount, 2u);
+}
+
+TEST(OneTimeQueryChecker, DepartedMemberMayStillContribute) {
+  TraceBuilder B;
+  B.join(0, 1).join(0, 2).join(0, 3);
+  B.value(0, 1, 1).value(0, 2, 2).value(0, 3, 4);
+  B.leave(30, 3);
+  B.include(50, 1, 1).include(50, 1, 2).include(50, 1, 3);
+  B.result(50, 1, 7);
+  QueryVerdict V = checkOneTimeQuery(B.T, 1, 10, 100);
+  // 3 was present during part of the window: contribution is legal.
+  EXPECT_TRUE(V.NoInvention);
+  EXPECT_TRUE(V.valid());
+}
+
+TEST(OneTimeQueryChecker, InventedContributorDetected) {
+  TraceBuilder B;
+  B.join(0, 1).value(0, 1, 1);
+  B.include(50, 1, 1).include(50, 1, 77); // 77 never existed.
+  B.result(50, 1, 1);
+  QueryVerdict V = checkOneTimeQuery(B.T, 1, 10, 100);
+  EXPECT_FALSE(V.NoInvention);
+  EXPECT_EQ(V.Invented, (std::vector<ProcessId>{77}));
+  EXPECT_FALSE(V.valid());
+}
+
+TEST(OneTimeQueryChecker, ContributorGoneBeforeIssueIsInvention) {
+  TraceBuilder B;
+  B.join(0, 1).join(0, 2);
+  B.value(0, 1, 1).value(0, 2, 2);
+  B.leave(5, 2); // Gone before the query was issued at t=10.
+  B.include(50, 1, 1).include(50, 1, 2);
+  B.result(50, 1, 3);
+  QueryVerdict V = checkOneTimeQuery(B.T, 1, 10, 100);
+  EXPECT_FALSE(V.NoInvention);
+  EXPECT_EQ(V.Invented, (std::vector<ProcessId>{2}));
+}
+
+TEST(OneTimeQueryChecker, AggregateMismatchDetected) {
+  TraceBuilder B;
+  B.join(0, 1).join(0, 2);
+  B.value(0, 1, 1).value(0, 2, 2);
+  B.include(50, 1, 1).include(50, 1, 2);
+  B.result(50, 1, 99);
+  QueryVerdict V = checkOneTimeQuery(B.T, 1, 10, 100);
+  EXPECT_FALSE(V.AggregateConsistent);
+  EXPECT_FALSE(V.valid());
+}
+
+TEST(SolvabilityOracle, ClaimMatrix) {
+  auto FiniteUnknown = ArrivalModel::finiteArrival(64, /*Known=*/false);
+  auto BKnown = ArrivalModel::boundedConcurrency(16, /*Known=*/true);
+  auto BUnknown = ArrivalModel::boundedConcurrency(16, /*Known=*/false);
+  auto Inf = ArrivalModel::infiniteArrival();
+  auto DKnown = KnowledgeModel::knownDiameter(8);
+  auto DBounded = KnowledgeModel::boundedUnknownDiameter();
+  auto DUnbounded = KnowledgeModel::unboundedDiameter();
+
+  // Column "D known": solvable for every arrival model (claim C1).
+  for (const auto &A : {FiniteUnknown, BKnown, BUnknown, Inf})
+    EXPECT_EQ(oneTimeQuerySolvability({A, DKnown}), Solvability::Solvable);
+
+  // Known b converts into a diameter bound b-1 (the C4 subtlety).
+  EXPECT_EQ(oneTimeQuerySolvability({BKnown, DBounded}),
+            Solvability::Solvable);
+  EXPECT_EQ(oneTimeQuerySolvability({BKnown, DUnbounded}),
+            Solvability::Solvable);
+  EXPECT_EQ(derivableTtl({BKnown, DUnbounded}).value(), 15u);
+
+  // Unknown b does not.
+  EXPECT_EQ(oneTimeQuerySolvability({BUnknown, DBounded}),
+            Solvability::Unsolvable);
+
+  // Finite arrival without diameter knowledge: quiescent-solvable (C2).
+  EXPECT_EQ(oneTimeQuerySolvability({FiniteUnknown, DBounded}),
+            Solvability::SolvableIfQuiescent);
+  EXPECT_EQ(oneTimeQuerySolvability({FiniteUnknown, DUnbounded}),
+            Solvability::SolvableIfQuiescent);
+
+  // Infinite arrival without knowledge: unsolvable (C3).
+  EXPECT_EQ(oneTimeQuerySolvability({Inf, DBounded}),
+            Solvability::Unsolvable);
+  EXPECT_EQ(oneTimeQuerySolvability({Inf, DUnbounded}),
+            Solvability::Unsolvable);
+}
+
+TEST(SolvabilityOracle, DerivableTtlTakesTheMinimum) {
+  SystemClass C{ArrivalModel::boundedConcurrency(4, true),
+                KnowledgeModel::knownDiameter(8)};
+  EXPECT_EQ(derivableTtl(C).value(), 3u); // min(8, 4-1).
+  SystemClass C2{ArrivalModel::finiteArrival(5, true),
+                 KnowledgeModel::boundedUnknownDiameter()};
+  EXPECT_EQ(derivableTtl(C2).value(), 4u); // Known n caps snapshots too.
+  SystemClass C3{ArrivalModel::infiniteArrival(),
+                 KnowledgeModel::boundedUnknownDiameter()};
+  EXPECT_FALSE(derivableTtl(C3).has_value());
+}
+
+TEST(SolvabilityOracle, RecommendedAlgorithms) {
+  auto DKnown = KnowledgeModel::knownDiameter(8);
+  auto DUnknown = KnowledgeModel::unboundedDiameter();
+  EXPECT_EQ(recommendedAlgorithm({ArrivalModel::infiniteArrival(), DKnown}),
+            RecommendedAlgorithm::FloodingKnownDiameter);
+  EXPECT_EQ(recommendedAlgorithm(
+                {ArrivalModel::boundedConcurrency(8, true), DUnknown}),
+            RecommendedAlgorithm::FloodingDerivedBound);
+  EXPECT_EQ(
+      recommendedAlgorithm({ArrivalModel::finiteArrival(9, false), DUnknown}),
+      RecommendedAlgorithm::EchoTermination);
+  EXPECT_EQ(recommendedAlgorithm({ArrivalModel::infiniteArrival(), DUnknown}),
+            RecommendedAlgorithm::GossipBestEffort);
+  EXPECT_EQ(algorithmName(RecommendedAlgorithm::EchoTermination), "echo");
+  EXPECT_EQ(solvabilityName(Solvability::Unsolvable), "unsolvable");
+}
+
+namespace {
+class Noop : public Actor {};
+} // namespace
+
+TEST(DynamicSystem, BuildsAndRunsAdmissibly) {
+  DynamicSystemConfig Cfg;
+  Cfg.Seed = 11;
+  Cfg.Class = {ArrivalModel::boundedConcurrency(20),
+               KnowledgeModel::boundedUnknownDiameter()};
+  Cfg.InitialMembers = 12;
+  Cfg.Churn.JoinRate = 0.2;
+  Cfg.Churn.MeanSession = 100;
+  Cfg.Churn.Horizon = 800;
+  Cfg.MonitorUntil = 800;
+  DynamicSystem Sys(Cfg, [] { return std::make_unique<Noop>(); });
+
+  EXPECT_EQ(Sys.sim().upCount(), 12u);
+  RunLimits L;
+  L.MaxTime = 1000;
+  Sys.run(L);
+  EXPECT_FALSE(Sys.diameterSamples().empty());
+  EXPECT_TRUE(Sys.checkClassAdmissible().ok());
+  EXPECT_GT(Sys.churn().arrivals(), 12u);
+}
+
+TEST(DynamicSystem, KnownDiameterPromiseChecked) {
+  DynamicSystemConfig Cfg;
+  Cfg.Seed = 13;
+  // Chain overlay grows the diameter linearly: a disclosed bound of 5 will
+  // be violated and the certification must catch it.
+  Cfg.Class = {ArrivalModel::infiniteArrival(),
+               KnowledgeModel::knownDiameter(5)};
+  Cfg.Attach = AttachMode::Chain;
+  Cfg.InitialMembers = 4;
+  Cfg.Churn.JoinRate = 0.5;
+  Cfg.Churn.MeanSession = 1e9; // Nobody leaves: pure growth.
+  Cfg.Churn.Horizon = 400;
+  Cfg.MonitorUntil = 400;
+  DynamicSystem Sys(Cfg, [] { return std::make_unique<Noop>(); });
+  RunLimits L;
+  L.MaxTime = 500;
+  Sys.run(L);
+  EXPECT_GT(Sys.maxObservedDiameter(), 5u);
+  EXPECT_FALSE(Sys.checkClassAdmissible().ok());
+}
+
+TEST(DynamicSystem, GrantedTtlFollowsClassKnowledge) {
+  DynamicSystemConfig Cfg;
+  Cfg.Class = {ArrivalModel::boundedConcurrency(10, true),
+               KnowledgeModel::unboundedDiameter()};
+  Cfg.InitialMembers = 4;
+  Cfg.Churn.JoinRate = 0;
+  DynamicSystem Sys(Cfg, [] { return std::make_unique<Noop>(); });
+  EXPECT_EQ(Sys.grantedTtl().value(), 9u);
+}
+
+TEST(DynamicSystem, RandomOverlayKeepsSmallDiameterUnderChurn) {
+  DynamicSystemConfig Cfg;
+  Cfg.Seed = 17;
+  Cfg.Class = {ArrivalModel::boundedConcurrency(24),
+               KnowledgeModel::knownDiameter(8)};
+  Cfg.InitialMembers = 20;
+  Cfg.OverlayDegree = 3;
+  Cfg.Churn.JoinRate = 0.1;
+  Cfg.Churn.MeanSession = 200;
+  Cfg.Churn.Horizon = 600;
+  Cfg.MonitorUntil = 600;
+  DynamicSystem Sys(Cfg, [] { return std::make_unique<Noop>(); });
+  RunLimits L;
+  L.MaxTime = 700;
+  Sys.run(L);
+  EXPECT_TRUE(Sys.checkClassAdmissible().ok())
+      << Sys.checkClassAdmissible().error().str();
+  EXPECT_EQ(Sys.disconnectedSamples(), 0u);
+}
+
+TEST(Aggregates, FoldAllKinds) {
+  Contributions C;
+  C.emplace(1, 5);
+  C.emplace(2, -3);
+  C.emplace(3, 9);
+  EXPECT_EQ(foldAggregate(AggregateKind::Sum, C), 11);
+  EXPECT_EQ(foldAggregate(AggregateKind::Count, C), 3);
+  EXPECT_EQ(foldAggregate(AggregateKind::Min, C), -3);
+  EXPECT_EQ(foldAggregate(AggregateKind::Max, C), 9);
+}
+
+TEST(Aggregates, EmptyFoldsToIdentity) {
+  Contributions C;
+  EXPECT_EQ(foldAggregate(AggregateKind::Sum, C), 0);
+  EXPECT_EQ(foldAggregate(AggregateKind::Count, C), 0);
+  EXPECT_EQ(foldAggregate(AggregateKind::Min, C),
+            std::numeric_limits<int64_t>::max());
+  EXPECT_EQ(foldAggregate(AggregateKind::Max, C),
+            std::numeric_limits<int64_t>::min());
+}
+
+TEST(Aggregates, Names) {
+  EXPECT_EQ(aggregateName(AggregateKind::Sum), "sum");
+  EXPECT_EQ(aggregateName(AggregateKind::Count), "count");
+  EXPECT_EQ(aggregateName(AggregateKind::Min), "min");
+  EXPECT_EQ(aggregateName(AggregateKind::Max), "max");
+}
+
+TEST(OneTimeQueryChecker, ChecksDeclaredMonoid) {
+  TraceBuilder B;
+  B.join(0, 1).join(0, 2);
+  B.value(0, 1, 7).value(0, 2, 3);
+  B.include(50, 1, 1).include(50, 1, 2);
+  B.result(50, 1, 3); // min(7, 3).
+  EXPECT_TRUE(
+      checkOneTimeQuery(B.T, 1, 10, 100, AggregateKind::Min).valid());
+  // The same report graded as a sum is inconsistent.
+  EXPECT_FALSE(
+      checkOneTimeQuery(B.T, 1, 10, 100, AggregateKind::Sum).valid());
+  // And as a count it is inconsistent too (2 contributors, reported 3).
+  EXPECT_FALSE(
+      checkOneTimeQuery(B.T, 1, 10, 100, AggregateKind::Count).valid());
+}

@@ -1,0 +1,138 @@
+//===- FloodSetTest.cpp - static-system consensus and its dynamic demise -------===//
+//
+// Part of the dyndist project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dyndist/consensus/FloodSet.h"
+#include "dyndist/arrival/Churn.h"
+#include "dyndist/graph/Generators.h"
+#include "dyndist/graph/Overlay.h"
+
+#include <gtest/gtest.h>
+
+using namespace dyndist;
+
+namespace {
+
+/// Spawns \p N FloodSet actors with values Base..Base+N-1 over a full mesh
+/// (the simulator's default topology) and runs to completion.
+struct MeshRun {
+  Simulator S;
+  std::vector<ProcessId> Pids;
+  explicit MeshRun(size_t N, uint64_t Faults, int64_t Base = 100,
+                   uint64_t Seed = 1)
+      : S(Seed) {
+    auto Cfg = std::make_shared<FloodSetConfig>();
+    Cfg->Faults = Faults;
+    auto Value = std::make_shared<int64_t>(Base - 1);
+    auto Factory = makeFloodSetFactory(Cfg, [Value] { return ++*Value; });
+    for (size_t I = 0; I != N; ++I)
+      Pids.push_back(S.spawn(Factory()));
+  }
+};
+
+} // namespace
+
+TEST(FloodSet, StaticMeshAgreesOnMinimum) {
+  MeshRun Run(8, /*Faults=*/1);
+  RunLimits L;
+  L.MaxTime = 100;
+  Run.S.run(L);
+  FloodSetOutcome Out = collectFloodSetOutcome(Run.S.trace());
+  EXPECT_EQ(Out.Participants, 8u);
+  EXPECT_EQ(Out.Decided, 8u);
+  ASSERT_EQ(Out.DistinctDecisions.size(), 1u);
+  EXPECT_EQ(*Out.DistinctDecisions.begin(), 100);
+}
+
+TEST(FloodSet, SurvivesUpToFCrashes) {
+  for (uint64_t Faults : {1, 2, 3}) {
+    MeshRun Run(8, Faults, 100, Faults);
+    // Crash up to Faults processes at staggered instants inside the
+    // protocol's rounds. Process 0 holds the minimum: crashing it is the
+    // hardest case (its value may or may not survive — both are fine, as
+    // validity only requires *some* proposed value).
+    for (uint64_t K = 0; K != Faults; ++K) {
+      ProcessId Victim = Run.Pids[K];
+      Run.S.scheduleAt(1 + K, [Victim](Simulator &Sim) { Sim.crash(Victim); });
+    }
+    RunLimits L;
+    L.MaxTime = 100;
+    Run.S.run(L);
+    FloodSetOutcome Out = collectFloodSetOutcome(Run.S.trace());
+    EXPECT_EQ(Out.Decided, 8u - Faults) << "faults " << Faults;
+    EXPECT_EQ(Out.DistinctDecisions.size(), 1u) << "faults " << Faults;
+    // Validity: the decision is one of the proposed values.
+    int64_t D = *Out.DistinctDecisions.begin();
+    EXPECT_GE(D, 100);
+    EXPECT_LT(D, 108);
+  }
+}
+
+TEST(FloodSet, InsufficientRoundsOnSparseOverlayDisagree) {
+  // The locality dimension bites even a static membership: on a ring,
+  // f+1 = 2 rounds spread values only 2 hops, so distant processes never
+  // learn the global minimum and decisions diverge deterministically.
+  Simulator S(5);
+  DynamicOverlay O(2, Rng(6));
+  O.attachTo(S);
+  auto Cfg = std::make_shared<FloodSetConfig>();
+  Cfg->Faults = 1;
+  auto Value = std::make_shared<int64_t>(99);
+  auto Factory = makeFloodSetFactory(Cfg, [Value] { return ++*Value; });
+  for (size_t I = 0; I != 12; ++I)
+    S.spawn(Factory());
+  O.seed(makeRing(12));
+  RunLimits L;
+  L.MaxTime = 100;
+  S.run(L);
+  FloodSetOutcome Out = collectFloodSetOutcome(S.trace());
+  EXPECT_EQ(Out.Decided, 12u);
+  EXPECT_GT(Out.DistinctDecisions.size(), 1u);
+}
+
+TEST(FloodSet, LateArrivalBreaksAgreement) {
+  // The arrival dimension: a static-system algorithm meets a dynamic
+  // system. Veterans close their f+1 rounds and decide; a later arrival
+  // with a smaller value floods into silence and decides alone.
+  MeshRun Run(8, /*Faults=*/1);
+  auto Cfg = std::make_shared<FloodSetConfig>();
+  Cfg->Faults = 1;
+  Run.S.scheduleAt(20, [Cfg](Simulator &Sim) {
+    Sim.spawn(std::make_unique<FloodSetActor>(Cfg, /*InitialValue=*/1));
+  });
+  RunLimits L;
+  L.MaxTime = 200;
+  Run.S.run(L);
+  FloodSetOutcome Out = collectFloodSetOutcome(Run.S.trace());
+  EXPECT_EQ(Out.Participants, 9u);
+  EXPECT_EQ(Out.Decided, 9u);
+  ASSERT_EQ(Out.DistinctDecisions.size(), 2u);
+  EXPECT_TRUE(Out.DistinctDecisions.count(100)); // The veterans.
+  EXPECT_TRUE(Out.DistinctDecisions.count(1));   // The newcomer.
+}
+
+TEST(FloodSet, SustainedChurnBreaksAgreementStatistically) {
+  // Under a sustained arrival stream, distinct decisions accumulate: the
+  // algorithm was simply not built for the dynamic model.
+  Simulator S(9);
+  auto Cfg = std::make_shared<FloodSetConfig>();
+  Cfg->Faults = 1;
+  auto Value = std::make_shared<int64_t>(0);
+  ChurnParams P;
+  P.JoinRate = 0.2;
+  P.MeanSession = 100;
+  P.Horizon = 300;
+  ChurnDriver Driver(ArrivalModel::infiniteArrival(), P,
+                     makeFloodSetFactory(Cfg, [Value] { return ++*Value; }),
+                     Rng(10));
+  Driver.populateInitial(S, 8);
+  Driver.start(S);
+  RunLimits L;
+  L.MaxTime = 500;
+  S.run(L);
+  FloodSetOutcome Out = collectFloodSetOutcome(S.trace());
+  EXPECT_GT(Out.Participants, 8u);
+  EXPECT_GT(Out.DistinctDecisions.size(), 1u);
+}

@@ -1,0 +1,390 @@
+//===- GraphTest.cpp - dyndist_graph unit tests --------------------------------===//
+//
+// Part of the dyndist project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dyndist/graph/Algorithms.h"
+#include "dyndist/graph/Dot.h"
+#include "dyndist/graph/Generators.h"
+#include "dyndist/graph/Overlay.h"
+
+#include <gtest/gtest.h>
+
+using namespace dyndist;
+
+TEST(Graph, AddRemoveNodesAndEdges) {
+  Graph G;
+  EXPECT_TRUE(G.addNode(1));
+  EXPECT_FALSE(G.addNode(1));
+  G.addNode(2);
+  G.addNode(3);
+  EXPECT_TRUE(G.addEdge(1, 2));
+  EXPECT_FALSE(G.addEdge(2, 1)); // Undirected: already present.
+  EXPECT_EQ(G.edgeCount(), 1u);
+  EXPECT_TRUE(G.hasEdge(2, 1));
+  EXPECT_EQ(G.degree(1), 1u);
+
+  EXPECT_TRUE(G.removeEdge(1, 2));
+  EXPECT_FALSE(G.removeEdge(1, 2));
+  EXPECT_EQ(G.edgeCount(), 0u);
+  EXPECT_TRUE(G.checkConsistency());
+}
+
+TEST(Graph, RemoveNodeDropsIncidentEdges) {
+  Graph G;
+  for (ProcessId P : {1, 2, 3, 4})
+    G.addNode(P);
+  G.addEdge(1, 2);
+  G.addEdge(1, 3);
+  G.addEdge(2, 3);
+  EXPECT_TRUE(G.removeNode(1));
+  EXPECT_EQ(G.edgeCount(), 1u);
+  EXPECT_FALSE(G.hasEdge(1, 2));
+  EXPECT_TRUE(G.hasEdge(2, 3));
+  EXPECT_TRUE(G.checkConsistency());
+  EXPECT_FALSE(G.removeNode(1));
+}
+
+TEST(Graph, NeighborsSortedAndQueries) {
+  Graph G;
+  for (ProcessId P : {5, 1, 9, 3})
+    G.addNode(P);
+  G.addEdge(5, 9);
+  G.addEdge(5, 1);
+  G.addEdge(5, 3);
+  EXPECT_EQ(G.neighbors(5), (std::vector<ProcessId>{1, 3, 9}));
+  EXPECT_EQ(G.neighbors(42), std::vector<ProcessId>{});
+  EXPECT_EQ(G.nodes(), (std::vector<ProcessId>{1, 3, 5, 9}));
+}
+
+TEST(Algorithms, BfsDistancesOnLine) {
+  Graph G = makeLine(5);
+  auto D = bfsDistances(G, 0);
+  ASSERT_EQ(D.size(), 5u);
+  for (uint64_t I = 0; I != 5; ++I)
+    EXPECT_EQ(D[I], I);
+}
+
+TEST(Algorithms, ConnectivityAndComponents) {
+  Graph G;
+  for (ProcessId P : {0, 1, 2, 3, 4})
+    G.addNode(P);
+  G.addEdge(0, 1);
+  G.addEdge(2, 3);
+  EXPECT_FALSE(isConnected(G));
+  auto Comps = connectedComponents(G);
+  ASSERT_EQ(Comps.size(), 3u);
+  EXPECT_EQ(Comps[0], (std::vector<ProcessId>{0, 1}));
+  EXPECT_EQ(Comps[1], (std::vector<ProcessId>{2, 3}));
+  EXPECT_EQ(Comps[2], (std::vector<ProcessId>{4}));
+  G.addEdge(1, 2);
+  G.addEdge(3, 4);
+  EXPECT_TRUE(isConnected(G));
+}
+
+TEST(Algorithms, DiameterKnownTopologies) {
+  EXPECT_EQ(diameter(makeRing(8)).value(), 4u);
+  EXPECT_EQ(diameter(makeRing(9)).value(), 4u);
+  EXPECT_EQ(diameter(makeLine(6)).value(), 5u);
+  EXPECT_EQ(diameter(makeComplete(5)).value(), 1u);
+  EXPECT_EQ(diameter(makeTorus(4, 4)).value(), 4u);
+}
+
+TEST(Algorithms, DiameterDisconnectedIsNull) {
+  Graph G;
+  G.addNode(0);
+  G.addNode(1);
+  EXPECT_FALSE(diameter(G).has_value());
+  EXPECT_FALSE(eccentricity(G, 0).has_value());
+}
+
+TEST(Algorithms, EmptyGraphEdgeCases) {
+  Graph G;
+  EXPECT_TRUE(isConnected(G));
+  EXPECT_FALSE(diameter(G).has_value());
+  EXPECT_TRUE(connectedComponents(G).empty());
+  EXPECT_TRUE(bfsDistances(G, 0).empty());
+}
+
+TEST(Algorithms, BallAroundMatchesTtlCoverage) {
+  Graph G = makeLine(10);
+  EXPECT_EQ(ballAround(G, 0, 0), (std::vector<ProcessId>{0}));
+  EXPECT_EQ(ballAround(G, 0, 3), (std::vector<ProcessId>{0, 1, 2, 3}));
+  EXPECT_EQ(ballAround(G, 5, 2).size(), 5u);
+  EXPECT_EQ(ballAround(G, 0, 99).size(), 10u);
+}
+
+TEST(Algorithms, BfsTreeParentPointers) {
+  Graph G = makeRing(6);
+  auto Tree = bfsTree(G, 0);
+  ASSERT_EQ(Tree.size(), 6u);
+  EXPECT_EQ(Tree[0], 0u);
+  // Every non-root parent chain reaches the root.
+  for (const auto &[Node, Parent] : Tree) {
+    (void)Parent;
+    ProcessId Cur = Node;
+    for (int Hops = 0; Cur != 0; ++Hops) {
+      ASSERT_LT(Hops, 6) << "parent chain cycles";
+      Cur = Tree[Cur];
+    }
+  }
+}
+
+TEST(Generators, ErdosRenyiConnected) {
+  Rng R(1);
+  Graph G = makeErdosRenyi(50, 0.2, R);
+  EXPECT_EQ(G.nodeCount(), 50u);
+  EXPECT_TRUE(isConnected(G));
+  EXPECT_TRUE(G.checkConsistency());
+}
+
+TEST(Generators, RandomRegularDegrees) {
+  Rng R(2);
+  Graph G = makeRandomRegular(20, 4, R);
+  EXPECT_EQ(G.nodeCount(), 20u);
+  for (ProcessId P : G.nodes())
+    EXPECT_EQ(G.degree(P), 4u);
+  EXPECT_TRUE(isConnected(G));
+}
+
+TEST(Generators, BarabasiAlbertStructure) {
+  Rng R(3);
+  Graph G = makeBarabasiAlbert(60, 2, R);
+  EXPECT_EQ(G.nodeCount(), 60u);
+  EXPECT_TRUE(isConnected(G));
+  // Seed clique of 3 plus 57 nodes x 2 links.
+  EXPECT_EQ(G.edgeCount(), 3u + 57u * 2u);
+  for (ProcessId P : G.nodes())
+    EXPECT_GE(G.degree(P), 2u);
+}
+
+TEST(Generators, GeometricConnected) {
+  Rng R(4);
+  Graph G = makeGeometric(40, 0.35, R);
+  EXPECT_EQ(G.nodeCount(), 40u);
+  EXPECT_TRUE(isConnected(G));
+}
+
+TEST(Generators, SmallDiameterOfRandomGraphs) {
+  Rng R(5);
+  Graph G = makeRandomRegular(64, 4, R);
+  auto D = diameter(G);
+  ASSERT_TRUE(D.has_value());
+  EXPECT_LE(*D, 8u); // Expander-like: ~log(n).
+}
+
+TEST(Overlay, JoinLinksToTargetDegree) {
+  DynamicOverlay O(3, Rng(1));
+  for (ProcessId P = 0; P != 10; ++P)
+    O.join(P);
+  const Graph &G = O.graph();
+  EXPECT_EQ(G.nodeCount(), 10u);
+  EXPECT_TRUE(isConnected(G));
+  // Every late joiner got exactly 3 links at join time (degree can only
+  // grow afterwards).
+  for (ProcessId P = 3; P != 10; ++P)
+    EXPECT_GE(G.degree(P), 3u);
+}
+
+TEST(Overlay, LeavePreservesConnectivity) {
+  Rng R(7);
+  DynamicOverlay O(2, Rng(2));
+  for (ProcessId P = 0; P != 30; ++P)
+    O.join(P);
+  // Remove 20 random nodes; connectivity must survive every step.
+  std::vector<ProcessId> Nodes = O.graph().nodes();
+  R.shuffle(Nodes);
+  for (size_t I = 0; I != 20; ++I) {
+    O.leave(Nodes[I]);
+    EXPECT_TRUE(isConnected(O.graph())) << "after removing " << Nodes[I];
+    EXPECT_TRUE(O.graph().checkConsistency());
+  }
+  EXPECT_EQ(O.graph().nodeCount(), 10u);
+}
+
+TEST(Overlay, ChainModeGrowsDiameterLinearly) {
+  DynamicOverlay O(3, Rng(3), AttachMode::Chain);
+  for (ProcessId P = 0; P != 40; ++P)
+    O.join(P);
+  auto D = diameter(O.graph());
+  ASSERT_TRUE(D.has_value());
+  EXPECT_EQ(*D, 39u); // A pure chain.
+}
+
+TEST(Overlay, RandomModeKeepsDiameterSmall) {
+  DynamicOverlay O(3, Rng(4));
+  for (ProcessId P = 0; P != 100; ++P)
+    O.join(P);
+  auto D = diameter(O.graph());
+  ASSERT_TRUE(D.has_value());
+  EXPECT_LE(*D, 8u);
+}
+
+TEST(Overlay, SeedInstallsTopology) {
+  DynamicOverlay O(2, Rng(5));
+  O.seed(makeRing(6));
+  EXPECT_EQ(O.graph().nodeCount(), 6u);
+  EXPECT_EQ(O.neighborsOf(0), (std::vector<ProcessId>{1, 5}));
+}
+
+TEST(Overlay, AttachToSimulatorTracksMembership) {
+  Simulator S(1);
+  DynamicOverlay O(2, Rng(6));
+  O.attachTo(S);
+
+  class Noop : public Actor {};
+  ProcessId A = S.spawn(std::make_unique<Noop>());
+  ProcessId B = S.spawn(std::make_unique<Noop>());
+  ProcessId C = S.spawn(std::make_unique<Noop>());
+  EXPECT_EQ(O.graph().nodeCount(), 3u);
+  EXPECT_TRUE(isConnected(O.graph()));
+
+  // Simulator neighbor queries route through the overlay.
+  EXPECT_EQ(S.neighborsOf(A), O.neighborsOf(A));
+
+  S.crash(B);
+  EXPECT_EQ(O.graph().nodeCount(), 2u);
+  EXPECT_FALSE(O.graph().hasNode(B));
+  EXPECT_TRUE(isConnected(O.graph()));
+  (void)C;
+}
+
+TEST(Overlay, RandomRewireKeepsDegreesNearTarget) {
+  DynamicOverlay O(3, Rng(7), AttachMode::Random, RepairMode::RandomRewire);
+  Rng R(8);
+  ProcessId Next = 0;
+  for (size_t I = 0; I != 24; ++I)
+    O.join(Next++);
+  // Departure-heavy workload.
+  for (int Step = 0; Step != 200; ++Step) {
+    if (O.graph().nodeCount() <= 4 || R.nextBernoulli(0.45)) {
+      O.join(Next++);
+    } else {
+      auto Nodes = O.graph().nodes();
+      O.leave(R.pick(Nodes));
+    }
+    ASSERT_TRUE(O.graph().checkConsistency());
+  }
+  // Mean degree stays near the target (the patch rule would inflate it).
+  const Graph &G = O.graph();
+  uint64_t Sum = 0;
+  for (ProcessId P : G.nodes())
+    Sum += G.degree(P);
+  double Mean = double(Sum) / double(G.nodeCount());
+  EXPECT_LT(Mean, 5.0);
+}
+
+TEST(Overlay, RandomRewireCanDisconnectAtDegreeOne) {
+  // The ablation's point: with one link per node, random rewiring has no
+  // connectivity guarantee — across seeds a disconnection must occur.
+  int Disconnections = 0;
+  for (uint64_t Seed = 1; Seed <= 10; ++Seed) {
+    DynamicOverlay O(1, Rng(Seed), AttachMode::Random,
+                     RepairMode::RandomRewire);
+    Rng R(Seed * 7 + 1);
+    ProcessId Next = 0;
+    for (size_t I = 0; I != 16; ++I)
+      O.join(Next++);
+    for (int Step = 0; Step != 120 && !Disconnections; ++Step) {
+      if (O.graph().nodeCount() <= 4 || R.nextBernoulli(0.45)) {
+        O.join(Next++);
+      } else {
+        auto Nodes = O.graph().nodes();
+        O.leave(R.pick(Nodes));
+      }
+      if (!isConnected(O.graph()))
+        ++Disconnections;
+    }
+  }
+  EXPECT_GT(Disconnections, 0);
+}
+
+TEST(Algorithms, ArticulationPointsKnownShapes) {
+  // Line: every interior node is a cut vertex.
+  EXPECT_EQ(articulationPoints(makeLine(6)),
+            (std::vector<ProcessId>{1, 2, 3, 4}));
+  // Ring and complete graph: none.
+  EXPECT_TRUE(articulationPoints(makeRing(8)).empty());
+  EXPECT_TRUE(articulationPoints(makeComplete(6)).empty());
+  // Star: the hub only.
+  Graph Star;
+  Star.addNode(0);
+  for (ProcessId P = 1; P <= 5; ++P) {
+    Star.addNode(P);
+    Star.addEdge(0, P);
+  }
+  EXPECT_EQ(articulationPoints(Star), (std::vector<ProcessId>{0}));
+  // Two triangles sharing vertex 2.
+  Graph Bowtie;
+  for (ProcessId P = 0; P <= 4; ++P)
+    Bowtie.addNode(P);
+  Bowtie.addEdge(0, 1);
+  Bowtie.addEdge(1, 2);
+  Bowtie.addEdge(2, 0);
+  Bowtie.addEdge(2, 3);
+  Bowtie.addEdge(3, 4);
+  Bowtie.addEdge(4, 2);
+  EXPECT_EQ(articulationPoints(Bowtie), (std::vector<ProcessId>{2}));
+}
+
+TEST(Algorithms, ArticulationPointsEdgeCases) {
+  Graph Empty;
+  EXPECT_TRUE(articulationPoints(Empty).empty());
+  Graph One;
+  One.addNode(7);
+  EXPECT_TRUE(articulationPoints(One).empty());
+  Graph Two;
+  Two.addNode(1);
+  Two.addNode(2);
+  Two.addEdge(1, 2);
+  EXPECT_TRUE(articulationPoints(Two).empty());
+}
+
+TEST(Algorithms, ArticulationPointsMatchBruteForce) {
+  // Property: v is reported iff removing v increases the component count.
+  Rng R(19);
+  for (uint64_t Seed = 1; Seed <= 6; ++Seed) {
+    Graph G = makeErdosRenyi(18, 0.12, R, /*ForceConnected=*/false);
+    auto Reported = articulationPoints(G);
+    std::set<ProcessId> ReportedSet(Reported.begin(), Reported.end());
+    size_t BaseComponents = connectedComponents(G).size();
+    for (ProcessId V : G.nodes()) {
+      Graph Removed = G;
+      bool Isolated = Removed.degree(V) == 0;
+      Removed.removeNode(V);
+      size_t After = connectedComponents(Removed).size();
+      // Removing V also removes one (possibly empty) component slot when V
+      // was isolated; normalize.
+      size_t Expected = Isolated ? BaseComponents - 1 : BaseComponents;
+      bool IsCut = After > Expected;
+      EXPECT_EQ(IsCut, ReportedSet.count(V) != 0)
+          << "seed " << Seed << " vertex " << V;
+    }
+  }
+}
+
+TEST(Dot, RendersNodesEdgesAndHighlights) {
+  Graph G = makeLine(4);
+  std::string Out = toDot(G, {1, 2}, "fragile");
+  EXPECT_NE(Out.find("graph fragile {"), std::string::npos);
+  EXPECT_NE(Out.find("n0 -- n1;"), std::string::npos);
+  EXPECT_NE(Out.find("n2 -- n3;"), std::string::npos);
+  EXPECT_EQ(Out.find("n1 -- n0;"), std::string::npos); // Each edge once.
+  EXPECT_NE(Out.find("n1 [style=filled"), std::string::npos);
+  EXPECT_EQ(Out.find("n0 [style=filled"), std::string::npos);
+}
+
+TEST(Dot, FileRoundTrip) {
+  Graph G = makeRing(5);
+  std::string Path = "/tmp/dyndist_dot_test.dot";
+  ASSERT_TRUE(writeDotFile(G, Path).ok());
+  std::FILE *F = std::fopen(Path.c_str(), "r");
+  ASSERT_NE(F, nullptr);
+  char Buf[32] = {0};
+  ASSERT_NE(std::fgets(Buf, sizeof(Buf), F), nullptr);
+  EXPECT_EQ(std::string(Buf), "graph overlay {\n");
+  std::fclose(F);
+  std::remove(Path.c_str());
+  EXPECT_FALSE(writeDotFile(G, "/nonexistent/x.dot").ok());
+}

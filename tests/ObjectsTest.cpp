@@ -1,0 +1,405 @@
+//===- ObjectsTest.cpp - dyndist_objects unit tests ----------------------------===//
+//
+// Part of the dyndist project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dyndist/objects/BaseConsensus.h"
+#include "dyndist/objects/BaseRegister.h"
+#include "dyndist/objects/History.h"
+#include "dyndist/objects/Quorum.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+using namespace dyndist;
+
+TEST(BaseRegister, InlineReadWrite) {
+  BaseRegister R;
+  bool WroteOk = false;
+  R.asyncWrite({1, 42}, [&WroteOk](bool Ok) { WroteOk = Ok; });
+  EXPECT_TRUE(WroteOk);
+
+  std::optional<TaggedValue> Read;
+  R.asyncRead([&Read](std::optional<TaggedValue> V) { Read = V; });
+  ASSERT_TRUE(Read.has_value());
+  EXPECT_EQ(Read->Seq, 1u);
+  EXPECT_EQ(Read->Value, 42);
+}
+
+TEST(BaseRegister, InitialValueIsZero) {
+  BaseRegister R;
+  std::optional<TaggedValue> Read;
+  R.asyncRead([&Read](std::optional<TaggedValue> V) { Read = V; });
+  ASSERT_TRUE(Read.has_value());
+  EXPECT_EQ(*Read, (TaggedValue{0, 0}));
+}
+
+TEST(BaseRegister, ResponsiveCrashAnswersBottom) {
+  BaseRegister R(FailureMode::Responsive);
+  R.crash();
+  EXPECT_EQ(R.state(), ObjectState::Crashed);
+
+  bool ReadRan = false, WriteRan = false;
+  std::optional<TaggedValue> Read{TaggedValue{9, 9}};
+  R.asyncRead([&](std::optional<TaggedValue> V) {
+    ReadRan = true;
+    Read = V;
+  });
+  bool Ack = true;
+  R.asyncWrite({1, 1}, [&](bool Ok) {
+    WriteRan = true;
+    Ack = Ok;
+  });
+  EXPECT_TRUE(ReadRan);
+  EXPECT_TRUE(WriteRan);
+  EXPECT_FALSE(Read.has_value()); // ⊥.
+  EXPECT_FALSE(Ack);              // ⊥.
+  EXPECT_EQ(R.droppedOps(), 0u);
+}
+
+TEST(BaseRegister, NonresponsiveCrashNeverAnswers) {
+  BaseRegister R(FailureMode::Nonresponsive);
+  R.crash();
+  bool AnyCallback = false;
+  R.asyncRead([&](std::optional<TaggedValue>) { AnyCallback = true; });
+  R.asyncWrite({1, 1}, [&](bool) { AnyCallback = true; });
+  EXPECT_FALSE(AnyCallback);
+  EXPECT_EQ(R.droppedOps(), 2u);
+}
+
+TEST(BaseRegister, CrashIsIdempotentAndSticky) {
+  BaseRegister R(FailureMode::Responsive);
+  R.asyncWrite({1, 7}, [](bool) {});
+  R.crash();
+  R.crash();
+  // The stored value is unreachable after the crash.
+  std::optional<TaggedValue> Read{TaggedValue{1, 7}};
+  R.asyncRead([&Read](std::optional<TaggedValue> V) { Read = V; });
+  EXPECT_FALSE(Read.has_value());
+}
+
+TEST(BaseRegister, SuspendDefersEffectsUntilResume) {
+  BaseRegister R;
+  R.suspend();
+  EXPECT_EQ(R.state(), ObjectState::Suspended);
+
+  bool WriteDone = false;
+  R.asyncWrite({1, 5}, [&WriteDone](bool Ok) { WriteDone = Ok; });
+  std::optional<TaggedValue> Read;
+  bool ReadDone = false;
+  R.asyncRead([&](std::optional<TaggedValue> V) {
+    ReadDone = true;
+    Read = V;
+  });
+  EXPECT_FALSE(WriteDone);
+  EXPECT_FALSE(ReadDone);
+  EXPECT_EQ(R.deferredCount(), 2u);
+
+  R.resume();
+  EXPECT_TRUE(WriteDone);
+  ASSERT_TRUE(ReadDone);
+  // FIFO: the write applied before the read.
+  ASSERT_TRUE(Read.has_value());
+  EXPECT_EQ(Read->Value, 5);
+  EXPECT_EQ(R.state(), ObjectState::Ok);
+}
+
+TEST(BaseRegister, ResumeOneReordersConcurrentOps) {
+  BaseRegister R;
+  R.suspend();
+  R.asyncWrite({1, 5}, [](bool) {});
+  std::optional<TaggedValue> Read;
+  R.asyncRead([&Read](std::optional<TaggedValue> V) { Read = V; });
+
+  // Linearize the read *before* the pending write.
+  R.resumeOne(1);
+  ASSERT_TRUE(Read.has_value());
+  EXPECT_EQ(Read->Value, 0); // Old value: the write had not taken effect.
+  EXPECT_EQ(R.deferredCount(), 1u);
+  EXPECT_EQ(R.state(), ObjectState::Suspended);
+
+  R.resume();
+  std::optional<TaggedValue> After;
+  R.asyncRead([&After](std::optional<TaggedValue> V) { After = V; });
+  ASSERT_TRUE(After.has_value());
+  EXPECT_EQ(After->Value, 5);
+}
+
+TEST(BaseRegister, ResponsiveCrashWhileSuspendedAnswersBottom) {
+  BaseRegister R(FailureMode::Responsive);
+  R.suspend();
+  bool Ack = true;
+  R.asyncWrite({1, 5}, [&Ack](bool Ok) { Ack = Ok; });
+  R.crash();
+  EXPECT_FALSE(Ack); // Deferred op answered ⊥ at crash; effect discarded.
+}
+
+TEST(BaseRegister, NonresponsiveCrashWhileSuspendedDropsOps) {
+  BaseRegister R(FailureMode::Nonresponsive);
+  R.suspend();
+  bool AnyCallback = false;
+  R.asyncWrite({1, 5}, [&](bool) { AnyCallback = true; });
+  R.crash();
+  EXPECT_FALSE(AnyCallback);
+  EXPECT_EQ(R.droppedOps(), 1u);
+}
+
+TEST(BaseConsensus, FirstProposalSticks) {
+  BaseConsensus C;
+  std::optional<int64_t> First, Second;
+  C.asyncPropose(7, [&First](std::optional<int64_t> V) { First = V; });
+  C.asyncPropose(9, [&Second](std::optional<int64_t> V) { Second = V; });
+  EXPECT_EQ(First, std::optional<int64_t>(7));
+  EXPECT_EQ(Second, std::optional<int64_t>(7));
+  EXPECT_EQ(C.decision(), std::optional<int64_t>(7));
+}
+
+TEST(BaseConsensus, ResponsiveCrashAnswersBottom) {
+  BaseConsensus C(FailureMode::Responsive);
+  C.crash();
+  std::optional<int64_t> Res{123};
+  bool Ran = false;
+  C.asyncPropose(7, [&](std::optional<int64_t> V) {
+    Ran = true;
+    Res = V;
+  });
+  EXPECT_TRUE(Ran);
+  EXPECT_FALSE(Res.has_value());
+  EXPECT_FALSE(C.decision().has_value());
+}
+
+TEST(BaseConsensus, NonresponsiveCrashNeverAnswers) {
+  BaseConsensus C(FailureMode::Nonresponsive);
+  C.crash();
+  bool Ran = false;
+  C.asyncPropose(7, [&Ran](std::optional<int64_t>) { Ran = true; });
+  EXPECT_FALSE(Ran);
+}
+
+TEST(BaseConsensus, SuspendedProposalsApplyInOrderOnResume) {
+  BaseConsensus C;
+  C.suspend();
+  std::optional<int64_t> R1, R2;
+  C.asyncPropose(5, [&R1](std::optional<int64_t> V) { R1 = V; });
+  C.asyncPropose(6, [&R2](std::optional<int64_t> V) { R2 = V; });
+  EXPECT_FALSE(C.decision().has_value());
+  C.resume();
+  EXPECT_EQ(R1, std::optional<int64_t>(5));
+  EXPECT_EQ(R2, std::optional<int64_t>(5)); // First in order sticks.
+}
+
+TEST(BaseConsensus, ResumeOneLetsALaterProposalWin) {
+  BaseConsensus C;
+  C.suspend();
+  std::optional<int64_t> R1, R2;
+  C.asyncPropose(5, [&R1](std::optional<int64_t> V) { R1 = V; });
+  C.asyncPropose(6, [&R2](std::optional<int64_t> V) { R2 = V; });
+  C.resumeOne(1); // The adversary linearizes the second proposal first.
+  EXPECT_EQ(R2, std::optional<int64_t>(6));
+  C.resume();
+  EXPECT_EQ(R1, std::optional<int64_t>(6));
+}
+
+TEST(QuorumLatch, CountsAndUnblocks) {
+  QuorumLatch L(2);
+  EXPECT_FALSE(L.reached());
+  L.arrive();
+  EXPECT_FALSE(L.reached());
+  L.arrive();
+  EXPECT_TRUE(L.reached());
+  L.await(); // Returns immediately.
+}
+
+TEST(QuorumLatch, AwaitForTimesOut) {
+  QuorumLatch L(1);
+  EXPECT_FALSE(L.awaitFor(std::chrono::milliseconds(10)));
+  L.arrive();
+  EXPECT_TRUE(L.awaitFor(std::chrono::milliseconds(10)));
+}
+
+TEST(QuorumLatch, CrossThreadRelease) {
+  auto L = std::make_shared<QuorumLatch>(1);
+  std::thread Releaser([L] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    L->arrive();
+  });
+  L->await();
+  EXPECT_TRUE(L->reached());
+  Releaser.join();
+}
+
+//===----------------------------------------------------------------------===//
+// History recorder and checkers
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Builds a history from (client, kind, value, inv, res) tuples with
+/// explicit stamps.
+History makeHistory(
+    std::initializer_list<std::tuple<uint64_t, OpKind, int64_t, uint64_t,
+                                     uint64_t>>
+        Spec) {
+  History H;
+  uint64_t Id = 0;
+  for (const auto &[Client, Kind, Value, Inv, Res] : Spec) {
+    Operation O;
+    O.Id = Id++;
+    O.Client = Client;
+    O.Kind = Kind;
+    O.Value = Value;
+    O.InvSeq = Inv;
+    O.ResSeq = Res;
+    O.Completed = true;
+    H.Ops.push_back(O);
+  }
+  return H;
+}
+
+} // namespace
+
+TEST(HistoryRecorder, StampsAndCompletion) {
+  HistoryRecorder Rec;
+  uint64_t W = Rec.beginOp(0, OpKind::Write, 5);
+  uint64_t R = Rec.beginOp(1, OpKind::Read);
+  Rec.endOp(W);
+  Rec.endOp(R, 5);
+  History H = Rec.snapshot();
+  ASSERT_EQ(H.Ops.size(), 2u);
+  EXPECT_TRUE(H.allComplete());
+  EXPECT_LT(H.Ops[0].InvSeq, H.Ops[1].InvSeq);
+  EXPECT_LT(H.Ops[1].InvSeq, H.Ops[0].ResSeq);
+  EXPECT_EQ(H.Ops[1].Value, 5);
+  EXPECT_EQ(H.byClient(1).size(), 1u);
+}
+
+TEST(SwmrChecker, AcceptsSequentialHistory) {
+  // w(1) r->1 w(2) r->2, fully sequential.
+  History H = makeHistory({{0, OpKind::Write, 1, 1, 2},
+                           {1, OpKind::Read, 1, 3, 4},
+                           {0, OpKind::Write, 2, 5, 6},
+                           {1, OpKind::Read, 2, 7, 8}});
+  EXPECT_TRUE(checkSwmrAtomicity(H).ok());
+  EXPECT_TRUE(checkSwmrRegularity(H).ok());
+}
+
+TEST(SwmrChecker, AcceptsConcurrentReadEitherValue) {
+  // Read concurrent with w(1) may return 0 or 1.
+  History Old = makeHistory(
+      {{0, OpKind::Write, 1, 1, 4}, {1, OpKind::Read, 0, 2, 3}});
+  History New = makeHistory(
+      {{0, OpKind::Write, 1, 1, 4}, {1, OpKind::Read, 1, 2, 3}});
+  EXPECT_TRUE(checkSwmrAtomicity(Old).ok());
+  EXPECT_TRUE(checkSwmrAtomicity(New).ok());
+}
+
+TEST(SwmrChecker, RejectsStaleRead) {
+  // w(1) completes, then a read returns the initial 0.
+  History H = makeHistory(
+      {{0, OpKind::Write, 1, 1, 2}, {1, OpKind::Read, 0, 3, 4}});
+  EXPECT_FALSE(checkSwmrAtomicity(H).ok());
+  EXPECT_FALSE(checkSwmrRegularity(H).ok());
+}
+
+TEST(SwmrChecker, RejectsFutureRead) {
+  // A read completes before the write of its value even begins.
+  History H = makeHistory(
+      {{1, OpKind::Read, 1, 1, 2}, {0, OpKind::Write, 1, 3, 4}});
+  EXPECT_FALSE(checkSwmrAtomicity(H).ok());
+}
+
+TEST(SwmrChecker, RejectsNeverWrittenValue) {
+  History H = makeHistory({{1, OpKind::Read, 42, 1, 2}});
+  EXPECT_FALSE(checkSwmrAtomicity(H).ok());
+}
+
+TEST(SwmrChecker, RejectsNewOldInversion) {
+  // w(1) concurrent with two sequential reads: first returns 1 (new),
+  // second returns 0 (old) — regular but not atomic.
+  History H = makeHistory({{0, OpKind::Write, 1, 1, 10},
+                           {1, OpKind::Read, 1, 2, 3},
+                           {1, OpKind::Read, 0, 4, 5}});
+  EXPECT_FALSE(checkSwmrAtomicity(H).ok());
+  EXPECT_TRUE(checkSwmrRegularity(H).ok()); // Regularity tolerates it.
+}
+
+TEST(SwmrChecker, InversionAcrossDifferentReaders) {
+  History H = makeHistory({{0, OpKind::Write, 1, 1, 10},
+                           {1, OpKind::Read, 1, 2, 3},
+                           {2, OpKind::Read, 0, 4, 5}});
+  EXPECT_FALSE(checkSwmrAtomicity(H).ok());
+}
+
+TEST(SwmrChecker, RequiresDistinctValues) {
+  History H = makeHistory(
+      {{0, OpKind::Write, 1, 1, 2}, {0, OpKind::Write, 1, 3, 4}});
+  EXPECT_FALSE(checkSwmrAtomicity(H).ok());
+}
+
+TEST(LinChecker, AgreesWithSwmrCheckerOnExamples) {
+  History Good = makeHistory({{0, OpKind::Write, 1, 1, 10},
+                              {1, OpKind::Read, 1, 2, 3},
+                              {1, OpKind::Read, 1, 4, 5}});
+  EXPECT_TRUE(checkLinearizableRegister(Good).ok());
+  EXPECT_TRUE(checkSwmrAtomicity(Good).ok());
+
+  History Bad = makeHistory({{0, OpKind::Write, 1, 1, 10},
+                             {1, OpKind::Read, 1, 2, 3},
+                             {1, OpKind::Read, 0, 4, 5}});
+  EXPECT_FALSE(checkLinearizableRegister(Bad).ok());
+  EXPECT_FALSE(checkSwmrAtomicity(Bad).ok());
+}
+
+TEST(LinChecker, HandlesMultiWriterHistories) {
+  // Two concurrent writers then a read: any of the two values (but not the
+  // initial one) is linearizable.
+  History Ok = makeHistory({{0, OpKind::Write, 1, 1, 4},
+                            {1, OpKind::Write, 2, 2, 3},
+                            {2, OpKind::Read, 1, 5, 6}});
+  EXPECT_TRUE(checkLinearizableRegister(Ok).ok());
+  History Ok2 = makeHistory({{0, OpKind::Write, 1, 1, 4},
+                             {1, OpKind::Write, 2, 2, 3},
+                             {2, OpKind::Read, 2, 5, 6}});
+  EXPECT_TRUE(checkLinearizableRegister(Ok2).ok());
+  History Bad = makeHistory({{0, OpKind::Write, 1, 1, 4},
+                             {1, OpKind::Write, 2, 2, 3},
+                             {2, OpKind::Read, 0, 5, 6}});
+  EXPECT_FALSE(checkLinearizableRegister(Bad).ok());
+}
+
+TEST(LinChecker, CapsHistorySize) {
+  History H;
+  for (int I = 0; I != 30; ++I) {
+    Operation O;
+    O.Kind = OpKind::Write;
+    O.Value = I;
+    O.InvSeq = static_cast<uint64_t>(2 * I + 1);
+    O.ResSeq = static_cast<uint64_t>(2 * I + 2);
+    O.Completed = true;
+    H.Ops.push_back(O);
+  }
+  Status S = checkLinearizableRegister(H);
+  ASSERT_FALSE(S.ok());
+  EXPECT_EQ(S.error().Kind, Error::Code::Unsupported);
+}
+
+TEST(ConsensusChecker, AgreementAndValidity) {
+  std::vector<ConsensusRecord> Good = {{0, 10, true, 11},
+                                       {1, 11, true, 11},
+                                       {2, 12, true, 11}};
+  EXPECT_TRUE(checkConsensusRun(Good).ok());
+
+  std::vector<ConsensusRecord> Split = {{0, 10, true, 10},
+                                        {1, 11, true, 11}};
+  EXPECT_FALSE(checkConsensusRun(Split).ok());
+
+  std::vector<ConsensusRecord> Invented = {{0, 10, true, 99}};
+  EXPECT_FALSE(checkConsensusRun(Invented).ok());
+
+  std::vector<ConsensusRecord> Hung = {{0, 10, true, 10},
+                                       {1, 11, false, 0}};
+  EXPECT_FALSE(checkConsensusRun(Hung).ok());
+  EXPECT_TRUE(checkConsensusRun(Hung, /*RequireAllDecide=*/false).ok());
+}

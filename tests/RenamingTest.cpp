@@ -1,0 +1,150 @@
+//===- RenamingTest.cpp - splitters and adaptive renaming ----------------------===//
+//
+// Part of the dyndist project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dyndist/registers/Splitter.h"
+#include "dyndist/runtime/StressHarness.h"
+#include "dyndist/runtime/ThreadRunner.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace dyndist;
+
+TEST(Splitter, LoneEntrantStops) {
+  Splitter S;
+  EXPECT_EQ(S.enter(42), SplitterExit::Stop);
+  EXPECT_TRUE(S.captured());
+  EXPECT_EQ(S.owner(), 42u);
+}
+
+TEST(Splitter, SequentialSecondEntrantGoesRight) {
+  Splitter S;
+  EXPECT_EQ(S.enter(1), SplitterExit::Stop);
+  EXPECT_EQ(S.enter(2), SplitterExit::Right); // Door already closed.
+  EXPECT_EQ(S.enter(3), SplitterExit::Right);
+  EXPECT_EQ(S.owner(), 1u);
+}
+
+TEST(Splitter, AtMostOneStopsUnderContention) {
+  for (uint64_t Seed = 1; Seed <= 10; ++Seed) {
+    Splitter S;
+    const size_t N = 4;
+    std::vector<SplitterExit> Exits(N, SplitterExit::Right);
+    ThreadRunner Runner;
+    for (size_t I = 0; I != N; ++I) {
+      Runner.spawn([&S, &Exits, I, Seed] {
+        Rng Jit(Seed * 31 + I);
+        jitter(Jit);
+        Exits[I] = S.enter(I + 1);
+      });
+    }
+    Runner.joinAll();
+    size_t Stops = 0, Rights = 0, Downs = 0;
+    for (SplitterExit E : Exits) {
+      Stops += E == SplitterExit::Stop;
+      Rights += E == SplitterExit::Right;
+      Downs += E == SplitterExit::Down;
+    }
+    EXPECT_LE(Stops, 1u) << "seed " << Seed;
+    EXPECT_LE(Rights, N - 1) << "seed " << Seed;
+    EXPECT_LE(Downs, N - 1) << "seed " << Seed;
+    if (Stops == 1) {
+      EXPECT_NE(S.owner(), 0u);
+    }
+  }
+}
+
+TEST(RenamingGrid, LoneProcessGetsNameZero) {
+  RenamingGrid G(4);
+  auto Name = G.acquire(77);
+  ASSERT_TRUE(Name.has_value());
+  EXPECT_EQ(*Name, 0u);
+  EXPECT_EQ(G.namesAssigned(), 1u);
+}
+
+TEST(RenamingGrid, SequentialNamesDistinctAndAdaptive) {
+  RenamingGrid G(8);
+  std::set<uint64_t> Names;
+  for (uint64_t Id = 1; Id <= 5; ++Id) {
+    auto Name = G.acquire(Id * 1000); // Arbitrary large original ids.
+    ASSERT_TRUE(Name.has_value());
+    EXPECT_TRUE(Names.insert(*Name).second) << "duplicate name " << *Name;
+  }
+  // Adaptivity: 5 participants stay within the first 5 anti-diagonals.
+  for (uint64_t Name : Names)
+    EXPECT_LT(Name, RenamingGrid::nameBound(5));
+}
+
+TEST(RenamingGrid, SequentialWalkHugsTheTopRow) {
+  // Sequential entrants all go Right at captured splitters: names follow
+  // the top row (0, c), whose anti-diagonal indices are the triangular
+  // numbers 0, 1, 3, 6, ...
+  RenamingGrid G(5);
+  EXPECT_EQ(G.acquire(1).value(), 0u);
+  EXPECT_EQ(G.acquire(2).value(), 1u);
+  EXPECT_EQ(G.acquire(3).value(), 3u);
+  EXPECT_EQ(G.acquire(4).value(), 6u);
+}
+
+TEST(RenamingGrid, OverflowReportedNotMangled) {
+  RenamingGrid G(1); // One splitter: capacity exactly one name.
+  EXPECT_TRUE(G.acquire(1).has_value());
+  EXPECT_FALSE(G.acquire(2).has_value()); // Walks off the grid.
+  EXPECT_EQ(G.namesAssigned(), 1u);
+}
+
+TEST(RenamingGrid, ConcurrentNamesDistinctWithinBound) {
+  for (uint64_t Seed = 1; Seed <= 8; ++Seed) {
+    const size_t K = 4;
+    RenamingGrid G(8);
+    std::vector<std::optional<uint64_t>> Names(K);
+    ThreadRunner Runner;
+    for (size_t I = 0; I != K; ++I) {
+      Runner.spawn([&G, &Names, I, Seed] {
+        Rng Jit(Seed * 17 + I);
+        jitter(Jit);
+        Names[I] = G.acquire(0xABC000 + I);
+      });
+    }
+    Runner.joinAll();
+    std::set<uint64_t> Distinct;
+    for (const auto &Name : Names) {
+      ASSERT_TRUE(Name.has_value()) << "seed " << Seed;
+      EXPECT_TRUE(Distinct.insert(*Name).second)
+          << "seed " << Seed << ": duplicate " << *Name;
+      EXPECT_LT(*Name, RenamingGrid::nameBound(K)) << "seed " << Seed;
+    }
+  }
+}
+
+TEST(RenamingGrid, ArrivalWavesStayDistinct) {
+  // Entities arrive in waves (the arrival-model picture): names must stay
+  // globally unique across waves, and the bound tracks total contention.
+  RenamingGrid G(12);
+  std::set<uint64_t> AllNames;
+  size_t Total = 0;
+  for (uint64_t Wave = 0; Wave != 3; ++Wave) {
+    const size_t K = 3;
+    std::vector<std::optional<uint64_t>> Names(K);
+    ThreadRunner Runner;
+    for (size_t I = 0; I != K; ++I) {
+      Runner.spawn([&G, &Names, I, Wave] {
+        Rng Jit(Wave * 101 + I);
+        jitter(Jit);
+        Names[I] = G.acquire((Wave + 1) * 1'000'000 + I);
+      });
+    }
+    Runner.joinAll();
+    for (const auto &Name : Names) {
+      ASSERT_TRUE(Name.has_value());
+      EXPECT_TRUE(AllNames.insert(*Name).second);
+    }
+    Total += K;
+  }
+  for (uint64_t Name : AllNames)
+    EXPECT_LT(Name, RenamingGrid::nameBound(Total));
+}

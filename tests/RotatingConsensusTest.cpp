@@ -1,0 +1,168 @@
+//===- RotatingConsensusTest.cpp - ◇-synchronous consensus tests ---------------===//
+//
+// Part of the dyndist project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dyndist/consensus/RotatingConsensus.h"
+#include "dyndist/sim/Simulator.h"
+
+#include <gtest/gtest.h>
+
+using namespace dyndist;
+
+namespace {
+
+/// Spawns N participants with initial values 100..100+N-1 and starts the
+/// protocol at t=1.
+struct RotatingRun {
+  Simulator S;
+  std::shared_ptr<RotatingConfig> Config;
+  std::vector<ProcessId> Pids;
+  std::vector<RotatingConsensusActor *> Actors;
+
+  explicit RotatingRun(size_t N, uint64_t Seed = 1) : S(Seed) {
+    Config = std::make_shared<RotatingConfig>();
+    for (size_t I = 0; I != N; ++I) {
+      auto Owned = std::make_unique<RotatingConsensusActor>(
+          Config, static_cast<int64_t>(100 + I));
+      Actors.push_back(Owned.get());
+      Pids.push_back(S.spawn(std::move(Owned)));
+    }
+    Config->Participants = Pids;
+    for (ProcessId P : Pids)
+      S.scheduleAt(1, [P](Simulator &Sim) {
+        Sim.sendMessage(P, P, makeBody<RcStartMsg>());
+      });
+  }
+
+  void run(SimTime Horizon = 2000) {
+    RunLimits L;
+    L.MaxTime = Horizon;
+    S.run(L);
+  }
+};
+
+} // namespace
+
+TEST(RotatingConsensus, FailureFreeRunDecidesFastAndAgrees) {
+  RotatingRun Run(7);
+  Run.run();
+  auto Records = collectRotatingOutcome(Run.S.trace());
+  ASSERT_EQ(Records.size(), 7u);
+  EXPECT_TRUE(checkConsensusRun(Records).ok());
+  // Round 1 suffices without failures.
+  for (RotatingConsensusActor *A : Run.Actors)
+    EXPECT_EQ(A->roundsUsed(), 1u);
+}
+
+TEST(RotatingConsensus, SingletonDecidesOwnValue) {
+  RotatingRun Run(1);
+  Run.run();
+  ASSERT_TRUE(Run.Actors[0]->decision().has_value());
+  EXPECT_EQ(*Run.Actors[0]->decision(), 100);
+}
+
+TEST(RotatingConsensus, SurvivesCoordinatorCrashes) {
+  // Crash the first three coordinators in order, before/while they lead:
+  // rounds rotate past them and the fourth coordinator finishes the job.
+  RotatingRun Run(7, 3);
+  for (uint64_t K = 0; K != 3; ++K) {
+    ProcessId Victim = Run.Pids[K];
+    Run.S.scheduleAt(2 + K, [Victim](Simulator &Sim) { Sim.crash(Victim); });
+  }
+  Run.run();
+  auto Records = collectRotatingOutcome(Run.S.trace());
+  // Survivors (and possibly early-decided victims) must agree; all four
+  // survivors decide.
+  Status Safety = checkConsensusRun(Records, /*RequireAllDecide=*/false);
+  EXPECT_TRUE(Safety.ok()) << Safety.error().str();
+  size_t SurvivorDecisions = 0;
+  for (size_t I = 3; I != 7; ++I)
+    SurvivorDecisions += Run.Actors[I]->decision().has_value();
+  EXPECT_EQ(SurvivorDecisions, 4u);
+}
+
+TEST(RotatingConsensus, ToleratesAnyMinorityCrashPattern) {
+  for (uint64_t Seed = 1; Seed <= 6; ++Seed) {
+    RotatingRun Run(5, Seed);
+    // Crash 2 of 5 (f < n/2) at staggered times chosen by seed.
+    Rng R(Seed * 13);
+    std::vector<ProcessId> Victims = Run.Pids;
+    R.shuffle(Victims);
+    Run.S.scheduleAt(1 + R.nextBelow(20), [V = Victims[0]](Simulator &Sim) {
+      Sim.crash(V);
+    });
+    Run.S.scheduleAt(1 + R.nextBelow(40), [V = Victims[1]](Simulator &Sim) {
+      Sim.crash(V);
+    });
+    Run.run();
+    auto Records = collectRotatingOutcome(Run.S.trace());
+    Status Safety = checkConsensusRun(Records, /*RequireAllDecide=*/false);
+    EXPECT_TRUE(Safety.ok()) << "seed " << Seed << ": "
+                             << Safety.error().str();
+    // Every survivor decided.
+    for (size_t I = 0; I != 5; ++I) {
+      if (!Run.S.isUp(Run.Pids[I]))
+        continue;
+      EXPECT_TRUE(Run.Actors[I]->decision().has_value())
+          << "seed " << Seed << " participant " << I;
+    }
+  }
+}
+
+TEST(RotatingConsensus, MajorityCrashBlocksButStaysSafe) {
+  // f >= n/2: no quorum can form after the crashes; the protocol must not
+  // decide inconsistently — here it cannot decide at all (crashes hit
+  // before round 1's quorum assembles).
+  RotatingRun Run(4, 7);
+  for (uint64_t K = 0; K != 2; ++K) {
+    ProcessId Victim = Run.Pids[K];
+    Run.S.scheduleAt(1, [Victim](Simulator &Sim) { Sim.crash(Victim); });
+  }
+  // Two of four crash at t=1 (before any estimate is processed at t>=2):
+  // majority is 3, only 2 remain.
+  RunLimits L;
+  L.MaxTime = 400;
+  Run.S.run(L);
+  auto Records = collectRotatingOutcome(Run.S.trace());
+  Status Safety = checkConsensusRun(Records, /*RequireAllDecide=*/false);
+  EXPECT_TRUE(Safety.ok());
+  for (RotatingConsensusActor *A : {Run.Actors[2], Run.Actors[3]})
+    EXPECT_FALSE(A->decision().has_value());
+}
+
+TEST(RotatingConsensus, PartialSynchronyStillTerminates) {
+  for (uint64_t Seed = 1; Seed <= 4; ++Seed) {
+    RotatingRun Run(5, Seed * 5);
+    Run.S.setLatencyModel(std::make_unique<UniformLatency>(1, 6));
+    Run.run(4000);
+    auto Records = collectRotatingOutcome(Run.S.trace());
+    Status S = checkConsensusRun(Records);
+    EXPECT_TRUE(S.ok()) << "seed " << Seed << ": " << S.error().str();
+  }
+}
+
+TEST(RotatingConsensus, HeavyTailLatencyEventuallyDecides) {
+  // Growing timeouts ride out a heavy-tailed network: some rounds abort,
+  // but the timeout eventually dominates the delays actually drawn.
+  RotatingRun Run(5, 11);
+  Run.S.setLatencyModel(std::make_unique<HeavyTailLatency>(1, 1.2, 40));
+  Run.run(20000);
+  auto Records = collectRotatingOutcome(Run.S.trace());
+  Status S = checkConsensusRun(Records);
+  EXPECT_TRUE(S.ok()) << S.error().str();
+}
+
+TEST(RotatingConsensus, ValidityHoldsUnderCrashes) {
+  RotatingRun Run(5, 17);
+  Run.S.scheduleAt(3, [&Run](Simulator &Sim) { Sim.crash(Run.Pids[0]); });
+  Run.run();
+  auto Records = collectRotatingOutcome(Run.S.trace());
+  for (const ConsensusRecord &R : Records) {
+    if (!R.Decided)
+      continue;
+    EXPECT_GE(R.Decision, 100);
+    EXPECT_LT(R.Decision, 105);
+  }
+}

@@ -1,0 +1,130 @@
+//===- StoreCollectTest.cpp - store-collect object tests -----------------------===//
+//
+// Part of the dyndist project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dyndist/registers/StoreCollect.h"
+#include "dyndist/runtime/StressHarness.h"
+#include "dyndist/runtime/ThreadRunner.h"
+
+#include <gtest/gtest.h>
+
+using namespace dyndist;
+
+TEST(StoreCollect, EmptyCollect) {
+  StoreCollect SC;
+  EXPECT_TRUE(SC.collect().empty());
+  EXPECT_EQ(SC.identityCount(), 0u);
+}
+
+TEST(StoreCollect, StoreThenCollect) {
+  StoreCollect SC;
+  SC.store(7, 70);
+  SC.store(9, 90);
+  auto View = SC.collect();
+  ASSERT_EQ(View.size(), 2u);
+  EXPECT_EQ(View[7], 70);
+  EXPECT_EQ(View[9], 90);
+  EXPECT_EQ(SC.identityCount(), 2u);
+}
+
+TEST(StoreCollect, OverwriteKeepsOneSlotPerIdentity) {
+  StoreCollect SC;
+  SC.store(7, 1);
+  SC.store(7, 2);
+  SC.store(7, 3);
+  auto View = SC.collect();
+  ASSERT_EQ(View.size(), 1u);
+  EXPECT_EQ(View[7], 3);
+  EXPECT_EQ(SC.identityCount(), 1u);
+}
+
+TEST(StoreCollect, UnboundedIdentityUniverse) {
+  StoreCollect SC;
+  // Identities from all over the 64-bit space, as the arrival models allow.
+  for (uint64_t Id : {1ULL, 1ULL << 20, 1ULL << 40, ~0ULL - 1})
+    SC.store(Id, static_cast<int64_t>(Id & 0xffff));
+  EXPECT_EQ(SC.collect().size(), 4u);
+}
+
+TEST(StoreCollect, CollectContainsAllCompletedStores) {
+  for (uint64_t Seed = 1; Seed <= 5; ++Seed) {
+    StoreCollect SC;
+    const size_t Arrivals = 8;
+    ThreadRunner Runner;
+    for (size_t I = 0; I != Arrivals; ++I) {
+      Runner.spawn([&SC, I, Seed] {
+        Rng Jit(Seed * 37 + I);
+        jitter(Jit);
+        SC.store(1000 + I, static_cast<int64_t>(I));
+        jitter(Jit);
+        SC.store(1000 + I, static_cast<int64_t>(100 + I)); // Overwrite.
+      });
+    }
+    Runner.joinAll();
+    auto View = SC.collect();
+    ASSERT_EQ(View.size(), Arrivals) << "seed " << Seed;
+    for (size_t I = 0; I != Arrivals; ++I)
+      EXPECT_EQ(View[1000 + I], static_cast<int64_t>(100 + I));
+  }
+}
+
+TEST(StoreCollect, ConcurrentCollectsNeverInvent) {
+  for (uint64_t Seed = 1; Seed <= 5; ++Seed) {
+    StoreCollect SC;
+    std::atomic<bool> Stop{false};
+    std::atomic<int> Violations{0};
+    ThreadRunner Runner;
+    // Arriving storers.
+    for (size_t I = 0; I != 4; ++I) {
+      Runner.spawn([&SC, I, Seed] {
+        Rng Jit(Seed * 91 + I);
+        for (int K = 0; K != 50; ++K) {
+          SC.store(10 + I, static_cast<int64_t>(K));
+          jitter(Jit, 2);
+        }
+      });
+    }
+    // A concurrent collector validating every view.
+    Runner.spawn([&] {
+      while (!Stop.load()) {
+        auto View = SC.collect();
+        for (const auto &[Id, V] : View) {
+          // Only ids 10..13 ever store, with values 0..49.
+          if (Id < 10 || Id > 13 || V < 0 || V > 49)
+            ++Violations;
+        }
+        std::this_thread::yield();
+      }
+    });
+    // Let storers finish, then stop the collector.
+    for (int Spin = 0; Spin != 2000 && SC.identityCount() < 4; ++Spin)
+      std::this_thread::yield();
+    Stop = true;
+    Runner.joinAll();
+    EXPECT_EQ(Violations.load(), 0) << "seed " << Seed;
+    EXPECT_EQ(SC.identityCount(), 4u);
+  }
+}
+
+TEST(StoreCollect, PerIdentityMonotoneAcrossSequentialCollects) {
+  StoreCollect SC;
+  ThreadRunner Runner;
+  std::atomic<bool> Stop{false};
+  Runner.spawn([&] {
+    for (int K = 1; K <= 200 && !Stop.load(); ++K)
+      SC.store(5, K);
+  });
+  int64_t Last = 0;
+  for (int I = 0; I != 100; ++I) {
+    auto View = SC.collect();
+    auto It = View.find(5);
+    if (It == View.end())
+      continue;
+    EXPECT_GE(It->second, Last); // Single-writer values never regress.
+    Last = It->second;
+  }
+  Stop = true;
+  Runner.joinAll();
+}

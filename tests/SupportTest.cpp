@@ -1,0 +1,296 @@
+//===- SupportTest.cpp - dyndist_support unit tests --------------------------===//
+//
+// Part of the dyndist project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dyndist/support/Logging.h"
+#include "dyndist/support/Random.h"
+#include "dyndist/support/Result.h"
+#include "dyndist/support/Stats.h"
+#include "dyndist/support/StringUtils.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+using namespace dyndist;
+
+TEST(Random, SeedDeterminism) {
+  Rng A(42), B(42);
+  for (int I = 0; I != 1000; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(Random, DifferentSeedsDiffer) {
+  Rng A(1), B(2);
+  int Same = 0;
+  for (int I = 0; I != 100; ++I)
+    if (A.next() == B.next())
+      ++Same;
+  EXPECT_EQ(Same, 0);
+}
+
+TEST(Random, NextBelowInRange) {
+  Rng R(7);
+  for (int I = 0; I != 10000; ++I)
+    EXPECT_LT(R.nextBelow(17), 17u);
+}
+
+TEST(Random, NextBelowCoversAllResidues) {
+  Rng R(11);
+  std::set<uint64_t> Seen;
+  for (int I = 0; I != 1000; ++I)
+    Seen.insert(R.nextBelow(7));
+  EXPECT_EQ(Seen.size(), 7u);
+}
+
+TEST(Random, NextInRangeBounds) {
+  Rng R(3);
+  for (int I = 0; I != 10000; ++I) {
+    int64_t V = R.nextInRange(-5, 9);
+    EXPECT_GE(V, -5);
+    EXPECT_LE(V, 9);
+  }
+}
+
+TEST(Random, NextDoubleUnitInterval) {
+  Rng R(5);
+  for (int I = 0; I != 10000; ++I) {
+    double V = R.nextDouble();
+    EXPECT_GE(V, 0.0);
+    EXPECT_LT(V, 1.0);
+  }
+}
+
+TEST(Random, BernoulliExtremes) {
+  Rng R(9);
+  for (int I = 0; I != 100; ++I) {
+    EXPECT_FALSE(R.nextBernoulli(0.0));
+    EXPECT_TRUE(R.nextBernoulli(1.0));
+  }
+}
+
+TEST(Random, BernoulliMeanRoughlyP) {
+  Rng R(13);
+  int Hits = 0;
+  const int N = 20000;
+  for (int I = 0; I != N; ++I)
+    Hits += R.nextBernoulli(0.3);
+  double Mean = static_cast<double>(Hits) / N;
+  EXPECT_NEAR(Mean, 0.3, 0.02);
+}
+
+TEST(Random, ExponentialMean) {
+  Rng R(17);
+  OnlineStats S;
+  for (int I = 0; I != 20000; ++I)
+    S.add(R.nextExponential(0.5));
+  EXPECT_NEAR(S.mean(), 2.0, 0.1);
+}
+
+TEST(Random, PoissonSmallMean) {
+  Rng R(19);
+  OnlineStats S;
+  for (int I = 0; I != 20000; ++I)
+    S.add(static_cast<double>(R.nextPoisson(3.0)));
+  EXPECT_NEAR(S.mean(), 3.0, 0.1);
+  EXPECT_NEAR(S.variance(), 3.0, 0.25);
+}
+
+TEST(Random, PoissonLargeMeanApproximation) {
+  Rng R(23);
+  OnlineStats S;
+  for (int I = 0; I != 20000; ++I)
+    S.add(static_cast<double>(R.nextPoisson(100.0)));
+  EXPECT_NEAR(S.mean(), 100.0, 1.0);
+}
+
+TEST(Random, PoissonZeroMean) {
+  Rng R(29);
+  EXPECT_EQ(R.nextPoisson(0.0), 0u);
+}
+
+TEST(Random, GeometricMean) {
+  Rng R(31);
+  OnlineStats S;
+  for (int I = 0; I != 20000; ++I)
+    S.add(static_cast<double>(R.nextGeometric(0.25)));
+  // Mean of failures-before-success is (1-p)/p = 3.
+  EXPECT_NEAR(S.mean(), 3.0, 0.15);
+}
+
+TEST(Random, NormalMoments) {
+  Rng R(37);
+  OnlineStats S;
+  for (int I = 0; I != 50000; ++I)
+    S.add(R.nextNormal());
+  EXPECT_NEAR(S.mean(), 0.0, 0.03);
+  EXPECT_NEAR(S.stddev(), 1.0, 0.03);
+}
+
+TEST(Random, ParetoAboveMinimum) {
+  Rng R(41);
+  for (int I = 0; I != 10000; ++I)
+    EXPECT_GE(R.nextPareto(2.0, 1.5), 2.0);
+}
+
+TEST(Random, ShufflePermutes) {
+  Rng R(43);
+  std::vector<int> V = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> Orig = V;
+  R.shuffle(V);
+  std::multiset<int> A(V.begin(), V.end()), B(Orig.begin(), Orig.end());
+  EXPECT_EQ(A, B);
+}
+
+TEST(Random, SplitDecorrelates) {
+  Rng A(47);
+  Rng B = A.split();
+  int Same = 0;
+  for (int I = 0; I != 100; ++I)
+    if (A.next() == B.next())
+      ++Same;
+  EXPECT_EQ(Same, 0);
+}
+
+TEST(Stats, EmptyOnlineStats) {
+  OnlineStats S;
+  EXPECT_EQ(S.count(), 0u);
+  EXPECT_EQ(S.mean(), 0.0);
+  EXPECT_EQ(S.variance(), 0.0);
+}
+
+TEST(Stats, KnownMoments) {
+  OnlineStats S;
+  for (double V : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+    S.add(V);
+  EXPECT_DOUBLE_EQ(S.mean(), 5.0);
+  EXPECT_NEAR(S.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(S.min(), 2.0);
+  EXPECT_EQ(S.max(), 9.0);
+}
+
+TEST(Stats, MergeMatchesSequential) {
+  Rng R(51);
+  OnlineStats All, Left, Right;
+  for (int I = 0; I != 1000; ++I) {
+    double V = R.nextDouble() * 10;
+    All.add(V);
+    (I % 2 ? Left : Right).add(V);
+  }
+  Left.merge(Right);
+  EXPECT_EQ(Left.count(), All.count());
+  EXPECT_NEAR(Left.mean(), All.mean(), 1e-9);
+  EXPECT_NEAR(Left.variance(), All.variance(), 1e-9);
+}
+
+TEST(Stats, QuantileInterpolation) {
+  std::vector<double> V = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(quantile(V, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(V, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(quantile(V, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(quantile(V, 0.25), 2.0);
+}
+
+TEST(Stats, QuantileEmptyAndSingle) {
+  EXPECT_EQ(quantile({}, 0.5), 0.0);
+  EXPECT_EQ(quantile({7.0}, 0.9), 7.0);
+}
+
+TEST(Stats, SummaryFields) {
+  Summary S = Summary::of({1, 2, 3, 4, 5, 6, 7, 8, 9, 10});
+  EXPECT_EQ(S.Count, 10u);
+  EXPECT_DOUBLE_EQ(S.Mean, 5.5);
+  EXPECT_EQ(S.Min, 1.0);
+  EXPECT_EQ(S.Max, 10.0);
+  EXPECT_DOUBLE_EQ(S.P50, 5.5);
+  EXPECT_FALSE(S.str().empty());
+}
+
+TEST(Stats, HistogramBucketsAndClamping) {
+  Histogram H(0.0, 10.0, 10);
+  H.add(-5.0); // Clamps into bucket 0.
+  H.add(0.5);
+  H.add(9.5);
+  H.add(99.0); // Clamps into last bucket.
+  EXPECT_EQ(H.total(), 4u);
+  EXPECT_EQ(H.bucketCount(0), 2u);
+  EXPECT_EQ(H.bucketCount(9), 2u);
+  EXPECT_DOUBLE_EQ(H.bucketLo(5), 5.0);
+  EXPECT_FALSE(H.render().empty());
+}
+
+TEST(StringUtils, Format) {
+  EXPECT_EQ(format("x=%d y=%s", 3, "abc"), "x=3 y=abc");
+  EXPECT_EQ(format("%s", ""), "");
+}
+
+TEST(StringUtils, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"only"}, ","), "only");
+}
+
+TEST(StringUtils, Pad) {
+  EXPECT_EQ(padRight("ab", 5), "ab   ");
+  EXPECT_EQ(padLeft("ab", 5), "   ab");
+  EXPECT_EQ(padRight("abcdef", 3), "abcdef");
+}
+
+TEST(StringUtils, TableRender) {
+  Table T;
+  T.setHeader({"col1", "c2"});
+  T.addRow({"a", "bbbb"});
+  T.addRow({"cc"});
+  std::string Out = T.render();
+  EXPECT_NE(Out.find("col1"), std::string::npos);
+  EXPECT_NE(Out.find("bbbb"), std::string::npos);
+  EXPECT_NE(Out.find("----"), std::string::npos);
+}
+
+TEST(Result, ValueAndError) {
+  Result<int> Ok(42);
+  ASSERT_TRUE(Ok.ok());
+  EXPECT_EQ(*Ok, 42);
+
+  Result<int> Bad(Error(Error::Code::Timeout, "too slow"));
+  ASSERT_FALSE(Bad.ok());
+  EXPECT_EQ(Bad.error().Kind, Error::Code::Timeout);
+  EXPECT_EQ(Bad.error().str(), "timeout: too slow");
+}
+
+TEST(Result, StatusSuccessAndFailure) {
+  Status S = Status::success();
+  EXPECT_TRUE(S.ok());
+  Status F = Error(Error::Code::Unsolvable, "no way");
+  EXPECT_FALSE(F.ok());
+  EXPECT_EQ(F.error().Kind, Error::Code::Unsolvable);
+}
+
+TEST(Logging, LevelGating) {
+  Logger::setLevel(LogLevel::Warn);
+  EXPECT_TRUE(Logger::enabled(LogLevel::Warn));
+  EXPECT_FALSE(Logger::enabled(LogLevel::Info));
+  Logger::setLevel(LogLevel::Debug);
+  EXPECT_TRUE(Logger::enabled(LogLevel::Info));
+  EXPECT_FALSE(Logger::enabled(LogLevel::Trace));
+  Logger::setLevel(LogLevel::Warn);
+}
+
+TEST(Logging, SinkRedirection) {
+  std::FILE *Tmp = std::tmpfile();
+  ASSERT_NE(Tmp, nullptr);
+  Logger::setSink(Tmp);
+  Logger::setLevel(LogLevel::Info);
+  DYNDIST_INFO("hello sink");
+  std::fflush(Tmp);
+  std::rewind(Tmp);
+  char Buf[64] = {0};
+  ASSERT_NE(std::fgets(Buf, sizeof(Buf), Tmp), nullptr);
+  EXPECT_NE(std::string(Buf).find("hello sink"), std::string::npos);
+  Logger::setSink(nullptr);
+  Logger::setLevel(LogLevel::Warn);
+  std::fclose(Tmp);
+}

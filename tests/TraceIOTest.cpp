@@ -1,0 +1,131 @@
+//===- TraceIOTest.cpp - trace serialization tests -----------------------------===//
+//
+// Part of the dyndist project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dyndist/sim/TraceIO.h"
+
+#include "dyndist/sim/Simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+using namespace dyndist;
+
+namespace {
+
+Trace makeSampleTrace() {
+  Trace T;
+  T.append({TraceKind::Join, 0, 1, InvalidProcess, 0, "", 0});
+  T.append({TraceKind::Join, 2, 2, InvalidProcess, 0, "", 0});
+  T.append({TraceKind::Send, 3, 1, 2, 10, "", 0});
+  T.append({TraceKind::Deliver, 4, 2, 1, 10, "", 0});
+  T.append({TraceKind::Observe, 5, 2, InvalidProcess, 0, "otq.value", -7});
+  T.append({TraceKind::Leave, 8, 2, InvalidProcess, 0, "", 0});
+  T.append({TraceKind::Crash, 9, 1, InvalidProcess, 0, "", 0});
+  T.append({TraceKind::Drop, 9, 1, 2, 11, "", 0});
+  return T;
+}
+
+} // namespace
+
+TEST(TraceIO, RoundTripPreservesEverything) {
+  Trace T = makeSampleTrace();
+  auto Parsed = traceFromJsonLines(traceToJsonLines(T));
+  ASSERT_TRUE(Parsed.ok()) << Parsed.error().str();
+  const Trace &U = *Parsed;
+  ASSERT_EQ(U.events().size(), T.events().size());
+  for (size_t I = 0; I != T.events().size(); ++I) {
+    const TraceEvent &A = T.events()[I], &B = U.events()[I];
+    EXPECT_EQ(static_cast<int>(A.Kind), static_cast<int>(B.Kind)) << I;
+    EXPECT_EQ(A.Time, B.Time) << I;
+    EXPECT_EQ(A.Subject, B.Subject) << I;
+    EXPECT_EQ(A.Peer, B.Peer) << I;
+    EXPECT_EQ(A.MsgKind, B.MsgKind) << I;
+    EXPECT_EQ(A.Key, B.Key) << I;
+    EXPECT_EQ(A.Value, B.Value) << I;
+  }
+  // Derived structures rebuilt identically.
+  EXPECT_EQ(U.totalArrivals(), T.totalArrivals());
+  EXPECT_EQ(U.maxConcurrency(), T.maxConcurrency());
+  EXPECT_TRUE(U.presence().at(1).Crashed);
+}
+
+TEST(TraceIO, EscapedKeysSurvive) {
+  Trace T;
+  T.append({TraceKind::Join, 0, 1, InvalidProcess, 0, "", 0});
+  T.append({TraceKind::Observe, 1, 1, InvalidProcess, 0,
+            "weird\"key\\with stuff", 5});
+  auto Parsed = traceFromJsonLines(traceToJsonLines(T));
+  ASSERT_TRUE(Parsed.ok());
+  EXPECT_EQ(Parsed->events()[1].Key, "weird\"key\\with stuff");
+}
+
+TEST(TraceIO, EmptyTraceRoundTrips) {
+  Trace T;
+  EXPECT_EQ(traceToJsonLines(T), "");
+  auto Parsed = traceFromJsonLines("");
+  ASSERT_TRUE(Parsed.ok());
+  EXPECT_TRUE(Parsed->events().empty());
+}
+
+TEST(TraceIO, MalformedLinesRejectedWithLineNumber) {
+  auto R1 = traceFromJsonLines("not json\n");
+  ASSERT_FALSE(R1.ok());
+  EXPECT_NE(R1.error().Message.find("line 1"), std::string::npos);
+
+  Trace T = makeSampleTrace();
+  std::string Good = traceToJsonLines(T);
+  auto R2 = traceFromJsonLines(Good + "{\"kind\":\"bogus\"}\n");
+  ASSERT_FALSE(R2.ok());
+
+  // Unknown kind.
+  auto R3 = traceFromJsonLines(
+      "{\"kind\":\"explode\",\"t\":0,\"subject\":0,\"peer\":0,\"msg\":0,"
+      "\"key\":\"\",\"value\":0}\n");
+  ASSERT_FALSE(R3.ok());
+}
+
+TEST(TraceIO, TimeRegressionRejected) {
+  std::string Lines =
+      "{\"kind\":\"join\",\"t\":5,\"subject\":1,\"peer\":0,\"msg\":0,"
+      "\"key\":\"\",\"value\":0}\n"
+      "{\"kind\":\"join\",\"t\":3,\"subject\":2,\"peer\":0,\"msg\":0,"
+      "\"key\":\"\",\"value\":0}\n";
+  auto R = traceFromJsonLines(Lines);
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.error().Message.find("back in time"), std::string::npos);
+}
+
+TEST(TraceIO, FileRoundTrip) {
+  Trace T = makeSampleTrace();
+  std::string Path = "/tmp/dyndist_trace_io_test.jsonl";
+  ASSERT_TRUE(writeTraceFile(T, Path).ok());
+  auto Parsed = readTraceFile(Path);
+  ASSERT_TRUE(Parsed.ok()) << Parsed.error().str();
+  EXPECT_EQ(Parsed->events().size(), T.events().size());
+  std::remove(Path.c_str());
+
+  EXPECT_FALSE(readTraceFile("/nonexistent/dir/x.jsonl").ok());
+  EXPECT_FALSE(writeTraceFile(T, "/nonexistent/dir/x.jsonl").ok());
+}
+
+TEST(TraceIO, RealSimulationTraceRoundTrips) {
+  class Chatter : public Actor {
+  public:
+    void onStart(Context &Ctx) override {
+      Ctx.observe("started", static_cast<int64_t>(Ctx.self()));
+    }
+  };
+  Simulator S(31);
+  for (int I = 0; I != 6; ++I)
+    S.spawn(std::make_unique<Chatter>());
+  S.scheduleAt(5, [](Simulator &Sim) { Sim.crash(2); });
+  S.run();
+  auto Parsed = traceFromJsonLines(traceToJsonLines(S.trace()));
+  ASSERT_TRUE(Parsed.ok());
+  EXPECT_EQ(Parsed->events().size(), S.trace().events().size());
+  EXPECT_EQ(Parsed->observations("started").size(), 6u);
+}

@@ -1,0 +1,197 @@
+//===- dyndist-query.cpp - command-line experiment driver -----------------===//
+//
+// Part of the dyndist project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Runs one one-time-query experiment from the command line: declare a
+// system class, pick an algorithm (or let the solvability oracle choose),
+// set the churn regime, and get the checker's verdict — optionally
+// archiving the full execution trace as JSON lines.
+//
+//   dyndist-query [options]
+//     --arrival finite:<n> | bounded:<b> | bounded-unknown:<b> | infinite
+//     --diameter known:<D> | bounded | unbounded
+//     --algorithm auto | flood | echo | gossip     (default auto)
+//     --join-rate <r>        expected joins/tick   (default 0.05)
+//     --mean-session <s>     mean membership ticks (default 400)
+//     --quiesce-at <t>       churn stops at t      (default: never)
+//     --members <k>          initial population    (default 20)
+//     --query-at <t>         issue time            (default 200)
+//     --horizon <t>          run end               (default 900)
+//     --seed <s>             experiment seed       (default 1)
+//     --chain                chain-attach overlay (unbounded diameter)
+//     --trace-out <path>     dump the execution trace as JSON lines
+//
+//===----------------------------------------------------------------------===//
+
+#include "dyndist/aggregation/Experiment.h"
+#include "dyndist/sim/TraceIO.h"
+#include "dyndist/support/StringUtils.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+using namespace dyndist;
+
+namespace {
+
+[[noreturn]] void usageError(const std::string &Message) {
+  std::fprintf(stderr, "dyndist-query: %s\n", Message.c_str());
+  std::fprintf(stderr, "run with --help for usage\n");
+  std::exit(2);
+}
+
+void printHelp() {
+  std::printf(
+      "usage: dyndist-query [options]\n"
+      "  --arrival finite:<n>|bounded:<b>|bounded-unknown:<b>|infinite\n"
+      "  --diameter known:<D>|bounded|unbounded\n"
+      "  --algorithm auto|flood|echo|gossip   (default auto)\n"
+      "  --join-rate <r>     expected joins per tick (default 0.05)\n"
+      "  --mean-session <s>  mean membership duration (default 400)\n"
+      "  --quiesce-at <t>    churn stops at t (default never)\n"
+      "  --members <k>       initial population (default 20)\n"
+      "  --query-at <t>      issue time (default 200)\n"
+      "  --horizon <t>       run end (default 900)\n"
+      "  --seed <s>          experiment seed (default 1)\n"
+      "  --chain             chain-attach overlay (grows the diameter)\n"
+      "  --trace-out <path>  dump the trace as JSON lines\n");
+}
+
+/// Splits "name:number"; returns true and fills \p Num on match.
+bool splitSpec(const std::string &Arg, const char *Name, uint64_t &Num) {
+  std::string Prefix = std::string(Name) + ":";
+  if (Arg.rfind(Prefix, 0) != 0)
+    return false;
+  char *End = nullptr;
+  Num = std::strtoull(Arg.c_str() + Prefix.size(), &End, 10);
+  if (!End || *End != '\0' || Num == 0)
+    usageError("bad numeric suffix in '" + Arg + "'");
+  return true;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  ExperimentConfig Cfg;
+  Cfg.Class = {ArrivalModel::boundedConcurrency(28),
+               KnowledgeModel::knownDiameter(10)};
+  Cfg.Churn.JoinRate = 0.05;
+  Cfg.Churn.MeanSession = 400;
+  Cfg.Gossip.ReportAfter = 100;
+  Cfg.Gossip.Rounds = 50;
+  Cfg.Gossip.RoundEvery = 2;
+  std::string TraceOut;
+
+  auto NextArg = [&](int &I) -> std::string {
+    if (I + 1 >= argc)
+      usageError(std::string("missing value after ") + argv[I]);
+    return argv[++I];
+  };
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg == "--help" || Arg == "-h") {
+      printHelp();
+      return 0;
+    }
+    if (Arg == "--arrival") {
+      std::string Spec = NextArg(I);
+      uint64_t N = 0;
+      if (Spec == "infinite")
+        Cfg.Class.Arrival = ArrivalModel::infiniteArrival();
+      else if (splitSpec(Spec, "finite", N))
+        Cfg.Class.Arrival = ArrivalModel::finiteArrival(N);
+      else if (splitSpec(Spec, "bounded-unknown", N))
+        Cfg.Class.Arrival = ArrivalModel::boundedConcurrency(N, false);
+      else if (splitSpec(Spec, "bounded", N))
+        Cfg.Class.Arrival = ArrivalModel::boundedConcurrency(N, true);
+      else
+        usageError("unknown arrival spec '" + Spec + "'");
+    } else if (Arg == "--diameter") {
+      std::string Spec = NextArg(I);
+      uint64_t D = 0;
+      if (Spec == "bounded")
+        Cfg.Class.Knowledge = KnowledgeModel::boundedUnknownDiameter();
+      else if (Spec == "unbounded")
+        Cfg.Class.Knowledge = KnowledgeModel::unboundedDiameter();
+      else if (splitSpec(Spec, "known", D))
+        Cfg.Class.Knowledge = KnowledgeModel::knownDiameter(D);
+      else
+        usageError("unknown diameter spec '" + Spec + "'");
+    } else if (Arg == "--algorithm") {
+      std::string Spec = NextArg(I);
+      if (Spec == "auto") {
+        Cfg.UseRecommended = true;
+      } else {
+        Cfg.UseRecommended = false;
+        if (Spec == "flood")
+          Cfg.Algorithm = RecommendedAlgorithm::FloodingKnownDiameter;
+        else if (Spec == "echo")
+          Cfg.Algorithm = RecommendedAlgorithm::EchoTermination;
+        else if (Spec == "gossip")
+          Cfg.Algorithm = RecommendedAlgorithm::GossipBestEffort;
+        else
+          usageError("unknown algorithm '" + Spec + "'");
+      }
+    } else if (Arg == "--join-rate") {
+      Cfg.Churn.JoinRate = std::atof(NextArg(I).c_str());
+    } else if (Arg == "--mean-session") {
+      Cfg.Churn.MeanSession = std::atof(NextArg(I).c_str());
+    } else if (Arg == "--quiesce-at") {
+      Cfg.Churn.QuiesceAt = std::strtoull(NextArg(I).c_str(), nullptr, 10);
+    } else if (Arg == "--members") {
+      Cfg.InitialMembers = std::strtoull(NextArg(I).c_str(), nullptr, 10);
+    } else if (Arg == "--query-at") {
+      Cfg.QueryAt = std::strtoull(NextArg(I).c_str(), nullptr, 10);
+    } else if (Arg == "--horizon") {
+      Cfg.Horizon = std::strtoull(NextArg(I).c_str(), nullptr, 10);
+    } else if (Arg == "--seed") {
+      Cfg.Seed = std::strtoull(NextArg(I).c_str(), nullptr, 10);
+    } else if (Arg == "--chain") {
+      Cfg.Attach = AttachMode::Chain;
+    } else if (Arg == "--trace-out") {
+      TraceOut = NextArg(I);
+    } else {
+      usageError("unknown option '" + Arg + "'");
+    }
+  }
+  Cfg.Churn.Horizon = Cfg.Horizon;
+
+  RecommendedAlgorithm Algo = Cfg.UseRecommended
+                                  ? recommendedAlgorithm(Cfg.Class)
+                                  : Cfg.Algorithm;
+  std::printf("class        : %s\n", Cfg.Class.name().c_str());
+  std::printf("oracle       : %s\n",
+              solvabilityName(oneTimeQuerySolvability(Cfg.Class)).c_str());
+  std::printf("algorithm    : %s%s\n", algorithmName(Algo).c_str(),
+              Cfg.UseRecommended ? " (recommended)" : "");
+
+  Cfg.KeepTrace = !TraceOut.empty();
+  ExperimentResult R = runQueryExperiment(Cfg);
+
+  std::printf("admissible   : %s\n",
+              R.ClassAdmissible ? "yes" : R.AdmissibilityError.c_str());
+  std::printf("arrivals     : %llu (peak diameter %llu)\n",
+              (unsigned long long)R.Arrivals,
+              (unsigned long long)R.MaxDiameter);
+  if (!R.QueryIssued) {
+    std::printf("query        : never issued\n");
+    return 1;
+  }
+  std::printf("query        : %s\n", R.Verdict.str().c_str());
+  std::printf("verdict      : %s\n", R.Verdict.valid() ? "VALID" : "INVALID");
+
+  if (!TraceOut.empty() && R.RecordedTrace) {
+    if (Status S = writeTraceFile(*R.RecordedTrace, TraceOut); !S) {
+      std::fprintf(stderr, "dyndist-query: %s\n", S.error().str().c_str());
+      return 2;
+    }
+    std::printf("trace        : %zu events -> %s\n",
+                R.RecordedTrace->events().size(), TraceOut.c_str());
+  }
+  return R.Verdict.valid() ? 0 : 1;
+}
