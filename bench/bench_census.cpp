@@ -43,6 +43,9 @@ std::vector<CensusPoint> runSeries(uint64_t Seed, double JoinRate,
   SysCfg.Churn.MeanSession = JoinRate > 0 ? 20.0 / JoinRate : 1e9;
   SysCfg.Churn.Horizon = 100 + Rounds * 60 + 100;
   SysCfg.MonitorUntil = SysCfg.Churn.Horizon;
+  // The census series is built from Observe records and presence intervals
+  // only, so skip the per-message trace records.
+  SysCfg.Tracing = TraceLevel::Lifecycle;
 
   auto FloodCfg = std::make_shared<FloodConfig>();
   FloodCfg->Ttl = Cfg->Flood.Ttl;

@@ -15,12 +15,16 @@
 
 #include "dyndist/aggregation/Experiment.h"
 #include "dyndist/aggregation/Token.h"
+#include "dyndist/runtime/KernelLoad.h"
 #include "dyndist/support/Stats.h"
 #include "dyndist/support/StringUtils.h"
+
+#include <benchmark/benchmark.h>
 
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <string_view>
 
 using namespace dyndist;
 
@@ -87,9 +91,58 @@ Cell sweep(RecommendedAlgorithm Algo, double JoinRate, int Seeds,
   return Out;
 }
 
+// --- Kernel throughput section (google-benchmark) -------------------------
+//
+// Measures raw kernel events/sec under a gossip + crash/respawn churn load
+// at N = 1000 — the hot loop every experiment above funnels through. Run
+// with any --benchmark_* flag to execute only this section, e.g.:
+//   bench_churn_gossip --benchmark_filter=BM_Kernel \
+//     --benchmark_out=churn_gossip.json --benchmark_out_format=json
+// tools/dyndist-bench-report drives exactly that and merges the JSON into
+// BENCH_kernel.json.
+
+KernelLoadConfig churnGossipLoad() {
+  KernelLoadConfig Cfg;
+  Cfg.Seed = 42;
+  Cfg.Processes = 1000;
+  Cfg.Horizon = 1500;
+  Cfg.GossipEvery = 4;
+  Cfg.GossipFanout = 2;
+  Cfg.ChurnEvery = 25;
+  return Cfg;
+}
+
+void BM_KernelChurnGossip(benchmark::State &State, TraceLevel Level) {
+  KernelLoadConfig Cfg = churnGossipLoad();
+  uint64_t Events = 0;
+  for (auto _ : State) {
+    KernelLoadResult R = runKernelLoad(Cfg, Level);
+    Events += R.Stats.EventsExecuted;
+    benchmark::DoNotOptimize(R);
+  }
+  // items_per_second in the report is kernel events/sec.
+  State.SetItemsProcessed(static_cast<int64_t>(Events));
+}
+BENCHMARK_CAPTURE(BM_KernelChurnGossip, n1000_trace_off, TraceLevel::Off)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_KernelChurnGossip, n1000_trace_lifecycle,
+                  TraceLevel::Lifecycle)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_KernelChurnGossip, n1000_trace_full, TraceLevel::Full)
+    ->Unit(benchmark::kMillisecond);
+
 } // namespace
 
 int main(int argc, char **argv) {
+  for (int I = 1; I < argc; ++I) {
+    if (std::string_view(argv[I]).rfind("--benchmark", 0) == 0) {
+      ::benchmark::Initialize(&argc, argv);
+      ::benchmark::RunSpecifiedBenchmarks();
+      ::benchmark::Shutdown();
+      return 0;
+    }
+  }
+
   int Seeds = argc > 1 ? std::atoi(argv[1]) : 12;
 
   std::printf("E4: algorithm behavior vs churn rate (%d seeds/point)\n\n",
@@ -139,6 +192,8 @@ int main(int argc, char **argv) {
       SysCfg.Churn.MeanSession = Rate > 0 ? 24.0 / Rate : 1e9;
       SysCfg.Churn.Horizon = 600;
       SysCfg.MonitorUntil = 1200;
+      // The token verdict reads Observe records and presence intervals.
+      SysCfg.Tracing = TraceLevel::Lifecycle;
 
       auto TokenCfg = std::make_shared<TokenConfig>();
       TokenCfg->TimeoutAfter = 400;

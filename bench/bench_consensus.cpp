@@ -146,6 +146,8 @@ void printStaticVsDynamicTable() {
                "distinct-decisions"});
   for (double Rate : {0.0, 0.05, 0.15, 0.3}) {
     Simulator S(77 + static_cast<uint64_t>(Rate * 100));
+    // FloodSet outcomes are collected from Observe records + presence.
+    S.setTraceLevel(TraceLevel::Lifecycle);
     auto Cfg = std::make_shared<FloodSetConfig>();
     Cfg->Faults = 1;
     auto Value = std::make_shared<int64_t>(0);
@@ -184,6 +186,8 @@ void printRotatingTable() {
   } Cases[] = {{0, false}, {1, false}, {3, false}, {0, true}, {2, true}};
   for (const Case &C : Cases) {
     Simulator S(101 + C.Crashes + (C.HeavyTail ? 10 : 0));
+    // Rotating-consensus outcomes are collected from Observe records.
+    S.setTraceLevel(TraceLevel::Lifecycle);
     if (C.HeavyTail)
       S.setLatencyModel(std::make_unique<HeavyTailLatency>(1, 1.2, 40));
     auto Cfg = std::make_shared<RotatingConfig>();

@@ -18,10 +18,14 @@
 #include "dyndist/graph/Algorithms.h"
 #include "dyndist/graph/Generators.h"
 #include "dyndist/graph/Overlay.h"
+#include "dyndist/runtime/KernelLoad.h"
 #include "dyndist/support/StringUtils.h"
+
+#include <benchmark/benchmark.h>
 
 #include <cstdio>
 #include <cstdlib>
+#include <string_view>
 
 using namespace dyndist;
 
@@ -37,6 +41,8 @@ struct Point {
 Point runOnce(Graph Topology, uint64_t Ttl, uint64_t Seed) {
   size_t N = Topology.nodeCount();
   Simulator S(Seed);
+  // The query verdict reads Observe records and presence intervals only.
+  S.setTraceLevel(TraceLevel::Lifecycle);
   DynamicOverlay O(2, Rng(Seed + 1));
   O.attachTo(S);
   auto Cfg = std::make_shared<FloodConfig>();
@@ -62,9 +68,56 @@ Point runOnce(Graph Topology, uint64_t Ttl, uint64_t Seed) {
   return P;
 }
 
+// --- Kernel throughput section (google-benchmark) -------------------------
+//
+// Measures raw kernel events/sec on a TTL-bounded flood cascade over 1000
+// processes: a burst of seeds fans out multiplicatively until the TTL is
+// spent, stressing queue push/pop and message dispatch with no timer
+// traffic. Run with any --benchmark_* flag to execute only this section;
+// tools/dyndist-bench-report merges the JSON into BENCH_kernel.json.
+
+KernelLoadConfig floodLoad() {
+  KernelLoadConfig Cfg;
+  Cfg.Seed = 42;
+  Cfg.Processes = 1000;
+  Cfg.Horizon = 100;
+  Cfg.FloodSeeds = 8;
+  Cfg.FloodFanout = 3;
+  Cfg.FloodTtl = 9;
+  return Cfg;
+}
+
+void BM_KernelFloodTtl(benchmark::State &State, TraceLevel Level) {
+  KernelLoadConfig Cfg = floodLoad();
+  uint64_t Events = 0;
+  for (auto _ : State) {
+    KernelLoadResult R = runKernelLoad(Cfg, Level);
+    Events += R.Stats.EventsExecuted;
+    benchmark::DoNotOptimize(R);
+  }
+  // items_per_second in the report is kernel events/sec.
+  State.SetItemsProcessed(static_cast<int64_t>(Events));
+}
+BENCHMARK_CAPTURE(BM_KernelFloodTtl, n1000_trace_off, TraceLevel::Off)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_KernelFloodTtl, n1000_trace_lifecycle,
+                  TraceLevel::Lifecycle)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_KernelFloodTtl, n1000_trace_full, TraceLevel::Full)
+    ->Unit(benchmark::kMillisecond);
+
 } // namespace
 
 int main(int argc, char **argv) {
+  for (int I = 1; I < argc; ++I) {
+    if (std::string_view(argv[I]).rfind("--benchmark", 0) == 0) {
+      ::benchmark::Initialize(&argc, argv);
+      ::benchmark::RunSpecifiedBenchmarks();
+      ::benchmark::Shutdown();
+      return 0;
+    }
+  }
+
   int Seeds = argc > 1 ? std::atoi(argv[1]) : 10;
 
   std::printf("E2: flooding coverage and cost vs TTL (claim C1)\n\n");
@@ -152,6 +205,7 @@ int main(int argc, char **argv) {
       for (int Seed = 1; Seed <= Seeds; ++Seed) {
         size_t N = 16;
         Simulator S(static_cast<uint64_t>(Seed) * 7 + 1);
+        S.setTraceLevel(TraceLevel::Lifecycle);
         if (C.HeavyTail)
           S.setLatencyModel(
               std::make_unique<HeavyTailLatency>(1, 1.3, 64));

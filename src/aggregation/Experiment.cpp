@@ -29,6 +29,9 @@ ExperimentResult dyndist::runQueryExperiment(const ExperimentConfig &Config) {
   SysCfg.Latency = Config.Latency;
   SysCfg.DiameterSampleEvery = 16;
   SysCfg.MonitorUntil = Config.Horizon;
+  // Archiving a trace only makes sense when the per-message records are in
+  // it, so KeepTrace forces Full regardless of the configured level.
+  SysCfg.Tracing = Config.KeepTrace ? TraceLevel::Full : Config.Tracing;
 
   // Input values: a shared counter so every member declares a distinct
   // value (keeps the aggregate-consistency clause sharp).

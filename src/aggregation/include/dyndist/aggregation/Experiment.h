@@ -61,6 +61,13 @@ struct ExperimentConfig {
   /// Retain the full execution trace in the result (off by default: traces
   /// of long runs are large).
   bool KeepTrace = false;
+
+  /// Kernel trace level for the run. Lifecycle (the default) records only
+  /// membership and Observe events — all this harness's verdicts need —
+  /// and skips the per-message records that dominate trace volume. Use
+  /// Full when KeepTrace'd runs must be archived or replayed message by
+  /// message.
+  TraceLevel Tracing = TraceLevel::Lifecycle;
 };
 
 /// Everything a sweep wants to tabulate about one run.

@@ -33,6 +33,7 @@ DynamicSystem::DynamicSystem(const DynamicSystemConfig &Config,
     : Config(Config), Sim(Config.Seed),
       Overlay(Config.OverlayDegree, Sim.rng().split(), Config.Attach) {
   Sim.setLatencyModel(makeLatency(Config.Latency));
+  Sim.setTraceLevel(Config.Tracing);
   Overlay.attachTo(Sim);
   Driver = std::make_unique<ChurnDriver>(Config.Class.Arrival, Config.Churn,
                                          std::move(Factory),

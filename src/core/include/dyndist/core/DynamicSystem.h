@@ -59,6 +59,12 @@ struct DynamicSystemConfig {
   ChurnParams Churn;
   LatencyConfig Latency;
 
+  /// Kernel trace level. Lifecycle is sufficient for every checker this
+  /// layer ships (arrival admissibility and the one-time-query verdict
+  /// read only Join/Leave/Crash/Observe records); Full additionally keeps
+  /// per-message Send/Deliver/Drop records for archiving and replay.
+  TraceLevel Tracing = TraceLevel::Full;
+
   /// Overlay diameter is sampled every this many ticks (0 disables) up to
   /// MonitorUntil.
   SimTime DiameterSampleEvery = 16;

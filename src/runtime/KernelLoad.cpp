@@ -1,0 +1,91 @@
+//===- KernelLoad.cpp - Kernel stress workloads -------------------------------===//
+//
+// Part of the dyndist project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dyndist/runtime/KernelLoad.h"
+
+using namespace dyndist;
+
+namespace {
+
+/// Payload of the load generator: a bare TTL.
+struct LoadMsg : MessageBody {
+  static constexpr int KindId = 7001;
+  explicit LoadMsg(uint64_t Ttl) : MessageBody(KindId), Ttl(Ttl) {}
+  uint64_t Ttl;
+};
+
+class LoadActor : public Actor {
+public:
+  explicit LoadActor(const KernelLoadConfig &Cfg)
+      : Universe(Cfg.Processes), GossipEvery(Cfg.GossipEvery),
+        GossipFanout(Cfg.GossipFanout), FloodFanout(Cfg.FloodFanout) {}
+
+  void onStart(Context &Ctx) override {
+    if (GossipEvery > 0)
+      Ctx.setTimer(GossipEvery);
+  }
+
+  void onTimer(Context &Ctx, TimerId) override {
+    for (unsigned I = 0; I != GossipFanout; ++I)
+      Ctx.send(Ctx.rng().nextBelow(Universe), makeBody<LoadMsg>(0));
+    Ctx.setTimer(GossipEvery);
+    if (++Fires % 8 == 0) {
+      TimerId Decoy = Ctx.setTimer(GossipEvery * 4);
+      Ctx.cancelTimer(Decoy);
+    }
+  }
+
+  void onMessage(Context &Ctx, ProcessId, const MessageBody &Body) override {
+    const auto &M = bodyAs<LoadMsg>(Body);
+    if (M.Ttl == 0)
+      return;
+    for (unsigned I = 0; I != FloodFanout; ++I)
+      Ctx.send(Ctx.rng().nextBelow(Universe), makeBody<LoadMsg>(M.Ttl - 1));
+  }
+
+private:
+  size_t Universe;
+  SimTime GossipEvery;
+  unsigned GossipFanout;
+  unsigned FloodFanout;
+  uint64_t Fires = 0;
+};
+
+void scheduleChurn(Simulator &S, const KernelLoadConfig &Cfg) {
+  SimTime Next = S.now() + Cfg.ChurnEvery;
+  if (Next > Cfg.Horizon)
+    return;
+  S.scheduleAt(Next, [&Cfg](Simulator &Sim) {
+    const auto &Up = Sim.upSet();
+    if (!Up.empty())
+      Sim.crash(Up[Sim.rng().nextBelow(Up.size())]);
+    Sim.spawn(std::make_unique<LoadActor>(Cfg));
+    scheduleChurn(Sim, Cfg);
+  });
+}
+
+} // namespace
+
+KernelLoadResult dyndist::runKernelLoad(const KernelLoadConfig &Cfg,
+                                        TraceLevel Level) {
+  Simulator S(Cfg.Seed);
+  S.setTraceLevel(Level);
+  for (size_t I = 0; I != Cfg.Processes; ++I)
+    S.spawn(std::make_unique<LoadActor>(Cfg));
+  for (unsigned I = 0; I != Cfg.FloodSeeds; ++I)
+    S.injectStimulus(I % Cfg.Processes, makeBody<LoadMsg>(Cfg.FloodTtl));
+  if (Cfg.ChurnEvery > 0)
+    scheduleChurn(S, Cfg);
+
+  RunLimits L;
+  L.MaxTime = Cfg.Horizon;
+  KernelLoadResult R;
+  R.Stop = S.run(L);
+  R.Stats = S.stats();
+  R.TraceRecords = S.trace().events().size();
+  R.PendingTimers = S.pendingTimers();
+  return R;
+}

@@ -6,7 +6,9 @@
 
 #include "dyndist/sim/Simulator.h"
 
+#include <algorithm>
 #include <cassert>
+#include <unordered_map>
 
 using namespace dyndist;
 
@@ -27,30 +29,127 @@ void Actor::onTimer(Context &Ctx, TimerId Id) {
 }
 void Actor::onStop(Context &Ctx) { (void)Ctx; }
 
-/// A scheduled kernel event.
+/// A scheduled kernel event: one slim 32-byte heap node. The event kind is
+/// packed into the low two bits of SeqKind, so ordering by (Time, SeqKind)
+/// is exactly the kernel's (time, sequence) contract — sequence numbers are
+/// unique, so the kind bits never influence the order. Payloads that would
+/// make the node fat (message bodies, action closures) live in pooled side
+/// tables; the node carries the pool slot instead.
 struct Simulator::Event {
-  enum class Kind { Deliver, Timer, Action };
-  Kind K = Kind::Action;
-  SimTime Time = 0;
-  uint64_t Seq = 0;
-  ProcessId Src = InvalidProcess;
-  ProcessId Dst = InvalidProcess;
-  MessageRef Body;
-  TimerId Tid = 0;
-  std::function<void(Simulator &)> Action;
+  SimTime Time;
+  uint64_t SeqKind; ///< (sequence << 2) | kind.
+  uint64_t A;       ///< Deliver/Action: pool slot. Timer: destination.
+  uint64_t B;       ///< Timer: timer id. Otherwise unused.
 };
 
-struct Simulator::EventCompare {
-  // std::priority_queue is a max-heap; invert to get (time, seq) min order.
-  bool operator()(const Event &A, const Event &B) const {
-    if (A.Time != B.Time)
-      return A.Time > B.Time;
-    return A.Seq > B.Seq;
-  }
-};
-
+/// Event storage: a 4-ary min-heap of Event nodes plus payload pools with
+/// free lists (slots are recycled, so steady-state scheduling allocates
+/// nothing), plus the pending-timer table used for cancellation.
 struct Simulator::Queue {
-  std::priority_queue<Event, std::vector<Event>, EventCompare> Heap;
+  enum : uint64_t { KDeliver = 0, KTimer = 1, KAction = 2 };
+
+  struct DeliverRecord {
+    ProcessId Src;
+    ProcessId Dst;
+    MessageRef Body;
+  };
+
+  std::vector<Event> Heap;
+  std::vector<DeliverRecord> Delivers;
+  std::vector<uint32_t> FreeDelivers;
+  std::vector<std::function<void(Simulator &)>> Actions;
+  std::vector<uint32_t> FreeActions;
+
+  /// Timers armed but not yet popped; the value is the cancelled flag.
+  /// Entries are erased when the timer's event is popped on *any* path
+  /// (fire, cancelled, dead process), so the table cannot grow across a
+  /// run, and cancelTimer() on an unknown or already-fired id is a no-op
+  /// rather than a leak.
+  std::unordered_map<TimerId, bool> Timers;
+
+  static bool precedes(const Event &X, const Event &Y) {
+    if (X.Time != Y.Time)
+      return X.Time < Y.Time;
+    return X.SeqKind < Y.SeqKind;
+  }
+
+  bool empty() const { return Heap.empty(); }
+
+  void push(Event E) {
+    size_t I = Heap.size();
+    Heap.push_back(E);
+    while (I > 0) {
+      size_t Parent = (I - 1) / 4;
+      if (!precedes(Heap[I], Heap[Parent]))
+        break;
+      std::swap(Heap[I], Heap[Parent]);
+      I = Parent;
+    }
+  }
+
+  /// Pops the minimum node. Nodes are trivially copyable, so this is a
+  /// 32-byte copy plus a hole-based sift-down — no payload is touched.
+  Event pop() {
+    Event Top = Heap.front();
+    Event Last = Heap.back();
+    Heap.pop_back();
+    size_t N = Heap.size();
+    if (N != 0) {
+      size_t I = 0;
+      for (;;) {
+        size_t First = 4 * I + 1;
+        if (First >= N)
+          break;
+        size_t Best = First;
+        size_t End = std::min(First + 4, N);
+        for (size_t C = First + 1; C < End; ++C)
+          if (precedes(Heap[C], Heap[Best]))
+            Best = C;
+        if (!precedes(Heap[Best], Last))
+          break;
+        Heap[I] = Heap[Best];
+        I = Best;
+      }
+      Heap[I] = Last;
+    }
+    return Top;
+  }
+
+  uint32_t allocDeliver(ProcessId Src, ProcessId Dst, MessageRef Body) {
+    if (!FreeDelivers.empty()) {
+      uint32_t Slot = FreeDelivers.back();
+      FreeDelivers.pop_back();
+      Delivers[Slot] = {Src, Dst, std::move(Body)};
+      return Slot;
+    }
+    Delivers.push_back({Src, Dst, std::move(Body)});
+    return static_cast<uint32_t>(Delivers.size() - 1);
+  }
+
+  DeliverRecord takeDeliver(uint64_t Slot) {
+    DeliverRecord R = std::move(Delivers[Slot]);
+    Delivers[Slot].Body = nullptr;
+    FreeDelivers.push_back(static_cast<uint32_t>(Slot));
+    return R;
+  }
+
+  uint32_t allocAction(std::function<void(Simulator &)> Action) {
+    if (!FreeActions.empty()) {
+      uint32_t Slot = FreeActions.back();
+      FreeActions.pop_back();
+      Actions[Slot] = std::move(Action);
+      return Slot;
+    }
+    Actions.push_back(std::move(Action));
+    return static_cast<uint32_t>(Actions.size() - 1);
+  }
+
+  std::function<void(Simulator &)> takeAction(uint64_t Slot) {
+    std::function<void(Simulator &)> A = std::move(Actions[Slot]);
+    Actions[Slot] = nullptr;
+    FreeActions.push_back(static_cast<uint32_t>(Slot));
+    return A;
+  }
 };
 
 /// Context implementation bound to one (simulator, process) pair for the
@@ -72,11 +171,17 @@ public:
 
   TimerId setTimer(SimTime Delay) override { return S.armTimer(P, Delay); }
 
-  void cancelTimer(TimerId Id) override { S.CancelledTimers.insert(Id); }
+  void cancelTimer(TimerId Id) override {
+    auto It = S.Pending->Timers.find(Id);
+    if (It != S.Pending->Timers.end())
+      It->second = true;
+  }
 
   Rng &rng() override { return S.ActorRng; }
 
   void observe(const std::string &Key, int64_t Value) override {
+    if (S.TraceLev == TraceLevel::Off)
+      return;
     TraceEvent E;
     E.Kind = TraceKind::Observe;
     E.Time = S.Clock;
@@ -123,90 +228,104 @@ void Simulator::setMembershipHooks(std::function<void(ProcessId)> OnUp,
 
 ProcessId Simulator::spawn(std::unique_ptr<Actor> A) {
   assert(A && "spawn() requires an actor");
-  ProcessId P = NextProcess++;
-  ProcessRecord &Rec = Processes[P];
-  Rec.TheActor = std::move(A);
-  Rec.Up = true;
+  ProcessId P = Processes.size();
+  // Grab the raw pointer first: the hooks below may spawn recursively and
+  // reallocate the table, but the actor object itself is stable.
+  Actor *Raw = A.get();
+  Processes.push_back(ProcessRecord{std::move(A), true});
+  UpSet.push_back(P); // Ids strictly increase, so UpSet stays sorted.
 
-  TraceEvent E;
-  E.Kind = TraceKind::Join;
-  E.Time = Clock;
-  E.Subject = P;
-  Log.append(std::move(E));
+  if (TraceLev != TraceLevel::Off) {
+    TraceEvent E;
+    E.Kind = TraceKind::Join;
+    E.Time = Clock;
+    E.Subject = P;
+    Log.append(std::move(E));
+  }
 
   if (OnUpHook)
     OnUpHook(P);
 
   ContextImpl Ctx(*this, P);
-  Rec.TheActor->onStart(Ctx);
+  Raw->onStart(Ctx);
   return P;
 }
 
 void Simulator::markDown(ProcessId P, bool Crashed) {
-  auto It = Processes.find(P);
-  assert(It != Processes.end() && "unknown process");
-  if (!It->second.Up)
+  assert(P < Processes.size() && "unknown process");
+  ProcessRecord &Rec = Processes[P];
+  if (!Rec.Up)
     return;
-  It->second.Up = false;
+  Rec.Up = false;
 
-  TraceEvent E;
-  E.Kind = Crashed ? TraceKind::Crash : TraceKind::Leave;
-  E.Time = Clock;
-  E.Subject = P;
-  Log.append(std::move(E));
+  auto It = std::lower_bound(UpSet.begin(), UpSet.end(), P);
+  assert(It != UpSet.end() && *It == P && "up-set out of sync");
+  UpSet.erase(It);
+
+  if (TraceLev != TraceLevel::Off) {
+    TraceEvent E;
+    E.Kind = Crashed ? TraceKind::Crash : TraceKind::Leave;
+    E.Time = Clock;
+    E.Subject = P;
+    Log.append(std::move(E));
+  }
 
   if (OnDownHook)
     OnDownHook(P);
 }
 
 void Simulator::leave(ProcessId P) {
-  auto It = Processes.find(P);
-  if (It == Processes.end() || !It->second.Up)
+  if (!isUp(P))
     return;
+  Actor *Raw = Processes[P].TheActor.get();
   ContextImpl Ctx(*this, P);
-  It->second.TheActor->onStop(Ctx);
+  Raw->onStop(Ctx);
   markDown(P, /*Crashed=*/false);
 }
 
 void Simulator::crash(ProcessId P) { markDown(P, /*Crashed=*/true); }
-
-bool Simulator::isUp(ProcessId P) const {
-  auto It = Processes.find(P);
-  return It != Processes.end() && It->second.Up;
-}
-
-std::vector<ProcessId> Simulator::upProcesses() const {
-  std::vector<ProcessId> Out;
-  for (const auto &[P, Rec] : Processes)
-    if (Rec.Up)
-      Out.push_back(P);
-  return Out;
-}
-
-size_t Simulator::upCount() const {
-  size_t N = 0;
-  for (const auto &[P, Rec] : Processes) {
-    (void)P;
-    if (Rec.Up)
-      ++N;
-  }
-  return N;
-}
 
 std::vector<ProcessId> Simulator::neighborsOf(ProcessId P) const {
   if (Topology)
     return Topology->neighborsOf(P);
   // Default: full mesh over up processes (the static-knowledge corner).
   std::vector<ProcessId> Out;
-  for (const auto &[Q, Rec] : Processes)
-    if (Rec.Up && Q != P)
+  Out.reserve(UpSet.size());
+  for (ProcessId Q : UpSet)
+    if (Q != P)
       Out.push_back(Q);
   return Out;
 }
 
-void Simulator::pushEvent(Event E) {
-  E.Seq = NextSeq++;
-  Pending->Heap.push(std::move(E));
+size_t Simulator::pendingTimers() const { return Pending->Timers.size(); }
+
+void Simulator::pushDeliver(SimTime Time, ProcessId Src, ProcessId Dst,
+                            MessageRef Body) {
+  Event E;
+  E.Time = Time;
+  E.SeqKind = (NextSeq++ << 2) | Queue::KDeliver;
+  E.A = Pending->allocDeliver(Src, Dst, std::move(Body));
+  E.B = 0;
+  Pending->push(E);
+}
+
+void Simulator::pushTimer(SimTime Time, ProcessId P, TimerId Id) {
+  Event E;
+  E.Time = Time;
+  E.SeqKind = (NextSeq++ << 2) | Queue::KTimer;
+  E.A = P;
+  E.B = Id;
+  Pending->push(E);
+}
+
+void Simulator::pushAction(SimTime Time,
+                           std::function<void(Simulator &)> Action) {
+  Event E;
+  E.Time = Time;
+  E.SeqKind = (NextSeq++ << 2) | Queue::KAction;
+  E.A = Pending->allocAction(std::move(Action));
+  E.B = 0;
+  Pending->push(E);
 }
 
 void Simulator::sendMessage(ProcessId From, ProcessId To, MessageRef Body) {
@@ -214,65 +333,50 @@ void Simulator::sendMessage(ProcessId From, ProcessId To, MessageRef Body) {
   ++Stats.MessagesSent;
   Stats.PayloadUnits += Body->weight();
 
-  TraceEvent TE;
-  TE.Kind = TraceKind::Send;
-  TE.Time = Clock;
-  TE.Subject = From;
-  TE.Peer = To;
-  TE.MsgKind = Body->kind();
-  Log.append(std::move(TE));
+  if (TraceLev == TraceLevel::Full) {
+    TraceEvent TE;
+    TE.Kind = TraceKind::Send;
+    TE.Time = Clock;
+    TE.Subject = From;
+    TE.Peer = To;
+    TE.MsgKind = Body->kind();
+    Log.append(std::move(TE));
+  }
 
   if (LossRate > 0.0 && KernelRng.nextBernoulli(LossRate)) {
     ++Stats.MessagesDropped;
-    TraceEvent Lost;
-    Lost.Kind = TraceKind::Drop;
-    Lost.Time = Clock;
-    Lost.Subject = To;
-    Lost.Peer = From;
-    Lost.MsgKind = Body->kind();
-    Log.append(std::move(Lost));
+    if (TraceLev == TraceLevel::Full) {
+      TraceEvent Lost;
+      Lost.Kind = TraceKind::Drop;
+      Lost.Time = Clock;
+      Lost.Subject = To;
+      Lost.Peer = From;
+      Lost.MsgKind = Body->kind();
+      Log.append(std::move(Lost));
+    }
     return;
   }
 
-  Event E;
-  E.K = Event::Kind::Deliver;
-  E.Time = Clock + Latency->sample(KernelRng, From, To);
-  E.Src = From;
-  E.Dst = To;
-  E.Body = std::move(Body);
-  pushEvent(std::move(E));
+  pushDeliver(Clock + Latency->sample(KernelRng, From, To), From, To,
+              std::move(Body));
 }
 
 void Simulator::injectStimulus(ProcessId To, MessageRef Body) {
   assert(Body && "stimulus body must not be null");
-  Event E;
-  E.K = Event::Kind::Deliver;
-  E.Time = Clock + 1;
-  E.Src = To;
-  E.Dst = To;
-  E.Body = std::move(Body);
-  pushEvent(std::move(E));
+  pushDeliver(Clock + 1, To, To, std::move(Body));
 }
 
 TimerId Simulator::armTimer(ProcessId P, SimTime Delay) {
   TimerId Id = ++NextTimer;
-  Event E;
-  E.K = Event::Kind::Timer;
-  E.Time = Clock + Delay;
-  E.Dst = P;
-  E.Tid = Id;
-  pushEvent(std::move(E));
+  Pending->Timers.emplace(Id, false);
+  pushTimer(Clock + Delay, P, Id);
   return Id;
 }
 
 void Simulator::scheduleAt(SimTime When,
                            std::function<void(Simulator &)> Action) {
   assert(When >= Clock && "cannot schedule in the past");
-  Event E;
-  E.K = Event::Kind::Action;
-  E.Time = When;
-  E.Action = std::move(Action);
-  pushEvent(std::move(E));
+  pushAction(When, std::move(Action));
 }
 
 void Simulator::scheduleAfter(SimTime Delay,
@@ -280,76 +384,85 @@ void Simulator::scheduleAfter(SimTime Delay,
   scheduleAt(Clock + Delay, std::move(Action));
 }
 
-void Simulator::execute(const Event &E) {
-  switch (E.K) {
-  case Event::Kind::Deliver: {
-    auto It = Processes.find(E.Dst);
-    if (It == Processes.end() || !It->second.Up) {
-      ++Stats.MessagesDropped;
+void Simulator::deliver(ProcessId Src, ProcessId Dst, MessageRef Body) {
+  Actor *A = isUp(Dst) ? Processes[Dst].TheActor.get() : nullptr;
+  if (!A) {
+    ++Stats.MessagesDropped;
+    if (TraceLev == TraceLevel::Full) {
       TraceEvent TE;
       TE.Kind = TraceKind::Drop;
       TE.Time = Clock;
-      TE.Subject = E.Dst;
-      TE.Peer = E.Src;
-      TE.MsgKind = E.Body->kind();
+      TE.Subject = Dst;
+      TE.Peer = Src;
+      TE.MsgKind = Body->kind();
       Log.append(std::move(TE));
-      return;
     }
-    ++Stats.MessagesDelivered;
+    return;
+  }
+  ++Stats.MessagesDelivered;
+  if (TraceLev == TraceLevel::Full) {
     TraceEvent TE;
     TE.Kind = TraceKind::Deliver;
     TE.Time = Clock;
-    TE.Subject = E.Dst;
-    TE.Peer = E.Src;
-    TE.MsgKind = E.Body->kind();
+    TE.Subject = Dst;
+    TE.Peer = Src;
+    TE.MsgKind = Body->kind();
     Log.append(std::move(TE));
+  }
+  ContextImpl Ctx(*this, Dst);
+  A->onMessage(Ctx, Src, *Body);
+}
 
-    ContextImpl Ctx(*this, E.Dst);
-    It->second.TheActor->onMessage(Ctx, E.Src, *E.Body);
+void Simulator::fireTimer(ProcessId P, TimerId Id) {
+  Actor *A = isUp(P) ? Processes[P].TheActor.get() : nullptr;
+  if (!A)
     return;
-  }
-  case Event::Kind::Timer: {
-    if (CancelledTimers.erase(E.Tid))
-      return;
-    auto It = Processes.find(E.Dst);
-    if (It == Processes.end() || !It->second.Up)
-      return;
-    ++Stats.TimersFired;
-    ContextImpl Ctx(*this, E.Dst);
-    It->second.TheActor->onTimer(Ctx, E.Tid);
-    return;
-  }
-  case Event::Kind::Action:
-    E.Action(*this);
-    return;
-  }
+  ++Stats.TimersFired;
+  ContextImpl Ctx(*this, P);
+  A->onTimer(Ctx, Id);
 }
 
 StopReason Simulator::run(RunLimits Limits) {
   HaltRequested = false;
-  while (!Pending->Heap.empty()) {
+  Queue &Q = *Pending;
+  while (!Q.empty()) {
     if (HaltRequested)
       return StopReason::Halted;
     if (Stats.EventsExecuted >= Limits.MaxEvents)
       return StopReason::EventLimit;
-    const Event &Top = Pending->Heap.top();
-    if (Top.Time > Limits.MaxTime)
+    if (Q.Heap.front().Time > Limits.MaxTime)
       return StopReason::TimeLimit;
-    assert(Top.Time >= Clock && "event queue went backwards");
-    Event E = Top; // Copy out before pop (heap top is const).
-    Pending->Heap.pop();
+    assert(Q.Heap.front().Time >= Clock && "event queue went backwards");
+    // Pop before executing: handlers may push new events. The node is a
+    // 32-byte POD; the payload (if any) is *moved* out of its pool slot.
+    Event E = Q.pop();
     Clock = E.Time;
     ++Stats.EventsExecuted;
-    execute(E);
+    switch (E.SeqKind & 3) {
+    case Queue::KDeliver: {
+      Queue::DeliverRecord R = Q.takeDeliver(E.A);
+      deliver(R.Src, R.Dst, std::move(R.Body));
+      break;
+    }
+    case Queue::KTimer: {
+      // Drop the cancellation bookkeeping on every pop path, fired or not,
+      // so the table never outlives the timers it describes.
+      auto It = Q.Timers.find(E.B);
+      bool Live = It != Q.Timers.end() && !It->second;
+      if (It != Q.Timers.end())
+        Q.Timers.erase(It);
+      if (Live)
+        fireTimer(E.A, E.B);
+      break;
+    }
+    default: {
+      auto Action = Q.takeAction(E.A);
+      Action(*this);
+      break;
+    }
+    }
   }
   return StopReason::QueueExhausted;
 }
 
 void Simulator::halt() { HaltRequested = true; }
-
-Actor *Simulator::actorFor(ProcessId P) const {
-  auto It = Processes.find(P);
-  if (It == Processes.end())
-    return nullptr;
-  return It->second.TheActor.get();
-}

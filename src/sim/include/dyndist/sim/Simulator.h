@@ -15,6 +15,14 @@
 /// arrival models, and topology policy (who neighbors whom) is delegated to
 /// a TopologyProvider installed by the layer above (dyndist_core).
 ///
+/// Hot-path complexity guarantees (see docs/MODEL.md, "Kernel internals"):
+/// the process table is a dense vector indexed by the sequentially-assigned
+/// ProcessId, so isUp()/actorFor() and the per-event destination lookup are
+/// O(1); the up-set is maintained incrementally, so upCount() is O(1) and
+/// upSet() is allocation-free; the event queue is a 4-ary min-heap of slim
+/// 32-byte nodes whose payloads (message bodies, action closures) live in
+/// pooled side tables and are moved — never copied — on pop.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DYNDIST_SIM_SIMULATOR_H
@@ -28,10 +36,7 @@
 #include "dyndist/support/Random.h"
 
 #include <functional>
-#include <map>
 #include <memory>
-#include <queue>
-#include <set>
 #include <vector>
 
 namespace dyndist {
@@ -65,6 +70,8 @@ struct SimStats {
   uint64_t PayloadUnits = 0; ///< Sum of MessageBody::weight() over sends.
   uint64_t TimersFired = 0;
   uint64_t EventsExecuted = 0;
+
+  friend bool operator==(const SimStats &, const SimStats &) = default;
 };
 
 /// The deterministic event-driven kernel.
@@ -87,6 +94,14 @@ public:
   /// passing face of an unreliable environment.
   void setLossRate(double Probability);
 
+  /// Selects how much of the execution is recorded (default: Full). The
+  /// level changes only what trace() contains, never the schedule: the
+  /// same seed executes the same events at every level.
+  void setTraceLevel(TraceLevel Level) { TraceLev = Level; }
+
+  /// The current recording level.
+  TraceLevel traceLevel() const { return TraceLev; }
+
   /// Installs the topology provider (not owned; must outlive the run).
   /// Passing nullptr restores the default full mesh.
   void setTopologyProvider(const TopologyProvider *Provider);
@@ -107,14 +122,21 @@ public:
   /// Crashes \p P at the current instant (silent; no hook runs).
   void crash(ProcessId P);
 
-  /// True when \p P is currently up.
-  bool isUp(ProcessId P) const;
+  /// True when \p P is currently up. O(1).
+  bool isUp(ProcessId P) const {
+    return P < Processes.size() && Processes[P].Up;
+  }
 
-  /// Identities of all currently-up processes (ascending).
-  std::vector<ProcessId> upProcesses() const;
+  /// Identities of all currently-up processes (ascending). Returns a copy;
+  /// hot readers should prefer upSet().
+  std::vector<ProcessId> upProcesses() const { return UpSet; }
 
-  /// Number of currently-up processes.
-  size_t upCount() const;
+  /// The incrementally-maintained up-set (ascending, no allocation). The
+  /// reference is invalidated by the next membership change.
+  const std::vector<ProcessId> &upSet() const { return UpSet; }
+
+  /// Number of currently-up processes. O(1).
+  size_t upCount() const { return UpSet.size(); }
 
   /// Schedules an environment action (churn driver, experiment step) at
   /// absolute time \p When. Actions run interleaved with protocol events in
@@ -143,8 +165,10 @@ public:
   Rng &rng() { return KernelRng; }
 
   /// The actor object for \p P (valid even after it left or crashed, for
-  /// post-run inspection); null for unknown ids.
-  Actor *actorFor(ProcessId P) const;
+  /// post-run inspection); null for unknown ids. O(1).
+  Actor *actorFor(ProcessId P) const {
+    return P < Processes.size() ? Processes[P].TheActor.get() : nullptr;
+  }
 
   /// Sends a message on behalf of \p From (used by Context and by drivers
   /// that inject external stimuli).
@@ -158,22 +182,32 @@ public:
   /// Neighborhood of \p P under the installed topology provider.
   std::vector<ProcessId> neighborsOf(ProcessId P) const;
 
+  /// Number of timers armed but not yet fired, cancelled-and-collected, or
+  /// drained. Cancellation bookkeeping is dropped when the timer's event is
+  /// popped — on the fire path, the cancelled path, and the dead-process
+  /// path alike — so this returns 0 after a run that exhausted the queue.
+  size_t pendingTimers() const;
+
 private:
   struct Event;
-  struct EventCompare;
+  struct Queue;
   class ContextImpl;
   friend class ContextImpl;
 
-  void execute(const Event &E);
+  void deliver(ProcessId Src, ProcessId Dst, MessageRef Body);
+  void fireTimer(ProcessId P, TimerId Id);
   TimerId armTimer(ProcessId P, SimTime Delay);
-  void pushEvent(Event E);
+  void pushDeliver(SimTime Time, ProcessId Src, ProcessId Dst,
+                   MessageRef Body);
+  void pushTimer(SimTime Time, ProcessId P, TimerId Id);
+  void pushAction(SimTime Time, std::function<void(Simulator &)> Action);
   void markDown(ProcessId P, bool Crashed);
 
   SimTime Clock = 0;
   uint64_t NextSeq = 0;
-  ProcessId NextProcess = 0;
   TimerId NextTimer = 0;
   bool HaltRequested = false;
+  TraceLevel TraceLev = TraceLevel::Full;
 
   Rng KernelRng;
   Rng ActorRng;
@@ -183,15 +217,21 @@ private:
   std::function<void(ProcessId)> OnUpHook;
   std::function<void(ProcessId)> OnDownHook;
 
+  /// Dense process table indexed by ProcessId (ids are assigned 0, 1, 2,
+  /// ... in spawn order and never reused). Records of departed processes
+  /// are kept for post-run inspection, exactly as before.
   struct ProcessRecord {
     std::unique_ptr<Actor> TheActor;
     bool Up = false;
   };
-  std::map<ProcessId, ProcessRecord> Processes;
-  std::set<TimerId> CancelledTimers;
+  std::vector<ProcessRecord> Processes;
 
-  // Owned via unique_ptr because Event is incomplete here.
-  struct Queue;
+  /// Ascending identities of up processes, maintained incrementally:
+  /// spawn appends (ids strictly increase), markDown erases in place.
+  std::vector<ProcessId> UpSet;
+
+  // Owned via unique_ptr because the queue internals (heap nodes, payload
+  // pools, timer bookkeeping) are private to Simulator.cpp.
   std::unique_ptr<Queue> Pending;
 
   Trace Log;

@@ -27,6 +27,19 @@
 
 namespace dyndist {
 
+/// How much of the execution the kernel records into its Trace.
+///
+/// The level only controls *recording*; it never changes the executed
+/// schedule. Random streams, event ordering, and SimStats are identical
+/// across levels for the same seed and configuration, so a benchmark run
+/// at Off executes exactly the events a test run at Full would.
+enum class TraceLevel : uint8_t {
+  Off,       ///< Record nothing (benchmark fast path).
+  Lifecycle, ///< Join/Leave/Crash + Observe: enough for the presence-based
+             ///< admissibility checkers and algorithm-output assertions.
+  Full,      ///< Everything, including per-message Send/Deliver/Drop.
+};
+
 /// Kinds of trace records.
 enum class TraceKind {
   Join,    ///< Subject entered the system (became up).

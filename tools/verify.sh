@@ -1,0 +1,35 @@
+#!/bin/sh
+# Tier-1 verification: build + ctest in the plain configuration, then the
+# same suite under AddressSanitizer (-DDYNDIST_SANITIZE=address).
+#
+# Usage: tools/verify.sh [--skip-asan] [--asan-only]
+# Build dirs: build-verify/ and build-asan/ (kept for incremental reruns).
+
+set -e
+
+cd "$(dirname "$0")/.."
+JOBS="${DYNDIST_VERIFY_JOBS:-$(nproc 2>/dev/null || echo 2)}"
+
+RUN_PLAIN=1
+RUN_ASAN=1
+for arg in "$@"; do
+  case "$arg" in
+    --skip-asan) RUN_ASAN=0 ;;
+    --asan-only) RUN_PLAIN=0 ;;
+    *) echo "usage: tools/verify.sh [--skip-asan] [--asan-only]" >&2; exit 2 ;;
+  esac
+done
+
+run_suite() {
+  dir="$1"; shift
+  echo "== configuring $dir ($*)"
+  cmake -B "$dir" -S . "$@"
+  echo "== building $dir"
+  cmake --build "$dir" -j "$JOBS"
+  echo "== ctest in $dir"
+  (cd "$dir" && ctest --output-on-failure -j "$JOBS")
+}
+
+[ "$RUN_PLAIN" = 1 ] && run_suite build-verify
+[ "$RUN_ASAN" = 1 ] && run_suite build-asan -DDYNDIST_SANITIZE=address
+echo "== verify OK"
