@@ -16,6 +16,7 @@
 #include "dyndist/aggregation/Experiment.h"
 #include "dyndist/aggregation/Token.h"
 #include "dyndist/runtime/KernelLoad.h"
+#include "dyndist/runtime/SweepRunner.h"
 #include "dyndist/support/Stats.h"
 #include "dyndist/support/StringUtils.h"
 
@@ -30,6 +31,10 @@ using namespace dyndist;
 
 namespace {
 
+constexpr uint64_t E4MasterSeed = 0xE4;
+
+unsigned SweepThreads = 0; // Set once in main from --threads/env.
+
 struct Cell {
   int Runs = 0;
   double Terminated = 0, Valid = 0, Coverage = 0, CensusError = 0;
@@ -37,14 +42,25 @@ struct Cell {
   double UnitsPerMember = 0;
 };
 
+/// Per-seed partial aggregates: each OnlineStats holds 0 or 1 samples and
+/// is merged into the cell totals in seed-index order, so the reduction is
+/// byte-identical at any thread count.
+struct SeedPartial {
+  bool Counted = false;
+  bool Terminated = false;
+  bool Valid = false;
+  OnlineStats Cov, Err, Msg, Units;
+};
+
 Cell sweep(RecommendedAlgorithm Algo, double JoinRate, int Seeds,
            bool GossipDigest = false) {
-  Cell Out;
-  OnlineStats Cov, Err, Msg, Units;
-  int Term = 0, Val = 0, Counted = 0;
-  for (int Seed = 1; Seed <= Seeds; ++Seed) {
+  SweepConfig Sweep;
+  Sweep.MasterSeed = E4MasterSeed;
+  Sweep.SeedCount = static_cast<size_t>(Seeds);
+  Sweep.Threads = SweepThreads;
+  auto Partials = runSeedSweep<SeedPartial>(Sweep, [&](SweepSeed Seed) {
     ExperimentConfig Cfg;
-    Cfg.Seed = static_cast<uint64_t>(Seed) * 571 + 3;
+    Cfg.Seed = Seed.Value;
     Cfg.Class = {ArrivalModel::boundedConcurrency(40),
                  KnowledgeModel::knownDiameter(10)};
     Cfg.UseRecommended = false;
@@ -61,23 +77,39 @@ Cell sweep(RecommendedAlgorithm Algo, double JoinRate, int Seeds,
     Cfg.Gossip.DigestMode = GossipDigest;
 
     ExperimentResult R = runQueryExperiment(Cfg);
+    SeedPartial P;
     if (!R.ClassAdmissible || !R.QueryIssued)
+      return P;
+    P.Counted = true;
+    P.Terminated = R.Verdict.Terminated;
+    P.Valid = R.Verdict.valid();
+    if (R.Verdict.Terminated) {
+      P.Cov.add(R.Verdict.Coverage);
+      if (R.MembersAtResponse > 0)
+        P.Err.add(std::abs(double(R.Verdict.IncludedCount) -
+                           double(R.MembersAtResponse)) /
+                  double(R.MembersAtResponse));
+    }
+    if (R.MembersAtQuery > 0) {
+      P.Msg.add(double(R.Stats.MessagesSent) / double(R.MembersAtQuery));
+      P.Units.add(double(R.Stats.PayloadUnits) / double(R.MembersAtQuery));
+    }
+    return P;
+  });
+
+  Cell Out;
+  OnlineStats Cov, Err, Msg, Units;
+  int Term = 0, Val = 0, Counted = 0;
+  for (const SeedPartial &P : Partials) {
+    if (!P.Counted)
       continue;
     ++Counted;
-    if (R.Verdict.Terminated) {
-      ++Term;
-      Cov.add(R.Verdict.Coverage);
-      if (R.MembersAtResponse > 0)
-        Err.add(std::abs(double(R.Verdict.IncludedCount) -
-                         double(R.MembersAtResponse)) /
-                double(R.MembersAtResponse));
-    }
-    if (R.Verdict.valid())
-      ++Val;
-    if (R.MembersAtQuery > 0) {
-      Msg.add(double(R.Stats.MessagesSent) / double(R.MembersAtQuery));
-      Units.add(double(R.Stats.PayloadUnits) / double(R.MembersAtQuery));
-    }
+    Term += P.Terminated;
+    Val += P.Valid;
+    Cov.merge(P.Cov);
+    Err.merge(P.Err);
+    Msg.merge(P.Msg);
+    Units.merge(P.Units);
   }
   Out.Runs = Counted;
   if (Counted > 0) {
@@ -143,10 +175,12 @@ int main(int argc, char **argv) {
     }
   }
 
+  SweepThreads = sweepThreadsFromArgs(argc, argv);
   int Seeds = argc > 1 ? std::atoi(argv[1]) : 12;
 
-  std::printf("E4: algorithm behavior vs churn rate (%d seeds/point)\n\n",
-              Seeds);
+  std::printf("E4: algorithm behavior vs churn rate (%d seeds/point, "
+              "%u threads)\n\n",
+              Seeds, resolveSweepThreads(SweepThreads));
 
   struct AlgoCase {
     RecommendedAlgorithm Algo;
@@ -180,11 +214,13 @@ int main(int argc, char **argv) {
   Table T2;
   T2.setHeader({"join-rate", "runs", "terminated", "valid", "coverage"});
   for (double Rate : {0.0, 0.05, 0.1, 0.2, 0.4}) {
-    int Counted = 0, Term = 0, Val = 0;
-    OnlineStats Cov;
-    for (int Seed = 1; Seed <= Seeds; ++Seed) {
+    SweepConfig Sweep;
+    Sweep.MasterSeed = E4MasterSeed + 1; // Distinct stream from the E4 grid.
+    Sweep.SeedCount = static_cast<size_t>(Seeds);
+    Sweep.Threads = SweepThreads;
+    auto Partials = runSeedSweep<SeedPartial>(Sweep, [Rate](SweepSeed Seed) {
       DynamicSystemConfig SysCfg;
-      SysCfg.Seed = static_cast<uint64_t>(Seed) * 733 + 1;
+      SysCfg.Seed = Seed.Value;
       SysCfg.Class = {ArrivalModel::boundedConcurrency(40),
                       KnowledgeModel::knownDiameter(10)};
       SysCfg.InitialMembers = 24;
@@ -206,20 +242,30 @@ int main(int argc, char **argv) {
       RunLimits L;
       L.MaxTime = 1200;
       Sys.run(L);
+      SeedPartial P;
       if (!Sys.checkClassAdmissible().ok())
-        continue;
+        return P;
       auto Issue = Sys.sim().trace().firstObservation(Issuer, OtqIssueKey);
       if (!Issue)
-        continue;
+        return P;
       QueryVerdict V =
           checkOneTimeQuery(Sys.sim().trace(), Issuer, Issue->Time, 1200);
+      P.Counted = true;
+      P.Terminated = V.Terminated;
+      P.Valid = V.valid();
+      if (V.Terminated)
+        P.Cov.add(V.Coverage);
+      return P;
+    });
+    int Counted = 0, Term = 0, Val = 0;
+    OnlineStats Cov;
+    for (const SeedPartial &P : Partials) {
+      if (!P.Counted)
+        continue;
       ++Counted;
-      if (V.Terminated) {
-        ++Term;
-        Cov.add(V.Coverage);
-      }
-      if (V.valid())
-        ++Val;
+      Term += P.Terminated;
+      Val += P.Valid;
+      Cov.merge(P.Cov);
     }
     T2.addRow({format("%.2f", Rate), format("%d", Counted),
                format("%.2f", Counted ? double(Term) / Counted : 0),

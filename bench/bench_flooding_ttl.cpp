@@ -19,6 +19,7 @@
 #include "dyndist/graph/Generators.h"
 #include "dyndist/graph/Overlay.h"
 #include "dyndist/runtime/KernelLoad.h"
+#include "dyndist/runtime/SweepRunner.h"
 #include "dyndist/support/StringUtils.h"
 
 #include <benchmark/benchmark.h>
@@ -31,11 +32,24 @@ using namespace dyndist;
 
 namespace {
 
+constexpr uint64_t E2MasterSeed = 0xE2;
+
+unsigned SweepThreads = 0; // Set once in main from --threads/env.
+
 struct Point {
   double Coverage = 0;
   uint64_t Messages = 0;
   SimTime Latency = 0;
 };
+
+/// Sweep shape shared by all three parts of the experiment.
+SweepConfig sweepConfig(uint64_t Part, int Seeds) {
+  SweepConfig Sweep;
+  Sweep.MasterSeed = E2MasterSeed + Part;
+  Sweep.SeedCount = static_cast<size_t>(Seeds);
+  Sweep.Threads = SweepThreads;
+  return Sweep;
+}
 
 /// One static flood over \p Topology with the given TTL.
 Point runOnce(Graph Topology, uint64_t Ttl, uint64_t Seed) {
@@ -118,9 +132,12 @@ int main(int argc, char **argv) {
     }
   }
 
+  SweepThreads = sweepThreadsFromArgs(argc, argv);
   int Seeds = argc > 1 ? std::atoi(argv[1]) : 10;
 
-  std::printf("E2: flooding coverage and cost vs TTL (claim C1)\n\n");
+  std::printf("E2: flooding coverage and cost vs TTL (claim C1); "
+              "%d seeds/point, %u threads\n\n",
+              Seeds, resolveSweepThreads(SweepThreads));
 
   // Part 1: ring of 24 nodes, diameter exactly 12.
   {
@@ -130,11 +147,13 @@ int main(int argc, char **argv) {
     T.setHeader({"overlay", "true-D", "ttl", "coverage", "messages",
                  "wave-latency"});
     for (uint64_t Ttl : {D - 3, D - 2, D - 1, D, D + 1, D + 2}) {
+      auto Points = runSeedSweep<Point>(
+          sweepConfig(1, Seeds),
+          [&](SweepSeed Seed) { return runOnce(makeRing(N), Ttl, Seed.Value); });
       double Cov = 0;
       uint64_t Msg = 0;
       SimTime Lat = 0;
-      for (int Seed = 1; Seed <= Seeds; ++Seed) {
-        Point P = runOnce(makeRing(N), Ttl, Seed);
+      for (const Point &P : Points) {
         Cov += P.Coverage;
         Msg += P.Messages;
         Lat += P.Latency;
@@ -154,22 +173,34 @@ int main(int argc, char **argv) {
     Table T;
     T.setHeader({"overlay", "delta", "coverage", "messages"});
     for (int Delta = -3; Delta <= 2; ++Delta) {
+      struct RegularOutcome {
+        bool Counted = false;
+        Point P;
+      };
+      auto Outcomes = runSeedSweep<RegularOutcome>(
+          sweepConfig(2, Seeds), [Delta](SweepSeed Seed) {
+            RegularOutcome Out;
+            Rng R(Seed.Value);
+            Graph G = makeRandomRegular(48, 4, R);
+            auto Diam = diameter(G);
+            if (!Diam)
+              return Out;
+            long Ttl = static_cast<long>(*Diam) + Delta;
+            if (Ttl < 0)
+              return Out;
+            Out.Counted = true;
+            Out.P = runOnce(std::move(G), static_cast<uint64_t>(Ttl),
+                            Seed.Value);
+            return Out;
+          });
       double Cov = 0;
       uint64_t Msg = 0;
       int Runs = 0;
-      for (int Seed = 1; Seed <= Seeds; ++Seed) {
-        Rng R(static_cast<uint64_t>(Seed) * 13);
-        Graph G = makeRandomRegular(48, 4, R);
-        auto Diam = diameter(G);
-        if (!Diam)
+      for (const RegularOutcome &O : Outcomes) {
+        if (!O.Counted)
           continue;
-        long Ttl = static_cast<long>(*Diam) + Delta;
-        if (Ttl < 0)
-          continue;
-        Point P = runOnce(std::move(G), static_cast<uint64_t>(Ttl),
-                          static_cast<uint64_t>(Seed));
-        Cov += P.Coverage;
-        Msg += P.Messages;
+        Cov += O.P.Coverage;
+        Msg += O.P.Messages;
         ++Runs;
       }
       if (Runs == 0)
@@ -200,34 +231,46 @@ int main(int argc, char **argv) {
         {"heavy-tail", true, 16},
     };
     for (const Case &C : Cases) {
+      struct TailOutcome {
+        int Valid = 0;
+        double Coverage = 0;
+      };
+      auto Outcomes = runSeedSweep<TailOutcome>(
+          sweepConfig(3, Seeds), [&C](SweepSeed Seed) {
+            TailOutcome Out;
+            size_t N = 16;
+            Simulator S(Seed.Value);
+            S.setTraceLevel(TraceLevel::Lifecycle);
+            if (C.HeavyTail)
+              S.setLatencyModel(
+                  std::make_unique<HeavyTailLatency>(1, 1.3, 64));
+            DynamicOverlay O(2, Rng(Seed.Value + 99));
+            O.attachTo(S);
+            auto Cfg = std::make_shared<FloodConfig>();
+            Cfg->Ttl = 8; // Ring of 16: true diameter.
+            Cfg->MaxLatency = C.AssumedMax;
+            auto Factory = makeFloodFactory(Cfg, [] { return 1; });
+            for (size_t I = 0; I != N; ++I)
+              S.spawn(Factory());
+            O.seed(makeRing(N));
+            scheduleQueryStart(S, 1, 0);
+            RunLimits L;
+            L.MaxTime = 5000;
+            S.run(L);
+            auto Issue = S.trace().firstObservation(0, OtqIssueKey);
+            if (!Issue)
+              return Out;
+            QueryVerdict V =
+                checkOneTimeQuery(S.trace(), 0, Issue->Time, 5000);
+            Out.Valid = V.valid();
+            Out.Coverage = V.Coverage;
+            return Out;
+          });
       int Valid = 0;
       double Cov = 0;
-      for (int Seed = 1; Seed <= Seeds; ++Seed) {
-        size_t N = 16;
-        Simulator S(static_cast<uint64_t>(Seed) * 7 + 1);
-        S.setTraceLevel(TraceLevel::Lifecycle);
-        if (C.HeavyTail)
-          S.setLatencyModel(
-              std::make_unique<HeavyTailLatency>(1, 1.3, 64));
-        DynamicOverlay O(2, Rng(Seed + 99));
-        O.attachTo(S);
-        auto Cfg = std::make_shared<FloodConfig>();
-        Cfg->Ttl = 8; // Ring of 16: true diameter.
-        Cfg->MaxLatency = C.AssumedMax;
-        auto Factory = makeFloodFactory(Cfg, [] { return 1; });
-        for (size_t I = 0; I != N; ++I)
-          S.spawn(Factory());
-        O.seed(makeRing(N));
-        scheduleQueryStart(S, 1, 0);
-        RunLimits L;
-        L.MaxTime = 5000;
-        S.run(L);
-        auto Issue = S.trace().firstObservation(0, OtqIssueKey);
-        if (!Issue)
-          continue;
-        QueryVerdict V = checkOneTimeQuery(S.trace(), 0, Issue->Time, 5000);
-        Valid += V.valid();
-        Cov += V.Coverage;
+      for (const TailOutcome &O : Outcomes) {
+        Valid += O.Valid;
+        Cov += O.Coverage;
       }
       T.addRow({C.Name, format("L=%llu", (unsigned long long)C.AssumedMax),
                 format("%.2f", double(Valid) / Seeds),

@@ -23,6 +23,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "dyndist/aggregation/Experiment.h"
+#include "dyndist/runtime/SweepRunner.h"
 #include "dyndist/support/StringUtils.h"
 
 #include <cstdio>
@@ -32,17 +33,36 @@ using namespace dyndist;
 
 namespace {
 
+constexpr uint64_t E5MasterSeed = 0xE5;
+
+unsigned SweepThreads = 0; // Set once in main from --threads/env.
+
+/// Per-seed verdict for one sweep point.
+struct PointOutcome {
+  bool Counted = false;
+  bool Valid = false;
+};
+
 double validRate(const ExperimentConfig &Base, int Seeds) {
-  int Counted = 0, Valid = 0;
-  for (int Seed = 1; Seed <= Seeds; ++Seed) {
+  SweepConfig Sweep;
+  Sweep.MasterSeed = E5MasterSeed;
+  Sweep.SeedCount = static_cast<size_t>(Seeds);
+  Sweep.Threads = SweepThreads;
+  auto Outcomes = runSeedSweep<PointOutcome>(Sweep, [&Base](SweepSeed Seed) {
     ExperimentConfig Cfg = Base;
-    Cfg.Seed = static_cast<uint64_t>(Seed) * 211 + 17;
+    Cfg.Seed = Seed.Value;
     ExperimentResult R = runQueryExperiment(Cfg);
+    PointOutcome Out;
     if (!R.ClassAdmissible || !R.QueryIssued)
-      continue;
-    ++Counted;
-    if (R.Verdict.valid())
-      ++Valid;
+      return Out;
+    Out.Counted = true;
+    Out.Valid = R.Verdict.valid();
+    return Out;
+  });
+  int Counted = 0, Valid = 0;
+  for (const PointOutcome &O : Outcomes) {
+    Counted += O.Counted;
+    Valid += O.Valid;
   }
   return Counted ? double(Valid) / Counted : 0.0;
 }
@@ -50,9 +70,11 @@ double validRate(const ExperimentConfig &Base, int Seeds) {
 } // namespace
 
 int main(int argc, char **argv) {
+  SweepThreads = sweepThreadsFromArgs(argc, argv);
   int Seeds = argc > 1 ? std::atoi(argv[1]) : 12;
 
-  std::printf("E5: axis orthogonality (%d seeds per point)\n\n", Seeds);
+  std::printf("E5: axis orthogonality (%d seeds per point, %u threads)\n\n",
+              Seeds, resolveSweepThreads(SweepThreads));
 
   // Sweep A: benign arrivals, hostile knowledge. The flooding column uses
   // a fixed TTL=4 guess once no bound is derivable — exactly what an

@@ -12,24 +12,124 @@
 // owes an echo forever), queries issued after it always terminate and meet
 // the spec.
 //
+// Seeds are sharded across threads by SweepRunner (--threads N /
+// DYNDIST_THREADS); every row pairs the same derived seeds against every
+// query time, and the aggregate is byte-identical at any thread count.
+// Run with any --benchmark_* flag to execute only the BM_SweepQuiescence
+// wall-clock section, merged into BENCH_kernel.json by
+// tools/dyndist-bench-report --sweep.
+//
 //===----------------------------------------------------------------------===//
 
 #include "dyndist/aggregation/Experiment.h"
+#include "dyndist/runtime/SweepRunner.h"
 #include "dyndist/support/Stats.h"
 #include "dyndist/support/StringUtils.h"
 
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <string_view>
+#include <vector>
 
 using namespace dyndist;
 
+namespace {
+
+constexpr uint64_t E3MasterSeed = 0xE3;
+constexpr SimTime QuiesceAt = 400;
+
+/// Per-seed verdict for one query-time row.
+struct RowOutcome {
+  bool Counted = false;
+  bool Terminated = false;
+  bool Valid = false;
+  double Latency = 0.0;
+};
+
+RowOutcome runRow(SimTime QueryAt, uint64_t Seed) {
+  ExperimentConfig Cfg;
+  Cfg.Seed = Seed;
+  Cfg.Class = {ArrivalModel::finiteArrival(150),
+               KnowledgeModel::boundedUnknownDiameter()};
+  Cfg.InitialMembers = 20;
+  Cfg.Churn.JoinRate = 0.15;
+  Cfg.Churn.MeanSession = 120;
+  Cfg.Churn.QuiesceAt = QuiesceAt;
+  Cfg.QueryAt = QueryAt;
+  Cfg.Horizon = 1600;
+
+  ExperimentResult R = runQueryExperiment(Cfg);
+  RowOutcome Out;
+  if (!R.ClassAdmissible || !R.QueryIssued)
+    return Out;
+  Out.Counted = true;
+  Out.Terminated = R.Verdict.Terminated;
+  Out.Valid = R.Verdict.valid();
+  if (R.Verdict.Terminated)
+    Out.Latency = static_cast<double>(R.Verdict.ResponseTime - QueryAt);
+  return Out;
+}
+
+std::vector<RowOutcome> sweepRow(SimTime QueryAt, int Seeds,
+                                 unsigned Threads) {
+  SweepConfig Sweep;
+  Sweep.MasterSeed = E3MasterSeed;
+  Sweep.SeedCount = static_cast<size_t>(Seeds);
+  Sweep.Threads = Threads;
+  return runSeedSweep<RowOutcome>(Sweep, [QueryAt](SweepSeed Seed) {
+    return runRow(QueryAt, Seed.Value);
+  });
+}
+
+// --- Sweep wall-clock section (google-benchmark) --------------------------
+
+void BM_SweepQuiescence(benchmark::State &State) {
+  unsigned Threads = static_cast<unsigned>(State.range(0));
+  const int Seeds = 24;
+  uint64_t Ran = 0;
+  for (auto _ : State) {
+    auto Outcomes = sweepRow(500, Seeds, Threads);
+    Ran += Outcomes.size();
+    benchmark::DoNotOptimize(Outcomes);
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(Ran));
+}
+
+void registerSweepBenchmarks() {
+  auto *Bench =
+      benchmark::RegisterBenchmark("BM_SweepQuiescence", BM_SweepQuiescence);
+  Bench->ArgName("threads")->Unit(benchmark::kMillisecond)->UseRealTime();
+  std::vector<unsigned> Ladder = {1, 2, 4};
+  unsigned HW = resolveSweepThreads(0);
+  if (std::find(Ladder.begin(), Ladder.end(), HW) == Ladder.end())
+    Ladder.push_back(HW);
+  for (unsigned T : Ladder)
+    Bench->Arg(static_cast<int64_t>(T));
+}
+
+} // namespace
+
 int main(int argc, char **argv) {
+  for (int I = 1; I < argc; ++I) {
+    if (std::string_view(argv[I]).rfind("--benchmark", 0) == 0) {
+      registerSweepBenchmarks();
+      ::benchmark::Initialize(&argc, argv);
+      ::benchmark::RunSpecifiedBenchmarks();
+      ::benchmark::Shutdown();
+      return 0;
+    }
+  }
+
+  unsigned Threads = sweepThreadsFromArgs(argc, argv);
   int Seeds = argc > 1 ? std::atoi(argv[1]) : 15;
-  const SimTime QuiesceAt = 400;
 
   std::printf("E3: echo-wave query vs quiescence (claim C2); churn "
-              "quiesces at t=%llu, %d seeds per row\n\n",
-              (unsigned long long)QuiesceAt, Seeds);
+              "quiesces at t=%llu, %d seeds per row, %u threads\n\n",
+              (unsigned long long)QuiesceAt, Seeds,
+              resolveSweepThreads(Threads));
 
   Table T;
   T.setHeader({"query-at", "regime", "runs", "terminated", "valid",
@@ -38,28 +138,15 @@ int main(int argc, char **argv) {
   for (SimTime QueryAt : {100, 200, 300, 380, 420, 500, 700}) {
     int Counted = 0, Terminated = 0, Valid = 0;
     std::vector<double> Latencies;
-    for (int Seed = 1; Seed <= Seeds; ++Seed) {
-      ExperimentConfig Cfg;
-      Cfg.Seed = static_cast<uint64_t>(Seed) * 389 + 11;
-      Cfg.Class = {ArrivalModel::finiteArrival(150),
-                   KnowledgeModel::boundedUnknownDiameter()};
-      Cfg.InitialMembers = 20;
-      Cfg.Churn.JoinRate = 0.15;
-      Cfg.Churn.MeanSession = 120;
-      Cfg.Churn.QuiesceAt = QuiesceAt;
-      Cfg.QueryAt = QueryAt;
-      Cfg.Horizon = 1600;
-
-      ExperimentResult R = runQueryExperiment(Cfg);
-      if (!R.ClassAdmissible || !R.QueryIssued)
+    for (const RowOutcome &O : sweepRow(QueryAt, Seeds, Threads)) {
+      if (!O.Counted)
         continue;
       ++Counted;
-      if (R.Verdict.Terminated) {
+      if (O.Terminated) {
         ++Terminated;
-        Latencies.push_back(
-            static_cast<double>(R.Verdict.ResponseTime - QueryAt));
+        Latencies.push_back(O.Latency);
       }
-      if (R.Verdict.valid())
+      if (O.Valid)
         ++Valid;
     }
     Summary Lat = Summary::of(Latencies);

@@ -12,24 +12,147 @@
 // 1.0 in the unsolvable cells, where the recommended entry is best-effort
 // gossip and the spec cannot be met in every run.
 //
+// The seed axis is sharded across threads by SweepRunner (--threads N /
+// DYNDIST_THREADS); the aggregate is byte-identical at any thread count.
+// Run with any --benchmark_* flag to execute only the BM_SweepSolvability
+// wall-clock section (seed sweeps at 1/2/4/hw threads), which
+// tools/dyndist-bench-report --sweep merges into BENCH_kernel.json.
+//
 //===----------------------------------------------------------------------===//
 
 #include "dyndist/aggregation/Experiment.h"
+#include "dyndist/runtime/SweepRunner.h"
 #include "dyndist/support/StringUtils.h"
 
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <string_view>
+#include <vector>
 
 using namespace dyndist;
 
+namespace {
+
+constexpr uint64_t E1MasterSeed = 0xE1;
+constexpr uint64_t FiniteN = 60, B = 28, D = 10;
+
+/// Per-seed verdict for one grid cell.
+struct CellOutcome {
+  bool Admissible = false;
+  bool Terminated = false;
+  bool Valid = false;
+  double Coverage = 0.0;
+};
+
+CellOutcome runCell(const SystemClass &Class, uint64_t Seed) {
+  ExperimentConfig Cfg;
+  Cfg.Seed = Seed;
+  Cfg.Class = Class;
+  Cfg.Churn.JoinRate = 0.05;
+  Cfg.Churn.MeanSession = 400;
+  Cfg.Churn.Horizon = 600;
+  Cfg.QueryAt = 200;
+  Cfg.Horizon = 900;
+  if (Class.Arrival.Kind == ArrivalKind::FiniteArrival)
+    Cfg.Churn.QuiesceAt = 150;
+  if (Class.Arrival.Kind == ArrivalKind::InfiniteArrival &&
+      Class.Knowledge.Diameter != DiameterKnowledge::KnownBound) {
+    // The adversarial regime of the unsolvable cells: arrivals fierce
+    // enough that members join in the final gossip rounds and survive to
+    // the response (completeness then needs their contribution, which
+    // cannot reach the issuer in time), and, where the class allows it, an
+    // unboundedly stretching overlay. At JoinRate 0.5 the D-bounded cell
+    // fails only on ~1-in-100 seeds, under-sampling the impossibility.
+    Cfg.Churn.JoinRate = 2.0;
+    Cfg.Churn.MeanSession = 150;
+    if (Class.Knowledge.Diameter == DiameterKnowledge::Unbounded)
+      Cfg.Attach = AttachMode::Chain;
+  }
+  Cfg.Gossip.ReportAfter = 60;
+  Cfg.Gossip.Rounds = 30;
+  Cfg.Gossip.RoundEvery = 2;
+
+  ExperimentResult R = runQueryExperiment(Cfg);
+  CellOutcome Out;
+  if (!R.ClassAdmissible || !R.QueryIssued)
+    return Out;
+  Out.Admissible = true;
+  Out.Terminated = R.Verdict.Terminated;
+  Out.Valid = R.Verdict.valid();
+  Out.Coverage = R.Verdict.Coverage;
+  return Out;
+}
+
+std::vector<CellOutcome> sweepCell(const SystemClass &Class, int Seeds,
+                                   unsigned Threads) {
+  SweepConfig Sweep;
+  Sweep.MasterSeed = E1MasterSeed;
+  Sweep.SeedCount = static_cast<size_t>(Seeds);
+  Sweep.Threads = Threads;
+  return runSeedSweep<CellOutcome>(Sweep, [&Class](SweepSeed Seed) {
+    return runCell(Class, Seed.Value);
+  });
+}
+
+// --- Sweep wall-clock section (google-benchmark) --------------------------
+//
+// Measures the whole-sweep wall clock of one representative solvable cell
+// at a ladder of thread counts; items/sec is seeds (independent runs) per
+// second. Registered dynamically so the ladder can include the host's
+// hardware concurrency.
+
+void BM_SweepSolvability(benchmark::State &State) {
+  unsigned Threads = static_cast<unsigned>(State.range(0));
+  const int Seeds = 32;
+  SystemClass Class{ArrivalModel::boundedConcurrency(B),
+                    KnowledgeModel::knownDiameter(D)};
+  uint64_t Ran = 0;
+  for (auto _ : State) {
+    auto Outcomes = sweepCell(Class, Seeds, Threads);
+    Ran += Outcomes.size();
+    benchmark::DoNotOptimize(Outcomes);
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(Ran));
+}
+
+void registerSweepBenchmarks() {
+  auto *Bench = benchmark::RegisterBenchmark("BM_SweepSolvability",
+                                             BM_SweepSolvability);
+  Bench->ArgName("threads")->Unit(benchmark::kMillisecond)->UseRealTime();
+  std::vector<unsigned> Ladder = {1, 2, 4};
+  unsigned HW = resolveSweepThreads(0);
+  if (std::find(Ladder.begin(), Ladder.end(), HW) == Ladder.end())
+    Ladder.push_back(HW);
+  for (unsigned T : Ladder)
+    Bench->Arg(static_cast<int64_t>(T));
+}
+
+} // namespace
+
 int main(int argc, char **argv) {
-  int Seeds = argc > 1 ? std::atoi(argv[1]) : 20;
-  const uint64_t FiniteN = 60, B = 28, D = 10;
+  for (int I = 1; I < argc; ++I) {
+    if (std::string_view(argv[I]).rfind("--benchmark", 0) == 0) {
+      registerSweepBenchmarks();
+      ::benchmark::Initialize(&argc, argv);
+      ::benchmark::RunSpecifiedBenchmarks();
+      ::benchmark::Shutdown();
+      return 0;
+    }
+  }
+
+  unsigned Threads = sweepThreadsFromArgs(argc, argv);
+  // 100 seeds per cell: the unsolvable cells fail at ~1% per run, so small
+  // sweeps under-sample them to a fake 1.00 valid-rate. Sharded across
+  // threads this costs what 20 seeds used to serially.
+  int Seeds = argc > 1 ? std::atoi(argv[1]) : 100;
 
   std::printf("E1: one-time-query solvability matrix "
-              "(%d seeds per cell; n=%llu, b=%llu, D=%llu)\n\n",
+              "(%d seeds per cell; n=%llu, b=%llu, D=%llu; %u threads)\n\n",
               Seeds, (unsigned long long)FiniteN, (unsigned long long)B,
-              (unsigned long long)D);
+              (unsigned long long)D, resolveSweepThreads(Threads));
 
   Table T;
   T.setHeader({"class", "oracle", "algorithm", "runs", "terminated",
@@ -39,41 +162,16 @@ int main(int argc, char **argv) {
     int Admissible = 0, Terminated = 0, Valid = 0;
     double CoverageSum = 0;
     int CoverageRuns = 0;
-    for (int Seed = 1; Seed <= Seeds; ++Seed) {
-      ExperimentConfig Cfg;
-      Cfg.Seed = static_cast<uint64_t>(Seed) * 131 + 7;
-      Cfg.Class = Class;
-      Cfg.Churn.JoinRate = 0.05;
-      Cfg.Churn.MeanSession = 400;
-      Cfg.Churn.Horizon = 600;
-      Cfg.QueryAt = 200;
-      Cfg.Horizon = 900;
-      if (Class.Arrival.Kind == ArrivalKind::FiniteArrival)
-        Cfg.Churn.QuiesceAt = 150;
-      if (Class.Arrival.Kind == ArrivalKind::InfiniteArrival &&
-          Class.Knowledge.Diameter != DiameterKnowledge::KnownBound) {
-        // The adversarial regime of the unsolvable cells: fierce arrivals
-        // and, where the class allows it, an unboundedly stretching
-        // overlay.
-        Cfg.Churn.JoinRate = 0.5;
-        Cfg.Churn.MeanSession = 150;
-        if (Class.Knowledge.Diameter == DiameterKnowledge::Unbounded)
-          Cfg.Attach = AttachMode::Chain;
-      }
-      Cfg.Gossip.ReportAfter = 60;
-      Cfg.Gossip.Rounds = 30;
-      Cfg.Gossip.RoundEvery = 2;
-
-      ExperimentResult R = runQueryExperiment(Cfg);
-      if (!R.ClassAdmissible || !R.QueryIssued)
+    for (const CellOutcome &O : sweepCell(Class, Seeds, Threads)) {
+      if (!O.Admissible)
         continue;
       ++Admissible;
-      if (R.Verdict.Terminated) {
+      if (O.Terminated) {
         ++Terminated;
-        CoverageSum += R.Verdict.Coverage;
+        CoverageSum += O.Coverage;
         ++CoverageRuns;
       }
-      if (R.Verdict.valid())
+      if (O.Valid)
         ++Valid;
     }
 

@@ -12,14 +12,40 @@
 
 using namespace dyndist;
 
+/// All mutable driver state. Scheduled callbacks capture a weak_ptr to this
+/// token, so a driver destroyed before the event queue drains leaves only
+/// no-op callbacks behind.
+struct ChurnDriver::State {
+  ArrivalModel Model;
+  ChurnParams Params;
+  ActorFactory Factory;
+  Rng R;
+  uint64_t Arrivals = 0;
+  uint64_t Suppressed = 0;
+
+  /// Set right after construction; used to arm scheduled callbacks.
+  std::weak_ptr<State> Self;
+
+  SimTime sampleSession();
+  void spawnOne(Simulator &Sim);
+  void scheduleNextJoin(Simulator &Sim);
+  void attemptJoin(Simulator &Sim);
+};
+
 ChurnDriver::ChurnDriver(ArrivalModel Model, ChurnParams Params,
                          ActorFactory Factory, Rng R)
-    : Model(Model), Params(Params), Factory(std::move(Factory)), R(R) {
-  assert(this->Factory && "churn driver needs an actor factory");
+    : S(std::make_shared<State>(
+          State{Model, Params, std::move(Factory), R, 0, 0, {}})) {
+  S->Self = S;
+  assert(S->Factory && "churn driver needs an actor factory");
   assert(Params.MeanSession > 0.0 && "mean session must be positive");
 }
 
-SimTime ChurnDriver::sampleSession() {
+uint64_t ChurnDriver::arrivals() const { return S->Arrivals; }
+
+uint64_t ChurnDriver::suppressedJoins() const { return S->Suppressed; }
+
+SimTime ChurnDriver::State::sampleSession() {
   double Ticks = 0.0;
   switch (Params.Dist) {
   case SessionDist::Exponential:
@@ -38,65 +64,72 @@ SimTime ChurnDriver::sampleSession() {
   return std::max<SimTime>(1, static_cast<SimTime>(std::llround(Ticks)));
 }
 
-void ChurnDriver::spawnOne(Simulator &S) {
-  ProcessId P = S.spawn(Factory());
+void ChurnDriver::State::spawnOne(Simulator &Sim) {
+  ProcessId P = Sim.spawn(Factory());
   ++Arrivals;
   SimTime Session = sampleSession();
-  SimTime DepartAt = S.now() + Session;
+  SimTime DepartAt = Sim.now() + Session;
+  // Draw the crash flag unconditionally: every spawn consumes the same
+  // number of variates regardless of QuiesceAt, so configs differing only
+  // in their quiescence point see identical RNG streams (paired-seed
+  // comparability across E3/E4 sweeps).
+  bool Crash = R.nextBernoulli(Params.CrashFraction);
   if (Params.QuiesceAt && DepartAt > *Params.QuiesceAt)
     return; // Quiesced: this process stays forever.
-  bool Crash = R.nextBernoulli(Params.CrashFraction);
-  S.scheduleAt(DepartAt, [P, Crash](Simulator &Sim) {
-    if (!Sim.isUp(P))
+  Sim.scheduleAt(DepartAt, [P, Crash](Simulator &SimRef) {
+    if (!SimRef.isUp(P))
       return;
     if (Crash)
-      Sim.crash(P);
+      SimRef.crash(P);
     else
-      Sim.leave(P);
+      SimRef.leave(P);
   });
 }
 
-void ChurnDriver::populateInitial(Simulator &S, size_t Count) {
+void ChurnDriver::populateInitial(Simulator &Sim, size_t Count) {
   for (size_t I = 0; I != Count; ++I) {
-    if (Model.Kind == ArrivalKind::BoundedConcurrency &&
-        S.upCount() >= Model.ConcurrencyBound)
+    if (S->Model.Kind == ArrivalKind::BoundedConcurrency &&
+        Sim.upCount() >= S->Model.ConcurrencyBound)
       break;
-    if (Model.Kind == ArrivalKind::FiniteArrival &&
-        Arrivals >= Model.TotalBound)
+    if (S->Model.Kind == ArrivalKind::FiniteArrival &&
+        S->Arrivals >= S->Model.TotalBound)
       break;
-    spawnOne(S);
+    S->spawnOne(Sim);
   }
 }
 
-void ChurnDriver::start(Simulator &S) {
-  if (Params.JoinRate <= 0.0)
+void ChurnDriver::start(Simulator &Sim) {
+  if (S->Params.JoinRate <= 0.0)
     return;
-  scheduleNextJoin(S);
+  S->scheduleNextJoin(Sim);
 }
 
-void ChurnDriver::scheduleNextJoin(Simulator &S) {
+void ChurnDriver::State::scheduleNextJoin(Simulator &Sim) {
   double Gap = R.nextExponential(Params.JoinRate);
   SimTime Delay = std::max<SimTime>(1, static_cast<SimTime>(std::llround(Gap)));
-  SimTime JoinAt = S.now() + Delay;
+  SimTime JoinAt = Sim.now() + Delay;
   SimTime JoinDeadline = Params.Horizon;
   if (Params.QuiesceAt)
     JoinDeadline = std::min(JoinDeadline, *Params.QuiesceAt);
   if (JoinAt > JoinDeadline)
     return; // Join process ends.
-  S.scheduleAt(JoinAt, [this](Simulator &Sim) { attemptJoin(Sim); });
+  std::weak_ptr<State> Weak = Self;
+  Sim.scheduleAt(JoinAt, [Weak](Simulator &SimRef) {
+    if (std::shared_ptr<State> Live = Weak.lock())
+      Live->attemptJoin(SimRef);
+  });
 }
 
-void ChurnDriver::attemptJoin(Simulator &S) {
+void ChurnDriver::State::attemptJoin(Simulator &Sim) {
   bool Blocked = false;
-  if (Model.Kind == ArrivalKind::FiniteArrival &&
-      Arrivals >= Model.TotalBound)
+  if (Model.Kind == ArrivalKind::FiniteArrival && Arrivals >= Model.TotalBound)
     return; // Arrival budget exhausted: the join process dies out (M^n).
   if (Model.Kind == ArrivalKind::BoundedConcurrency &&
-      S.upCount() >= Model.ConcurrencyBound) {
+      Sim.upCount() >= Model.ConcurrencyBound) {
     ++Suppressed;
     Blocked = true;
   }
   if (!Blocked)
-    spawnOne(S);
-  scheduleNextJoin(S);
+    spawnOne(Sim);
+  scheduleNextJoin(Sim);
 }

@@ -61,8 +61,12 @@ struct ChurnParams {
   std::optional<SimTime> QuiesceAt;
 };
 
-/// Drives churn on one simulator. Construct, then start(); must outlive the
-/// run. Spawned processes run actors produced by the factory.
+/// Drives churn on one simulator. Construct, then start(). The driver's
+/// mutable state is owned by a shared token that its scheduled callbacks
+/// hold weakly: destroying the driver while joins are still queued in the
+/// event loop silently cancels them (the callbacks become no-ops) instead
+/// of firing through a dangling pointer. Spawned processes run actors
+/// produced by the factory.
 class ChurnDriver {
 public:
   using ActorFactory = std::function<std::unique_ptr<Actor>()>;
@@ -80,25 +84,16 @@ public:
   void start(Simulator &S);
 
   /// Total processes this driver spawned (including initial population).
-  uint64_t arrivals() const { return Arrivals; }
+  uint64_t arrivals() const;
 
   /// Join attempts suppressed by the concurrency bound. A nonzero value
   /// means the run saturated its M^b bound — evidence the bound was binding
   /// rather than slack.
-  uint64_t suppressedJoins() const { return Suppressed; }
+  uint64_t suppressedJoins() const;
 
 private:
-  void scheduleNextJoin(Simulator &S);
-  void attemptJoin(Simulator &S);
-  void spawnOne(Simulator &S);
-  SimTime sampleSession();
-
-  ArrivalModel Model;
-  ChurnParams Params;
-  ActorFactory Factory;
-  Rng R;
-  uint64_t Arrivals = 0;
-  uint64_t Suppressed = 0;
+  struct State;
+  std::shared_ptr<State> S;
 };
 
 } // namespace dyndist

@@ -1,0 +1,63 @@
+//===- SweepRunner.cpp - Seed-sharded sweeps ------------------------------===//
+//
+// Part of the dyndist project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dyndist/runtime/SweepRunner.h"
+
+#include "dyndist/support/Random.h"
+
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+using namespace dyndist;
+
+uint64_t dyndist::deriveSweepSeed(uint64_t MasterSeed, uint64_t SeedIndex) {
+  // Two SplitMix64 rounds: one to decorrelate master seeds that differ in
+  // few bits, one to decorrelate adjacent indices. The constant offsets the
+  // index so (master, 0) never degenerates to splitMix64(master) alone.
+  uint64_t State = MasterSeed;
+  uint64_t Master = splitMix64(State);
+  State = Master ^ (SeedIndex + 0x2545f4914f6cdd1dULL);
+  return splitMix64(State);
+}
+
+unsigned dyndist::resolveSweepThreads(unsigned Requested) {
+  if (Requested > 0)
+    return Requested;
+  if (const char *Env = std::getenv("DYNDIST_THREADS")) {
+    char *End = nullptr;
+    unsigned long Value = std::strtoul(Env, &End, 10);
+    if (End && End != Env && *End == '\0' && Value > 0 && Value < 1024)
+      return static_cast<unsigned>(Value);
+  }
+  unsigned HW = std::thread::hardware_concurrency();
+  return HW > 0 ? HW : 1;
+}
+
+unsigned dyndist::sweepThreadsFromArgs(int &Argc, char **Argv) {
+  unsigned Result = 0;
+  int Out = 1;
+  for (int In = 1; In < Argc; ++In) {
+    std::string Arg = Argv[In];
+    std::string Value;
+    if (Arg == "--threads" && In + 1 < Argc) {
+      Value = Argv[++In];
+    } else if (Arg.rfind("--threads=", 0) == 0) {
+      Value = Arg.substr(10);
+    } else {
+      Argv[Out++] = Argv[In];
+      continue;
+    }
+    char *End = nullptr;
+    unsigned long Parsed = std::strtoul(Value.c_str(), &End, 10);
+    if (End && End != Value.c_str() && *End == '\0' && Parsed > 0 &&
+        Parsed < 1024)
+      Result = static_cast<unsigned>(Parsed);
+  }
+  Argc = Out;
+  Argv[Argc] = nullptr;
+  return Result;
+}

@@ -99,14 +99,23 @@ Histogram::Histogram(double Lo, double Hi, size_t BucketCount)
 }
 
 void Histogram::add(double Value) {
+  ++Total;
+  if (Value < Lo) {
+    ++Underflow;
+    return;
+  }
+  if (Value >= Hi) {
+    ++Overflow;
+    return;
+  }
   double Pos = (Value - Lo) / (Hi - Lo) * static_cast<double>(Buckets.size());
   long Index = static_cast<long>(std::floor(Pos));
+  // Rounding of values just under Hi can land exactly on Buckets.size().
   if (Index < 0)
     Index = 0;
   if (Index >= static_cast<long>(Buckets.size()))
     Index = static_cast<long>(Buckets.size()) - 1;
   ++Buckets[static_cast<size_t>(Index)];
-  ++Total;
 }
 
 double Histogram::bucketLo(size_t Index) const {
@@ -134,5 +143,10 @@ std::string Histogram::render(size_t MaxBarWidth) const {
                   static_cast<unsigned long long>(Buckets[I]));
     Out += Line;
   }
+  char Tail[96];
+  std::snprintf(Tail, sizeof(Tail), "  underflow %llu  overflow %llu\n",
+                static_cast<unsigned long long>(Underflow),
+                static_cast<unsigned long long>(Overflow));
+  Out += Tail;
   return Out;
 }

@@ -83,8 +83,10 @@ struct Summary {
   std::string str() const;
 };
 
-/// Fixed-width-bucket histogram over [Lo, Hi); out-of-range observations are
-/// clamped into the first/last bucket.
+/// Fixed-width-bucket histogram over [Lo, Hi); out-of-range observations
+/// are counted in explicit underflow/overflow fields rather than clamped
+/// into the edge buckets (clamping silently inflates the first and last
+/// bucket and hides mis-sized ranges).
 class Histogram {
 public:
   /// Creates \p BucketCount equal buckets spanning [Lo, Hi). Requires
@@ -94,8 +96,14 @@ public:
   /// Adds one observation.
   void add(double Value);
 
-  /// Total number of observations.
+  /// Total number of observations, including out-of-range ones.
   uint64_t total() const { return Total; }
+
+  /// Observations below Lo.
+  uint64_t underflow() const { return Underflow; }
+
+  /// Observations at or above Hi.
+  uint64_t overflow() const { return Overflow; }
 
   /// Count in bucket \p Index.
   uint64_t bucketCount(size_t Index) const { return Buckets[Index]; }
@@ -106,7 +114,8 @@ public:
   /// Inclusive lower edge of bucket \p Index.
   double bucketLo(size_t Index) const;
 
-  /// Renders a compact ASCII bar chart, one bucket per line.
+  /// Renders a compact ASCII bar chart, one bucket per line, with
+  /// underflow/overflow summary lines.
   std::string render(size_t MaxBarWidth = 40) const;
 
 private:
@@ -114,6 +123,8 @@ private:
   double Hi;
   std::vector<uint64_t> Buckets;
   uint64_t Total = 0;
+  uint64_t Underflow = 0;
+  uint64_t Overflow = 0;
 };
 
 } // namespace dyndist

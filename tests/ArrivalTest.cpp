@@ -194,3 +194,77 @@ TEST(ChurnDriver, SessionDistributionsProduceDepartures) {
     EXPECT_GT(D.arrivals(), 10u);
   }
 }
+
+// Regression: configs differing only in QuiesceAt must consume identical
+// RNG streams. spawnOne() used to skip the crash-flag draw on the quiesce
+// path, desynchronizing every later session/join draw and breaking
+// paired-seed comparisons across quiescence boundaries (E3/E4).
+TEST(ChurnDriver, QuiesceAtDoesNotShiftRngStream) {
+  const SimTime Quiesce = 300;
+  auto runUpTo = [](std::optional<SimTime> QuiesceAt, Simulator &S,
+                    uint64_t &ArrivalsOut) {
+    ChurnParams P;
+    P.JoinRate = 0.3;
+    P.MeanSession = 500; // Most departures land past the quiesce point.
+    P.CrashFraction = 0.5;
+    P.Horizon = 1500;
+    P.QuiesceAt = QuiesceAt;
+    ChurnDriver D(ArrivalModel::infiniteArrival(), P, noopFactory(),
+                  Rng(1234));
+    D.populateInitial(S, 8);
+    D.start(S);
+    RunLimits L;
+    L.MaxTime = Quiesce; // Compare only the window where behavior overlaps.
+    S.run(L);
+    ArrivalsOut = D.arrivals();
+  };
+
+  Simulator WithQuiesce(5), WithoutQuiesce(5);
+  uint64_t ArrivalsA = 0, ArrivalsB = 0;
+  runUpTo(Quiesce, WithQuiesce, ArrivalsA);
+  runUpTo(std::nullopt, WithoutQuiesce, ArrivalsB);
+
+  // Up to the quiesce point both configs must generate the exact same
+  // join/departure schedule: same arrivals, same survivors.
+  EXPECT_EQ(ArrivalsA, ArrivalsB);
+  EXPECT_EQ(WithQuiesce.upCount(), WithoutQuiesce.upCount());
+  EXPECT_EQ(WithQuiesce.trace().countKind(TraceKind::Join),
+            WithoutQuiesce.trace().countKind(TraceKind::Join));
+  EXPECT_EQ(WithQuiesce.trace().countKind(TraceKind::Crash),
+            WithoutQuiesce.trace().countKind(TraceKind::Crash));
+  EXPECT_EQ(WithQuiesce.trace().countKind(TraceKind::Leave),
+            WithoutQuiesce.trace().countKind(TraceKind::Leave));
+}
+
+// Regression: a driver destroyed while its next join is still queued in the
+// event loop must cancel that callback rather than fire through a dangling
+// pointer (caught under ASan before the weak-token fix).
+TEST(ChurnDriver, DestroyedDriverCancelsScheduledJoins) {
+  Simulator S(11);
+  int Spawned = 0;
+  auto CountingFactory = [&Spawned]() -> std::unique_ptr<Actor> {
+    ++Spawned;
+    return std::make_unique<Noop>();
+  };
+  ChurnParams P;
+  P.JoinRate = 0.5;
+  P.MeanSession = 50;
+  P.Horizon = 10000;
+  auto D = std::make_unique<ChurnDriver>(ArrivalModel::infiniteArrival(), P,
+                                         CountingFactory, Rng(12));
+  D->populateInitial(S, 5);
+  D->start(S);
+
+  int SpawnedAtDestroy = -1;
+  S.scheduleAt(200, [&](Simulator &) {
+    D.reset(); // Mid-run: join callbacks are still queued.
+    SpawnedAtDestroy = Spawned;
+  });
+  RunLimits L;
+  L.MaxTime = 2000;
+  S.run(L);
+
+  ASSERT_GE(SpawnedAtDestroy, 5);
+  // No join may fire after the driver died.
+  EXPECT_EQ(Spawned, SpawnedAtDestroy);
+}

@@ -22,8 +22,15 @@
 #include "dyndist/registers/MajorityRegister.h"
 #include "dyndist/registers/StackRegister.h"
 #include "dyndist/runtime/StressHarness.h"
+#include "dyndist/support/Random.h"
+#include "dyndist/support/Stats.h"
 
 #include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <tuple>
+#include <vector>
 
 using namespace dyndist;
 
@@ -629,4 +636,55 @@ INSTANTIATE_TEST_SUITE_P(
     [](const auto &Info) {
       return "r" + std::to_string(std::get<0>(Info.param)) + "_s" +
              std::to_string(std::get<1>(Info.param));
+    });
+
+//===----------------------------------------------------------------------===//
+// OnlineStats::merge == sequential add (the reduction SweepRunner's
+// parallel-sweep determinism contract rests on)
+//===----------------------------------------------------------------------===//
+
+class OnlineStatsMergeProperty
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t, uint64_t>> {
+};
+
+TEST_P(OnlineStatsMergeProperty, MergeOfPartitionsEqualsSequentialAdd) {
+  auto [Partitions, N, Seed] = GetParam();
+
+  // Draw one sample stream; assign each sample to an arbitrary partition
+  // (a second stream decides which). Partition-local order preserves the
+  // global order, as in a sharded sweep reduced in seed-index order.
+  Rng Samples(Seed);
+  Rng Assign(Seed ^ 0x5eedu);
+  OnlineStats Sequential;
+  std::vector<OnlineStats> Parts(Partitions);
+  for (size_t I = 0; I != N; ++I) {
+    double V = (Samples.nextDouble() - 0.5) * 1e3;
+    Sequential.add(V);
+    Parts[Assign.nextBelow(Partitions)].add(V);
+  }
+  OnlineStats Merged;
+  for (const OnlineStats &P : Parts)
+    Merged.merge(P);
+
+  // Count, min, and max take no rounding: bitwise equality.
+  EXPECT_EQ(Merged.count(), Sequential.count());
+  EXPECT_EQ(Merged.min(), Sequential.min());
+  EXPECT_EQ(Merged.max(), Sequential.max());
+  // Mean and M2 combine along a different association order: equal up to
+  // floating-point tolerance.
+  EXPECT_NEAR(Merged.mean(), Sequential.mean(),
+              1e-9 * std::max(1.0, std::abs(Sequential.mean())));
+  EXPECT_NEAR(Merged.variance(), Sequential.variance(),
+              1e-9 * std::max(1.0, Sequential.variance()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PartitionGrid, OnlineStatsMergeProperty,
+    ::testing::Combine(::testing::Values<size_t>(1, 2, 3, 7, 16),
+                       ::testing::Values<size_t>(1, 10, 1000),
+                       ::testing::Values<uint64_t>(1, 2, 3)),
+    [](const auto &Info) {
+      return "p" + std::to_string(std::get<0>(Info.param)) + "_n" +
+             std::to_string(std::get<1>(Info.param)) + "_s" +
+             std::to_string(std::get<2>(Info.param));
     });

@@ -209,17 +209,22 @@ TEST(Stats, SummaryFields) {
   EXPECT_FALSE(S.str().empty());
 }
 
-TEST(Stats, HistogramBucketsAndClamping) {
+TEST(Stats, HistogramBucketsAndOutOfRange) {
   Histogram H(0.0, 10.0, 10);
-  H.add(-5.0); // Clamps into bucket 0.
+  H.add(-5.0); // Below Lo: underflow, not bucket 0.
   H.add(0.5);
   H.add(9.5);
-  H.add(99.0); // Clamps into last bucket.
-  EXPECT_EQ(H.total(), 4u);
-  EXPECT_EQ(H.bucketCount(0), 2u);
-  EXPECT_EQ(H.bucketCount(9), 2u);
+  H.add(99.0); // At/above Hi: overflow, not the last bucket.
+  H.add(10.0); // The upper edge is exclusive.
+  EXPECT_EQ(H.total(), 5u);
+  EXPECT_EQ(H.bucketCount(0), 1u);
+  EXPECT_EQ(H.bucketCount(9), 1u);
+  EXPECT_EQ(H.underflow(), 1u);
+  EXPECT_EQ(H.overflow(), 2u);
   EXPECT_DOUBLE_EQ(H.bucketLo(5), 5.0);
-  EXPECT_FALSE(H.render().empty());
+  std::string Rendered = H.render();
+  EXPECT_NE(Rendered.find("underflow 1"), std::string::npos);
+  EXPECT_NE(Rendered.find("overflow 2"), std::string::npos);
 }
 
 TEST(StringUtils, Format) {

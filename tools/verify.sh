@@ -1,9 +1,12 @@
 #!/bin/sh
 # Tier-1 verification: build + ctest in the plain configuration, then the
-# same suite under AddressSanitizer (-DDYNDIST_SANITIZE=address).
+# same suite under AddressSanitizer (-DDYNDIST_SANITIZE=address), then under
+# ThreadSanitizer (-DDYNDIST_SANITIZE=thread) — the latter is what keeps the
+# SweepRunner's multi-threaded seed sharding honest.
 #
-# Usage: tools/verify.sh [--skip-asan] [--asan-only]
-# Build dirs: build-verify/ and build-asan/ (kept for incremental reruns).
+# Usage: tools/verify.sh [--skip-asan] [--asan-only] [--skip-tsan] [--tsan-only]
+# Build dirs: build-verify/, build-asan/ and build-tsan/ (kept for
+# incremental reruns).
 
 set -e
 
@@ -12,11 +15,15 @@ JOBS="${DYNDIST_VERIFY_JOBS:-$(nproc 2>/dev/null || echo 2)}"
 
 RUN_PLAIN=1
 RUN_ASAN=1
+RUN_TSAN=1
 for arg in "$@"; do
   case "$arg" in
     --skip-asan) RUN_ASAN=0 ;;
-    --asan-only) RUN_PLAIN=0 ;;
-    *) echo "usage: tools/verify.sh [--skip-asan] [--asan-only]" >&2; exit 2 ;;
+    --asan-only) RUN_PLAIN=0; RUN_TSAN=0 ;;
+    --skip-tsan) RUN_TSAN=0 ;;
+    --tsan-only) RUN_PLAIN=0; RUN_ASAN=0 ;;
+    *) echo "usage: tools/verify.sh [--skip-asan] [--asan-only]" \
+            "[--skip-tsan] [--tsan-only]" >&2; exit 2 ;;
   esac
 done
 
@@ -32,4 +39,5 @@ run_suite() {
 
 [ "$RUN_PLAIN" = 1 ] && run_suite build-verify
 [ "$RUN_ASAN" = 1 ] && run_suite build-asan -DDYNDIST_SANITIZE=address
+[ "$RUN_TSAN" = 1 ] && run_suite build-tsan -DDYNDIST_SANITIZE=thread
 echo "== verify OK"
