@@ -14,13 +14,17 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "dyndist/aggregation/Gossip.h"
 #include "dyndist/graph/Algorithms.h"
 #include "dyndist/graph/Overlay.h"
 #include "dyndist/support/Stats.h"
 #include "dyndist/support/StringUtils.h"
 
+#include <benchmark/benchmark.h>
+
 #include <cstdio>
 #include <cstdlib>
+#include <string_view>
 
 using namespace dyndist;
 
@@ -81,9 +85,145 @@ OverlayReport drive(AttachMode Mode, size_t Degree, size_t Initial,
   return Rep;
 }
 
+// --- Graph/overlay micro-bench section (google-benchmark) -----------------
+//
+// Measures the overlay substrate itself: churn absorption (join/leave with
+// the patch repair rule), neighbor-list iteration (the inner loop of every
+// broadcast), BFS connectivity, and a full-stack digest-gossip run over a
+// churn-maintained overlay. Run with any --benchmark_* flag to execute
+// only this section; tools/dyndist-bench-report --graph merges the JSON
+// into BENCH_kernel.json.
+
+constexpr size_t ChurnInitial = 64;
+constexpr size_t ChurnSteps = 4096;
+
+/// One deterministic E8-style churn workload (no analysis sampling):
+/// returns the number of churn events executed.
+uint64_t runGraphChurn(DynamicOverlay &O) {
+  Rng R(42 ^ 0xabcdefULL);
+  ProcessId Next = 0;
+  for (size_t I = 0; I != ChurnInitial; ++I)
+    O.join(Next++);
+  for (size_t Step = 0; Step != ChurnSteps; ++Step) {
+    if (O.graph().nodeCount() <= 3 || R.nextBernoulli(0.5)) {
+      O.join(Next++);
+    } else {
+      // Zero-copy victim pick; the view is consumed before leave() mutates.
+      NeighborView Nodes = O.graph().nodesView();
+      O.leave(Nodes[static_cast<size_t>(R.nextBelow(Nodes.size()))]);
+    }
+  }
+  return ChurnInitial + ChurnSteps;
+}
+
+void BM_GraphChurn(benchmark::State &State) {
+  uint64_t Events = 0;
+  for (auto _ : State) {
+    DynamicOverlay O(3, Rng(42));
+    Events += runGraphChurn(O);
+    benchmark::DoNotOptimize(O.graph().nodeCount());
+  }
+  // items_per_second in the report is churn events (joins + leaves)/sec.
+  State.SetItemsProcessed(static_cast<int64_t>(Events));
+}
+BENCHMARK(BM_GraphChurn)->Unit(benchmark::kMillisecond);
+
+/// The churned overlay every iteration benchmark walks (built once).
+const Graph &churnedGraph() {
+  static const Graph G = [] {
+    DynamicOverlay O(3, Rng(42));
+    runGraphChurn(O);
+    return O.graph();
+  }();
+  return G;
+}
+
+void BM_NeighborIteration(benchmark::State &State) {
+  const Graph &G = churnedGraph();
+  uint64_t Visits = 0;
+  for (auto _ : State) {
+    uint64_t Sum = 0;
+    for (ProcessId P : G.nodesView())
+      for (ProcessId N : G.neighborView(P))
+        Sum += N;
+    benchmark::DoNotOptimize(Sum);
+    Visits += 2 * G.edgeCount();
+  }
+  // items_per_second is neighbor-list entries visited/sec.
+  State.SetItemsProcessed(static_cast<int64_t>(Visits));
+}
+BENCHMARK(BM_NeighborIteration)->Unit(benchmark::kMillisecond);
+
+void BM_GraphBfs(benchmark::State &State) {
+  const Graph &G = churnedGraph();
+  uint64_t Nodes = 0;
+  for (auto _ : State) {
+    bool Connected = isConnected(G);
+    benchmark::DoNotOptimize(Connected);
+    Nodes += G.nodeCount();
+  }
+  // items_per_second is nodes visited by the connectivity BFS/sec.
+  State.SetItemsProcessed(static_cast<int64_t>(Nodes));
+}
+BENCHMARK(BM_GraphBfs)->Unit(benchmark::kMillisecond);
+
+/// Full stack: digest-mode gossip over a churn-maintained overlay — the
+/// protocol hot path the flat adjacency representation exists for (digest
+/// construction + neighbor queries dominate per-event work).
+void BM_OverlayGossipDigest(benchmark::State &State) {
+  uint64_t Events = 0;
+  for (auto _ : State) {
+    Simulator S(7);
+    S.setTraceLevel(TraceLevel::Off);
+    DynamicOverlay O(3, Rng(8));
+    O.attachTo(S);
+
+    auto Cfg = std::make_shared<GossipConfig>();
+    Cfg->DigestMode = true;
+    Cfg->Rounds = 40;
+    Cfg->RoundEvery = 2;
+    Cfg->FanOut = 2;
+    Cfg->ReportAfter = 150;
+    auto Counter = std::make_shared<int64_t>(0);
+    auto Factory = makeGossipFactory(Cfg, [Counter] { return ++*Counter; });
+    for (int I = 0; I != 256; ++I)
+      S.spawn(Factory());
+    scheduleQueryStart(S, 1, /*Issuer=*/0);
+
+    // Background churn: one crash + one replacement spawn every 8 ticks.
+    std::function<void(Simulator &)> ChurnTick =
+        [&ChurnTick, &Factory](Simulator &Sim) {
+          const auto &Up = Sim.upSet();
+          if (!Up.empty())
+            Sim.crash(Up[Sim.rng().nextBelow(Up.size())]);
+          Sim.spawn(Factory());
+          Sim.scheduleAfter(8, ChurnTick);
+        };
+    S.scheduleAfter(8, ChurnTick);
+
+    RunLimits L;
+    L.MaxTime = 160;
+    S.run(L);
+    Events += S.stats().EventsExecuted;
+    benchmark::DoNotOptimize(S.stats().MessagesSent);
+  }
+  // items_per_second is kernel events/sec on the gossip-digest workload.
+  State.SetItemsProcessed(static_cast<int64_t>(Events));
+}
+BENCHMARK(BM_OverlayGossipDigest)->Unit(benchmark::kMillisecond);
+
 } // namespace
 
 int main(int argc, char **argv) {
+  for (int I = 1; I < argc; ++I) {
+    if (std::string_view(argv[I]).rfind("--benchmark", 0) == 0) {
+      ::benchmark::Initialize(&argc, argv);
+      ::benchmark::RunSpecifiedBenchmarks();
+      ::benchmark::Shutdown();
+      return 0;
+    }
+  }
+
   size_t Steps = argc > 1 ? static_cast<size_t>(std::atoi(argv[1])) : 2000;
 
   std::printf("E8: overlay diameter/degree under churn (%zu events, "

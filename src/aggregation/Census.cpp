@@ -47,8 +47,7 @@ void CensusIssuerActor::startRound(Context &Ctx) {
   if (Config->Flood.Ttl > 0) {
     auto Req = makeBody<FloodRequestMsg>(CurrentQueryId, Ctx.self(),
                                          Config->Flood.Ttl);
-    for (ProcessId N : Ctx.neighbors())
-      Ctx.send(N, Req);
+    Ctx.forEachNeighbor([&](ProcessId N) { Ctx.send(N, Req); });
   }
   SimTime Wait = (Config->Flood.Ttl + 1) * Config->Flood.MaxLatency +
                  Config->Flood.Slack;

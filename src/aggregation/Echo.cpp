@@ -43,12 +43,12 @@ void EchoActor::engage(Context &Ctx, uint64_t QueryId, ProcessId Parent,
   W.Accumulated[Ctx.self()] = Value;
 
   auto Req = makeBody<EchoRequestMsg>(QueryId, Issuer);
-  for (ProcessId N : Ctx.neighbors()) {
+  Ctx.forEachNeighbor([&](ProcessId N) {
     if (N == Parent)
-      continue;
+      return;
     Ctx.send(N, Req);
     ++W.Pending;
-  }
+  });
   completeIfDone(Ctx, QueryId);
 }
 

@@ -40,8 +40,7 @@ void FloodActor::startQuery(Context &Ctx) {
   Gathered[Ctx.self()] = Value; // The issuer contributes its own value.
   if (Config->Ttl > 0) {
     auto Req = makeBody<FloodRequestMsg>(MyQueryId, Ctx.self(), Config->Ttl);
-    for (ProcessId N : Ctx.neighbors())
-      Ctx.send(N, Req);
+    Ctx.forEachNeighbor([&](ProcessId N) { Ctx.send(N, Req); });
   }
   // Wave depth Ttl, plus one hop for the direct reply.
   SimTime Wait = (Config->Ttl + 1) * Config->MaxLatency + Config->Slack;
@@ -56,8 +55,7 @@ void FloodActor::handleRequest(Context &Ctx, const FloodRequestMsg &Req) {
   if (Req.Ttl <= 1)
     return; // Wave front stops here.
   auto Fwd = makeBody<FloodRequestMsg>(Req.QueryId, Req.Issuer, Req.Ttl - 1);
-  for (ProcessId N : Ctx.neighbors())
-    Ctx.send(N, Fwd);
+  Ctx.forEachNeighbor([&](ProcessId N) { Ctx.send(N, Fwd); });
 }
 
 void FloodActor::handleReply(const FloodReplyMsg &Reply) {

@@ -32,15 +32,25 @@ void GossipActor::onMessage(Context &Ctx, ProcessId From,
   case MsgGossipDigest: {
     const auto &Digest = bodyAs<GossipDigestMsg>(Body);
     infect(Ctx, Digest.QueryId);
-    // Entries the sender lacks; identities we lack.
+    // Entries the sender lacks; identities we lack. Both inputs ascend
+    // (Known is a sorted map, KnownIds a sorted vector), so one two-pointer
+    // merge replaces the per-id tree lookups; outputs are built in order.
     Contributions Missing;
-    for (const auto &[P, V] : Known)
-      if (!Digest.KnownIds.count(P))
-        Missing.emplace(P, V);
-    std::set<ProcessId> Want;
-    for (ProcessId P : Digest.KnownIds)
-      if (!Known.count(P))
-        Want.insert(P);
+    std::vector<ProcessId> Want;
+    auto KIt = Known.begin(), KEnd = Known.end();
+    auto DIt = Digest.KnownIds.begin(), DEnd = Digest.KnownIds.end();
+    while (KIt != KEnd || DIt != DEnd) {
+      if (DIt == DEnd || (KIt != KEnd && KIt->first < *DIt)) {
+        Missing.emplace_hint(Missing.end(), KIt->first, KIt->second);
+        ++KIt;
+      } else if (KIt == KEnd || *DIt < KIt->first) {
+        Want.push_back(*DIt);
+        ++DIt;
+      } else {
+        ++KIt;
+        ++DIt;
+      }
+    }
     if (!Missing.empty() || !Want.empty())
       Ctx.send(From, makeBody<GossipDeltaMsg>(Digest.QueryId,
                                               std::move(Missing),
@@ -62,7 +72,7 @@ void GossipActor::onMessage(Context &Ctx, ProcessId From,
     if (!Wanted.empty())
       Ctx.send(From, makeBody<GossipDeltaMsg>(Delta.QueryId,
                                               std::move(Wanted),
-                                              std::set<ProcessId>()));
+                                              std::vector<ProcessId>()));
     return;
   }
   default:
@@ -98,24 +108,27 @@ void GossipActor::gossipRound(Context &Ctx) {
   if (RoundsLeft == 0)
     return;
   --RoundsLeft;
-  std::vector<ProcessId> Nbrs = Ctx.neighbors();
-  if (!Nbrs.empty()) {
-    for (size_t I = 0, E = std::min(Config->FanOut, Nbrs.size()); I != E;
-         ++I) {
-      ProcessId Target = Nbrs[static_cast<size_t>(
-          Ctx.rng().nextBelow(Nbrs.size()))];
-      if (Config->DigestMode) {
-        std::set<ProcessId> Ids;
-        for (const auto &[P, V] : Known) {
-          (void)V;
-          Ids.insert(P);
-        }
-        Ctx.send(Target,
-                 makeBody<GossipDigestMsg>(QueryId, std::move(Ids)));
-      } else {
-        Ctx.send(Target, makeBody<GossipPushMsg>(QueryId, Known));
+  size_t Degree = Ctx.neighborCount();
+  if (Degree != 0) {
+    // One payload per round, shared by every fan-out target: the content
+    // (and thus every weight/stat) is identical for all of them, so
+    // rebuilding it per target was pure waste.
+    MessageRef Payload;
+    if (Config->DigestMode) {
+      std::vector<ProcessId> Ids;
+      Ids.reserve(Known.size());
+      for (const auto &[P, V] : Known) {
+        (void)V;
+        Ids.push_back(P); // Known ascends, so Ids is sorted.
       }
+      Payload = makeBody<GossipDigestMsg>(QueryId, std::move(Ids));
+    } else {
+      Payload = makeBody<GossipPushMsg>(QueryId, Known);
     }
+    for (size_t I = 0, E = std::min(Config->FanOut, Degree); I != E; ++I)
+      Ctx.send(Ctx.neighborAt(
+                   static_cast<size_t>(Ctx.rng().nextBelow(Degree))),
+               Payload);
   }
   if (RoundsLeft > 0)
     RoundTimer = Ctx.setTimer(Config->RoundEvery);

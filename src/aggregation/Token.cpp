@@ -47,8 +47,10 @@ void TokenActor::handleToken(Context &Ctx, const TokenMsg &Token) {
   Visited.insert(Ctx.self());
   Known.emplace(Ctx.self(), Value);
 
-  // Descend into the first unvisited neighbor.
-  for (ProcessId N : Ctx.neighbors()) {
+  // Descend into the first unvisited neighbor (indexed early-exit walk:
+  // no neighbor-list copy just to stop at the first hit).
+  for (size_t I = 0, E = Ctx.neighborCount(); I != E; ++I) {
+    ProcessId N = Ctx.neighborAt(I);
     if (Visited.count(N))
       continue;
     Path.push_back(Ctx.self());

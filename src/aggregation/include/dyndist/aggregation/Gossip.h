@@ -28,7 +28,7 @@
 
 #include <functional>
 #include <memory>
-#include <set>
+#include <vector>
 
 namespace dyndist {
 
@@ -77,26 +77,28 @@ struct GossipPullMsg : MessageBody {
 
 /// Digest-mode payloads (anti-entropy): the push carries only identities;
 /// the delta answers with the entries the peer lacks and asks for the ones
-/// the sender lacks.
+/// the sender lacks. Identity lists are sorted ascending vectors, so the
+/// receiver can reconcile against its (likewise sorted) contribution map
+/// with one linear merge instead of per-id tree lookups.
 struct GossipDigestMsg : MessageBody {
   static constexpr int KindId = MsgGossipDigest;
-  GossipDigestMsg(uint64_t QueryId, std::set<ProcessId> KnownIds)
+  GossipDigestMsg(uint64_t QueryId, std::vector<ProcessId> KnownIds)
       : MessageBody(KindId), QueryId(QueryId),
         KnownIds(std::move(KnownIds)) {}
   uint64_t QueryId;
-  std::set<ProcessId> KnownIds;
+  std::vector<ProcessId> KnownIds; ///< Ascending.
   size_t weight() const override { return 1 + KnownIds.size(); }
 };
 
 struct GossipDeltaMsg : MessageBody {
   static constexpr int KindId = MsgGossipDelta;
   GossipDeltaMsg(uint64_t QueryId, Contributions Entries,
-                 std::set<ProcessId> WantIds)
+                 std::vector<ProcessId> WantIds)
       : MessageBody(KindId), QueryId(QueryId), Entries(std::move(Entries)),
         WantIds(std::move(WantIds)) {}
   uint64_t QueryId;
   Contributions Entries;
-  std::set<ProcessId> WantIds;
+  std::vector<ProcessId> WantIds; ///< Ascending.
   size_t weight() const override {
     return 1 + 2 * Entries.size() + WantIds.size();
   }

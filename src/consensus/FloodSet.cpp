@@ -17,8 +17,7 @@ void FloodSetActor::onStart(Context &Ctx) {
 
 void FloodSetActor::broadcast(Context &Ctx) {
   auto Msg = makeBody<FloodSetRoundMsg>(Round, Known);
-  for (ProcessId N : Ctx.neighbors())
-    Ctx.send(N, Msg);
+  Ctx.forEachNeighbor([&](ProcessId N) { Ctx.send(N, Msg); });
 }
 
 void FloodSetActor::onMessage(Context &Ctx, ProcessId From,

@@ -6,6 +6,7 @@
 
 #include "dyndist/core/Membership.h"
 
+#include <algorithm>
 #include <cassert>
 
 using namespace dyndist;
@@ -29,20 +30,24 @@ void MembershipActor::onTimer(Context &Ctx, TimerId Id) {
 }
 
 void MembershipActor::heartbeatRound(Context &Ctx) {
-  std::vector<ProcessId> Nbrs = Ctx.neighbors();
+  // One pass over the live neighbor view: beat, start clocks, and snapshot
+  // the ids into the reused scratch (ascending, since neighbor enumeration
+  // ascends) for the pruning step below.
+  NbrScratch.clear();
   auto Beat = makeBody<HeartbeatMsg>();
-  for (ProcessId N : Nbrs) {
+  Ctx.forEachNeighbor([&](ProcessId N) {
+    NbrScratch.push_back(N);
     Ctx.send(N, Beat);
     // Start the clock for neighbors we meet for the first time: silence is
     // only meaningful once a heartbeat could have been answered.
     LastHeard.try_emplace(N, Ctx.now());
-  }
+  });
 
   // Forget departed neighbors: the overlay already routed around them, so
   // they are outside this process's (purely local) responsibility.
-  std::set<ProcessId> Current(Nbrs.begin(), Nbrs.end());
   for (auto It = LastHeard.begin(); It != LastHeard.end();) {
-    if (!Current.count(It->first)) {
+    if (!std::binary_search(NbrScratch.begin(), NbrScratch.end(),
+                            It->first)) {
       Suspected.erase(It->first);
       It = LastHeard.erase(It);
     } else {
@@ -63,9 +68,10 @@ void MembershipActor::heartbeatRound(Context &Ctx) {
 
 std::vector<ProcessId> MembershipActor::liveView(Context &Ctx) const {
   std::vector<ProcessId> Out;
-  for (ProcessId N : Ctx.neighbors())
+  Ctx.forEachNeighbor([&](ProcessId N) {
     if (!Suspected.count(N))
       Out.push_back(N);
+  });
   return Out;
 }
 

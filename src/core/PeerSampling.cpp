@@ -12,12 +12,10 @@ using namespace dyndist;
 
 void PeerSamplingActor::onStart(Context &Ctx) {
   // The overlay is the introduction service: bootstrap the view from the
-  // neighbors present at join time.
-  for (ProcessId N : Ctx.neighbors()) {
-    if (View.size() >= Config->ViewSize)
-      break;
-    View.emplace(N, 0);
-  }
+  // neighbors present at join time (indexed early-exit walk).
+  for (size_t I = 0, E = Ctx.neighborCount();
+       I != E && View.size() < Config->ViewSize; ++I)
+    View.emplace(Ctx.neighborAt(I), 0);
   RoundTimer = Ctx.setTimer(Config->ShuffleEvery);
 }
 
@@ -67,11 +65,9 @@ void PeerSamplingActor::shuffleRound(Context &Ctx) {
   if (View.empty()) {
     // Isolated (e.g. every traded entry was lost to a dead peer): fall
     // back to the introduction service and start shuffling next round.
-    for (ProcessId N : Ctx.neighbors()) {
-      if (View.size() >= Config->ViewSize)
-        break;
-      View.emplace(N, 0);
-    }
+    for (size_t I = 0, E = Ctx.neighborCount();
+         I != E && View.size() < Config->ViewSize; ++I)
+      View.emplace(Ctx.neighborAt(I), 0);
     return;
   }
   // Age everything, then shuffle with the oldest peer — the one most

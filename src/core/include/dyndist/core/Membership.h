@@ -85,6 +85,9 @@ private:
   std::shared_ptr<const MembershipConfig> Config;
   std::map<ProcessId, SimTime> LastHeard;
   std::set<ProcessId> Suspected;
+  /// Reused across rounds: the current neighbor ids, ascending. Kept as a
+  /// member so steady-state heartbeat rounds allocate nothing.
+  std::vector<ProcessId> NbrScratch;
   TimerId RoundTimer = 0;
 };
 

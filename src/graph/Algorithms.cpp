@@ -3,61 +3,133 @@
 // Part of the dyndist project.
 //
 //===----------------------------------------------------------------------===//
+//
+// All traversals run over the graph's dense slot indices with epoch-stamped
+// thread-local scratch buffers: a BFS allocates nothing once the scratch has
+// grown to the graph's slot-table size, and "visited" is one stamp compare
+// instead of a map lookup. The public map-returning wrappers materialize
+// their results from the scratch, preserving the original (ascending,
+// deterministic) output contracts byte for byte.
+//
+//===----------------------------------------------------------------------===//
 
 #include "dyndist/graph/Algorithms.h"
 
 #include <algorithm>
-#include <deque>
 
 using namespace dyndist;
 
-std::map<ProcessId, uint64_t> dyndist::bfsDistances(const Graph &G,
-                                                    ProcessId Source) {
-  std::map<ProcessId, uint64_t> Dist;
-  if (!G.hasNode(Source))
-    return Dist;
-  std::deque<ProcessId> Work;
-  Dist[Source] = 0;
-  Work.push_back(Source);
-  while (!Work.empty()) {
-    ProcessId P = Work.front();
-    Work.pop_front();
-    uint64_t D = Dist[P];
-    for (ProcessId N : G.adjacency().at(P)) {
-      if (Dist.count(N))
-        continue;
-      Dist[N] = D + 1;
-      Work.push_back(N);
+namespace {
+
+/// Reusable per-thread traversal state, indexed by graph slot. Epoch
+/// stamping makes "clear" an increment; the arrays are only ever resized
+/// upward (thread-local, so sweeps sharded by SweepRunner do not share it).
+struct BfsScratch {
+  std::vector<uint32_t> Stamp;  ///< Slot visited iff Stamp[S] == Epoch.
+  std::vector<uint64_t> Dist;   ///< Hop distance, valid when stamped.
+  std::vector<uint32_t> Parent; ///< Parent slot, valid when stamped.
+  std::vector<uint32_t> Order;  ///< Stamped slots in discovery order.
+  uint32_t Epoch = 0;
+
+  /// Starts a fresh traversal over \p G; invalidates previous results.
+  void begin(const Graph &G) {
+    size_t N = G.slotTableSize();
+    if (Stamp.size() < N) {
+      Stamp.resize(N, 0);
+      Dist.resize(N);
+      Parent.resize(N);
+    }
+    if (++Epoch == 0) { // Stamp wrap-around: reset the array once.
+      std::fill(Stamp.begin(), Stamp.end(), 0u);
+      Epoch = 1;
+    }
+    Order.clear();
+  }
+
+  bool visited(uint32_t S) const { return Stamp[S] == Epoch; }
+
+  void visit(uint32_t S, uint64_t D, uint32_t P) {
+    Stamp[S] = Epoch;
+    Dist[S] = D;
+    Parent[S] = P;
+    Order.push_back(S);
+  }
+};
+
+thread_local BfsScratch TLScratch;
+
+/// Dense BFS from \p Source. Fills \p S (distances, parents, discovery
+/// order) and returns the number of reachable nodes, 0 when Source is
+/// unknown. Neighbor expansion ascends by id, so discovery order — and
+/// therefore every derived output — is deterministic.
+size_t bfsDense(const Graph &G, ProcessId Source, BfsScratch &S) {
+  S.begin(G);
+  uint32_t Src = G.slotOf(Source);
+  if (Src == Graph::NoSlot)
+    return 0;
+  S.visit(Src, 0, Src);
+  for (size_t Head = 0; Head != S.Order.size(); ++Head) {
+    uint32_t Cur = S.Order[Head];
+    uint64_t D = S.Dist[Cur];
+    for (ProcessId N : G.slotNeighbors(Cur)) {
+      uint32_t NS = G.slotOf(N);
+      if (!S.visited(NS))
+        S.visit(NS, D + 1, Cur);
     }
   }
+  return S.Order.size();
+}
+
+} // namespace
+
+std::map<ProcessId, uint64_t> dyndist::bfsDistances(const Graph &G,
+                                                    ProcessId Source) {
+  BfsScratch &S = TLScratch;
+  bfsDense(G, Source, S);
+  std::map<ProcessId, uint64_t> Dist;
+  for (uint32_t Slot : S.Order)
+    Dist.emplace(G.slotId(Slot), S.Dist[Slot]);
   return Dist;
 }
 
 bool dyndist::isConnected(const Graph &G) {
   if (G.nodeCount() == 0)
     return true;
-  ProcessId First = G.adjacency().begin()->first;
-  return bfsDistances(G, First).size() == G.nodeCount();
+  // Early-exit by count: no distance map is materialized; the BFS itself
+  // is the visited counter.
+  return bfsDense(G, G.nodesView().front(), TLScratch) == G.nodeCount();
 }
 
 std::vector<std::vector<ProcessId>>
 dyndist::connectedComponents(const Graph &G) {
   std::vector<std::vector<ProcessId>> Components;
-  std::set<ProcessId> Seen;
-  for (const auto &[P, Nbrs] : G.adjacency()) {
-    (void)Nbrs;
-    if (Seen.count(P))
+  BfsScratch &S = TLScratch;
+  S.begin(G); // One epoch spans the whole sweep.
+  for (ProcessId Root : G.nodesView()) {
+    uint32_t RS = G.slotOf(Root);
+    if (S.visited(RS))
       continue;
-    auto Dist = bfsDistances(G, P);
-    std::vector<ProcessId> Component;
-    Component.reserve(Dist.size());
-    for (const auto &[Q, D] : Dist) {
-      (void)D;
-      Component.push_back(Q);
-      Seen.insert(Q);
+    // BFS the component, appending to the shared discovery order.
+    size_t First = S.Order.size();
+    S.visit(RS, 0, RS);
+    for (size_t Head = First; Head != S.Order.size(); ++Head) {
+      uint32_t Cur = S.Order[Head];
+      for (ProcessId N : G.slotNeighbors(Cur)) {
+        uint32_t NS = G.slotOf(N);
+        if (!S.visited(NS))
+          S.visit(NS, S.Dist[Cur] + 1, Cur);
+      }
     }
+    std::vector<ProcessId> Component;
+    Component.reserve(S.Order.size() - First);
+    for (size_t I = First; I != S.Order.size(); ++I)
+      Component.push_back(G.slotId(S.Order[I]));
+    std::sort(Component.begin(), Component.end());
     Components.push_back(std::move(Component));
   }
+  // Roots ascend over NodeIds, so components are already ordered by their
+  // smallest node (the root is its component's minimum-id entry point, and
+  // every smaller id was visited by an earlier root's BFS).
   return Components;
 }
 
@@ -65,14 +137,12 @@ std::optional<uint64_t> dyndist::eccentricity(const Graph &G,
                                               ProcessId Source) {
   if (!G.hasNode(Source))
     return std::nullopt;
-  auto Dist = bfsDistances(G, Source);
-  if (Dist.size() != G.nodeCount())
+  BfsScratch &S = TLScratch;
+  if (bfsDense(G, Source, S) != G.nodeCount())
     return std::nullopt;
   uint64_t Ecc = 0;
-  for (const auto &[P, D] : Dist) {
-    (void)P;
-    Ecc = std::max(Ecc, D);
-  }
+  for (uint32_t Slot : S.Order)
+    Ecc = std::max(Ecc, S.Dist[Slot]);
   return Ecc;
 }
 
@@ -80,8 +150,7 @@ std::optional<uint64_t> dyndist::diameter(const Graph &G) {
   if (G.nodeCount() == 0)
     return std::nullopt;
   uint64_t Diam = 0;
-  for (const auto &[P, Nbrs] : G.adjacency()) {
-    (void)Nbrs;
+  for (ProcessId P : G.nodesView()) {
     auto Ecc = eccentricity(G, P);
     if (!Ecc)
       return std::nullopt;
@@ -92,85 +161,84 @@ std::optional<uint64_t> dyndist::diameter(const Graph &G) {
 
 std::vector<ProcessId> dyndist::ballAround(const Graph &G, ProcessId Source,
                                            uint64_t MaxHops) {
+  BfsScratch &S = TLScratch;
+  bfsDense(G, Source, S);
   std::vector<ProcessId> Out;
-  for (const auto &[P, D] : bfsDistances(G, Source))
-    if (D <= MaxHops)
-      Out.push_back(P);
-  return Out; // Map iteration already ascends.
+  for (uint32_t Slot : S.Order)
+    if (S.Dist[Slot] <= MaxHops)
+      Out.push_back(G.slotId(Slot));
+  std::sort(Out.begin(), Out.end());
+  return Out;
 }
 
 std::map<ProcessId, ProcessId> dyndist::bfsTree(const Graph &G,
                                                 ProcessId Source) {
+  BfsScratch &S = TLScratch;
+  bfsDense(G, Source, S);
   std::map<ProcessId, ProcessId> Parent;
-  if (!G.hasNode(Source))
-    return Parent;
-  std::deque<ProcessId> Work;
-  Parent[Source] = Source;
-  Work.push_back(Source);
-  while (!Work.empty()) {
-    ProcessId P = Work.front();
-    Work.pop_front();
-    for (ProcessId N : G.adjacency().at(P)) {
-      if (Parent.count(N))
-        continue;
-      Parent[N] = P;
-      Work.push_back(N);
-    }
-  }
+  for (uint32_t Slot : S.Order)
+    Parent.emplace(G.slotId(Slot), G.slotId(S.Parent[Slot]));
   return Parent;
 }
 
 std::vector<ProcessId> dyndist::articulationPoints(const Graph &G) {
   // Iterative Tarjan low-link DFS (the recursion could be deep on chain
-  // overlays, which are exactly a case we analyze).
-  std::map<ProcessId, uint64_t> Disc, Low;
-  std::map<ProcessId, ProcessId> Parent;
-  std::map<ProcessId, size_t> RootChildren;
-  std::set<ProcessId> Cuts;
+  // overlays, which are exactly a case we analyze), over dense slot
+  // indices: discovery/low-link/parent live in flat arrays.
+  size_t Table = G.slotTableSize();
+  std::vector<uint64_t> Disc(Table, 0), Low(Table, 0);
+  std::vector<uint32_t> Parent(Table, Graph::NoSlot);
+  std::vector<bool> Cut(Table, false);
   uint64_t Clock = 0;
 
   struct Frame {
-    ProcessId Node;
-    std::vector<ProcessId> Nbrs;
+    uint32_t Slot;
+    NeighborView Nbrs; // Valid: the graph is not mutated while we walk.
     size_t NextNbr = 0;
   };
 
-  for (const auto &[Root, RootNbrs] : G.adjacency()) {
-    (void)RootNbrs;
-    if (Disc.count(Root))
+  std::vector<Frame> Stack;
+  for (ProcessId RootId : G.nodesView()) {
+    uint32_t Root = G.slotOf(RootId);
+    if (Disc[Root] != 0)
       continue;
+    size_t RootChildren = 0;
     Parent[Root] = Root;
-    std::vector<Frame> Stack;
-    Stack.push_back({Root, G.neighbors(Root)});
+    Stack.push_back({Root, G.slotNeighbors(Root), 0});
     Disc[Root] = Low[Root] = ++Clock;
 
     while (!Stack.empty()) {
       Frame &Top = Stack.back();
       if (Top.NextNbr < Top.Nbrs.size()) {
-        ProcessId Next = Top.Nbrs[Top.NextNbr++];
-        if (!Disc.count(Next)) {
-          Parent[Next] = Top.Node;
-          if (Top.Node == Root)
-            ++RootChildren[Root];
+        uint32_t Next = G.slotOf(Top.Nbrs[Top.NextNbr++]);
+        if (Disc[Next] == 0) {
+          Parent[Next] = Top.Slot;
+          if (Top.Slot == Root)
+            ++RootChildren;
           Disc[Next] = Low[Next] = ++Clock;
-          Stack.push_back({Next, G.neighbors(Next)});
-        } else if (Next != Parent[Top.Node]) {
-          Low[Top.Node] = std::min(Low[Top.Node], Disc[Next]);
+          Stack.push_back({Next, G.slotNeighbors(Next), 0});
+        } else if (Next != Parent[Top.Slot]) {
+          Low[Top.Slot] = std::min(Low[Top.Slot], Disc[Next]);
         }
         continue;
       }
       // Done with Top: fold its low-link into the parent.
-      ProcessId Done = Top.Node;
+      uint32_t Done = Top.Slot;
       Stack.pop_back();
       if (Stack.empty())
         continue;
-      ProcessId Up = Stack.back().Node;
+      uint32_t Up = Stack.back().Slot;
       Low[Up] = std::min(Low[Up], Low[Done]);
       if (Up != Root && Low[Done] >= Disc[Up])
-        Cuts.insert(Up);
+        Cut[Up] = true;
     }
-    if (RootChildren[Root] >= 2)
-      Cuts.insert(Root);
+    if (RootChildren >= 2)
+      Cut[Root] = true;
   }
-  return std::vector<ProcessId>(Cuts.begin(), Cuts.end());
+
+  std::vector<ProcessId> Out;
+  for (ProcessId P : G.nodesView())
+    if (Cut[G.slotOf(P)])
+      Out.push_back(P);
+  return Out; // NodeIds ascend, so the cut set ascends.
 }

@@ -16,15 +16,15 @@ std::string dyndist::toDot(const Graph &G,
                            const std::set<ProcessId> &Highlight,
                            const std::string &Name) {
   std::string Out = "graph " + Name + " {\n  node [shape=circle];\n";
-  for (ProcessId P : G.nodes()) {
+  for (ProcessId P : G.nodesView()) {
     Out += format("  n%llu", (unsigned long long)P);
     if (Highlight.count(P))
       Out += " [style=filled, fillcolor=salmon]";
     Out += ";\n";
   }
   // Each undirected edge once (smaller endpoint first; neighbors ascend).
-  for (const auto &[P, Nbrs] : G.adjacency())
-    for (ProcessId N : Nbrs)
+  for (ProcessId P : G.nodesView())
+    for (ProcessId N : G.neighborView(P))
       if (P < N)
         Out += format("  n%llu -- n%llu;\n", (unsigned long long)P,
                       (unsigned long long)N);

@@ -10,6 +10,7 @@
 
 #include <cassert>
 #include <cmath>
+#include <set>
 
 using namespace dyndist;
 

@@ -6,91 +6,162 @@
 
 #include "dyndist/graph/Graph.h"
 
+#include <algorithm>
 #include <cassert>
 
 using namespace dyndist;
 
+namespace {
+
+/// Sorted-insert of \p V into \p Vec; returns false when already present.
+bool sortedInsert(std::vector<ProcessId> &Vec, ProcessId V) {
+  auto It = std::lower_bound(Vec.begin(), Vec.end(), V);
+  if (It != Vec.end() && *It == V)
+    return false;
+  Vec.insert(It, V);
+  return true;
+}
+
+/// Sorted-erase of \p V from \p Vec; returns false when absent.
+bool sortedErase(std::vector<ProcessId> &Vec, ProcessId V) {
+  auto It = std::lower_bound(Vec.begin(), Vec.end(), V);
+  if (It == Vec.end() || *It != V)
+    return false;
+  Vec.erase(It);
+  return true;
+}
+
+} // namespace
+
 bool Graph::addNode(ProcessId P) {
-  return Adjacency.try_emplace(P).second;
+  assert(P != InvalidProcess && "InvalidProcess cannot be a node");
+  if (P >= SlotOfId.size())
+    SlotOfId.resize(P + 1, NoSlot);
+  else if (SlotOfId[P] != NoSlot)
+    return false;
+
+  uint32_t S;
+  if (!FreeSlots.empty()) {
+    S = FreeSlots.back();
+    FreeSlots.pop_back();
+  } else {
+    S = static_cast<uint32_t>(Slots.size());
+    Slots.emplace_back();
+  }
+  Slots[S].Id = P;
+  assert(Slots[S].Nbrs.empty() && "recycled slot carries stale neighbors");
+  SlotOfId[P] = S;
+  sortedInsert(NodeIds, P);
+  return true;
 }
 
 bool Graph::removeNode(ProcessId P) {
-  auto It = Adjacency.find(P);
-  if (It == Adjacency.end())
+  uint32_t S = slotOf(P);
+  if (S == NoSlot)
     return false;
-  for (ProcessId N : It->second) {
-    Adjacency[N].erase(P);
+  std::vector<ProcessId> &Nbrs = Slots[S].Nbrs;
+  for (ProcessId N : Nbrs) {
+    sortedErase(Slots[SlotOfId[N]].Nbrs, P);
     --Edges;
   }
-  Adjacency.erase(It);
+  Nbrs.clear(); // Capacity is retained for the slot's next occupant.
+  Slots[S].Id = InvalidProcess;
+  FreeSlots.push_back(S);
+  SlotOfId[P] = NoSlot;
+  sortedErase(NodeIds, P);
   return true;
 }
 
 bool Graph::addEdge(ProcessId A, ProcessId B) {
   assert(A != B && "self-loops are not allowed");
-  auto ItA = Adjacency.find(A);
-  auto ItB = Adjacency.find(B);
-  assert(ItA != Adjacency.end() && ItB != Adjacency.end() &&
-         "addEdge() endpoints must exist");
-  if (!ItA->second.insert(B).second)
+  uint32_t SA = slotOf(A);
+  uint32_t SB = slotOf(B);
+  assert(SA != NoSlot && SB != NoSlot && "addEdge() endpoints must exist");
+  if (!sortedInsert(Slots[SA].Nbrs, B))
     return false;
-  ItB->second.insert(A);
+  sortedInsert(Slots[SB].Nbrs, A);
   ++Edges;
   return true;
 }
 
 bool Graph::removeEdge(ProcessId A, ProcessId B) {
-  auto ItA = Adjacency.find(A);
-  if (ItA == Adjacency.end() || !ItA->second.erase(B))
+  uint32_t SA = slotOf(A);
+  uint32_t SB = slotOf(B);
+  if (SA == NoSlot || SB == NoSlot || !sortedErase(Slots[SA].Nbrs, B))
     return false;
-  Adjacency[B].erase(A);
+  sortedErase(Slots[SB].Nbrs, A);
   --Edges;
   return true;
 }
 
-bool Graph::hasNode(ProcessId P) const { return Adjacency.count(P) != 0; }
-
 bool Graph::hasEdge(ProcessId A, ProcessId B) const {
-  auto It = Adjacency.find(A);
-  return It != Adjacency.end() && It->second.count(B) != 0;
+  uint32_t SA = slotOf(A);
+  if (SA == NoSlot)
+    return false;
+  const std::vector<ProcessId> &Nbrs = Slots[SA].Nbrs;
+  return std::binary_search(Nbrs.begin(), Nbrs.end(), B);
 }
 
 std::vector<ProcessId> Graph::neighbors(ProcessId P) const {
-  auto It = Adjacency.find(P);
-  if (It == Adjacency.end())
+  uint32_t S = slotOf(P);
+  if (S == NoSlot)
     return {};
-  return std::vector<ProcessId>(It->second.begin(), It->second.end());
-}
-
-size_t Graph::degree(ProcessId P) const {
-  auto It = Adjacency.find(P);
-  return It == Adjacency.end() ? 0 : It->second.size();
-}
-
-std::vector<ProcessId> Graph::nodes() const {
-  std::vector<ProcessId> Out;
-  Out.reserve(Adjacency.size());
-  for (const auto &[P, Nbrs] : Adjacency) {
-    (void)Nbrs;
-    Out.push_back(P);
-  }
-  return Out;
+  return Slots[S].Nbrs;
 }
 
 void Graph::clear() {
-  Adjacency.clear();
+  Slots.clear();
+  FreeSlots.clear();
+  SlotOfId.clear();
+  NodeIds.clear();
   Edges = 0;
 }
 
 bool Graph::checkConsistency() const {
+  // Node index: ascending, unique, cross-consistent with the slot table.
+  if (!std::is_sorted(NodeIds.begin(), NodeIds.end()))
+    return false;
+  if (std::adjacent_find(NodeIds.begin(), NodeIds.end()) != NodeIds.end())
+    return false;
+  for (ProcessId P : NodeIds) {
+    uint32_t S = slotOf(P);
+    if (S == NoSlot || S >= Slots.size() || Slots[S].Id != P)
+      return false;
+  }
+  // Every id-table entry that claims a slot must be a present node.
+  size_t Mapped = 0;
+  for (ProcessId P = 0; P != SlotOfId.size(); ++P)
+    if (SlotOfId[P] != NoSlot) {
+      ++Mapped;
+      if (Slots[SlotOfId[P]].Id != P)
+        return false;
+    }
+  if (Mapped != NodeIds.size())
+    return false;
+  // Free list covers exactly the vacant slots, each cleanly vacated.
+  if (FreeSlots.size() + NodeIds.size() != Slots.size())
+    return false;
+  for (uint32_t S : FreeSlots)
+    if (S >= Slots.size() || Slots[S].Id != InvalidProcess ||
+        !Slots[S].Nbrs.empty())
+      return false;
+  // Adjacency: sorted, unique, no self-loops, symmetric, edge count.
   size_t HalfEdges = 0;
-  for (const auto &[P, Nbrs] : Adjacency) {
-    if (Nbrs.count(P))
-      return false; // Self-loop.
+  for (ProcessId P : NodeIds) {
+    const std::vector<ProcessId> &Nbrs = Slots[SlotOfId[P]].Nbrs;
+    if (!std::is_sorted(Nbrs.begin(), Nbrs.end()))
+      return false;
+    if (std::adjacent_find(Nbrs.begin(), Nbrs.end()) != Nbrs.end())
+      return false;
     for (ProcessId N : Nbrs) {
-      auto It = Adjacency.find(N);
-      if (It == Adjacency.end() || !It->second.count(P))
-        return false; // Dangling or asymmetric edge.
+      if (N == P)
+        return false; // Self-loop.
+      uint32_t NS = slotOf(N);
+      if (NS == NoSlot)
+        return false; // Dangling edge.
+      const std::vector<ProcessId> &Back = Slots[NS].Nbrs;
+      if (!std::binary_search(Back.begin(), Back.end(), P))
+        return false; // Asymmetric edge.
     }
     HalfEdges += Nbrs.size();
   }

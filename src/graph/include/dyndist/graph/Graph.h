@@ -7,8 +7,23 @@
 /// \file
 /// The overlay graph of a dynamic system: an undirected simple graph over
 /// ProcessId vertices supporting incremental mutation (nodes and edges come
-/// and go as entities join and leave). Deterministic iteration order
-/// (ordered containers) keeps whole experiments seed-reproducible.
+/// and go as entities join and leave).
+///
+/// Representation: a slot-indexed flat node table. Each present node owns a
+/// dense slot holding its sorted neighbor vector; slots of departed nodes
+/// are recycled through a free list (mirroring the simulator's indexed
+/// process table), so steady-state churn reuses neighbor-vector capacity
+/// instead of allocating. Identity-to-slot translation is a direct-indexed
+/// vector — ProcessIds are assigned densely by the simulator (0, 1, 2, ...)
+/// and the generators, so the table is O(max id) small integers. All
+/// neighbor and node enumerations ascend by id, which keeps whole
+/// experiments seed-reproducible (the determinism contract of
+/// docs/BENCHMARKING.md).
+///
+/// NeighborView is a zero-copy span over a neighbor (or node) list. Views
+/// are invalidated by ANY graph mutation — addNode/removeNode can grow or
+/// reshuffle the tables, add/removeEdge moves neighbor-vector elements. Use
+/// them for immediate iteration, never for storage across mutations.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -18,15 +33,41 @@
 #include "dyndist/sim/Types.h"
 
 #include <cstddef>
-#include <map>
-#include <set>
+#include <cstdint>
 #include <vector>
 
 namespace dyndist {
 
+/// Zero-copy view over a contiguous, ascending run of ProcessIds (a node's
+/// neighbor list, or the graph's node set). Invalidated by any mutation of
+/// the graph it was obtained from.
+class NeighborView {
+public:
+  using value_type = ProcessId;
+
+  NeighborView() = default;
+  NeighborView(const ProcessId *Data, size_t Count)
+      : Data(Data), Count(Count) {}
+
+  const ProcessId *begin() const { return Data; }
+  const ProcessId *end() const { return Data + Count; }
+  size_t size() const { return Count; }
+  bool empty() const { return Count == 0; }
+  ProcessId operator[](size_t I) const { return Data[I]; }
+  ProcessId front() const { return Data[0]; }
+  ProcessId back() const { return Data[Count - 1]; }
+
+private:
+  const ProcessId *Data = nullptr;
+  size_t Count = 0;
+};
+
 /// Undirected simple graph with stable, deterministic iteration order.
 class Graph {
 public:
+  /// Sentinel slot index for "node absent".
+  static constexpr uint32_t NoSlot = ~0u;
+
   /// Adds a node; no-op if present. Returns true when newly added.
   bool addNode(ProcessId P);
 
@@ -42,22 +83,47 @@ public:
   bool removeEdge(ProcessId A, ProcessId B);
 
   /// True when the node exists.
-  bool hasNode(ProcessId P) const;
+  bool hasNode(ProcessId P) const { return slotOf(P) != NoSlot; }
 
   /// True when the edge {A, B} exists.
   bool hasEdge(ProcessId A, ProcessId B) const;
 
   /// Neighbors of \p P in ascending order; empty for unknown nodes.
+  /// Copy-returning compatibility API — hot paths should use
+  /// neighborView() / forEachNeighbor().
   std::vector<ProcessId> neighbors(ProcessId P) const;
 
-  /// Degree of \p P; 0 for unknown nodes.
-  size_t degree(ProcessId P) const;
+  /// Zero-copy neighbors of \p P (ascending; empty for unknown nodes).
+  /// Invalidated by any graph mutation.
+  NeighborView neighborView(ProcessId P) const {
+    uint32_t S = slotOf(P);
+    if (S == NoSlot)
+      return {};
+    const std::vector<ProcessId> &N = Slots[S].Nbrs;
+    return {N.data(), N.size()};
+  }
 
-  /// All nodes in ascending order.
-  std::vector<ProcessId> nodes() const;
+  /// Invokes \p Fn for each neighbor of \p P in ascending order. \p Fn must
+  /// not mutate the graph.
+  template <typename Fn> void forEachNeighbor(ProcessId P, Fn &&F) const {
+    for (ProcessId N : neighborView(P))
+      F(N);
+  }
+
+  /// Degree of \p P; 0 for unknown nodes.
+  size_t degree(ProcessId P) const {
+    uint32_t S = slotOf(P);
+    return S == NoSlot ? 0 : Slots[S].Nbrs.size();
+  }
+
+  /// All nodes in ascending order (copy; hot paths use nodesView()).
+  std::vector<ProcessId> nodes() const { return NodeIds; }
+
+  /// Zero-copy ascending node set. Invalidated by any graph mutation.
+  NeighborView nodesView() const { return {NodeIds.data(), NodeIds.size()}; }
 
   /// Number of nodes.
-  size_t nodeCount() const { return Adjacency.size(); }
+  size_t nodeCount() const { return NodeIds.size(); }
 
   /// Number of edges.
   size_t edgeCount() const { return Edges; }
@@ -65,17 +131,43 @@ public:
   /// Removes everything.
   void clear();
 
-  /// Validates structural invariants (symmetry, no self-loops, edge count);
-  /// returns true when consistent. Used by tests and assertions.
+  /// Validates structural invariants (symmetry, sortedness, no self-loops,
+  /// id/slot cross-consistency, free-list integrity, edge count); returns
+  /// true when consistent. Used by tests and assertions.
   bool checkConsistency() const;
 
-  /// Read-only access to the adjacency structure (for algorithms).
-  const std::map<ProcessId, std::set<ProcessId>> &adjacency() const {
-    return Adjacency;
+  // --- Dense-index access (for algorithms over scratch buffers) ----------
+
+  /// Slot of \p P, or NoSlot when absent. O(1).
+  uint32_t slotOf(ProcessId P) const {
+    return P < SlotOfId.size() ? SlotOfId[P] : NoSlot;
+  }
+
+  /// Number of slots ever allocated (in-use + free). Scratch buffers sized
+  /// to this bound can be indexed by any in-use slot.
+  size_t slotTableSize() const { return Slots.size(); }
+
+  /// Identity occupying \p S (valid only for in-use slots).
+  ProcessId slotId(uint32_t S) const { return Slots[S].Id; }
+
+  /// Neighbor view of the node occupying in-use slot \p S.
+  NeighborView slotNeighbors(uint32_t S) const {
+    const std::vector<ProcessId> &N = Slots[S].Nbrs;
+    return {N.data(), N.size()};
   }
 
 private:
-  std::map<ProcessId, std::set<ProcessId>> Adjacency;
+  /// One node's storage. Freed slots keep their neighbor vector's capacity
+  /// so churn reuses it (Id is InvalidProcess while on the free list).
+  struct Slot {
+    ProcessId Id = InvalidProcess;
+    std::vector<ProcessId> Nbrs;
+  };
+
+  std::vector<Slot> Slots;          ///< Dense node table.
+  std::vector<uint32_t> FreeSlots;  ///< Recycled slot indices (LIFO).
+  std::vector<uint32_t> SlotOfId;   ///< id -> slot, indexed by raw id.
+  std::vector<ProcessId> NodeIds;   ///< Present ids, ascending.
   size_t Edges = 0;
 };
 

@@ -79,8 +79,19 @@ public:
   /// Current overlay.
   const Graph &graph() const { return G; }
 
-  /// TopologyProvider: neighbors of \p P.
+  /// TopologyProvider: neighbors of \p P (copy-returning compatibility
+  /// path plus the zero-copy accessors, all answered straight from the
+  /// flat adjacency).
   std::vector<ProcessId> neighborsOf(ProcessId P) const override;
+  size_t neighborCountOf(ProcessId P) const override { return G.degree(P); }
+  ProcessId neighborAtOf(ProcessId P, size_t I) const override {
+    return G.neighborView(P)[I];
+  }
+  void forEachNeighborOf(ProcessId P,
+                         FunctionRef<void(ProcessId)> F) const override {
+    for (ProcessId N : G.neighborView(P))
+      F(N);
+  }
 
   /// Wires this overlay to \p S: membership hooks keep the overlay in sync
   /// with joins/leaves/crashes and the simulator routes neighbor queries

@@ -165,6 +165,14 @@ public:
     return S.neighborsOf(P);
   }
 
+  size_t neighborCount() const override { return S.neighborCount(P); }
+
+  ProcessId neighborAt(size_t I) const override { return S.neighborAt(P, I); }
+
+  void forEachNeighbor(FunctionRef<void(ProcessId)> F) const override {
+    S.forEachNeighbor(P, F);
+  }
+
   void send(ProcessId To, MessageRef Body) override {
     S.sendMessage(P, To, std::move(Body));
   }
@@ -295,6 +303,34 @@ std::vector<ProcessId> Simulator::neighborsOf(ProcessId P) const {
     if (Q != P)
       Out.push_back(Q);
   return Out;
+}
+
+size_t Simulator::neighborCount(ProcessId P) const {
+  if (Topology)
+    return Topology->neighborCountOf(P);
+  // Full mesh: everyone up except P itself.
+  return UpSet.size() - (isUp(P) ? 1 : 0);
+}
+
+ProcessId Simulator::neighborAt(ProcessId P, size_t I) const {
+  if (Topology)
+    return Topology->neighborAtOf(P, I);
+  // Full mesh: the up-set ascends, so skip P's own position.
+  auto It = std::lower_bound(UpSet.begin(), UpSet.end(), P);
+  size_t SelfPos =
+      (It != UpSet.end() && *It == P) ? size_t(It - UpSet.begin()) : ~size_t(0);
+  return UpSet[I < SelfPos ? I : I + 1];
+}
+
+void Simulator::forEachNeighbor(ProcessId P,
+                                FunctionRef<void(ProcessId)> F) const {
+  if (Topology) {
+    Topology->forEachNeighborOf(P, F);
+    return;
+  }
+  for (ProcessId Q : UpSet)
+    if (Q != P)
+      F(Q);
 }
 
 size_t Simulator::pendingTimers() const { return Pending->Timers.size(); }

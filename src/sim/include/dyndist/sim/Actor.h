@@ -18,8 +18,10 @@
 
 #include "dyndist/sim/Message.h"
 #include "dyndist/sim/Types.h"
+#include "dyndist/support/FunctionRef.h"
 #include "dyndist/support/Random.h"
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
@@ -40,7 +42,26 @@ public:
   /// Identities of the actor's current overlay neighbors. This is the only
   /// membership information an actor ever gets: the geographical dimension
   /// of the paper ("each entity knows only a few other entities").
+  /// Copy-returning compatibility API; hot paths should use the zero-copy
+  /// neighborCount()/neighborAt()/forEachNeighbor() accessors below.
   virtual std::vector<ProcessId> neighbors() const = 0;
+
+  /// Number of current neighbors. Default falls back to a neighbors() copy;
+  /// kernel-backed contexts override with an O(1) count.
+  virtual size_t neighborCount() const { return neighbors().size(); }
+
+  /// The \p I-th neighbor in ascending-id order (I < neighborCount()).
+  /// Default falls back to a neighbors() copy; kernel-backed contexts
+  /// override with an allocation-free lookup.
+  virtual ProcessId neighborAt(size_t I) const { return neighbors()[I]; }
+
+  /// Invokes \p F for each current neighbor in ascending-id order without
+  /// materializing the list. \p F must not mutate membership or topology
+  /// (no leaveSystem(), no churn) while iterating.
+  virtual void forEachNeighbor(FunctionRef<void(ProcessId)> F) const {
+    for (ProcessId N : neighbors())
+      F(N);
+  }
 
   /// Sends \p Body to \p To with model-sampled latency.
   virtual void send(ProcessId To, MessageRef Body) = 0;

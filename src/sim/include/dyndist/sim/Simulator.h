@@ -49,8 +49,29 @@ class TopologyProvider {
 public:
   virtual ~TopologyProvider();
 
-  /// Current neighbors of \p P among up processes.
+  /// Current neighbors of \p P among up processes. Copy-returning
+  /// compatibility API; hot paths go through the accessors below.
   virtual std::vector<ProcessId> neighborsOf(ProcessId P) const = 0;
+
+  /// Number of current neighbors of \p P. Default materializes a copy;
+  /// providers with contiguous adjacency override with O(1).
+  virtual size_t neighborCountOf(ProcessId P) const {
+    return neighborsOf(P).size();
+  }
+
+  /// The \p I-th neighbor of \p P in ascending-id order. Default
+  /// materializes a copy; override for allocation-free lookup.
+  virtual ProcessId neighborAtOf(ProcessId P, size_t I) const {
+    return neighborsOf(P)[I];
+  }
+
+  /// Invokes \p F for each neighbor of \p P in ascending-id order. \p F
+  /// must not mutate the topology.
+  virtual void forEachNeighborOf(ProcessId P,
+                                 FunctionRef<void(ProcessId)> F) const {
+    for (ProcessId N : neighborsOf(P))
+      F(N);
+  }
 };
 
 /// Run limits; a run stops when any limit is hit or no events remain.
@@ -181,6 +202,14 @@ public:
 
   /// Neighborhood of \p P under the installed topology provider.
   std::vector<ProcessId> neighborsOf(ProcessId P) const;
+
+  /// Allocation-free topology accessors: degree of \p P, its \p I-th
+  /// neighbor (ascending), and in-place visitation. Under the default full
+  /// mesh these read the up-set directly (skipping \p P itself); with a
+  /// provider installed they forward to its zero-copy overrides.
+  size_t neighborCount(ProcessId P) const;
+  ProcessId neighborAt(ProcessId P, size_t I) const;
+  void forEachNeighbor(ProcessId P, FunctionRef<void(ProcessId)> F) const;
 
   /// Number of timers armed but not yet fired, cancelled-and-collected, or
   /// drained. Cancellation bookkeeping is dropped when the timer's event is

@@ -1,0 +1,60 @@
+//===- dyndist/support/FunctionRef.h - Non-owning callable ref --*- C++ -*-===//
+//
+// Part of the dyndist project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A lightweight non-owning reference to a callable (LLVM-style
+/// function_ref). Unlike std::function it never allocates and never copies
+/// the callable, which makes it the right parameter type for hot-path
+/// visitation APIs (Context::forEachNeighbor and friends): the callee
+/// invokes the caller's lambda in place. The referenced callable must
+/// outlive every invocation — FunctionRef is for parameters, not storage.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNDIST_SUPPORT_FUNCTIONREF_H
+#define DYNDIST_SUPPORT_FUNCTIONREF_H
+
+#include <cstdint>
+#include <type_traits>
+#include <utility>
+
+namespace dyndist {
+
+template <typename Fn> class FunctionRef;
+
+template <typename Ret, typename... Params> class FunctionRef<Ret(Params...)> {
+  Ret (*Callback)(intptr_t Callable, Params... Ps) = nullptr;
+  intptr_t Callable = 0;
+
+  template <typename Callee>
+  static Ret callbackFn(intptr_t C, Params... Ps) {
+    return (*reinterpret_cast<Callee *>(C))(std::forward<Params>(Ps)...);
+  }
+
+public:
+  FunctionRef() = default;
+
+  template <typename Callee,
+            // Do not hijack the copy constructor.
+            std::enable_if_t<!std::is_same_v<std::remove_cvref_t<Callee>,
+                                             FunctionRef>,
+                             int> = 0,
+            std::enable_if_t<std::is_invocable_r_v<Ret, Callee &, Params...>,
+                             int> = 0>
+  FunctionRef(Callee &&C)
+      : Callback(callbackFn<std::remove_reference_t<Callee>>),
+        Callable(reinterpret_cast<intptr_t>(&C)) {}
+
+  Ret operator()(Params... Ps) const {
+    return Callback(Callable, std::forward<Params>(Ps)...);
+  }
+
+  explicit operator bool() const { return Callback != nullptr; }
+};
+
+} // namespace dyndist
+
+#endif // DYNDIST_SUPPORT_FUNCTIONREF_H

@@ -11,6 +11,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
+#include <set>
+
 using namespace dyndist;
 
 TEST(Graph, AddRemoveNodesAndEdges) {
@@ -387,4 +391,119 @@ TEST(Dot, FileRoundTrip) {
   std::fclose(F);
   std::remove(Path.c_str());
   EXPECT_FALSE(writeDotFile(G, "/nonexistent/x.dot").ok());
+}
+
+TEST(Graph, RandomizedMutationsMatchReferenceModel) {
+  // Property: under arbitrary interleavings of add/remove node/edge, the
+  // slot-indexed graph behaves exactly like the obvious map/set model, and
+  // its structural invariants (including free-list/slot bookkeeping) hold
+  // after every single step.
+  Rng R(0xfeedULL);
+  std::map<ProcessId, std::set<ProcessId>> Model;
+  Graph G;
+  size_t ModelEdges = 0;
+  constexpr ProcessId IdSpace = 24; // Small id space => dense interleaving.
+
+  for (size_t Step = 0; Step != 4000; ++Step) {
+    ProcessId A = R.nextBelow(IdSpace);
+    ProcessId B = R.nextBelow(IdSpace);
+    switch (R.nextBelow(4)) {
+    case 0: { // addNode
+      bool Added = G.addNode(A);
+      EXPECT_EQ(Added, Model.emplace(A, std::set<ProcessId>()).second);
+      break;
+    }
+    case 1: { // removeNode
+      auto It = Model.find(A);
+      bool Existed = It != Model.end();
+      if (Existed) {
+        for (ProcessId N : It->second) {
+          Model[N].erase(A);
+          --ModelEdges;
+        }
+        Model.erase(It);
+      }
+      EXPECT_EQ(G.removeNode(A), Existed);
+      break;
+    }
+    case 2: { // addEdge (only when legal: both present, no self-loop)
+      if (A == B || !Model.count(A) || !Model.count(B))
+        break;
+      bool Added = Model[A].insert(B).second;
+      Model[B].insert(A);
+      if (Added)
+        ++ModelEdges;
+      EXPECT_EQ(G.addEdge(A, B), Added);
+      break;
+    }
+    case 3: { // removeEdge
+      bool Existed = Model.count(A) && Model[A].erase(B);
+      if (Existed) {
+        Model[B].erase(A);
+        --ModelEdges;
+      }
+      EXPECT_EQ(G.removeEdge(A, B), Existed);
+      break;
+    }
+    }
+
+    ASSERT_TRUE(G.checkConsistency()) << "after step " << Step;
+    ASSERT_EQ(G.nodeCount(), Model.size()) << "after step " << Step;
+    ASSERT_EQ(G.edgeCount(), ModelEdges) << "after step " << Step;
+
+    // Full observable-state comparison every few steps (it is O(V + E)).
+    if (Step % 16 != 0)
+      continue;
+    std::vector<ProcessId> ModelNodes;
+    for (const auto &[P, Nbrs] : Model)
+      ModelNodes.push_back(P);
+    ASSERT_EQ(G.nodes(), ModelNodes) << "after step " << Step;
+    for (const auto &[P, Nbrs] : Model) {
+      std::vector<ProcessId> Expected(Nbrs.begin(), Nbrs.end());
+      ASSERT_EQ(G.neighbors(P), Expected) << "node " << P;
+      ASSERT_EQ(G.degree(P), Nbrs.size()) << "node " << P;
+      NeighborView View = G.neighborView(P);
+      ASSERT_TRUE(std::equal(View.begin(), View.end(), Expected.begin(),
+                             Expected.end()))
+          << "view of node " << P;
+      size_t Visited = 0;
+      G.forEachNeighbor(P, [&](ProcessId N) {
+        ASSERT_EQ(N, Expected[Visited++]);
+      });
+      ASSERT_EQ(Visited, Expected.size()) << "node " << P;
+    }
+  }
+}
+
+TEST(Graph, SlotRecyclingKeepsDenseIndexConsistent) {
+  // Churn the same small population so departures' slots get recycled, and
+  // check the dense-index surface (slotOf/slotId/slotNeighbors) stays in
+  // sync with the id surface.
+  Graph G;
+  for (ProcessId P = 0; P != 8; ++P)
+    G.addNode(P);
+  for (ProcessId P = 0; P + 1 != 8; ++P)
+    G.addEdge(P, P + 1);
+  for (int Round = 0; Round != 50; ++Round) {
+    ProcessId Victim = static_cast<ProcessId>(Round % 8);
+    G.removeNode(Victim);
+    EXPECT_EQ(G.slotOf(Victim), Graph::NoSlot);
+    G.addNode(Victim);
+    for (ProcessId P = 0; P != 8; ++P)
+      if (P != Victim && !G.hasEdge(Victim, P) && (P + Victim) % 3 == 0)
+        G.addEdge(Victim, P);
+    ASSERT_TRUE(G.checkConsistency()) << "round " << Round;
+    for (ProcessId P : G.nodesView()) {
+      uint32_t S = G.slotOf(P);
+      ASSERT_NE(S, Graph::NoSlot);
+      ASSERT_LT(S, G.slotTableSize());
+      ASSERT_EQ(G.slotId(S), P);
+      NeighborView Dense = G.slotNeighbors(S);
+      std::vector<ProcessId> ById = G.neighbors(P);
+      ASSERT_TRUE(std::equal(Dense.begin(), Dense.end(), ById.begin(),
+                             ById.end()));
+    }
+  }
+  // slotTableSize never exceeds the peak population: slots are recycled.
+  EXPECT_EQ(G.slotTableSize(), 8u);
 }

@@ -424,3 +424,32 @@ TEST(Simulator, PayloadUnitsDefaultToOnePerMessage) {
   S.run();
   EXPECT_EQ(S.stats().PayloadUnits, 5u);
 }
+
+TEST(Simulator, IndexedNeighborAccessMatchesCopyApi) {
+  // The allocation-free accessors (neighborCount / neighborAt /
+  // forEachNeighbor) must agree with the copy-returning neighborsOf under
+  // the default full mesh, for up, down, and never-seen processes alike.
+  Simulator S(3);
+  std::vector<ProcessId> Ids;
+  for (int I = 0; I != 6; ++I)
+    Ids.push_back(S.spawn(std::make_unique<Recorder>()));
+  S.crash(Ids[2]); // Punch a hole in the up-set.
+  S.leave(Ids[4]);
+
+  for (ProcessId P : Ids) {
+    std::vector<ProcessId> Expected = S.neighborsOf(P);
+    ASSERT_EQ(S.neighborCount(P), Expected.size()) << "process " << P;
+    std::vector<ProcessId> Indexed;
+    for (size_t I = 0; I != S.neighborCount(P); ++I)
+      Indexed.push_back(S.neighborAt(P, I));
+    EXPECT_EQ(Indexed, Expected) << "process " << P;
+    std::vector<ProcessId> Visited;
+    S.forEachNeighbor(P, [&](ProcessId N) { Visited.push_back(N); });
+    EXPECT_EQ(Visited, Expected) << "process " << P;
+  }
+
+  // A down process is not its own neighbor but still sees the up mesh.
+  EXPECT_EQ(S.neighborCount(Ids[2]), S.upCount());
+  // An up process skips itself.
+  EXPECT_EQ(S.neighborCount(Ids[0]), S.upCount() - 1);
+}

@@ -1,12 +1,15 @@
 #!/bin/sh
 # Tier-1 verification: build + ctest in the plain configuration, then the
 # same suite under AddressSanitizer (-DDYNDIST_SANITIZE=address), then under
-# ThreadSanitizer (-DDYNDIST_SANITIZE=thread) — the latter is what keeps the
-# SweepRunner's multi-threaded seed sharding honest.
+# UndefinedBehaviorSanitizer (-DDYNDIST_SANITIZE=undefined) — which polices
+# the flat graph's raw-pointer views and index arithmetic — then under
+# ThreadSanitizer (-DDYNDIST_SANITIZE=thread), which keeps the SweepRunner's
+# multi-threaded seed sharding honest.
 #
-# Usage: tools/verify.sh [--skip-asan] [--asan-only] [--skip-tsan] [--tsan-only]
-# Build dirs: build-verify/, build-asan/ and build-tsan/ (kept for
-# incremental reruns).
+# Usage: tools/verify.sh [--skip-asan] [--asan-only] [--skip-ubsan]
+#                        [--ubsan-only] [--skip-tsan] [--tsan-only]
+# Build dirs: build-verify/, build-asan/, build-ubsan/ and build-tsan/
+# (kept for incremental reruns).
 
 set -e
 
@@ -15,15 +18,19 @@ JOBS="${DYNDIST_VERIFY_JOBS:-$(nproc 2>/dev/null || echo 2)}"
 
 RUN_PLAIN=1
 RUN_ASAN=1
+RUN_UBSAN=1
 RUN_TSAN=1
 for arg in "$@"; do
   case "$arg" in
     --skip-asan) RUN_ASAN=0 ;;
-    --asan-only) RUN_PLAIN=0; RUN_TSAN=0 ;;
+    --asan-only) RUN_PLAIN=0; RUN_UBSAN=0; RUN_TSAN=0 ;;
+    --skip-ubsan) RUN_UBSAN=0 ;;
+    --ubsan-only) RUN_PLAIN=0; RUN_ASAN=0; RUN_TSAN=0 ;;
     --skip-tsan) RUN_TSAN=0 ;;
-    --tsan-only) RUN_PLAIN=0; RUN_ASAN=0 ;;
+    --tsan-only) RUN_PLAIN=0; RUN_ASAN=0; RUN_UBSAN=0 ;;
     *) echo "usage: tools/verify.sh [--skip-asan] [--asan-only]" \
-            "[--skip-tsan] [--tsan-only]" >&2; exit 2 ;;
+            "[--skip-ubsan] [--ubsan-only] [--skip-tsan] [--tsan-only]" >&2
+       exit 2 ;;
   esac
 done
 
@@ -39,5 +46,7 @@ run_suite() {
 
 [ "$RUN_PLAIN" = 1 ] && run_suite build-verify
 [ "$RUN_ASAN" = 1 ] && run_suite build-asan -DDYNDIST_SANITIZE=address
+[ "$RUN_UBSAN" = 1 ] && UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+  run_suite build-ubsan -DDYNDIST_SANITIZE=undefined
 [ "$RUN_TSAN" = 1 ] && run_suite build-tsan -DDYNDIST_SANITIZE=thread
 echo "== verify OK"
