@@ -22,6 +22,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <array>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -128,7 +129,7 @@ Cell sweep(RecommendedAlgorithm Algo, double JoinRate, int Seeds,
 // Measures raw kernel events/sec under a gossip + crash/respawn churn load
 // at N = 1000 — the hot loop every experiment above funnels through. Run
 // with any --benchmark_* flag to execute only this section, e.g.:
-//   bench_churn_gossip --benchmark_filter=BM_Kernel \
+//   bench_churn_gossip --benchmark_filter=BM_Kernel
 //     --benchmark_out=churn_gossip.json --benchmark_out_format=json
 // tools/dyndist-bench-report drives exactly that and merges the JSON into
 // BENCH_kernel.json.
@@ -162,6 +163,158 @@ BENCHMARK_CAPTURE(BM_KernelChurnGossip, n1000_trace_lifecycle,
     ->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(BM_KernelChurnGossip, n1000_trace_full, TraceLevel::Full)
     ->Unit(benchmark::kMillisecond);
+
+// --- Messaging allocation section (google-benchmark) ----------------------
+//
+// Micro-benchmarks for the per-message and per-timer allocation cost of the
+// kernel hot path, written against the public API only so the identical
+// code measures the shared_ptr/std::function implementation (captured in
+// bench/message_baseline_shared_ptr.json) and the pooled intrusive-refcount
+// / SBO-callable implementation alike. tools/dyndist-bench-report --message
+// runs exactly these sections and merges them into BENCH_kernel.json.
+
+// Three payload shapes spanning the body pool's size buckets, mirroring the
+// protocol mix: a bare scalar (heartbeat-like), a mid-size fixed slice
+// (peer-sampling shuffle), and a large digest. Fixed arrays, not vectors:
+// the measured allocation is the body itself.
+struct PoolSmallMsg : MessageBody {
+  static constexpr int KindId = 7101;
+  explicit PoolSmallMsg(uint64_t V) : MessageBody(KindId), V(V) {}
+  uint64_t V;
+};
+
+struct PoolMediumMsg : MessageBody {
+  static constexpr int KindId = 7102;
+  explicit PoolMediumMsg(uint64_t Seed) : MessageBody(KindId) {
+    for (size_t I = 0; I != Slice.size(); ++I)
+      Slice[I] = Seed + I;
+  }
+  size_t weight() const override { return 1 + Slice.size(); }
+  std::array<uint64_t, 6> Slice;
+};
+
+struct PoolLargeMsg : MessageBody {
+  static constexpr int KindId = 7103;
+  explicit PoolLargeMsg(uint64_t Seed) : MessageBody(KindId) {
+    for (size_t I = 0; I != Digest.size(); ++I)
+      Digest[I] = Seed ^ I;
+  }
+  size_t weight() const override { return 1 + Digest.size(); }
+  std::array<uint64_t, 30> Digest;
+};
+
+/// Every tick each actor sends Fanout messages to uniform universe members,
+/// cycling through the three payload shapes; receivers only read the body.
+/// All message bodies are created and retired inside the run, so items/sec
+/// is body allocations (+ frees) per second through the kernel.
+class PoolChurnActor : public Actor {
+public:
+  PoolChurnActor(size_t Universe, unsigned Fanout)
+      : Universe(Universe), Fanout(Fanout) {}
+
+  void onStart(Context &Ctx) override { Ctx.setTimer(1); }
+
+  void onTimer(Context &Ctx, TimerId) override {
+    for (unsigned I = 0; I != Fanout; ++I) {
+      ProcessId To = Ctx.rng().nextBelow(Universe);
+      switch (++Sends % 3) {
+      case 0:
+        Ctx.send(To, makeBody<PoolSmallMsg>(Sends));
+        break;
+      case 1:
+        Ctx.send(To, makeBody<PoolMediumMsg>(Sends));
+        break;
+      default:
+        Ctx.send(To, makeBody<PoolLargeMsg>(Sends));
+        break;
+      }
+    }
+    Ctx.setTimer(1);
+  }
+
+  void onMessage(Context &, ProcessId, const MessageBody &Body) override {
+    switch (Body.kind()) {
+    case PoolSmallMsg::KindId:
+      Sink += bodyAs<PoolSmallMsg>(Body).V;
+      break;
+    case PoolMediumMsg::KindId:
+      Sink += bodyAs<PoolMediumMsg>(Body).Slice[0];
+      break;
+    default:
+      Sink += bodyAs<PoolLargeMsg>(Body).Digest[0];
+      break;
+    }
+  }
+
+private:
+  size_t Universe;
+  unsigned Fanout;
+  uint64_t Sends = 0;
+  uint64_t Sink = 0;
+};
+
+void BM_MessagePoolChurn(benchmark::State &State) {
+  constexpr size_t N = 32;
+  constexpr unsigned Fanout = 4;
+  constexpr SimTime Horizon = 1000;
+  uint64_t Msgs = 0;
+  for (auto _ : State) {
+    Simulator S(42);
+    S.setTraceLevel(TraceLevel::Off);
+    for (size_t I = 0; I != N; ++I)
+      S.spawn(std::make_unique<PoolChurnActor>(N, Fanout));
+    RunLimits L;
+    L.MaxTime = Horizon;
+    S.run(L);
+    Msgs += S.stats().MessagesSent;
+    benchmark::DoNotOptimize(S.stats());
+  }
+  // items_per_second is message bodies allocated (and retired) per second.
+  State.SetItemsProcessed(static_cast<int64_t>(Msgs));
+}
+BENCHMARK(BM_MessagePoolChurn)->Unit(benchmark::kMillisecond);
+
+/// Self-rescheduling driver: every tick schedules a burst of one-shot
+/// actions whose captures (32 bytes) exceed libstdc++'s std::function SSO
+/// but fit the kernel's SBO callable — exactly the ChurnDriver /
+/// Membership-round capture shape.
+void scheduleBurstTick(Simulator &S, uint64_t *Sink, SimTime Horizon,
+                       unsigned Burst) {
+  SimTime Next = S.now() + 1;
+  if (Next > Horizon)
+    return;
+  S.scheduleAt(Next, [Sink, Horizon, Burst](Simulator &Sim) {
+    for (unsigned I = 0; I != Burst; ++I) {
+      uint64_t A = Sim.rng().next();
+      uint64_t B = I;
+      ProcessId P = I;
+      Sim.scheduleAfter(1 + (I & 3), [Sink, A, B, P](Simulator &) {
+        *Sink += A + B + P;
+      });
+    }
+    scheduleBurstTick(Sim, Sink, Horizon, Burst);
+  });
+}
+
+void BM_TimerScheduleBurst(benchmark::State &State) {
+  constexpr SimTime Horizon = 2000;
+  constexpr unsigned Burst = 16;
+  uint64_t Events = 0;
+  for (auto _ : State) {
+    Simulator S(7);
+    S.setTraceLevel(TraceLevel::Off);
+    uint64_t Sink = 0;
+    scheduleBurstTick(S, &Sink, Horizon, Burst);
+    RunLimits L;
+    L.MaxTime = Horizon + Burst;
+    S.run(L);
+    Events += S.stats().EventsExecuted;
+    benchmark::DoNotOptimize(Sink);
+  }
+  // items_per_second is scheduled actions executed per second.
+  State.SetItemsProcessed(static_cast<int64_t>(Events));
+}
+BENCHMARK(BM_TimerScheduleBurst)->Unit(benchmark::kMillisecond);
 
 } // namespace
 

@@ -29,111 +29,155 @@ void Actor::onTimer(Context &Ctx, TimerId Id) {
 }
 void Actor::onStop(Context &Ctx) { (void)Ctx; }
 
-/// A scheduled kernel event: one slim 32-byte heap node. The event kind is
-/// packed into the low two bits of SeqKind, so ordering by (Time, SeqKind)
-/// is exactly the kernel's (time, sequence) contract — sequence numbers are
-/// unique, so the kind bits never influence the order. Payloads that would
-/// make the node fat (message bodies, action closures) live in pooled side
-/// tables; the node carries the pool slot instead.
+/// A scheduled kernel event: one slim 32-byte calendar node. Nodes are
+/// written once at push and read once at pop — there is no sift to move
+/// them — so a delivery's payload reference rides inline instead of in a
+/// side table. The reference is an owned +1 parked as a raw pointer
+/// (IntrusivePtr::detach() on push, MessageRef::adopt() on pop/teardown).
 struct Simulator::Event {
-  SimTime Time;
-  uint64_t SeqKind; ///< (sequence << 2) | kind.
-  uint64_t A;       ///< Deliver/Action: pool slot. Timer: destination.
-  uint64_t B;       ///< Timer: timer id. Otherwise unused.
+  uint64_t A;              ///< Deliver: source. Timer: owner. Action: slot.
+  uint64_t B;              ///< Deliver: destination. Timer: timer id.
+  const MessageBody *Body; ///< Deliver: owned payload ref. Else null.
+  uint32_t Kind;           ///< KDeliver / KTimer / KAction.
 };
 
-/// Event storage: a 4-ary min-heap of Event nodes plus payload pools with
-/// free lists (slots are recycled, so steady-state scheduling allocates
-/// nothing), plus the pending-timer table used for cancellation.
+/// Event storage: a calendar-bucket queue. Every distinct pending instant
+/// owns a FIFO of Event nodes; a small binary heap orders the instants.
+/// Sequence numbers are assigned in push order and instants never run
+/// backwards, so within one bucket FIFO order *is* sequence order and the
+/// (time, sequence) execution contract holds without materializing
+/// sequence numbers at all. The payoff over a per-event heap: push and pop
+/// are O(1) contiguous array moves, and ordering work (heap sift, hash
+/// lookup) is paid once per distinct instant, not once per event — under
+/// fixed latency that is once per tick for hundreds of events.
+///
+/// Buckets and their FIFO capacity are recycled through a free list, so
+/// steady-state scheduling allocates nothing.
 struct Simulator::Queue {
-  enum : uint64_t { KDeliver = 0, KTimer = 1, KAction = 2 };
+  enum : uint32_t { KDeliver = 0, KTimer = 1, KAction = 2 };
 
-  struct DeliverRecord {
-    ProcessId Src;
-    ProcessId Dst;
-    MessageRef Body;
+  struct Bucket {
+    SimTime Time = 0;
+    uint32_t Head = 0; ///< Next unread index into Fifo.
+    std::vector<Event> Fifo;
   };
 
-  std::vector<Event> Heap;
-  std::vector<DeliverRecord> Delivers;
-  std::vector<uint32_t> FreeDelivers;
-  std::vector<std::function<void(Simulator &)>> Actions;
+  std::vector<Bucket> Buckets;       ///< Slot pool; capacity retained.
+  std::vector<uint32_t> FreeBuckets; ///< Recycled Buckets slots.
+  std::vector<uint32_t> TimeHeap;    ///< Bucket slots, min-heap by Time.
+  std::unordered_map<SimTime, uint32_t> ByTime; ///< Instant -> bucket slot.
+
+  /// One-entry lookup cache: under fixed latency every push in a tick
+  /// targets the same instant, so this short-circuits the hash lookup.
+  SimTime CachedTime = 0;
+  uint32_t CachedBucket = UINT32_MAX;
+
+  std::vector<ActionFn> Actions;
   std::vector<uint32_t> FreeActions;
 
-  /// Timers armed but not yet popped; the value is the cancelled flag.
-  /// Entries are erased when the timer's event is popped on *any* path
-  /// (fire, cancelled, dead process), so the table cannot grow across a
-  /// run, and cancelTimer() on an unknown or already-fired id is a no-op
-  /// rather than a leak.
-  std::unordered_map<TimerId, bool> Timers;
+  /// Timer bookkeeping as two bitmaps indexed by TimerId (ids are assigned
+  /// densely from 1): Live marks timers armed but not yet popped,
+  /// Cancelled marks live timers whose firing was revoked. Both bits are
+  /// dropped when the timer's event is popped on *any* path (fire,
+  /// cancelled, dead process), and cancelTimer() flips Cancelled only
+  /// while Live is set, so cancelling an unknown or already-fired id is a
+  /// no-op rather than a leak. Two bits per timer ever armed — the only
+  /// queue state that grows with a run's length, at 1/4 byte per timer.
+  std::vector<uint64_t> TimerLive;
+  std::vector<uint64_t> TimerCancelled;
+  size_t TimerPending = 0; ///< Live population count, kept incrementally.
 
-  static bool precedes(const Event &X, const Event &Y) {
-    if (X.Time != Y.Time)
-      return X.Time < Y.Time;
-    return X.SeqKind < Y.SeqKind;
+  ~Queue() {
+    // Hand parked payload references in undrained buckets back to their
+    // refcounts (and thus to the body pool) before the pool is retired.
+    for (uint32_t Slot : TimeHeap) {
+      Bucket &B = Buckets[Slot];
+      for (size_t I = B.Head, N = B.Fifo.size(); I != N; ++I)
+        if (B.Fifo[I].Kind == KDeliver)
+          MessageRef::adopt(B.Fifo[I].Body);
+    }
   }
 
-  bool empty() const { return Heap.empty(); }
+  bool empty() const { return TimeHeap.empty(); }
 
-  void push(Event E) {
-    size_t I = Heap.size();
-    Heap.push_back(E);
+  /// The bucket holding instant \p Time, created (and heap-inserted) on
+  /// first use.
+  uint32_t bucketFor(SimTime Time) {
+    if (CachedBucket != UINT32_MAX && CachedTime == Time)
+      return CachedBucket;
+    auto [It, IsNew] = ByTime.try_emplace(Time, 0);
+    if (IsNew) {
+      uint32_t Slot;
+      if (!FreeBuckets.empty()) {
+        Slot = FreeBuckets.back();
+        FreeBuckets.pop_back();
+      } else {
+        Slot = static_cast<uint32_t>(Buckets.size());
+        Buckets.emplace_back();
+      }
+      Buckets[Slot].Time = Time;
+      It->second = Slot;
+      heapPush(Slot);
+    }
+    CachedTime = Time;
+    CachedBucket = It->second;
+    return CachedBucket;
+  }
+
+  void push(SimTime Time, const Event &E) {
+    Buckets[bucketFor(Time)].Fifo.push_back(E);
+  }
+
+  void heapPush(uint32_t Slot) {
+    size_t I = TimeHeap.size();
+    TimeHeap.push_back(Slot);
+    SimTime T = Buckets[Slot].Time;
     while (I > 0) {
-      size_t Parent = (I - 1) / 4;
-      if (!precedes(Heap[I], Heap[Parent]))
+      size_t Parent = (I - 1) / 2;
+      if (Buckets[TimeHeap[Parent]].Time <= T)
         break;
-      std::swap(Heap[I], Heap[Parent]);
+      TimeHeap[I] = TimeHeap[Parent];
       I = Parent;
     }
+    TimeHeap[I] = Slot;
   }
 
-  /// Pops the minimum node. Nodes are trivially copyable, so this is a
-  /// 32-byte copy plus a hole-based sift-down — no payload is touched.
-  Event pop() {
-    Event Top = Heap.front();
-    Event Last = Heap.back();
-    Heap.pop_back();
-    size_t N = Heap.size();
-    if (N != 0) {
-      size_t I = 0;
-      for (;;) {
-        size_t First = 4 * I + 1;
-        if (First >= N)
-          break;
-        size_t Best = First;
-        size_t End = std::min(First + 4, N);
-        for (size_t C = First + 1; C < End; ++C)
-          if (precedes(Heap[C], Heap[Best]))
-            Best = C;
-        if (!precedes(Heap[Best], Last))
-          break;
-        Heap[I] = Heap[Best];
-        I = Best;
-      }
-      Heap[I] = Last;
+  /// Retires the exhausted front bucket: recycles its slot (FIFO capacity
+  /// retained) and re-establishes the heap over the remaining instants.
+  void retireFront() {
+    uint32_t Slot = TimeHeap.front();
+    Bucket &B = Buckets[Slot];
+    assert(B.Head == B.Fifo.size() && "retiring a non-empty bucket");
+    ByTime.erase(B.Time);
+    if (CachedBucket == Slot)
+      CachedBucket = UINT32_MAX;
+    B.Fifo.clear();
+    B.Head = 0;
+    FreeBuckets.push_back(Slot);
+
+    uint32_t Last = TimeHeap.back();
+    TimeHeap.pop_back();
+    size_t N = TimeHeap.size();
+    if (N == 0)
+      return;
+    SimTime LastTime = Buckets[Last].Time;
+    size_t I = 0;
+    for (;;) {
+      size_t Child = 2 * I + 1;
+      if (Child >= N)
+        break;
+      if (Child + 1 < N &&
+          Buckets[TimeHeap[Child + 1]].Time < Buckets[TimeHeap[Child]].Time)
+        ++Child;
+      if (Buckets[TimeHeap[Child]].Time >= LastTime)
+        break;
+      TimeHeap[I] = TimeHeap[Child];
+      I = Child;
     }
-    return Top;
+    TimeHeap[I] = Last;
   }
 
-  uint32_t allocDeliver(ProcessId Src, ProcessId Dst, MessageRef Body) {
-    if (!FreeDelivers.empty()) {
-      uint32_t Slot = FreeDelivers.back();
-      FreeDelivers.pop_back();
-      Delivers[Slot] = {Src, Dst, std::move(Body)};
-      return Slot;
-    }
-    Delivers.push_back({Src, Dst, std::move(Body)});
-    return static_cast<uint32_t>(Delivers.size() - 1);
-  }
-
-  DeliverRecord takeDeliver(uint64_t Slot) {
-    DeliverRecord R = std::move(Delivers[Slot]);
-    Delivers[Slot].Body = nullptr;
-    FreeDelivers.push_back(static_cast<uint32_t>(Slot));
-    return R;
-  }
-
-  uint32_t allocAction(std::function<void(Simulator &)> Action) {
+  uint32_t allocAction(ActionFn Action) {
     if (!FreeActions.empty()) {
       uint32_t Slot = FreeActions.back();
       FreeActions.pop_back();
@@ -144,11 +188,42 @@ struct Simulator::Queue {
     return static_cast<uint32_t>(Actions.size() - 1);
   }
 
-  std::function<void(Simulator &)> takeAction(uint64_t Slot) {
-    std::function<void(Simulator &)> A = std::move(Actions[Slot]);
+  ActionFn takeAction(uint64_t Slot) {
+    ActionFn A = std::move(Actions[Slot]);
     Actions[Slot] = nullptr;
     FreeActions.push_back(static_cast<uint32_t>(Slot));
     return A;
+  }
+
+  /// Marks \p Id live (armTimer). Ids are dense, so the bitmaps grow by
+  /// amortized O(1).
+  void markTimerArmed(TimerId Id) {
+    size_t Word = Id / 64;
+    if (Word >= TimerLive.size()) {
+      TimerLive.resize(Word + 1, 0);
+      TimerCancelled.resize(Word + 1, 0);
+    }
+    TimerLive[Word] |= uint64_t(1) << (Id % 64);
+    ++TimerPending;
+  }
+
+  /// Revokes a live timer; unknown/fired/cancelled ids are no-ops.
+  void markTimerCancelled(TimerId Id) {
+    size_t Word = Id / 64;
+    if (Word < TimerLive.size() && (TimerLive[Word] >> (Id % 64)) & 1)
+      TimerCancelled[Word] |= uint64_t(1) << (Id % 64);
+  }
+
+  /// Drops \p Id's bookkeeping at pop; returns true when it should fire.
+  bool collectTimer(TimerId Id) {
+    size_t Word = Id / 64;
+    uint64_t Mask = uint64_t(1) << (Id % 64);
+    assert((TimerLive[Word] & Mask) && "popping a timer that was never live");
+    TimerLive[Word] &= ~Mask;
+    --TimerPending;
+    bool Cancelled = (TimerCancelled[Word] & Mask) != 0;
+    TimerCancelled[Word] &= ~Mask;
+    return !Cancelled;
   }
 };
 
@@ -180,9 +255,7 @@ public:
   TimerId setTimer(SimTime Delay) override { return S.armTimer(P, Delay); }
 
   void cancelTimer(TimerId Id) override {
-    auto It = S.Pending->Timers.find(Id);
-    if (It != S.Pending->Timers.end())
-      It->second = true;
+    S.Pending->markTimerCancelled(Id);
   }
 
   Rng &rng() override { return S.ActorRng; }
@@ -209,13 +282,21 @@ private:
 Simulator::Simulator(uint64_t Seed)
     : KernelRng(Seed), ActorRng(KernelRng.split()),
       Latency(std::make_unique<FixedLatency>(1)),
+      FixedDelay(Latency->fixedTicks()), Bodies(new BodyPool()),
       Pending(std::make_unique<Queue>()) {}
 
-Simulator::~Simulator() = default;
+Simulator::~Simulator() {
+  // Drain queued payloads back into the pool first, then retire it: the
+  // pool either dies now (every body home) or switches to self-deleting
+  // retired mode so MessageRefs that outlive this simulator stay valid.
+  Pending.reset();
+  BodyPool::retire(Bodies);
+}
 
 void Simulator::setLatencyModel(std::unique_ptr<LatencyModel> Model) {
   assert(Model && "latency model must not be null");
   Latency = std::move(Model);
+  FixedDelay = Latency->fixedTicks();
 }
 
 void Simulator::setLossRate(double Probability) {
@@ -228,14 +309,19 @@ void Simulator::setTopologyProvider(const TopologyProvider *Provider) {
   Topology = Provider;
 }
 
-void Simulator::setMembershipHooks(std::function<void(ProcessId)> OnUp,
-                                   std::function<void(ProcessId)> OnDown) {
+void Simulator::setMembershipHooks(MembershipHookFn OnUp,
+                                   MembershipHookFn OnDown) {
+  if (OnUp.usesHeap())
+    ++Stats.InlineFnHeapFallbacks;
+  if (OnDown.usesHeap())
+    ++Stats.InlineFnHeapFallbacks;
   OnUpHook = std::move(OnUp);
   OnDownHook = std::move(OnDown);
 }
 
 ProcessId Simulator::spawn(std::unique_ptr<Actor> A) {
   assert(A && "spawn() requires an actor");
+  BodyPool::Scope PoolScope(Bodies); // onStart/hooks may makeBody().
   ProcessId P = Processes.size();
   // Grab the raw pointer first: the hooks below may spawn recursively and
   // reallocate the table, but the actor object itself is stable.
@@ -285,13 +371,17 @@ void Simulator::markDown(ProcessId P, bool Crashed) {
 void Simulator::leave(ProcessId P) {
   if (!isUp(P))
     return;
+  BodyPool::Scope PoolScope(Bodies); // onStop/hooks may makeBody().
   Actor *Raw = Processes[P].TheActor.get();
   ContextImpl Ctx(*this, P);
   Raw->onStop(Ctx);
   markDown(P, /*Crashed=*/false);
 }
 
-void Simulator::crash(ProcessId P) { markDown(P, /*Crashed=*/true); }
+void Simulator::crash(ProcessId P) {
+  BodyPool::Scope PoolScope(Bodies); // The down-hook may makeBody().
+  markDown(P, /*Crashed=*/true);
+}
 
 std::vector<ProcessId> Simulator::neighborsOf(ProcessId P) const {
   if (Topology)
@@ -333,39 +423,45 @@ void Simulator::forEachNeighbor(ProcessId P,
       F(Q);
 }
 
-size_t Simulator::pendingTimers() const { return Pending->Timers.size(); }
+size_t Simulator::pendingTimers() const { return Pending->TimerPending; }
 
 void Simulator::pushDeliver(SimTime Time, ProcessId Src, ProcessId Dst,
                             MessageRef Body) {
   Event E;
-  E.Time = Time;
-  E.SeqKind = (NextSeq++ << 2) | Queue::KDeliver;
-  E.A = Pending->allocDeliver(Src, Dst, std::move(Body));
-  E.B = 0;
-  Pending->push(E);
+  E.A = Src;
+  E.B = Dst;
+  E.Body = Body.detach(); // Parked +1; re-adopted at pop or queue teardown.
+  E.Kind = Queue::KDeliver;
+  Pending->push(Time, E);
 }
 
 void Simulator::pushTimer(SimTime Time, ProcessId P, TimerId Id) {
   Event E;
-  E.Time = Time;
-  E.SeqKind = (NextSeq++ << 2) | Queue::KTimer;
   E.A = P;
   E.B = Id;
-  Pending->push(E);
+  E.Body = nullptr;
+  E.Kind = Queue::KTimer;
+  Pending->push(Time, E);
 }
 
-void Simulator::pushAction(SimTime Time,
-                           std::function<void(Simulator &)> Action) {
+void Simulator::pushAction(SimTime Time, ActionFn Action) {
+  if (Action.usesHeap())
+    ++Stats.InlineFnHeapFallbacks;
   Event E;
-  E.Time = Time;
-  E.SeqKind = (NextSeq++ << 2) | Queue::KAction;
   E.A = Pending->allocAction(std::move(Action));
   E.B = 0;
-  Pending->push(E);
+  E.Body = nullptr;
+  E.Kind = Queue::KAction;
+  Pending->push(Time, E);
 }
 
 void Simulator::sendMessage(ProcessId From, ProcessId To, MessageRef Body) {
   assert(Body && "message body must not be null");
+  // Non-atomic refcounts and pool recycling are only safe while a body
+  // stays inside the simulator whose pool allocated it (heap-fallback
+  // bodies, pool() == null, may enter from outside).
+  assert((!Body->pool() || Body->pool() == Bodies) &&
+         "message body crossed Simulator instances");
   ++Stats.MessagesSent;
   Stats.PayloadUnits += Body->weight();
 
@@ -393,30 +489,34 @@ void Simulator::sendMessage(ProcessId From, ProcessId To, MessageRef Body) {
     return;
   }
 
-  pushDeliver(Clock + Latency->sample(KernelRng, From, To), From, To,
-              std::move(Body));
+  SimTime Delay =
+      FixedDelay ? FixedDelay : Latency->sample(KernelRng, From, To);
+  pushDeliver(Clock + Delay, From, To, std::move(Body));
 }
 
 void Simulator::injectStimulus(ProcessId To, MessageRef Body) {
   assert(Body && "stimulus body must not be null");
+  assert((!Body->pool() || Body->pool() == Bodies) &&
+         "stimulus body crossed Simulator instances");
+  // Stimuli ship payload too: account their weight on the same counter as
+  // sendMessage so PayloadUnits covers everything the harness injects.
+  Stats.PayloadUnits += Body->weight();
   pushDeliver(Clock + 1, To, To, std::move(Body));
 }
 
 TimerId Simulator::armTimer(ProcessId P, SimTime Delay) {
   TimerId Id = ++NextTimer;
-  Pending->Timers.emplace(Id, false);
+  Pending->markTimerArmed(Id);
   pushTimer(Clock + Delay, P, Id);
   return Id;
 }
 
-void Simulator::scheduleAt(SimTime When,
-                           std::function<void(Simulator &)> Action) {
+void Simulator::scheduleAt(SimTime When, ActionFn Action) {
   assert(When >= Clock && "cannot schedule in the past");
   pushAction(When, std::move(Action));
 }
 
-void Simulator::scheduleAfter(SimTime Delay,
-                              std::function<void(Simulator &)> Action) {
+void Simulator::scheduleAfter(SimTime Delay, ActionFn Action) {
   scheduleAt(Clock + Delay, std::move(Action));
 }
 
@@ -460,43 +560,55 @@ void Simulator::fireTimer(ProcessId P, TimerId Id) {
 
 StopReason Simulator::run(RunLimits Limits) {
   HaltRequested = false;
+  // Everything an event handler allocates with makeBody() during this run
+  // draws from (and recycles into) this simulator's pool.
+  BodyPool::Scope PoolScope(Bodies);
   Queue &Q = *Pending;
   while (!Q.empty()) {
     if (HaltRequested)
       return StopReason::Halted;
     if (Stats.EventsExecuted >= Limits.MaxEvents)
       return StopReason::EventLimit;
-    if (Q.Heap.front().Time > Limits.MaxTime)
+    // All events in a bucket share its instant, so the time-limit check is
+    // per bucket. The front bucket stays front for its whole drain:
+    // handlers cannot schedule into the past, and a same-instant push
+    // lands in this very bucket (appended behind Head).
+    uint32_t Slot = Q.TimeHeap.front();
+    SimTime BucketTime = Q.Buckets[Slot].Time;
+    if (BucketTime > Limits.MaxTime)
       return StopReason::TimeLimit;
-    assert(Q.Heap.front().Time >= Clock && "event queue went backwards");
-    // Pop before executing: handlers may push new events. The node is a
-    // 32-byte POD; the payload (if any) is *moved* out of its pool slot.
-    Event E = Q.pop();
-    Clock = E.Time;
-    ++Stats.EventsExecuted;
-    switch (E.SeqKind & 3) {
-    case Queue::KDeliver: {
-      Queue::DeliverRecord R = Q.takeDeliver(E.A);
-      deliver(R.Src, R.Dst, std::move(R.Body));
-      break;
+    assert(BucketTime >= Clock && "event queue went backwards");
+    Clock = BucketTime;
+    for (;;) {
+      // Re-index every step: handlers may grow the bucket pool and the
+      // FIFO itself, invalidating references but never indices.
+      Queue::Bucket &B = Q.Buckets[Slot];
+      if (B.Head == B.Fifo.size())
+        break;
+      if (HaltRequested)
+        return StopReason::Halted;
+      if (Stats.EventsExecuted >= Limits.MaxEvents)
+        return StopReason::EventLimit;
+      Event E = B.Fifo[B.Head++];
+      ++Stats.EventsExecuted;
+      switch (E.Kind) {
+      case Queue::KDeliver:
+        deliver(E.A, E.B, MessageRef::adopt(E.Body));
+        break;
+      case Queue::KTimer:
+        // Drop the cancellation bookkeeping on every pop path, fired or
+        // not, so it never outlives the timers it describes.
+        if (Q.collectTimer(E.B))
+          fireTimer(E.A, E.B);
+        break;
+      default: {
+        auto Action = Q.takeAction(E.A);
+        Action(*this);
+        break;
+      }
+      }
     }
-    case Queue::KTimer: {
-      // Drop the cancellation bookkeeping on every pop path, fired or not,
-      // so the table never outlives the timers it describes.
-      auto It = Q.Timers.find(E.B);
-      bool Live = It != Q.Timers.end() && !It->second;
-      if (It != Q.Timers.end())
-        Q.Timers.erase(It);
-      if (Live)
-        fireTimer(E.A, E.B);
-      break;
-    }
-    default: {
-      auto Action = Q.takeAction(E.A);
-      Action(*this);
-      break;
-    }
-    }
+    Q.retireFront();
   }
   return StopReason::QueueExhausted;
 }

@@ -1,0 +1,153 @@
+//===- dyndist/sim/BodyPool.h - Pooled payload allocator --------*- C++ -*-===//
+//
+// Part of the dyndist project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A size-bucketed slab recycler for message payloads. Each Simulator owns
+/// one pool; freed bodies return to a per-bucket LIFO free list whose
+/// capacity is retained across churn, exactly like the Graph slot table —
+/// so steady-state messaging allocates nothing. The pool is strictly
+/// single-threaded (one Simulator per sweep shard, per the SweepRunner
+/// discipline), which is what makes MessageBody's non-atomic refcount safe.
+///
+/// makeBody<T>() reaches the pool through a thread-local "active pool"
+/// that the owning Simulator installs for the duration of run()/spawn()/
+/// leave() (RAII scope, nestable). Bodies created outside any simulator
+/// scope — harness setup code, tests — fall back to the plain heap and are
+/// freed there; the pool pointer recorded in each body keeps the two
+/// populations apart.
+///
+/// Lifetime: the pool outlives its bodies. A Simulator destroyed while
+/// handles are still live (a test keeping a MessageRef around) retires the
+/// pool instead of deleting it: the pool frees its cached slabs, hands
+/// every later-returning body straight to the heap, and deletes itself
+/// when the last one comes home.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNDIST_SIM_BODYPOOL_H
+#define DYNDIST_SIM_BODYPOOL_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <vector>
+
+namespace dyndist {
+
+class BodyPool {
+public:
+  /// Bucket geometry: sizes are rounded up to 16-byte steps; anything past
+  /// MaxPooledBytes (no protocol payload comes close) uses the plain heap.
+  static constexpr size_t Granularity = 16;
+  static constexpr size_t MaxPooledBytes = 512;
+  static constexpr uint32_t NumBuckets =
+      static_cast<uint32_t>(MaxPooledBytes / Granularity);
+
+  BodyPool() = default;
+  BodyPool(const BodyPool &) = delete;
+  BodyPool &operator=(const BodyPool &) = delete;
+
+  ~BodyPool() {
+    for (auto &Bucket : Free)
+      for (void *Block : Bucket)
+        ::operator delete(Block);
+  }
+
+  /// The pool installed by the innermost live Scope on this thread, or
+  /// null when allocation should use the plain heap.
+  static BodyPool *active() { return Active; }
+
+  /// Installs \p P as the active pool for the scope's lifetime; nests.
+  class Scope {
+  public:
+    explicit Scope(BodyPool *P) : Prev(Active) { Active = P; }
+    ~Scope() { Active = Prev; }
+    Scope(const Scope &) = delete;
+    Scope &operator=(const Scope &) = delete;
+
+  private:
+    BodyPool *Prev;
+  };
+
+  /// Returns a block of at least \p Bytes and records its bucket in
+  /// \p BucketOut, or null when \p Bytes is beyond pooling (caller goes to
+  /// the heap). A recycled block is a hit; a fresh slab is a miss.
+  void *allocate(size_t Bytes, uint32_t &BucketOut) {
+    if (Bytes > MaxPooledBytes)
+      return nullptr;
+    uint32_t Bucket =
+        static_cast<uint32_t>((Bytes + Granularity - 1) / Granularity);
+    Bucket = Bucket == 0 ? 0 : Bucket - 1; // Bucket B holds (B+1)*16 bytes.
+    BucketOut = Bucket;
+    ++Outstanding;
+    std::vector<void *> &List = Free[Bucket];
+    if (!List.empty()) {
+      ++HitCount;
+      void *Block = List.back();
+      List.pop_back();
+      return Block;
+    }
+    ++MissCount;
+    return ::operator new((size_t(Bucket) + 1) * Granularity);
+  }
+
+  /// Returns \p Block (allocated from bucket \p Bucket) to the free list —
+  /// or to the heap when the owning simulator is already gone, deleting
+  /// the retired pool once its last body is home.
+  void recycle(void *Block, uint32_t Bucket) {
+    assert(Bucket < NumBuckets && "bad bucket index");
+    assert(Outstanding > 0 && "recycle without allocate");
+    --Outstanding;
+    if (!Retired) {
+      Free[Bucket].push_back(Block);
+      return;
+    }
+    ::operator delete(Block);
+    if (Outstanding == 0)
+      delete this;
+  }
+
+  /// Called by the owning Simulator's destructor (pool is heap-allocated):
+  /// deletes the pool now if every body has been returned, otherwise
+  /// switches it to retired self-deleting mode.
+  static void retire(BodyPool *P) {
+    if (P->Outstanding == 0) {
+      delete P;
+      return;
+    }
+    // Cached slabs are useless now — no allocation will ever hit again.
+    for (auto &Bucket : P->Free) {
+      for (void *Block : Bucket)
+        ::operator delete(Block);
+      Bucket.clear();
+    }
+    P->Retired = true;
+  }
+
+  /// Allocations served from a free list / from fresh slabs.
+  uint64_t hits() const { return HitCount; }
+  uint64_t misses() const { return MissCount; }
+
+  /// Bodies currently alive out of this pool (tests).
+  uint64_t outstanding() const { return Outstanding; }
+
+private:
+  std::vector<void *> Free[NumBuckets];
+  uint64_t Outstanding = 0;
+  uint64_t HitCount = 0;
+  uint64_t MissCount = 0;
+  bool Retired = false;
+
+  // Inline + constinit: every TU sees the constant initializer, so access
+  // compiles to a direct TLS load instead of a call through the TLS init
+  // wrapper (which GCC's UBSan runtime resolves to null across archives).
+  static inline thread_local constinit BodyPool *Active = nullptr;
+};
+
+} // namespace dyndist
+
+#endif // DYNDIST_SIM_BODYPOOL_H

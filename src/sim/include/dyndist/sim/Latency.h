@@ -29,6 +29,11 @@ public:
   /// Returns the delay in ticks for a message from \p Src to \p Dst; must be
   /// at least 1 so causality (send < deliver) always holds.
   virtual SimTime sample(Rng &R, ProcessId Src, ProcessId Dst) = 0;
+
+  /// Constant-delay fast path. Models whose delay is a known constant that
+  /// consumes no randomness return it here (>= 1); the kernel then skips
+  /// the virtual sample() call per message. 0 means "not constant".
+  virtual SimTime fixedTicks() const { return 0; }
 };
 
 /// Constant delay; Delay=1 yields lock-step synchronous rounds.
@@ -36,6 +41,7 @@ class FixedLatency : public LatencyModel {
 public:
   explicit FixedLatency(SimTime Delay = 1);
   SimTime sample(Rng &R, ProcessId Src, ProcessId Dst) override;
+  SimTime fixedTicks() const override { return Delay; }
 
 private:
   SimTime Delay;

@@ -14,13 +14,29 @@
 /// hierarchies. Payloads are immutable after sending and shared by
 /// reference so a broadcast does not copy the body per recipient.
 ///
+/// Sharing is intrusive: MessageBody carries a non-atomic refcount and
+/// MessageRef is a one-pointer IntrusivePtr handle, so a broadcast costs a
+/// counter bump instead of shared_ptr's atomic control-block traffic. The
+/// storage behind each body comes from the owning Simulator's BodyPool
+/// (size-bucketed LIFO slab recycler) when one is in scope, making
+/// steady-state messaging allocation-free; bodies made outside any
+/// simulator scope fall back to the plain heap. Non-atomic counts are safe
+/// because a body never leaves its simulator, and each SweepRunner shard
+/// runs its simulators on a single thread; the kernel asserts the
+/// no-crossing rule in debug builds (see docs/MODEL.md §7).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DYNDIST_SIM_MESSAGE_H
 #define DYNDIST_SIM_MESSAGE_H
 
+#include "dyndist/sim/BodyPool.h"
+#include "dyndist/support/IntrusiveRefCnt.h"
+
 #include <cassert>
-#include <memory>
+#include <cstdint>
+#include <type_traits>
+#include <utility>
 
 namespace dyndist {
 
@@ -29,6 +45,9 @@ class MessageBody {
 public:
   explicit MessageBody(int Kind) : Kind(Kind) {}
   virtual ~MessageBody();
+
+  MessageBody(const MessageBody &) = delete;
+  MessageBody &operator=(const MessageBody &) = delete;
 
   /// Protocol-defined discriminator; see bodyAs<T>().
   int kind() const { return Kind; }
@@ -41,12 +60,42 @@ public:
   /// paper's "very large number of entities" worries about. Default: 1.
   virtual size_t weight() const { return 1; }
 
+  /// Intrusive refcount interface consumed by IntrusivePtr (MessageRef).
+  /// Non-atomic by design: bodies never cross threads (one Simulator per
+  /// sweep shard), which the kernel checks in debug builds.
+  void intrusiveRetain() const { ++RefCnt; }
+  void intrusiveRelease() const {
+    assert(RefCnt > 0 && "over-release of message body");
+    if (--RefCnt != 0)
+      return;
+    BodyPool *P = Pool;
+    uint32_t B = Bucket;
+    MessageBody *Self = const_cast<MessageBody *>(this);
+    Self->~MessageBody(); // Virtual: runs the payload's destructor.
+    if (P)
+      P->recycle(Self, B);
+    else
+      ::operator delete(Self);
+  }
+
+  /// Current share count (tests; a freshly made body is 1).
+  uint32_t refCount() const { return RefCnt; }
+
+  /// The pool this body's storage came from; null for plain-heap bodies.
+  BodyPool *pool() const { return Pool; }
+
 private:
+  template <typename T, typename... Args>
+  friend IntrusivePtr<const MessageBody> makeBody(Args &&...As);
+
   const int Kind;
+  mutable uint32_t RefCnt = 1; ///< Creator's reference; adopt()ed once.
+  BodyPool *Pool = nullptr;    ///< Recycling destination; null = heap.
+  uint32_t Bucket = 0;         ///< Pool bucket the storage belongs to.
 };
 
 /// Shared immutable reference to a payload.
-using MessageRef = std::shared_ptr<const MessageBody>;
+using MessageRef = IntrusivePtr<const MessageBody>;
 
 /// Checked downcast helper: asserts that \p Body's kind matches \p T::KindId
 /// and returns it as const T&. Each payload type must expose a
@@ -56,9 +105,39 @@ template <typename T> const T &bodyAs(const MessageBody &Body) {
   return static_cast<const T &>(Body);
 }
 
-/// Convenience constructor for payloads.
+/// Convenience constructor for payloads: placement-constructs \p T in
+/// storage recycled from the active BodyPool (plain heap when none is in
+/// scope or the payload is outsized) and returns the owning handle.
 template <typename T, typename... Args> MessageRef makeBody(Args &&...As) {
-  return std::make_shared<const T>(std::forward<Args>(As)...);
+  static_assert(std::is_base_of_v<MessageBody, T>,
+                "payloads derive from MessageBody");
+  static_assert(alignof(T) <= alignof(std::max_align_t),
+                "over-aligned payloads are not supported by the pool");
+  BodyPool *P = BodyPool::active();
+  uint32_t Bucket = 0;
+  void *Mem = P ? P->allocate(sizeof(T), Bucket) : nullptr;
+  if (!Mem) { // No pool in scope, or the payload is beyond pooling.
+    Mem = ::operator new(sizeof(T));
+    P = nullptr;
+  }
+  T *Obj;
+  try {
+    Obj = ::new (Mem) T(std::forward<Args>(As)...);
+  } catch (...) {
+    if (P)
+      P->recycle(Mem, Bucket);
+    else
+      ::operator delete(Mem);
+    throw;
+  }
+  MessageBody *Base = Obj;
+  // The recycle path hands the MessageBody subobject's address back to the
+  // pool, so it must coincide with the allocation (single-base hierarchy).
+  assert(static_cast<void *>(Base) == Mem &&
+         "MessageBody must be the primary base of every payload");
+  Base->Pool = P;
+  Base->Bucket = Bucket;
+  return MessageRef::adopt(Base);
 }
 
 } // namespace dyndist

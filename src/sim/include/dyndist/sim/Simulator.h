@@ -19,9 +19,13 @@
 /// the process table is a dense vector indexed by the sequentially-assigned
 /// ProcessId, so isUp()/actorFor() and the per-event destination lookup are
 /// O(1); the up-set is maintained incrementally, so upCount() is O(1) and
-/// upSet() is allocation-free; the event queue is a 4-ary min-heap of slim
-/// 32-byte nodes whose payloads (message bodies, action closures) live in
-/// pooled side tables and are moved — never copied — on pop.
+/// upSet() is allocation-free; the event queue is a calendar-bucket queue —
+/// one FIFO of slim 32-byte nodes per distinct pending instant, a small
+/// binary heap over the instants — so pushing and popping an event are O(1)
+/// array moves (each node is written once and read once; payload references
+/// ride inline) and comparison-sift work is paid once per instant, not once
+/// per event. FIFO order within an instant is sequence order by
+/// construction, so the (time, sequence) execution contract is unchanged.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -29,13 +33,14 @@
 #define DYNDIST_SIM_SIMULATOR_H
 
 #include "dyndist/sim/Actor.h"
+#include "dyndist/sim/BodyPool.h"
 #include "dyndist/sim/Latency.h"
 #include "dyndist/sim/Message.h"
 #include "dyndist/sim/Trace.h"
 #include "dyndist/sim/Types.h"
+#include "dyndist/support/InlineFunction.h"
 #include "dyndist/support/Random.h"
 
-#include <functional>
 #include <memory>
 #include <vector>
 
@@ -74,6 +79,8 @@ public:
   }
 };
 
+class Simulator;
+
 /// Run limits; a run stops when any limit is hit or no events remain.
 struct RunLimits {
   SimTime MaxTime = ~0ULL;      ///< Stop before executing events past this.
@@ -88,12 +95,28 @@ struct SimStats {
   uint64_t MessagesSent = 0;
   uint64_t MessagesDelivered = 0;
   uint64_t MessagesDropped = 0;
-  uint64_t PayloadUnits = 0; ///< Sum of MessageBody::weight() over sends.
+  uint64_t PayloadUnits = 0; ///< Sum of MessageBody::weight() over sends
+                             ///< and injected stimuli.
   uint64_t TimersFired = 0;
   uint64_t EventsExecuted = 0;
 
+  /// Allocation-economy counters: payload allocations served from the
+  /// body pool's free lists vs fresh slabs, and scheduled callables whose
+  /// captures overflowed the InlineFunction buffer onto the heap. In
+  /// steady state the first should dominate the second and the third
+  /// should stay 0 — the observable form of "messaging allocates nothing".
+  uint64_t BodyPoolHits = 0;
+  uint64_t BodyPoolMisses = 0;
+  uint64_t InlineFnHeapFallbacks = 0;
+
   friend bool operator==(const SimStats &, const SimStats &) = default;
 };
+
+/// Owning callable types of the kernel's scheduling surface: move-only,
+/// small-buffer-optimized, allocation-free for the common capture shapes
+/// (a ProcessId plus a weak token plus a config reference).
+using ActionFn = InlineFunction<void(Simulator &)>;
+using MembershipHookFn = InlineFunction<void(ProcessId)>;
 
 /// The deterministic event-driven kernel.
 class Simulator {
@@ -130,8 +153,7 @@ public:
   /// Optional hook invoked right after a process joins / right after it
   /// leaves or crashes; the dynamic-system layer uses these to keep the
   /// overlay in sync with membership.
-  void setMembershipHooks(std::function<void(ProcessId)> OnUp,
-                          std::function<void(ProcessId)> OnDown);
+  void setMembershipHooks(MembershipHookFn OnUp, MembershipHookFn OnDown);
 
   /// Spawns a new process running \p A; it joins (and onStart runs) at the
   /// current instant. Returns its never-reused identity.
@@ -161,11 +183,13 @@ public:
 
   /// Schedules an environment action (churn driver, experiment step) at
   /// absolute time \p When. Actions run interleaved with protocol events in
-  /// deterministic order.
-  void scheduleAt(SimTime When, std::function<void(Simulator &)> Action);
+  /// deterministic order. The callable is stored in an SBO ActionFn: the
+  /// common capture shapes stay allocation-free, larger ones fall back to
+  /// one heap allocation (counted in SimStats::InlineFnHeapFallbacks).
+  void scheduleAt(SimTime When, ActionFn Action);
 
   /// Schedules an environment action after \p Delay ticks.
-  void scheduleAfter(SimTime Delay, std::function<void(Simulator &)> Action);
+  void scheduleAfter(SimTime Delay, ActionFn Action);
 
   /// Runs until limits; returns why the run stopped.
   StopReason run(RunLimits Limits = RunLimits());
@@ -179,8 +203,13 @@ public:
   /// The recorded execution so far.
   const Trace &trace() const { return Log; }
 
-  /// Message-economy counters.
-  const SimStats &stats() const { return Stats; }
+  /// Message-economy counters. The pool counters are snapshotted from the
+  /// body pool on each call; everything else is maintained inline.
+  const SimStats &stats() const {
+    Stats.BodyPoolHits = Bodies->hits();
+    Stats.BodyPoolMisses = Bodies->misses();
+    return Stats;
+  }
 
   /// Kernel randomness (environment stream; actors draw from a split).
   Rng &rng() { return KernelRng; }
@@ -229,11 +258,10 @@ private:
   void pushDeliver(SimTime Time, ProcessId Src, ProcessId Dst,
                    MessageRef Body);
   void pushTimer(SimTime Time, ProcessId P, TimerId Id);
-  void pushAction(SimTime Time, std::function<void(Simulator &)> Action);
+  void pushAction(SimTime Time, ActionFn Action);
   void markDown(ProcessId P, bool Crashed);
 
   SimTime Clock = 0;
-  uint64_t NextSeq = 0;
   TimerId NextTimer = 0;
   bool HaltRequested = false;
   TraceLevel TraceLev = TraceLevel::Full;
@@ -242,9 +270,18 @@ private:
   Rng ActorRng;
   double LossRate = 0.0;
   std::unique_ptr<LatencyModel> Latency;
+  /// Cached LatencyModel::fixedTicks() of the installed model; non-zero
+  /// skips the virtual sample() per message (FixedLatency draws nothing
+  /// from the Rng, so the schedule is unchanged).
+  SimTime FixedDelay = 0;
   const TopologyProvider *Topology = nullptr;
-  std::function<void(ProcessId)> OnUpHook;
-  std::function<void(ProcessId)> OnDownHook;
+  MembershipHookFn OnUpHook;
+  MembershipHookFn OnDownHook;
+
+  /// Payload slab recycler; heap-allocated because its lifetime can exceed
+  /// the simulator's (retired mode) when a MessageRef outlives the run.
+  /// See BodyPool::retire().
+  BodyPool *Bodies;
 
   /// Dense process table indexed by ProcessId (ids are assigned 0, 1, 2,
   /// ... in spawn order and never reused). Records of departed processes
@@ -259,12 +296,13 @@ private:
   /// spawn appends (ids strictly increase), markDown erases in place.
   std::vector<ProcessId> UpSet;
 
-  // Owned via unique_ptr because the queue internals (heap nodes, payload
-  // pools, timer bookkeeping) are private to Simulator.cpp.
+  // Owned via unique_ptr because the queue internals (calendar buckets,
+  // action pool, timer bookkeeping) are private to Simulator.cpp.
   std::unique_ptr<Queue> Pending;
 
   Trace Log;
-  SimStats Stats;
+  /// Mutable so stats() (const) can fold the live pool counters in.
+  mutable SimStats Stats;
 };
 
 } // namespace dyndist

@@ -1,0 +1,186 @@
+//===- dyndist/support/InlineFunction.h - SBO move-only callable *- C++ -*-===//
+//
+// Part of the dyndist project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A move-only, small-buffer-optimized std::function replacement in the
+/// style of LLVM's unique_function. Callables whose state fits the inline
+/// buffer (48 bytes by default — comfortably above libstdc++'s 16-byte
+/// std::function SSO, sized for the kernel's common capture shapes: a
+/// ProcessId plus a weak token plus a small config reference) are stored in
+/// place and never touch the heap; larger or throwing-move callables fall
+/// back to a single heap allocation, observable via usesHeap() so the
+/// simulator can count fallbacks (SimStats::InlineFnHeapFallbacks).
+///
+/// Unlike FunctionRef this type OWNS its callable, so it is the right type
+/// for storage (the kernel's action queue, membership hooks); unlike
+/// std::function it is move-only, so captured state (unique_ptrs, pool
+/// handles) needs no copy constructor and is destroyed exactly once.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNDIST_SUPPORT_INLINEFUNCTION_H
+#define DYNDIST_SUPPORT_INLINEFUNCTION_H
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace dyndist {
+
+/// Default inline capacity in bytes.
+inline constexpr size_t InlineFunctionBuffer = 48;
+
+template <typename Signature, size_t InlineBytes = InlineFunctionBuffer>
+class InlineFunction;
+
+template <typename Ret, typename... Params, size_t InlineBytes>
+class InlineFunction<Ret(Params...), InlineBytes> {
+  static_assert(InlineBytes >= sizeof(void *),
+                "buffer must at least hold the heap-fallback pointer");
+
+  enum class Op { MoveTo, Destroy };
+
+  /// Per-callee storage driver. OnHeap selects between in-place storage in
+  /// the buffer and a single owning pointer kept in the buffer's first
+  /// word; everything about the choice is compiled into the handler, so
+  /// the object itself carries only two function pointers beside the
+  /// buffer.
+  template <typename D, bool OnHeap> struct Handler {
+    static D *get(void *Buf) {
+      if constexpr (OnHeap)
+        return *static_cast<D **>(Buf);
+      else
+        return static_cast<D *>(Buf);
+    }
+    static Ret invoke(void *Buf, Params... Ps) {
+      return (*get(Buf))(std::forward<Params>(Ps)...);
+    }
+    static void manage(void *Dst, void *Src, Op O) {
+      if (O == Op::MoveTo) {
+        if constexpr (OnHeap) {
+          ::new (Dst) (D *)(*static_cast<D **>(Src));
+          *static_cast<D **>(Src) = nullptr;
+        } else {
+          ::new (Dst) D(std::move(*get(Src)));
+          get(Src)->~D();
+        }
+      } else {
+        if constexpr (OnHeap)
+          delete *static_cast<D **>(Src);
+        else
+          get(Src)->~D();
+      }
+    }
+  };
+
+  /// A callee is stored inline when it fits the buffer, is not
+  /// over-aligned, and moves without throwing (the buffer's content must
+  /// be relocatable when the owning vector grows).
+  template <typename D>
+  static constexpr bool StoredInline =
+      sizeof(D) <= InlineBytes && alignof(D) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<D>;
+
+  /// Inline callees that are trivially copyable and trivially destructible
+  /// (the kernel's common captures: ids, pointers, config references) need
+  /// no manage handler at all — Manage stays null, moves degrade to a raw
+  /// buffer copy and destruction to nothing. This keeps the action queue's
+  /// slot recycling free of indirect calls.
+  template <typename D>
+  static constexpr bool TriviallyRelocated =
+      StoredInline<D> && std::is_trivially_copyable_v<D> &&
+      std::is_trivially_destructible_v<D>;
+
+public:
+  InlineFunction() = default;
+  InlineFunction(std::nullptr_t) {}
+
+  template <typename Callee,
+            std::enable_if_t<!std::is_same_v<std::remove_cvref_t<Callee>,
+                                             InlineFunction>,
+                             int> = 0,
+            std::enable_if_t<std::is_invocable_r_v<Ret, std::decay_t<Callee> &,
+                                                   Params...>,
+                             int> = 0>
+  InlineFunction(Callee &&C) {
+    using D = std::decay_t<Callee>;
+    if constexpr (StoredInline<D>) {
+      ::new (static_cast<void *>(Buffer)) D(std::forward<Callee>(C));
+    } else {
+      ::new (static_cast<void *>(Buffer)) (D *)(new D(std::forward<Callee>(C)));
+    }
+    Invoke = &Handler<D, !StoredInline<D>>::invoke;
+    Manage =
+        TriviallyRelocated<D> ? nullptr : &Handler<D, !StoredInline<D>>::manage;
+    Heap = !StoredInline<D>;
+  }
+
+  InlineFunction(InlineFunction &&Other) noexcept { moveFrom(Other); }
+
+  InlineFunction &operator=(InlineFunction &&Other) noexcept {
+    if (this != &Other) {
+      destroy();
+      moveFrom(Other);
+    }
+    return *this;
+  }
+
+  InlineFunction &operator=(std::nullptr_t) {
+    destroy();
+    return *this;
+  }
+
+  InlineFunction(const InlineFunction &) = delete;
+  InlineFunction &operator=(const InlineFunction &) = delete;
+
+  ~InlineFunction() { destroy(); }
+
+  Ret operator()(Params... Ps) {
+    return Invoke(Buffer, std::forward<Params>(Ps)...);
+  }
+
+  explicit operator bool() const { return Invoke != nullptr; }
+
+  /// True when the callable lives behind a heap allocation instead of the
+  /// inline buffer — the allocation-free claim's observable counterpart.
+  bool usesHeap() const { return Heap; }
+
+  /// Inline capacity in bytes, for tests and documentation.
+  static constexpr size_t inlineCapacity() { return InlineBytes; }
+
+private:
+  void destroy() {
+    if (Manage)
+      Manage(nullptr, Buffer, Op::Destroy);
+    Invoke = nullptr;
+    Manage = nullptr;
+    Heap = false;
+  }
+
+  void moveFrom(InlineFunction &Other) noexcept {
+    Invoke = Other.Invoke;
+    Manage = Other.Manage;
+    Heap = Other.Heap;
+    if (Manage)
+      Manage(Buffer, Other.Buffer, Op::MoveTo);
+    else if (Invoke) // Trivially relocated payload: a plain buffer copy.
+      std::memcpy(Buffer, Other.Buffer, InlineBytes);
+    Other.Invoke = nullptr;
+    Other.Manage = nullptr;
+    Other.Heap = false;
+  }
+
+  alignas(std::max_align_t) unsigned char Buffer[InlineBytes];
+  Ret (*Invoke)(void *Buf, Params...) = nullptr;
+  void (*Manage)(void *Dst, void *Src, Op O) = nullptr;
+  bool Heap = false;
+};
+
+} // namespace dyndist
+
+#endif // DYNDIST_SUPPORT_INLINEFUNCTION_H

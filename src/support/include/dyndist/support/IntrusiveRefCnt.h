@@ -1,0 +1,113 @@
+//===- dyndist/support/IntrusiveRefCnt.h - Intrusive refcounting *- C++ -*-===//
+//
+// Part of the dyndist project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A lightweight intrusive smart pointer in the style of LLVM's
+/// IntrusiveRefCntPtr. The pointee carries its own (non-atomic) reference
+/// count and exposes it through two member functions:
+///
+///   void intrusiveRetain() const;   // increment
+///   void intrusiveRelease() const;  // decrement; destroy at zero
+///
+/// Compared to std::shared_ptr this saves the separate control block, the
+/// atomic refcount traffic, and halves the handle to one pointer — exactly
+/// what a strictly single-threaded simulator wants for payloads that are
+/// shared by broadcast but never cross threads. Ownership starts at the
+/// pointee (constructed with count 1) and is transferred into a handle with
+/// adopt(); plain construction from a raw pointer retains.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNDIST_SUPPORT_INTRUSIVEREFCNT_H
+#define DYNDIST_SUPPORT_INTRUSIVEREFCNT_H
+
+#include <cstddef>
+#include <utility>
+
+namespace dyndist {
+
+template <typename T> class IntrusivePtr {
+public:
+  IntrusivePtr() = default;
+  IntrusivePtr(std::nullptr_t) {}
+
+  /// Retaining construction from a raw pointer (the pointee gains an owner).
+  explicit IntrusivePtr(T *P) : Ptr(P) { retain(); }
+
+  /// Takes over the +1 reference the pointee was created with, without
+  /// retaining again. The standard way to wrap a freshly made object.
+  static IntrusivePtr adopt(T *P) {
+    IntrusivePtr R;
+    R.Ptr = P;
+    return R;
+  }
+
+  IntrusivePtr(const IntrusivePtr &Other) : Ptr(Other.Ptr) { retain(); }
+  IntrusivePtr(IntrusivePtr &&Other) noexcept : Ptr(Other.Ptr) {
+    Other.Ptr = nullptr;
+  }
+
+  IntrusivePtr &operator=(const IntrusivePtr &Other) {
+    IntrusivePtr(Other).swap(*this);
+    return *this;
+  }
+  IntrusivePtr &operator=(IntrusivePtr &&Other) noexcept {
+    IntrusivePtr(std::move(Other)).swap(*this);
+    return *this;
+  }
+  IntrusivePtr &operator=(std::nullptr_t) {
+    release();
+    Ptr = nullptr;
+    return *this;
+  }
+
+  ~IntrusivePtr() { release(); }
+
+  /// Relinquishes ownership without releasing: returns the raw pointer
+  /// (still carrying this handle's reference) and nulls the handle. The
+  /// caller must hand the pointer back to adopt() eventually. Used by the
+  /// kernel to park payload references in POD event nodes.
+  T *detach() {
+    T *P = Ptr;
+    Ptr = nullptr;
+    return P;
+  }
+
+  T *get() const { return Ptr; }
+  T &operator*() const { return *Ptr; }
+  T *operator->() const { return Ptr; }
+  explicit operator bool() const { return Ptr != nullptr; }
+
+  void reset() {
+    release();
+    Ptr = nullptr;
+  }
+
+  void swap(IntrusivePtr &Other) noexcept { std::swap(Ptr, Other.Ptr); }
+
+  friend bool operator==(const IntrusivePtr &X, const IntrusivePtr &Y) {
+    return X.Ptr == Y.Ptr;
+  }
+  friend bool operator==(const IntrusivePtr &X, std::nullptr_t) {
+    return X.Ptr == nullptr;
+  }
+
+private:
+  void retain() {
+    if (Ptr)
+      Ptr->intrusiveRetain();
+  }
+  void release() {
+    if (Ptr)
+      Ptr->intrusiveRelease();
+  }
+
+  T *Ptr = nullptr;
+};
+
+} // namespace dyndist
+
+#endif // DYNDIST_SUPPORT_INTRUSIVEREFCNT_H

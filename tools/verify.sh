@@ -1,15 +1,21 @@
 #!/bin/sh
 # Tier-1 verification: build + ctest in the plain configuration, then the
-# same suite under AddressSanitizer (-DDYNDIST_SANITIZE=address), then under
+# bench regression gate (dyndist-bench-report --check against the checked-in
+# message baseline, using the build-verify binaries), then a strict-warnings
+# build (-DDYNDIST_WERROR=ON, -Wall -Wextra -Werror), then the same test
+# suite under AddressSanitizer (-DDYNDIST_SANITIZE=address), under
 # UndefinedBehaviorSanitizer (-DDYNDIST_SANITIZE=undefined) — which polices
-# the flat graph's raw-pointer views and index arithmetic — then under
-# ThreadSanitizer (-DDYNDIST_SANITIZE=thread), which keeps the SweepRunner's
-# multi-threaded seed sharding honest.
+# the flat graph's raw-pointer views, the intrusive payload refcounts, and
+# the InlineFunction buffer arithmetic — and under ThreadSanitizer
+# (-DDYNDIST_SANITIZE=thread), which keeps the SweepRunner's multi-threaded
+# seed sharding honest.
 #
 # Usage: tools/verify.sh [--skip-asan] [--asan-only] [--skip-ubsan]
 #                        [--ubsan-only] [--skip-tsan] [--tsan-only]
-# Build dirs: build-verify/, build-asan/, build-ubsan/ and build-tsan/
-# (kept for incremental reruns).
+#                        [--skip-werror] [--werror-only]
+#                        [--skip-bench-check] [--bench-check-only]
+# Build dirs: build-verify/, build-werror/, build-asan/, build-ubsan/ and
+# build-tsan/ (kept for incremental reruns).
 
 set -e
 
@@ -17,19 +23,32 @@ cd "$(dirname "$0")/.."
 JOBS="${DYNDIST_VERIFY_JOBS:-$(nproc 2>/dev/null || echo 2)}"
 
 RUN_PLAIN=1
+RUN_BENCH_CHECK=1
+RUN_WERROR=1
 RUN_ASAN=1
 RUN_UBSAN=1
 RUN_TSAN=1
 for arg in "$@"; do
   case "$arg" in
     --skip-asan) RUN_ASAN=0 ;;
-    --asan-only) RUN_PLAIN=0; RUN_UBSAN=0; RUN_TSAN=0 ;;
+    --asan-only) RUN_PLAIN=0; RUN_BENCH_CHECK=0; RUN_WERROR=0
+                 RUN_UBSAN=0; RUN_TSAN=0 ;;
     --skip-ubsan) RUN_UBSAN=0 ;;
-    --ubsan-only) RUN_PLAIN=0; RUN_ASAN=0; RUN_TSAN=0 ;;
+    --ubsan-only) RUN_PLAIN=0; RUN_BENCH_CHECK=0; RUN_WERROR=0
+                  RUN_ASAN=0; RUN_TSAN=0 ;;
     --skip-tsan) RUN_TSAN=0 ;;
-    --tsan-only) RUN_PLAIN=0; RUN_ASAN=0; RUN_UBSAN=0 ;;
+    --tsan-only) RUN_PLAIN=0; RUN_BENCH_CHECK=0; RUN_WERROR=0
+                 RUN_ASAN=0; RUN_UBSAN=0 ;;
+    --skip-werror) RUN_WERROR=0 ;;
+    --werror-only) RUN_PLAIN=0; RUN_BENCH_CHECK=0; RUN_ASAN=0
+                   RUN_UBSAN=0; RUN_TSAN=0 ;;
+    --skip-bench-check) RUN_BENCH_CHECK=0 ;;
+    --bench-check-only) RUN_PLAIN=0; RUN_WERROR=0; RUN_ASAN=0
+                        RUN_UBSAN=0; RUN_TSAN=0 ;;
     *) echo "usage: tools/verify.sh [--skip-asan] [--asan-only]" \
-            "[--skip-ubsan] [--ubsan-only] [--skip-tsan] [--tsan-only]" >&2
+            "[--skip-ubsan] [--ubsan-only] [--skip-tsan] [--tsan-only]" \
+            "[--skip-werror] [--werror-only]" \
+            "[--skip-bench-check] [--bench-check-only]" >&2
        exit 2 ;;
   esac
 done
@@ -44,7 +63,27 @@ run_suite() {
   (cd "$dir" && ctest --output-on-failure -j "$JOBS")
 }
 
+# Build-only pass: warnings are a compile-time property, the plain pass
+# already ran the tests.
+run_build() {
+  dir="$1"; shift
+  echo "== configuring $dir ($*)"
+  cmake -B "$dir" -S . "$@"
+  echo "== building $dir"
+  cmake --build "$dir" -j "$JOBS"
+}
+
 [ "$RUN_PLAIN" = 1 ] && run_suite build-verify
+if [ "$RUN_BENCH_CHECK" = 1 ]; then
+  # The gate needs the build-verify bench binaries; build them if this run
+  # skipped the plain pass. The throwaway report stays in build-verify/ so
+  # the checked-in BENCH_kernel.json is never clobbered by a gate run.
+  [ "$RUN_PLAIN" = 1 ] || run_build build-verify
+  echo "== bench regression gate (build-verify)"
+  tools/dyndist-bench-report --check --build-dir build-verify \
+    --out build-verify/bench-check.json
+fi
+[ "$RUN_WERROR" = 1 ] && run_build build-werror -DDYNDIST_WERROR=ON
 [ "$RUN_ASAN" = 1 ] && run_suite build-asan -DDYNDIST_SANITIZE=address
 [ "$RUN_UBSAN" = 1 ] && UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
   run_suite build-ubsan -DDYNDIST_SANITIZE=undefined
