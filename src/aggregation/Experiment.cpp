@@ -27,6 +27,7 @@ ExperimentResult dyndist::runQueryExperiment(const ExperimentConfig &Config) {
   SysCfg.Attach = Config.Attach;
   SysCfg.Churn = Config.Churn;
   SysCfg.Latency = Config.Latency;
+  SysCfg.Shards = Config.Shards;
   SysCfg.DiameterSampleEvery = 16;
   SysCfg.MonitorUntil = Config.Horizon;
   // Archiving a trace only makes sense when the per-message records are in

@@ -100,8 +100,9 @@ void GossipActor::infect(Context &Ctx, uint64_t Qid) {
 }
 
 void GossipActor::merge(const Contributions &Other) {
-  for (const auto &[P, V] : Other)
-    Known.emplace(P, V);
+  // Both sides are sorted flat vectors: one linear two-pointer union,
+  // resident entries winning on collision (the emplace-loop semantics).
+  Known.mergeFrom(Other);
 }
 
 void GossipActor::gossipRound(Context &Ctx) {

@@ -45,6 +45,10 @@ struct ExperimentConfig {
   ChurnParams Churn;
   LatencyConfig Latency;
 
+  /// Kernel shard count, forwarded to DynamicSystemConfig::Shards
+  /// (0 = legacy single-stream kernel).
+  unsigned Shards = 0;
+
   /// Query schedule: issue at QueryAt, grade against Horizon.
   SimTime QueryAt = 200;
   SimTime Horizon = 900;

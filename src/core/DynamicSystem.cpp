@@ -32,6 +32,8 @@ DynamicSystem::DynamicSystem(const DynamicSystemConfig &Config,
                              ChurnDriver::ActorFactory Factory)
     : Config(Config), Sim(Config.Seed),
       Overlay(Config.OverlayDegree, Sim.rng().split(), Config.Attach) {
+  if (Config.Shards > 0)
+    Sim.setShards(Config.Shards); // Before the first spawn, per the contract.
   Sim.setLatencyModel(makeLatency(Config.Latency));
   Sim.setTraceLevel(Config.Tracing);
   Overlay.attachTo(Sim);

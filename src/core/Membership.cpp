@@ -11,16 +11,40 @@
 
 using namespace dyndist;
 
-void MembershipActor::onStart(Context &Ctx) { heartbeatRound(Ctx); }
+size_t MembershipActor::SuspectedView::count(ProcessId P) const {
+  if (!St)
+    return 0;
+  auto It = std::lower_bound(
+      St->Nbrs.begin(), St->Nbrs.end(), P,
+      [](const NbrEntry &E, ProcessId Pid) { return E.Pid < Pid; });
+  return (It != St->Nbrs.end() && It->Pid == P && It->Suspect) ? 1 : 0;
+}
+
+void MembershipActor::onStart(Context &Ctx) {
+  Handle = States->acquire(Ctx.stateSlot());
+  heartbeatRound(Ctx);
+}
 
 void MembershipActor::onMessage(Context &Ctx, ProcessId From,
                                 const MessageBody &Body) {
   assert(Body.kind() == MsgHeartbeat &&
          "membership actor received foreign message kind");
   (void)Body;
-  LastHeard[From] = Ctx.now();
-  if (Suspected.erase(From))
+  State &S = state();
+  auto It = std::lower_bound(
+      S.Nbrs.begin(), S.Nbrs.end(), From,
+      [](const NbrEntry &E, ProcessId Pid) { return E.Pid < Pid; });
+  if (It == S.Nbrs.end() || It->Pid != From) {
+    // First contact: start the silence clock (the old LastHeard[From]).
+    S.Nbrs.emplace(It, NbrEntry{From, Ctx.now(), false});
+    return;
+  }
+  It->Heard = Ctx.now();
+  if (It->Suspect) {
+    It->Suspect = false;
+    --S.SuspectCount;
     Ctx.observe(MemberRestoreKey, static_cast<int64_t>(From));
+  }
 }
 
 void MembershipActor::onTimer(Context &Ctx, TimerId Id) {
@@ -30,37 +54,53 @@ void MembershipActor::onTimer(Context &Ctx, TimerId Id) {
 }
 
 void MembershipActor::heartbeatRound(Context &Ctx) {
-  // One pass over the live neighbor view: beat, start clocks, and snapshot
-  // the ids into the reused scratch (ascending, since neighbor enumeration
-  // ascends) for the pruning step below.
+  // One pass over the live neighbor view: beat and snapshot the ids into
+  // the reused scratch (ascending, since neighbor enumeration ascends).
   NbrScratch.clear();
   auto Beat = makeBody<HeartbeatMsg>();
   Ctx.forEachNeighbor([&](ProcessId N) {
     NbrScratch.push_back(N);
     Ctx.send(N, Beat);
-    // Start the clock for neighbors we meet for the first time: silence is
-    // only meaningful once a heartbeat could have been answered.
-    LastHeard.try_emplace(N, Ctx.now());
   });
 
-  // Forget departed neighbors: the overlay already routed around them, so
-  // they are outside this process's (purely local) responsibility.
-  for (auto It = LastHeard.begin(); It != LastHeard.end();) {
-    if (!std::binary_search(NbrScratch.begin(), NbrScratch.end(),
-                            It->first)) {
-      Suspected.erase(It->first);
-      It = LastHeard.erase(It);
+  // Rebuild the entry run against the current neighborhood in one sorted
+  // two-pointer merge: meet new neighbors (start their clock), keep the
+  // retained, and forget the departed — the overlay already routed around
+  // those, so they are outside this process's (purely local)
+  // responsibility.
+  State &S = state();
+  MergeScratch.clear();
+  auto EIt = S.Nbrs.begin(), EEnd = S.Nbrs.end();
+  auto NIt = NbrScratch.begin(), NEnd = NbrScratch.end();
+  uint32_t Suspects = 0;
+  while (EIt != EEnd || NIt != NEnd) {
+    if (NIt == NEnd || (EIt != EEnd && EIt->Pid < *NIt)) {
+      ++EIt; // Departed: dropped (its suspicion, if any, goes with it).
+    } else if (EIt == EEnd || *NIt < EIt->Pid) {
+      MergeScratch.push_back(NbrEntry{*NIt, Ctx.now(), false});
+      ++NIt;
     } else {
-      ++It;
+      MergeScratch.push_back(*EIt);
+      Suspects += EIt->Suspect;
+      ++EIt;
+      ++NIt;
     }
   }
+  S.Nbrs.clear();
+  S.Nbrs.reserve(MergeScratch.size());
+  for (const NbrEntry &E : MergeScratch)
+    S.Nbrs.push_back(E);
+  S.SuspectCount = Suspects;
 
-  // Suspect the silent.
-  for (const auto &[N, Heard] : LastHeard) {
-    if (Ctx.now() - Heard <= Config->SuspectAfter)
+  // Suspect the silent (ascending, like the old LastHeard walk).
+  for (NbrEntry &E : S.Nbrs) {
+    if (Ctx.now() - E.Heard <= Config->SuspectAfter)
       continue;
-    if (Suspected.insert(N).second)
-      Ctx.observe(MemberSuspectKey, static_cast<int64_t>(N));
+    if (!E.Suspect) {
+      E.Suspect = true;
+      ++S.SuspectCount;
+      Ctx.observe(MemberSuspectKey, static_cast<int64_t>(E.Pid));
+    }
   }
 
   RoundTimer = Ctx.setTimer(Config->HeartbeatEvery);
@@ -68,8 +108,16 @@ void MembershipActor::heartbeatRound(Context &Ctx) {
 
 std::vector<ProcessId> MembershipActor::liveView(Context &Ctx) const {
   std::vector<ProcessId> Out;
+  const State *S = States->find(Handle);
   Ctx.forEachNeighbor([&](ProcessId N) {
-    if (!Suspected.count(N))
+    bool Suspected = false;
+    if (S) {
+      auto It = std::lower_bound(
+          S->Nbrs.begin(), S->Nbrs.end(), N,
+          [](const NbrEntry &E, ProcessId Pid) { return E.Pid < Pid; });
+      Suspected = It != S->Nbrs.end() && It->Pid == N && It->Suspect;
+    }
+    if (!Suspected)
       Out.push_back(N);
   });
   return Out;
@@ -78,5 +126,8 @@ std::vector<ProcessId> MembershipActor::liveView(Context &Ctx) const {
 std::function<std::unique_ptr<Actor>()> dyndist::makeMembershipFactory(
     std::shared_ptr<const MembershipConfig> Config) {
   assert(Config && "factory needs a config");
-  return [Config]() { return std::make_unique<MembershipActor>(Config); };
+  auto Slab = std::make_shared<MembershipActor::Slab>();
+  return [Config, Slab]() {
+    return std::make_unique<MembershipActor>(Config, Slab);
+  };
 }

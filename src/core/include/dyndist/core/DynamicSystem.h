@@ -59,6 +59,12 @@ struct DynamicSystemConfig {
   ChurnParams Churn;
   LatencyConfig Latency;
 
+  /// 0 = the legacy single-stream kernel. K >= 1 selects the space-sharded
+  /// engine (Simulator::setShards) before the initial population spawns: a
+  /// different deterministic schedule that is byte-identical at any K >= 1
+  /// for the same seed. See docs/MODEL.md §7.
+  unsigned Shards = 0;
+
   /// Kernel trace level. Lifecycle is sufficient for every checker this
   /// layer ships (arrival admissibility and the one-time-query verdict
   /// read only Join/Leave/Crash/Observe records); Full additionally keeps

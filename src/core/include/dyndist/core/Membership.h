@@ -19,6 +19,13 @@
 /// *eventually* accurate, and the suspicion/restore observations it records
 /// let the tests measure exactly that.
 ///
+/// Per-process detector state lives in a StateSlab shared by every detector
+/// the same factory spawns: one sorted flat run of (neighbor, last-heard,
+/// suspected) entries per state slot, contiguous across processes, so a
+/// million detectors are one dense array instead of a million map/set
+/// heaps. The per-entry layout and all enumeration orders match the old
+/// std::map/std::set representation, so recorded traces are byte-identical.
+///
 /// Observation keys: "member.suspect" / "member.restore" with the subject
 /// neighbor's id as value.
 ///
@@ -29,11 +36,11 @@
 
 #include "dyndist/sim/Actor.h"
 #include "dyndist/sim/Message.h"
+#include "dyndist/support/InlineVec.h"
+#include "dyndist/support/StateSlab.h"
 
 #include <functional>
-#include <map>
 #include <memory>
-#include <set>
 #include <vector>
 
 namespace dyndist {
@@ -65,8 +72,35 @@ struct MembershipConfig {
 /// The per-process membership detector.
 class MembershipActor : public Actor {
 public:
-  explicit MembershipActor(std::shared_ptr<const MembershipConfig> Config)
-      : Config(std::move(Config)) {}
+  /// One tracked neighbor: identity, last-heard instant, suspicion flag.
+  /// Kept sorted by Pid inside the slab record, fusing the old LastHeard
+  /// map and Suspected set into a single cache line per few neighbors.
+  struct NbrEntry {
+    ProcessId Pid = InvalidProcess;
+    SimTime Heard = 0;
+    bool Suspect = false;
+  };
+
+  /// The slab record: the whole detector state of one process. The inline
+  /// capacity covers the usual overlay degree; denser neighborhoods spill
+  /// to the heap once and keep that capacity across slot reuse.
+  struct State {
+    InlineVec<NbrEntry, 8> Nbrs; ///< Sorted by Pid.
+    uint32_t SuspectCount = 0;
+    void reset() {
+      Nbrs.clear();
+      SuspectCount = 0;
+    }
+  };
+  using Slab = StateSlab<State>;
+
+  /// A detector normally shares the slab its factory owns; directly
+  /// constructed actors (tests, probes) get a private one.
+  explicit MembershipActor(std::shared_ptr<const MembershipConfig> Config,
+                           std::shared_ptr<Slab> SharedSlab = nullptr)
+      : Config(std::move(Config)),
+        States(SharedSlab ? std::move(SharedSlab)
+                          : std::make_shared<Slab>()) {}
 
   void onStart(Context &Ctx) override;
   void onMessage(Context &Ctx, ProcessId From,
@@ -76,22 +110,55 @@ public:
   /// The local view: overlay neighbors currently believed up.
   std::vector<ProcessId> liveView(Context &Ctx) const;
 
+  /// A sorted read-only view of the currently suspected ids: the set-like
+  /// inspection surface (size/empty/count ascend-ordered enumeration) over
+  /// the slab entries, without materializing a set. Empty once the slot
+  /// has been recycled to a newer tenant.
+  class SuspectedView {
+  public:
+    size_t size() const { return St ? St->SuspectCount : 0; }
+    bool empty() const { return size() == 0; }
+
+    /// 1 when \p P is suspected, else 0 (std::set::count).
+    size_t count(ProcessId P) const;
+
+    /// Invokes \p F for each suspected id in ascending order.
+    template <typename FnT> void forEach(FnT F) const {
+      if (!St)
+        return;
+      for (const NbrEntry &E : St->Nbrs)
+        if (E.Suspect)
+          F(E.Pid);
+    }
+
+  private:
+    friend class MembershipActor;
+    explicit SuspectedView(const State *St) : St(St) {}
+    const State *St;
+  };
+
   /// Currently suspected ids (inspection for tests).
-  const std::set<ProcessId> &suspected() const { return Suspected; }
+  SuspectedView suspected() const {
+    return SuspectedView(States->find(Handle));
+  }
 
 private:
   void heartbeatRound(Context &Ctx);
+  State &state() { return States->at(Handle); }
 
   std::shared_ptr<const MembershipConfig> Config;
-  std::map<ProcessId, SimTime> LastHeard;
-  std::set<ProcessId> Suspected;
+  std::shared_ptr<Slab> States;
+  SlabHandle Handle;
   /// Reused across rounds: the current neighbor ids, ascending. Kept as a
   /// member so steady-state heartbeat rounds allocate nothing.
   std::vector<ProcessId> NbrScratch;
+  /// Reused merge buffer for the per-round entry rebuild.
+  std::vector<NbrEntry> MergeScratch;
   TimerId RoundTimer = 0;
 };
 
-/// Factory for ChurnDriver / manual spawns.
+/// Factory for ChurnDriver / manual spawns. All actors from one factory
+/// share one state slab.
 std::function<std::unique_ptr<Actor>()>
 makeMembershipFactory(std::shared_ptr<const MembershipConfig> Config);
 

@@ -29,9 +29,11 @@
 
 #include "dyndist/sim/Actor.h"
 #include "dyndist/sim/Message.h"
+#include "dyndist/support/FlatMap.h"
+#include "dyndist/support/InlineVec.h"
+#include "dyndist/support/StateSlab.h"
 
 #include <functional>
-#include <map>
 #include <memory>
 #include <vector>
 
@@ -74,8 +76,28 @@ struct PeerSamplingConfig {
 /// the overlay is only the introduction service.
 class PeerSamplingActor : public Actor {
 public:
-  explicit PeerSamplingActor(std::shared_ptr<const PeerSamplingConfig> Config)
-      : Config(std::move(Config)) {}
+  /// The view representation: a sorted flat run of (peer, age) entries
+  /// living inline in the state slab (the default ViewSize fits the inline
+  /// buffer; larger configured views spill to the heap once per slot).
+  /// Enumeration ascends by peer id exactly like the std::map it replaced.
+  using ViewMap =
+      FlatMap<ProcessId, uint64_t,
+              InlineVec<std::pair<ProcessId, uint64_t>, 8>>;
+
+  /// The slab record: one process's entire peer-sampling state.
+  struct State {
+    ViewMap View;
+    void reset() { View.clear(); }
+  };
+  using Slab = StateSlab<State>;
+
+  /// An actor normally shares the slab its factory owns; directly
+  /// constructed actors (tests) get a private one.
+  explicit PeerSamplingActor(std::shared_ptr<const PeerSamplingConfig> Config,
+                             std::shared_ptr<Slab> SharedSlab = nullptr)
+      : Config(std::move(Config)),
+        States(SharedSlab ? std::move(SharedSlab)
+                          : std::make_shared<Slab>()) {}
 
   void onStart(Context &Ctx) override;
   void onMessage(Context &Ctx, ProcessId From,
@@ -83,7 +105,12 @@ public:
   void onTimer(Context &Ctx, TimerId Id) override;
 
   /// The current partial view (peer -> age), for tests and samplers.
-  const std::map<ProcessId, uint64_t> &view() const { return View; }
+  /// Empty once the state slot has been recycled to a newer tenant.
+  const ViewMap &view() const {
+    static const ViewMap Empty{};
+    const State *S = States->find(Handle);
+    return S ? S->View : Empty;
+  }
 
   /// A uniform-ish random peer from the view (the service's API);
   /// InvalidProcess when the view is empty.
@@ -102,12 +129,16 @@ private:
   /// when the incoming entry is younger.
   void mergeSlice(Context &Ctx, const ViewSlice &Slice);
 
+  ViewMap &mutableView() { return States->at(Handle).View; }
+
   std::shared_ptr<const PeerSamplingConfig> Config;
-  std::map<ProcessId, uint64_t> View;
+  std::shared_ptr<Slab> States;
+  SlabHandle Handle;
   TimerId RoundTimer = 0;
 };
 
-/// Factory for ChurnDriver / manual spawns.
+/// Factory for ChurnDriver / manual spawns. All actors from one factory
+/// share one state slab.
 std::function<std::unique_ptr<Actor>()>
 makePeerSamplingFactory(std::shared_ptr<const PeerSamplingConfig> Config);
 

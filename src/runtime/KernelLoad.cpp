@@ -72,6 +72,8 @@ void scheduleChurn(Simulator &S, const KernelLoadConfig &Cfg) {
 KernelLoadResult dyndist::runKernelLoad(const KernelLoadConfig &Cfg,
                                         TraceLevel Level) {
   Simulator S(Cfg.Seed);
+  if (Cfg.Shards > 0)
+    S.setShards(Cfg.Shards);
   S.setTraceLevel(Level);
   for (size_t I = 0; I != Cfg.Processes; ++I)
     S.spawn(std::make_unique<LoadActor>(Cfg));

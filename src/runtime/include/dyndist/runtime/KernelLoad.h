@@ -33,6 +33,11 @@ struct KernelLoadConfig {
   size_t Processes = 1000; ///< Initial population; also the peer universe.
   SimTime Horizon = 1500;  ///< RunLimits::MaxTime for the run.
 
+  /// 0 = legacy single-stream kernel. K >= 1 selects the space-sharded
+  /// engine (Simulator::setShards): a different deterministic schedule
+  /// that is byte-identical at any K for the same seed.
+  unsigned Shards = 0;
+
   // Gossip: every actor fires a periodic timer and sends GossipFanout
   // messages to uniformly random universe members per fire; every 8th fire
   // also arms and immediately cancels a decoy timer, exercising the

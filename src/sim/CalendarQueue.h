@@ -1,0 +1,268 @@
+//===- sim/CalendarQueue.h - Calendar-bucket event storage ------*- C++ -*-===//
+//
+// Part of the dyndist project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The kernel's event storage, shared by the legacy single-stream run loop
+/// and the space-sharded engine (one calendar per shard). Internal to
+/// src/sim — not installed under include/dyndist.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNDIST_SIM_CALENDARQUEUE_H
+#define DYNDIST_SIM_CALENDARQUEUE_H
+
+#include "dyndist/sim/Message.h"
+#include "dyndist/sim/Types.h"
+#include "dyndist/support/InlineFunction.h"
+
+#include <cassert>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace dyndist {
+
+class Simulator;
+using ActionFn = InlineFunction<void(Simulator &)>;
+
+namespace detail {
+
+/// A scheduled kernel event: one slim 16-byte calendar node. Nodes are
+/// written once at push and read once at pop — there is no sift to move
+/// them — so a delivery's payload reference rides inline instead of in a
+/// side table. The reference is an owned +1 parked as a raw pointer
+/// (IntrusivePtr::detach() on push, MessageRef::adopt() on pop/teardown).
+///
+/// The kernel streams these by the hundred-thousand per instant, and at
+/// million-process scale the queue/sort passes are bandwidth-bound — so
+/// the node is packed hard: endpoints are 32-bit (process ids index the
+/// process table, which can never reach 2^32 entries), and the kind tag
+/// lives in the low bits of the payload pointer, whose storage is at
+/// least 16-byte aligned (BodyPool granularity / max_align_t). A timer
+/// node has no payload, so its id rides in the same word, shifted past
+/// the tag — 62 bits of id space.
+///
+/// Deliver: (A=Src, B=Dst, Bits=body|kind). Timer: (A=owner, B=owner,
+/// Bits=id<<2|kind). Action: (A=slot, B=0). B is always the destination —
+/// the sharded counting-sort key — and A is always the pusher, which is
+/// the sharded mailbox-merge key.
+struct SimEvent {
+  uint32_t A;     ///< Pusher: source / timer owner. Action: slot.
+  uint32_t B;     ///< Destination. Action: 0.
+  uintptr_t Bits; ///< Kind tag (low 2 bits) + payload pointer / timer id.
+
+  static SimEvent deliver(uint32_t Src, uint32_t Dst, const MessageBody *B) {
+    uintptr_t P = reinterpret_cast<uintptr_t>(B);
+    assert((P & 3) == 0 && "payload storage must be 4-byte aligned");
+    return {Src, Dst, P}; // KDeliver == 0: the word *is* the pointer.
+  }
+  static SimEvent timer(uint32_t Owner, TimerId Id) {
+    return {Owner, Owner, (static_cast<uintptr_t>(Id) << 2) | 1u};
+  }
+  static SimEvent action(uint32_t Slot) { return {Slot, 0, 2u}; }
+
+  uint32_t kind() const { return static_cast<uint32_t>(Bits & 3); }
+  const MessageBody *body() const {
+    return reinterpret_cast<const MessageBody *>(Bits); // Valid iff KDeliver.
+  }
+  TimerId timerId() const { return static_cast<TimerId>(Bits >> 2); }
+};
+static_assert(sizeof(SimEvent) == 16, "calendar nodes stay two words");
+
+/// Event storage: a calendar-bucket queue. Every distinct pending instant
+/// owns a FIFO of SimEvent nodes; a small binary heap orders the instants.
+/// Sequence numbers are assigned in push order and instants never run
+/// backwards, so within one bucket FIFO order *is* sequence order and the
+/// (time, sequence) execution contract holds without materializing
+/// sequence numbers at all. The payoff over a per-event heap: push and pop
+/// are O(1) contiguous array moves, and ordering work (heap sift, hash
+/// lookup) is paid once per distinct instant, not once per event — under
+/// fixed latency that is once per tick for hundreds of events.
+///
+/// Buckets and their FIFO capacity are recycled through a free list, so
+/// steady-state scheduling allocates nothing.
+struct CalendarQueue {
+  enum : uint32_t { KDeliver = 0, KTimer = 1, KAction = 2 };
+
+  struct Bucket {
+    SimTime Time = 0;
+    uint32_t Head = 0; ///< Next unread index into Fifo.
+    std::vector<SimEvent> Fifo;
+  };
+
+  std::vector<Bucket> Buckets;       ///< Slot pool; capacity retained.
+  std::vector<uint32_t> FreeBuckets; ///< Recycled Buckets slots.
+  std::vector<uint32_t> TimeHeap;    ///< Bucket slots, min-heap by Time.
+  std::unordered_map<SimTime, uint32_t> ByTime; ///< Instant -> bucket slot.
+
+  /// One-entry lookup cache: under fixed latency every push in a tick
+  /// targets the same instant, so this short-circuits the hash lookup.
+  SimTime CachedTime = 0;
+  uint32_t CachedBucket = UINT32_MAX;
+
+  std::vector<ActionFn> Actions;
+  std::vector<uint32_t> FreeActions;
+
+  /// Timer bookkeeping as two bitmaps indexed by TimerId (ids are assigned
+  /// densely from 1; sharded lanes index by their dense *local* id): Live
+  /// marks timers armed but not yet popped, Cancelled marks live timers
+  /// whose firing was revoked. Both bits are dropped when the timer's
+  /// event is popped on *any* path (fire, cancelled, dead process), and
+  /// cancelTimer() flips Cancelled only while Live is set, so cancelling
+  /// an unknown or already-fired id is a no-op rather than a leak. Two
+  /// bits per timer ever armed — the only queue state that grows with a
+  /// run's length, at 1/4 byte per timer.
+  std::vector<uint64_t> TimerLive;
+  std::vector<uint64_t> TimerCancelled;
+  size_t TimerPending = 0; ///< Live population count, kept incrementally.
+
+  ~CalendarQueue() {
+    // Hand parked payload references in undrained buckets back to their
+    // refcounts (and thus to the body pool) before the pool is retired.
+    for (uint32_t Slot : TimeHeap) {
+      Bucket &B = Buckets[Slot];
+      for (size_t I = B.Head, N = B.Fifo.size(); I != N; ++I)
+        if (B.Fifo[I].kind() == KDeliver)
+          MessageRef::adopt(B.Fifo[I].body());
+    }
+  }
+
+  bool empty() const { return TimeHeap.empty(); }
+
+  /// The earliest pending instant; undefined when empty().
+  SimTime frontTime() const { return Buckets[TimeHeap.front()].Time; }
+
+  /// The bucket holding instant \p Time, created (and heap-inserted) on
+  /// first use.
+  uint32_t bucketFor(SimTime Time) {
+    if (CachedBucket != UINT32_MAX && CachedTime == Time)
+      return CachedBucket;
+    auto [It, IsNew] = ByTime.try_emplace(Time, 0);
+    if (IsNew) {
+      uint32_t Slot;
+      if (!FreeBuckets.empty()) {
+        Slot = FreeBuckets.back();
+        FreeBuckets.pop_back();
+      } else {
+        Slot = static_cast<uint32_t>(Buckets.size());
+        Buckets.emplace_back();
+      }
+      Buckets[Slot].Time = Time;
+      It->second = Slot;
+      heapPush(Slot);
+    }
+    CachedTime = Time;
+    CachedBucket = It->second;
+    return CachedBucket;
+  }
+
+  void push(SimTime Time, const SimEvent &E) {
+    Buckets[bucketFor(Time)].Fifo.push_back(E);
+  }
+
+  void heapPush(uint32_t Slot) {
+    size_t I = TimeHeap.size();
+    TimeHeap.push_back(Slot);
+    SimTime T = Buckets[Slot].Time;
+    while (I > 0) {
+      size_t Parent = (I - 1) / 2;
+      if (Buckets[TimeHeap[Parent]].Time <= T)
+        break;
+      TimeHeap[I] = TimeHeap[Parent];
+      I = Parent;
+    }
+    TimeHeap[I] = Slot;
+  }
+
+  /// Retires the exhausted front bucket: recycles its slot (FIFO capacity
+  /// retained) and re-establishes the heap over the remaining instants.
+  void retireFront() {
+    uint32_t Slot = TimeHeap.front();
+    Bucket &B = Buckets[Slot];
+    assert(B.Head == B.Fifo.size() && "retiring a non-empty bucket");
+    ByTime.erase(B.Time);
+    if (CachedBucket == Slot)
+      CachedBucket = UINT32_MAX;
+    B.Fifo.clear();
+    B.Head = 0;
+    FreeBuckets.push_back(Slot);
+
+    uint32_t Last = TimeHeap.back();
+    TimeHeap.pop_back();
+    size_t N = TimeHeap.size();
+    if (N == 0)
+      return;
+    SimTime LastTime = Buckets[Last].Time;
+    size_t I = 0;
+    for (;;) {
+      size_t Child = 2 * I + 1;
+      if (Child >= N)
+        break;
+      if (Child + 1 < N &&
+          Buckets[TimeHeap[Child + 1]].Time < Buckets[TimeHeap[Child]].Time)
+        ++Child;
+      if (Buckets[TimeHeap[Child]].Time >= LastTime)
+        break;
+      TimeHeap[I] = TimeHeap[Child];
+      I = Child;
+    }
+    TimeHeap[I] = Last;
+  }
+
+  uint32_t allocAction(ActionFn Action) {
+    if (!FreeActions.empty()) {
+      uint32_t Slot = FreeActions.back();
+      FreeActions.pop_back();
+      Actions[Slot] = std::move(Action);
+      return Slot;
+    }
+    Actions.push_back(std::move(Action));
+    return static_cast<uint32_t>(Actions.size() - 1);
+  }
+
+  ActionFn takeAction(uint64_t Slot) {
+    ActionFn A = std::move(Actions[Slot]);
+    Actions[Slot] = nullptr;
+    FreeActions.push_back(static_cast<uint32_t>(Slot));
+    return A;
+  }
+
+  /// Marks \p Id live (armTimer). Ids are dense, so the bitmaps grow by
+  /// amortized O(1).
+  void markTimerArmed(TimerId Id) {
+    size_t Word = Id / 64;
+    if (Word >= TimerLive.size()) {
+      TimerLive.resize(Word + 1, 0);
+      TimerCancelled.resize(Word + 1, 0);
+    }
+    TimerLive[Word] |= uint64_t(1) << (Id % 64);
+    ++TimerPending;
+  }
+
+  /// Revokes a live timer; unknown/fired/cancelled ids are no-ops.
+  void markTimerCancelled(TimerId Id) {
+    size_t Word = Id / 64;
+    if (Word < TimerLive.size() && (TimerLive[Word] >> (Id % 64)) & 1)
+      TimerCancelled[Word] |= uint64_t(1) << (Id % 64);
+  }
+
+  /// Drops \p Id's bookkeeping at pop; returns true when it should fire.
+  bool collectTimer(TimerId Id) {
+    size_t Word = Id / 64;
+    uint64_t Mask = uint64_t(1) << (Id % 64);
+    assert((TimerLive[Word] & Mask) && "popping a timer that was never live");
+    TimerLive[Word] &= ~Mask;
+    --TimerPending;
+    bool Cancelled = (TimerCancelled[Word] & Mask) != 0;
+    TimerCancelled[Word] &= ~Mask;
+    return !Cancelled;
+  }
+};
+
+} // namespace detail
+} // namespace dyndist
+
+#endif // DYNDIST_SIM_CALENDARQUEUE_H

@@ -1,0 +1,203 @@
+//===- sim/ShardEngine.h - Space-sharded execution engine -------*- C++ -*-===//
+//
+// Part of the dyndist project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The space-sharded deterministic run loop behind Simulator::setShards().
+/// Process P lives on shard P % K; each shard (a "lane") owns a calendar
+/// queue, a body pool, a timer-id sub-space, a trace buffer, and stat
+/// counters. Execution is time-stepped:
+///
+///   1. *Environment sub-phase* (serial): all scheduled actions at the
+///      instant run in FIFO order — spawns, crashes, harness stimuli, and
+///      the sends/timers of onStart/onStop hooks. Their pushes append
+///      directly to the destination lane's calendar.
+///   2. *Parallel sub-phase*: every lane executes its events at the
+///      instant in canonical order — ascending destination (a stable
+///      counting sort), which within one destination preserves
+///      (push-instant, pusher, push-order). Sends go to per-destination-
+///      shard outboxes; nothing touches another lane's state.
+///   3. *Barrier* (serial): lane stats fold into the global counters,
+///      per-lane trace runs merge in ascending-destination order,
+///      deferred departures are applied, and outboxes flush into the
+///      destination lanes' calendars via a pusher-ordered K-way merge.
+///
+/// Every cross-lane ordering decision is positional (destination id,
+/// pusher id, push order) — never thread identity — so a run is
+/// byte-identical for a given seed at any shard count and any worker
+/// arrangement. That schedule is deliberately *different* from the legacy
+/// single-stream one: actors draw from private seed-derived streams
+/// (ActorRngs) instead of the shared split, which is exactly what makes
+/// the schedule shard-count-invariant. See docs/MODEL.md §7.
+///
+/// Payload refcounts stay non-atomic: a body delivered during the
+/// parallel sub-phase is never released there. Its parked reference is
+/// deferred, grouped by the pool (lane) that owns the storage, and
+/// released by that lane's job at the start of the *next* round — after a
+/// barrier, so owner-lane release is single-threaded by construction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNDIST_SIM_SHARDENGINE_H
+#define DYNDIST_SIM_SHARDENGINE_H
+
+#include "CalendarQueue.h"
+#include "dyndist/sim/Simulator.h"
+#include "dyndist/support/WorkerPool.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace dyndist {
+namespace detail {
+
+struct ShardEngine {
+  ShardEngine(Simulator &Sim, unsigned ShardCount);
+  ~ShardEngine();
+
+  ShardEngine(const ShardEngine &) = delete;
+  ShardEngine &operator=(const ShardEngine &) = delete;
+
+  /// One batch of events bound for the same future instant on one
+  /// destination shard.
+  struct OutRun {
+    SimTime Time = 0;
+    std::vector<SimEvent> Events;
+  };
+
+  /// Outbox toward one destination shard: a few OutRun slots reused
+  /// across rounds (capacity retained; under fixed latency there is
+  /// exactly one live run per round).
+  struct Outbox {
+    std::vector<OutRun> Runs;
+    uint32_t Live = 0;             ///< Runs[0..Live) are active.
+    uint32_t Cached = UINT32_MAX;  ///< Last runFor() hit.
+
+    std::vector<SimEvent> &runFor(SimTime T) {
+      if (Cached != UINT32_MAX && Runs[Cached].Time == T)
+        return Runs[Cached].Events;
+      for (uint32_t I = 0; I != Live; ++I)
+        if (Runs[I].Time == T) {
+          Cached = I;
+          return Runs[I].Events;
+        }
+      if (Live == Runs.size())
+        Runs.emplace_back();
+      Runs[Live].Time = T;
+      Cached = Live;
+      return Runs[Live++].Events;
+    }
+
+    void reset() {
+      for (uint32_t I = 0; I != Live; ++I)
+        Runs[I].Events.clear();
+      Live = 0;
+      Cached = UINT32_MAX;
+    }
+  };
+
+  /// Everything one shard owns. Lanes never touch each other's mutable
+  /// state during the parallel sub-phase; cross-lane traffic rides in
+  /// outboxes and the parity-buffered deferred-release lists, both
+  /// handed over across a barrier.
+  struct Lane {
+    CalendarQueue Q;           ///< This shard's calendar (deliver/timer).
+    BodyPool *Bodies = nullptr;///< Payload pool for actors run here.
+    SimStats Stats;            ///< Folded into the global stats per round.
+    TimerId NextLocalTimer = 0;///< Dense local ids; global = L*K + s + 1.
+    std::vector<Outbox> Out;   ///< [dst shard] pending pushes this round.
+    /// Parked payload references to release, grouped by owning lane;
+    /// double-buffered by round parity (written round R, drained R+1).
+    std::vector<std::vector<const MessageBody *>> Defer[2];
+    std::vector<TraceEvent> TraceBuf; ///< Records of this round.
+    /// (destination, record count) runs into TraceBuf, ascending.
+    std::vector<std::pair<ProcessId, uint32_t>> TraceRuns;
+    std::vector<ProcessId> Leaves; ///< Deferred leaveSystem() calls.
+    std::vector<uint32_t> Counts;  ///< Counting-sort histogram scratch.
+    std::vector<SimEvent> Sorted;  ///< Canonically ordered bucket scratch.
+  };
+
+  class LaneContext;
+  class EnvContext;
+
+  Simulator &S;
+  const unsigned K;
+  /// Round-up reciprocal of K (Granlund-Montgomery / Lemire): for any
+  /// N < 2^32, N / K == high64(N * KMagic). The sort keys every event on
+  /// a division by K, and a hardware divide is ~20 cycles against a ~3
+  /// cycle multiply-high — on the hot path that is the difference between
+  /// the sharded loop beating the legacy loop and trailing it. Zero when
+  /// K == 1 (divide is the identity; the reciprocal would wrap).
+  const uint64_t KMagic;
+  std::vector<Lane> Lanes;
+  /// Private per-process random streams, indexed by ProcessId; seeded
+  /// positionally from the master seed at spawn.
+  std::vector<Rng> ActorRngs;
+  WorkerPool Pool;
+  bool UseThreads = false;
+  bool InParallel = false; ///< True while lane jobs run (assert guard).
+  unsigned Parity = 0;     ///< Deferred-release double-buffer selector.
+  size_t ProcLimit = 0;    ///< Process-table size snapshot for the sort.
+
+  /// N / K without a hardware divide. Exact for N < 2^32, which covers
+  /// every sort key (process ids bounded by the table size, dense local
+  /// timer ids) — guarded where ids are minted, not per call.
+  uint64_t divK(uint64_t N) const {
+    if (K == 1)
+      return N;
+    return static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(KMagic) * N) >> 64);
+  }
+
+  unsigned shardOf(uint64_t P) const {
+    if (K == 1)
+      return 0;
+    return static_cast<unsigned>(P - divK(P) * K);
+  }
+
+  // --- Simulator entry points (serial phases only) ---
+  void startActor(ProcessId P, Actor *A); ///< Seeds the rng, runs onStart.
+  void stopActor(ProcessId P, Actor *A);  ///< Runs onStop (env context).
+  void envSend(ProcessId From, ProcessId To, MessageRef Body);
+  void envStimulus(ProcessId To, MessageRef Body);
+  TimerId envArmTimer(ProcessId P, SimTime Delay);
+  void cancelTimerAny(TimerId Id);
+  StopReason run(RunLimits Limits);
+  size_t pendingTimers() const;
+  uint64_t poolHits() const;
+  uint64_t poolMisses() const;
+
+  // --- lane-side paths (parallel sub-phase) ---
+  void laneSend(unsigned LaneIdx, ProcessId From, ProcessId To,
+                MessageRef Body);
+  TimerId laneArmTimer(unsigned LaneIdx, ProcessId P, SimTime Delay);
+
+private:
+  // Barrier scratch (serial-phase only): retained capacity across rounds.
+  std::vector<SimTime> FlushTimes;
+  std::vector<std::vector<SimEvent> *> FlushSources;
+  std::vector<size_t> FlushCur;
+  std::vector<size_t> TraceRunCur;
+  std::vector<size_t> TraceBufCur;
+  std::vector<size_t> LeafCur;
+
+  SimTime nextTime() const;
+  bool drainEnv(const RunLimits &Limits, StopReason &Out);
+  void parallelRound(SimTime T);
+  void laneJob(unsigned LaneIdx, SimTime T);
+  void executeBucket(unsigned LaneIdx, SimTime T);
+  void mergeTraces();
+  void applyLeaves();
+  void flushOutboxes();
+  void drainDeferred();
+  unsigned ownerLaneOf(const MessageBody *Body) const;
+  TimerId armOnLane(unsigned LaneIdx, ProcessId P, SimTime Delay,
+                    bool Direct);
+};
+
+} // namespace detail
+} // namespace dyndist
+
+#endif // DYNDIST_SIM_SHARDENGINE_H

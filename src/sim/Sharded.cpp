@@ -1,0 +1,843 @@
+//===- Sharded.cpp - Space-sharded execution engine --------------------------===//
+//
+// Part of the dyndist project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Implementation of the sharded run loop declared in ShardEngine.h. The
+// correctness skeleton:
+//
+//   * Canonical event order. Within one instant, events execute in
+//     (destination, push-instant, pusher, push-order) order. The order is
+//     realized structurally, not by sorting keys: a lane's tick bucket is a
+//     concatenation of push-instant segments (environment pushes appended
+//     directly in the serial phase, parallel pushes appended per round by
+//     the barrier's pusher-ordered merge), and the stable counting sort by
+//     destination at execution time preserves segment order within each
+//     destination. Pusher residues are disjoint across source lanes
+//     (pid % K), so the barrier merge never sees a tie.
+//
+//   * Shard-count invariance. By induction over rounds: if every lane's
+//     bucket holds the same canonical event sequence (projected onto its
+//     residue class) regardless of K, then execution order, every actor's
+//     private rng draw sequence, and therefore every push this round are
+//     K-independent; the barrier reassembles the pushes into the same
+//     canonical segments. The base case is the serial environment stream,
+//     which is identical at any K.
+//
+//   * Thread safety without atomics. During a parallel round a lane writes
+//     only its own state plus its outboxes and deferred-release lists,
+//     which are read by other lanes only after (respectively before) a
+//     barrier. Message refcounts mutate either inside the single handler
+//     executing the body's destination, or on the owning lane's thread via
+//     the parity-buffered deferral — never concurrently.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ShardEngine.h"
+
+#include "dyndist/sim/Latency.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+
+using namespace dyndist;
+using namespace dyndist::detail;
+
+static constexpr SimTime NoInstant = ~SimTime(0);
+
+/// Expands the master seed into the private stream seed of process \p P,
+/// in the same two-round SplitMix64 shape as SweepRunner's per-run seeds:
+/// positional, order-independent, and cheap enough to do at every spawn.
+static uint64_t deriveActorSeed(uint64_t MasterSeed, ProcessId P) {
+  uint64_t State = MasterSeed;
+  uint64_t Master = splitMix64(State);
+  State = Master ^ (P + 0x2545f4914f6cdd1dULL);
+  return splitMix64(State);
+}
+
+//===----------------------------------------------------------------------===//
+// Contexts
+//===----------------------------------------------------------------------===//
+
+/// Context handed to hooks running inside a parallel round. Everything it
+/// touches is lane-local or read-only shared state; membership effects
+/// (leaveSystem) are deferred to the barrier.
+class ShardEngine::LaneContext final : public Context {
+public:
+  LaneContext(ShardEngine &E, Lane &Ln, unsigned LaneIdx, ProcessId P,
+              SimTime Now)
+      : E(E), Ln(Ln), LaneIdx(LaneIdx), P(P), Now(Now) {}
+
+  SimTime now() const override { return Now; }
+  ProcessId self() const override { return P; }
+
+  std::vector<ProcessId> neighbors() const override {
+    return E.S.neighborsOf(P);
+  }
+  size_t neighborCount() const override { return E.S.neighborCount(P); }
+  ProcessId neighborAt(size_t I) const override {
+    return E.S.neighborAt(P, I);
+  }
+  void forEachNeighbor(FunctionRef<void(ProcessId)> F) const override {
+    E.S.forEachNeighbor(P, F);
+  }
+
+  void send(ProcessId To, MessageRef Body) override {
+    E.laneSend(LaneIdx, P, To, std::move(Body));
+  }
+
+  TimerId setTimer(SimTime Delay) override {
+    return E.laneArmTimer(LaneIdx, P, Delay);
+  }
+
+  void cancelTimer(TimerId Id) override {
+    if (Id == 0)
+      return; // Unknown-id no-op, matching the legacy contract.
+    assert(E.shardOf(Id - 1) == LaneIdx && "cancelling a foreign lane's timer");
+    Ln.Q.markTimerCancelled(E.divK(Id - 1));
+  }
+
+  Rng &rng() override { return E.ActorRngs[P]; }
+  uint32_t stateSlot() const override { return E.S.stateSlotOf(P); }
+
+  void observe(const std::string &Key, int64_t Value) override {
+    if (E.S.TraceLev == TraceLevel::Off)
+      return;
+    TraceEvent TE;
+    TE.Kind = TraceKind::Observe;
+    TE.Time = Now;
+    TE.Subject = P;
+    TE.Key = Key;
+    TE.Value = Value;
+    Ln.TraceBuf.push_back(std::move(TE));
+  }
+
+  void leaveSystem() override {
+    // Deferred to the barrier: the departure (onStop, hooks, trace record)
+    // is a membership effect and runs serially. Events already queued for
+    // this process at the current instant still execute first.
+    Ln.Leaves.push_back(P);
+  }
+
+  /// Rebinds the context to the next destination group, so the bucket
+  /// loop builds one context per round instead of one per destination.
+  void reseat(ProcessId NewP) { P = NewP; }
+
+private:
+  ShardEngine &E;
+  Lane &Ln;
+  unsigned LaneIdx;
+  ProcessId P;
+  SimTime Now;
+};
+
+/// Context for hooks running in the serial phases (onStart at spawn, onStop
+/// at leave): sends and timers go straight into the destination lane's
+/// calendar, and membership effects apply immediately.
+class ShardEngine::EnvContext final : public Context {
+public:
+  EnvContext(ShardEngine &E, ProcessId P) : E(E), P(P) {}
+
+  SimTime now() const override { return E.S.Clock; }
+  ProcessId self() const override { return P; }
+
+  std::vector<ProcessId> neighbors() const override {
+    return E.S.neighborsOf(P);
+  }
+  size_t neighborCount() const override { return E.S.neighborCount(P); }
+  ProcessId neighborAt(size_t I) const override {
+    return E.S.neighborAt(P, I);
+  }
+  void forEachNeighbor(FunctionRef<void(ProcessId)> F) const override {
+    E.S.forEachNeighbor(P, F);
+  }
+
+  void send(ProcessId To, MessageRef Body) override {
+    E.envSend(P, To, std::move(Body));
+  }
+
+  TimerId setTimer(SimTime Delay) override { return E.envArmTimer(P, Delay); }
+  void cancelTimer(TimerId Id) override { E.cancelTimerAny(Id); }
+
+  Rng &rng() override { return E.ActorRngs[P]; }
+  uint32_t stateSlot() const override { return E.S.stateSlotOf(P); }
+
+  void observe(const std::string &Key, int64_t Value) override {
+    if (E.S.TraceLev == TraceLevel::Off)
+      return;
+    TraceEvent TE;
+    TE.Kind = TraceKind::Observe;
+    TE.Time = E.S.Clock;
+    TE.Subject = P;
+    TE.Key = Key;
+    TE.Value = Value;
+    E.S.Log.append(std::move(TE));
+  }
+
+  void leaveSystem() override { E.S.leave(P); }
+
+private:
+  ShardEngine &E;
+  ProcessId P;
+};
+
+//===----------------------------------------------------------------------===//
+// Construction / teardown
+//===----------------------------------------------------------------------===//
+
+ShardEngine::ShardEngine(Simulator &Sim, unsigned ShardCount)
+    : S(Sim), K(ShardCount),
+      KMagic(ShardCount > 1 ? ~uint64_t(0) / ShardCount + 1 : 0) {
+  assert(K >= 1 && "at least one shard");
+  Lanes = std::vector<Lane>(K);
+  for (Lane &Ln : Lanes) {
+    Ln.Bodies = new BodyPool();
+    Ln.Out.resize(K);
+    Ln.Defer[0].resize(K);
+    Ln.Defer[1].resize(K);
+  }
+  // Thread budget: one thread per lane by default (the caller participates,
+  // so K lanes park K-1 workers). DYNDIST_SHARD_THREADS caps the total;
+  // "=1" forces fully inline execution — same bytes, one thread — which is
+  // how the verify harness cross-checks determinism under TSan.
+  const char *Env = std::getenv("DYNDIST_SHARD_THREADS");
+  unsigned Budget = K;
+  if (Env) {
+    unsigned Parsed = static_cast<unsigned>(std::strtoul(Env, nullptr, 10));
+    Budget = Parsed == 0 ? 1 : Parsed;
+  }
+  unsigned Total = std::min(Budget, K);
+  UseThreads = Total > 1;
+  if (UseThreads)
+    Pool.ensureWorkers(Total - 1);
+}
+
+ShardEngine::~ShardEngine() {
+  drainDeferred();
+  // Outboxes are empty between rounds by construction, but stay defensive:
+  // re-home any parked payload references before the pools go away.
+  for (Lane &Ln : Lanes)
+    for (Outbox &O : Ln.Out) {
+      for (uint32_t R = 0; R != O.Live; ++R)
+        for (const SimEvent &E : O.Runs[R].Events)
+          if (E.kind() == CalendarQueue::KDeliver)
+            MessageRef::adopt(E.body());
+      O.reset();
+    }
+  // Queue teardown re-homes parked payloads into the pools that own their
+  // storage (lane pools and the simulator's main pool alike), so the
+  // queues must die before the lane pools are retired.
+  std::vector<BodyPool *> Pools;
+  Pools.reserve(K);
+  for (Lane &Ln : Lanes)
+    Pools.push_back(Ln.Bodies);
+  Lanes.clear();
+  for (BodyPool *P : Pools)
+    BodyPool::retire(P);
+}
+
+//===----------------------------------------------------------------------===//
+// Serial-phase entry points
+//===----------------------------------------------------------------------===//
+
+void ShardEngine::startActor(ProcessId P, Actor *A) {
+  assert(!InParallel && "spawn during a parallel round");
+  assert(ActorRngs.size() == P && "actor streams out of sync with the table");
+  ActorRngs.emplace_back(deriveActorSeed(S.Seed, P));
+  EnvContext Ctx(*this, P);
+  A->onStart(Ctx);
+}
+
+void ShardEngine::stopActor(ProcessId P, Actor *A) {
+  assert(!InParallel && "leave during a parallel round");
+  EnvContext Ctx(*this, P);
+  A->onStop(Ctx);
+}
+
+void ShardEngine::envSend(ProcessId From, ProcessId To, MessageRef Body) {
+  assert(!InParallel && "environment send during a parallel round");
+  assert(Body && "message body must not be null");
+  assert((!Body->pool() || Body->pool() == S.Bodies) &&
+         "environment-phase bodies come from the main pool");
+  assert(From < ActorRngs.size() && "sender has no private stream");
+  ++S.Stats.MessagesSent;
+  S.Stats.PayloadUnits += Body->weight();
+
+  if (S.TraceLev == TraceLevel::Full) {
+    TraceEvent TE;
+    TE.Kind = TraceKind::Send;
+    TE.Time = S.Clock;
+    TE.Subject = From;
+    TE.Peer = To;
+    TE.MsgKind = Body->kind();
+    S.Log.append(std::move(TE));
+  }
+
+  Rng &R = ActorRngs[From];
+  if (S.LossRate > 0.0 && R.nextBernoulli(S.LossRate)) {
+    ++S.Stats.MessagesDropped;
+    if (S.TraceLev == TraceLevel::Full) {
+      TraceEvent Lost;
+      Lost.Kind = TraceKind::Drop;
+      Lost.Time = S.Clock;
+      Lost.Subject = To;
+      Lost.Peer = From;
+      Lost.MsgKind = Body->kind();
+      S.Log.append(std::move(Lost));
+    }
+    return;
+  }
+
+  SimTime Delay = S.FixedDelay ? S.FixedDelay : S.Latency->sample(R, From, To);
+  SimEvent E = SimEvent::deliver(static_cast<uint32_t>(From),
+                                 static_cast<uint32_t>(To), Body.detach());
+  Lanes[shardOf(To)].Q.push(S.Clock + Delay, E);
+}
+
+void ShardEngine::envStimulus(ProcessId To, MessageRef Body) {
+  assert(!InParallel && "stimulus during a parallel round");
+  S.Stats.PayloadUnits += Body->weight();
+  SimEvent E = SimEvent::deliver(static_cast<uint32_t>(To),
+                                 static_cast<uint32_t>(To), Body.detach());
+  Lanes[shardOf(To)].Q.push(S.Clock + 1, E);
+}
+
+TimerId ShardEngine::envArmTimer(ProcessId P, SimTime Delay) {
+  assert(!InParallel && "environment timer during a parallel round");
+  return armOnLane(shardOf(P), P, Delay, /*Direct=*/true);
+}
+
+void ShardEngine::cancelTimerAny(TimerId Id) {
+  assert(!InParallel && "unrouted cancel during a parallel round");
+  if (Id == 0)
+    return;
+  Lanes[shardOf(Id - 1)].Q.markTimerCancelled(divK(Id - 1));
+}
+
+size_t ShardEngine::pendingTimers() const {
+  size_t N = 0;
+  for (const Lane &Ln : Lanes)
+    N += Ln.Q.TimerPending;
+  return N;
+}
+
+uint64_t ShardEngine::poolHits() const {
+  uint64_t N = 0;
+  for (const Lane &Ln : Lanes)
+    N += Ln.Bodies->hits();
+  return N;
+}
+
+uint64_t ShardEngine::poolMisses() const {
+  uint64_t N = 0;
+  for (const Lane &Ln : Lanes)
+    N += Ln.Bodies->misses();
+  return N;
+}
+
+//===----------------------------------------------------------------------===//
+// Lane-side paths
+//===----------------------------------------------------------------------===//
+
+TimerId ShardEngine::armOnLane(unsigned LaneIdx, ProcessId P, SimTime Delay,
+                               bool Direct) {
+  Lane &Ln = Lanes[LaneIdx];
+  TimerId Local = Ln.NextLocalTimer++;
+  Ln.Q.markTimerArmed(Local);
+  // Global ids stride by K so each lane allocates from a disjoint dense
+  // sub-space without coordination; +1 keeps 0 as the "no timer" sentinel.
+  // The strided id must stay below 2^32 for the divK() reciprocal that
+  // recovers (lane, local) from it.
+  TimerId Global = Local * K + LaneIdx + 1;
+  assert(Global <= UINT32_MAX && "timer-id space exhausted for divK()");
+  SimEvent E = SimEvent::timer(static_cast<uint32_t>(P), Global);
+  SimTime When = S.Clock + Delay;
+  if (Direct)
+    Ln.Q.push(When, E);
+  else
+    Ln.Out[LaneIdx].runFor(When).push_back(E);
+  return Global;
+}
+
+TimerId ShardEngine::laneArmTimer(unsigned LaneIdx, ProcessId P,
+                                  SimTime Delay) {
+  // Through the outbox even though it lands on the arming lane itself:
+  // the executing bucket must stay frozen during the round, and the
+  // barrier merge is what stitches same-instant pushes into canonical
+  // order. Delay 0 is legal (a timer may fire later this same instant —
+  // the round loop re-enters); message latency is always >= 1.
+  return armOnLane(LaneIdx, P, Delay, /*Direct=*/false);
+}
+
+void ShardEngine::laneSend(unsigned LaneIdx, ProcessId From, ProcessId To,
+                           MessageRef Body) {
+  assert(Body && "message body must not be null");
+  Lane &Ln = Lanes[LaneIdx];
+  // Handlers must send bodies they allocated (their lane's pool, or the
+  // heap): re-sending a *received* body would bump a refcount another
+  // lane's handler may be touching concurrently.
+  assert((!Body->pool() || Body->pool() == Ln.Bodies) &&
+         "sharded handlers send bodies they allocated themselves");
+  ++Ln.Stats.MessagesSent;
+  Ln.Stats.PayloadUnits += Body->weight();
+
+  const bool Full = S.TraceLev == TraceLevel::Full;
+  if (Full) {
+    TraceEvent TE;
+    TE.Kind = TraceKind::Send;
+    TE.Time = S.Clock;
+    TE.Subject = From;
+    TE.Peer = To;
+    TE.MsgKind = Body->kind();
+    Ln.TraceBuf.push_back(std::move(TE));
+  }
+
+  Rng &R = ActorRngs[From];
+  if (S.LossRate > 0.0 && R.nextBernoulli(S.LossRate)) {
+    ++Ln.Stats.MessagesDropped;
+    if (Full) {
+      TraceEvent Lost;
+      Lost.Kind = TraceKind::Drop;
+      Lost.Time = S.Clock;
+      Lost.Subject = To;
+      Lost.Peer = From;
+      Lost.MsgKind = Body->kind();
+      Ln.TraceBuf.push_back(std::move(Lost));
+    }
+    return;
+  }
+
+  SimTime Delay = S.FixedDelay ? S.FixedDelay : S.Latency->sample(R, From, To);
+  assert(Delay >= 1 && "message latency must cross an instant boundary");
+  SimEvent E = SimEvent::deliver(static_cast<uint32_t>(From),
+                                 static_cast<uint32_t>(To), Body.detach());
+  Ln.Out[shardOf(To)].runFor(S.Clock + Delay).push_back(E);
+}
+
+unsigned ShardEngine::ownerLaneOf(const MessageBody *Body) const {
+  BodyPool *P = Body->pool();
+  // Main-pool and plain-heap bodies are released by lane 0: the main pool
+  // is only ever touched from one thread per round, and heap deallocation
+  // is thread-safe anyway.
+  if (!P || P == S.Bodies)
+    return 0;
+  for (unsigned L = 0; L != K; ++L)
+    if (Lanes[L].Bodies == P)
+      return L;
+  assert(false && "message body from a foreign pool");
+  return 0;
+}
+
+//===----------------------------------------------------------------------===//
+// The run loop
+//===----------------------------------------------------------------------===//
+
+SimTime ShardEngine::nextTime() const {
+  SimTime T = NoInstant;
+  if (!S.Pending->empty())
+    T = S.Pending->frontTime();
+  for (const Lane &Ln : Lanes)
+    if (!Ln.Q.empty())
+      T = std::min(T, Ln.Q.frontTime());
+  return T;
+}
+
+bool ShardEngine::drainEnv(const RunLimits &Limits, StopReason &Out) {
+  CalendarQueue &Q = *S.Pending;
+  // The front bucket stays front for its whole drain: actions cannot
+  // schedule into the past, and a same-instant push appends behind Head.
+  uint32_t Slot = Q.TimeHeap.front();
+  for (;;) {
+    CalendarQueue::Bucket &B = Q.Buckets[Slot]; // Re-index: may reallocate.
+    if (B.Head == B.Fifo.size())
+      break;
+    if (S.HaltRequested) {
+      Out = StopReason::Halted;
+      return true;
+    }
+    if (S.Stats.EventsExecuted >= Limits.MaxEvents) {
+      Out = StopReason::EventLimit;
+      return true;
+    }
+    SimEvent E = B.Fifo[B.Head++];
+    ++S.Stats.EventsExecuted;
+    assert(E.kind() == CalendarQueue::KAction &&
+           "only environment actions live in the serial queue when sharded");
+    auto Action = Q.takeAction(E.A);
+    Action(S);
+  }
+  Q.retireFront();
+  return false;
+}
+
+StopReason ShardEngine::run(RunLimits Limits) {
+  S.HaltRequested = false;
+  // Serial-phase allocations (actions, onStart/onStop, harness callbacks)
+  // draw from the main pool; lane jobs install their own pool scopes.
+  BodyPool::Scope EnvScope(S.Bodies);
+  StopReason Reason = StopReason::QueueExhausted;
+  for (;;) {
+    SimTime T = nextTime();
+    if (T == NoInstant)
+      break;
+    if (S.HaltRequested) {
+      Reason = StopReason::Halted;
+      break;
+    }
+    if (S.Stats.EventsExecuted >= Limits.MaxEvents) {
+      Reason = StopReason::EventLimit;
+      break;
+    }
+    if (T > Limits.MaxTime) {
+      Reason = StopReason::TimeLimit;
+      break;
+    }
+    assert(T >= S.Clock && "event queue went backwards");
+    S.Clock = T;
+    if (!S.Pending->empty() && S.Pending->frontTime() == T) {
+      StopReason EnvStop;
+      if (drainEnv(Limits, EnvStop)) {
+        Reason = EnvStop;
+        break;
+      }
+    }
+    // Rounds repeat while delay-0 timers keep re-populating the instant.
+    for (;;) {
+      bool Any = false;
+      for (const Lane &Ln : Lanes)
+        if (!Ln.Q.empty() && Ln.Q.frontTime() == T) {
+          Any = true;
+          break;
+        }
+      if (!Any)
+        break;
+      parallelRound(T);
+    }
+  }
+  // Leave no cross-round debt behind: later serial code (teardown, the
+  // next run) must see every refcount settled.
+  drainDeferred();
+  return Reason;
+}
+
+void ShardEngine::parallelRound(SimTime T) {
+  Parity ^= 1u;
+  ProcLimit = S.Processes.size();
+  InParallel = true;
+  auto Job = [this, T](unsigned LaneIdx) { laneJob(LaneIdx, T); };
+  Pool.run(K, Job);
+  InParallel = false;
+
+  // Barrier, in canonical order: counters, trace, membership, then the
+  // mailbox flush that seeds future instants.
+  for (Lane &Ln : Lanes) {
+    SimStats &LS = Ln.Stats;
+    S.Stats.MessagesSent += LS.MessagesSent;
+    S.Stats.MessagesDelivered += LS.MessagesDelivered;
+    S.Stats.MessagesDropped += LS.MessagesDropped;
+    S.Stats.PayloadUnits += LS.PayloadUnits;
+    S.Stats.TimersFired += LS.TimersFired;
+    S.Stats.EventsExecuted += LS.EventsExecuted;
+    LS = SimStats{};
+  }
+  if (S.TraceLev != TraceLevel::Off)
+    mergeTraces();
+  applyLeaves();
+  flushOutboxes();
+}
+
+void ShardEngine::laneJob(unsigned LaneIdx, SimTime T) {
+  Lane &Ln = Lanes[LaneIdx];
+  BodyPool::Scope PoolScope(Ln.Bodies);
+  // First settle the payload references every lane deferred to us last
+  // round: we own the pools their storage recycles into. Runs even when
+  // this lane has no events at T — which is why the round dispatches all
+  // K jobs unconditionally.
+  const unsigned Prev = Parity ^ 1u;
+  for (Lane &Src : Lanes) {
+    std::vector<const MessageBody *> &V = Src.Defer[Prev][LaneIdx];
+    for (const MessageBody *B : V)
+      MessageRef::adopt(B); // Adopt-and-drop: releases the parked +1.
+    V.clear();
+  }
+  if (!Ln.Q.empty() && Ln.Q.frontTime() == T)
+    executeBucket(LaneIdx, T);
+}
+
+void ShardEngine::executeBucket(unsigned LaneIdx, SimTime T) {
+  Lane &Ln = Lanes[LaneIdx];
+  CalendarQueue &Q = Ln.Q;
+  CalendarQueue::Bucket &B = Q.Buckets[Q.TimeHeap.front()];
+  const size_t N = B.Fifo.size() - B.Head;
+  const SimEvent *Ev = B.Fifo.data() + B.Head;
+
+  // Stable counting sort by local destination index: canonical execution
+  // order at O(n + n/K) with two linear passes, no comparisons, and no
+  // hardware divides (divK is a multiply-high).
+  const size_t LocalLimit = ProcLimit / K + 1;
+  if (Ln.Counts.size() < LocalLimit)
+    Ln.Counts.resize(LocalLimit);
+  uint32_t *Counts = Ln.Counts.data();
+  std::fill_n(Counts, LocalLimit, 0u);
+  for (size_t I = 0; I != N; ++I) {
+    assert(Ev[I].B < ProcLimit && "event for an unknown process");
+    // Two random streams hide behind prefetches: the histogram line eight
+    // events ahead (the array outgrows L1 from ~10^4 processes per lane),
+    // and the payload line far ahead, so the execution loop below finds
+    // delivered bodies already resident.
+    if (I + 8 < N) {
+      __builtin_prefetch(&Counts[divK(Ev[I + 8].B)], 1, 3);
+      const uintptr_t Bits = Ev[I + 8].Bits;
+      if ((Bits & 3) == CalendarQueue::KDeliver)
+        __builtin_prefetch(reinterpret_cast<const void *>(Bits), 0, 2);
+    }
+    ++Counts[divK(Ev[I].B)];
+  }
+  uint32_t Sum = 0;
+  for (size_t I = 0; I != LocalLimit; ++I) {
+    uint32_t C = Counts[I];
+    Counts[I] = Sum;
+    Sum += C;
+  }
+  if (Ln.Sorted.size() < N)
+    Ln.Sorted.resize(N);
+  SimEvent *Sorted = Ln.Sorted.data();
+  for (size_t I = 0; I != N; ++I) {
+    if (I + 8 < N)
+      __builtin_prefetch(&Counts[divK(Ev[I + 8].B)], 1, 3);
+    Sorted[Counts[divK(Ev[I].B)]++] = Ev[I];
+  }
+
+  // The bucket is frozen for the round (all new pushes ride the outboxes),
+  // so retire it before executing: handlers never touch it again.
+  B.Head = B.Fifo.size();
+  Q.retireFront();
+
+  uint64_t Delivered = 0, Dropped = 0, Fired = 0;
+  const bool Full = S.TraceLev == TraceLevel::Full;
+  const bool Recording = S.TraceLev != TraceLevel::Off;
+  std::vector<std::vector<const MessageBody *>> &Defer = Ln.Defer[Parity];
+  LaneContext Ctx(*this, Ln, LaneIdx, 0, T);
+
+  size_t I = 0;
+  while (I != N) {
+    const ProcessId Dst = Sorted[I].B;
+    // Hoist the per-destination lookups out of the event loop: every event
+    // in the group shares them.
+    Simulator::ProcessRecord &Rec = S.Processes[Dst];
+    Actor *A = Rec.Up ? Rec.TheActor.get() : nullptr;
+    const size_t RunStart = Recording ? Ln.TraceBuf.size() : 0;
+    Ctx.reseat(Dst);
+    do {
+      const SimEvent &E = Sorted[I];
+      if (I + 4 < N) {
+        const uintptr_t Bits = Sorted[I + 4].Bits;
+        if ((Bits & 3) == CalendarQueue::KDeliver)
+          __builtin_prefetch(reinterpret_cast<const void *>(Bits));
+      }
+      if (E.kind() == CalendarQueue::KDeliver) {
+        const MessageBody *Body = E.body();
+        BodyPool *BP = Body->pool();
+        // A body whose storage this lane owns — its own pool, or (on lane
+        // 0) the main pool and the plain heap — settles inline right after
+        // the handler: nothing else can touch its refcount this round.
+        // Only a foreign lane's body parks its reference for that lane to
+        // release after the next barrier.
+        const bool Own =
+            BP == Ln.Bodies || (LaneIdx == 0 && (!BP || BP == S.Bodies));
+        if (!Own)
+          Defer[ownerLaneOf(Body)].push_back(Body);
+        if (A) {
+          ++Delivered;
+          if (Full) {
+            TraceEvent TE;
+            TE.Kind = TraceKind::Deliver;
+            TE.Time = T;
+            TE.Subject = Dst;
+            TE.Peer = E.A;
+            TE.MsgKind = Body->kind();
+            Ln.TraceBuf.push_back(std::move(TE));
+          }
+          A->onMessage(Ctx, E.A, *Body);
+        } else {
+          ++Dropped;
+          if (Full) {
+            TraceEvent TE;
+            TE.Kind = TraceKind::Drop;
+            TE.Time = T;
+            TE.Subject = Dst;
+            TE.Peer = E.A;
+            TE.MsgKind = Body->kind();
+            Ln.TraceBuf.push_back(std::move(TE));
+          }
+        }
+        if (Own)
+          MessageRef::adopt(Body); // Adopt-and-drop: releases the parked +1.
+      } else {
+        assert(E.kind() == CalendarQueue::KTimer &&
+               "lane calendars hold only deliveries and timers");
+        const TimerId Id = E.timerId();
+        const bool ShouldFire = Q.collectTimer(divK(Id - 1));
+        if (ShouldFire && A) {
+          ++Fired;
+          A->onTimer(Ctx, Id);
+        }
+      }
+      ++I;
+    } while (I != N && Sorted[I].B == Dst);
+    if (Recording && Ln.TraceBuf.size() != RunStart)
+      Ln.TraceRuns.push_back(
+          {Dst, static_cast<uint32_t>(Ln.TraceBuf.size() - RunStart)});
+  }
+
+  Ln.Stats.MessagesDelivered += Delivered;
+  Ln.Stats.MessagesDropped += Dropped;
+  Ln.Stats.TimersFired += Fired;
+  Ln.Stats.EventsExecuted += N;
+}
+
+//===----------------------------------------------------------------------===//
+// Barrier pieces
+//===----------------------------------------------------------------------===//
+
+void ShardEngine::mergeTraces() {
+  // Each lane's TraceRuns ascend by destination and destinations are
+  // disjoint across lanes (residue classes), so a tie-free K-way merge by
+  // run head reassembles the canonical record order.
+  TraceRunCur.assign(K, 0);
+  TraceBufCur.assign(K, 0);
+  for (;;) {
+    unsigned Best = K;
+    ProcessId BestDst = 0;
+    for (unsigned L = 0; L != K; ++L) {
+      if (TraceRunCur[L] == Lanes[L].TraceRuns.size())
+        continue;
+      ProcessId Dst = Lanes[L].TraceRuns[TraceRunCur[L]].first;
+      if (Best == K || Dst < BestDst) {
+        BestDst = Dst;
+        Best = L;
+      }
+    }
+    if (Best == K)
+      break;
+    Lane &Ln = Lanes[Best];
+    const uint32_t Count = Ln.TraceRuns[TraceRunCur[Best]].second;
+    ++TraceRunCur[Best];
+    size_t &Cur = TraceBufCur[Best];
+    for (uint32_t I = 0; I != Count; ++I)
+      S.Log.append(std::move(Ln.TraceBuf[Cur++]));
+  }
+  for (Lane &Ln : Lanes) {
+    Ln.TraceBuf.clear();
+    Ln.TraceRuns.clear();
+  }
+}
+
+void ShardEngine::applyLeaves() {
+  bool Any = false;
+  for (const Lane &Ln : Lanes)
+    Any |= !Ln.Leaves.empty();
+  if (!Any)
+    return;
+  // Ascending tie-free merge (residues again); Simulator::leave re-checks
+  // liveness, so a double leaveSystem() call collapses to one departure.
+  LeafCur.assign(K, 0);
+  for (;;) {
+    unsigned Best = K;
+    ProcessId BestP = 0;
+    for (unsigned L = 0; L != K; ++L) {
+      if (LeafCur[L] == Lanes[L].Leaves.size())
+        continue;
+      ProcessId P = Lanes[L].Leaves[LeafCur[L]];
+      if (Best == K || P < BestP) {
+        BestP = P;
+        Best = L;
+      }
+    }
+    if (Best == K)
+      break;
+    ++LeafCur[Best];
+    S.leave(BestP);
+  }
+  for (Lane &Ln : Lanes)
+    Ln.Leaves.clear();
+}
+
+void ShardEngine::flushOutboxes() {
+  for (unsigned D = 0; D != K; ++D) {
+    Lane &DL = Lanes[D];
+    // Distinct target instants this round (tiny: one under fixed latency).
+    FlushTimes.clear();
+    for (unsigned Src = 0; Src != K; ++Src) {
+      Outbox &O = Lanes[Src].Out[D];
+      for (uint32_t R = 0; R != O.Live; ++R)
+        if (!O.Runs[R].Events.empty())
+          FlushTimes.push_back(O.Runs[R].Time);
+    }
+    if (FlushTimes.empty())
+      continue;
+    std::sort(FlushTimes.begin(), FlushTimes.end());
+    FlushTimes.erase(std::unique(FlushTimes.begin(), FlushTimes.end()),
+                     FlushTimes.end());
+    for (SimTime FT : FlushTimes) {
+      FlushSources.clear();
+      for (unsigned Src = 0; Src != K; ++Src) {
+        Outbox &O = Lanes[Src].Out[D];
+        for (uint32_t R = 0; R != O.Live; ++R)
+          if (O.Runs[R].Time == FT && !O.Runs[R].Events.empty())
+            FlushSources.push_back(&O.Runs[R].Events);
+      }
+      std::vector<SimEvent> &Fifo =
+          DL.Q.Buckets[DL.Q.bucketFor(FT)].Fifo;
+      if (FlushSources.size() == 1) {
+        std::vector<SimEvent> &Src = *FlushSources[0];
+        if (Fifo.empty()) {
+          // Steal the run wholesale instead of copying it event by event;
+          // the capacities circulate between outbox runs and recycled
+          // bucket FIFOs, so steady state still allocates nothing.
+          Fifo.swap(Src);
+        } else {
+          Fifo.insert(Fifo.end(), Src.begin(), Src.end());
+        }
+        continue;
+      }
+      // Pusher-ordered merge: each source run ascends in pusher id (lanes
+      // execute destinations in ascending order and the pusher *is* the
+      // executing destination), and pusher residues are disjoint across
+      // sources, so the minimum is always unique.
+      FlushCur.assign(FlushSources.size(), 0);
+      size_t Remaining = 0;
+      for (const std::vector<SimEvent> *Sv : FlushSources)
+        Remaining += Sv->size();
+      while (Remaining--) {
+        size_t Best = 0;
+        uint64_t BestA = ~uint64_t(0);
+        for (size_t SI = 0; SI != FlushSources.size(); ++SI) {
+          if (FlushCur[SI] == FlushSources[SI]->size())
+            continue;
+          const uint64_t A = (*FlushSources[SI])[FlushCur[SI]].A;
+          if (A <= BestA) {
+            BestA = A;
+            Best = SI;
+          }
+        }
+        Fifo.push_back((*FlushSources[Best])[FlushCur[Best]++]);
+      }
+    }
+  }
+  for (Lane &Ln : Lanes)
+    for (Outbox &O : Ln.Out)
+      O.reset();
+}
+
+void ShardEngine::drainDeferred() {
+  for (unsigned Par = 0; Par != 2; ++Par)
+    for (Lane &Ln : Lanes)
+      for (std::vector<const MessageBody *> &V : Ln.Defer[Par]) {
+        for (const MessageBody *B : V)
+          MessageRef::adopt(B);
+        V.clear();
+      }
+}

@@ -6,11 +6,15 @@
 
 #include "dyndist/sim/Simulator.h"
 
+#include "CalendarQueue.h"
+#include "ShardEngine.h"
+
 #include <algorithm>
 #include <cassert>
-#include <unordered_map>
 
 using namespace dyndist;
+using detail::CalendarQueue;
+using detail::SimEvent;
 
 MessageBody::~MessageBody() = default;
 Context::~Context() = default;
@@ -28,204 +32,6 @@ void Actor::onTimer(Context &Ctx, TimerId Id) {
   (void)Id;
 }
 void Actor::onStop(Context &Ctx) { (void)Ctx; }
-
-/// A scheduled kernel event: one slim 32-byte calendar node. Nodes are
-/// written once at push and read once at pop — there is no sift to move
-/// them — so a delivery's payload reference rides inline instead of in a
-/// side table. The reference is an owned +1 parked as a raw pointer
-/// (IntrusivePtr::detach() on push, MessageRef::adopt() on pop/teardown).
-struct Simulator::Event {
-  uint64_t A;              ///< Deliver: source. Timer: owner. Action: slot.
-  uint64_t B;              ///< Deliver: destination. Timer: timer id.
-  const MessageBody *Body; ///< Deliver: owned payload ref. Else null.
-  uint32_t Kind;           ///< KDeliver / KTimer / KAction.
-};
-
-/// Event storage: a calendar-bucket queue. Every distinct pending instant
-/// owns a FIFO of Event nodes; a small binary heap orders the instants.
-/// Sequence numbers are assigned in push order and instants never run
-/// backwards, so within one bucket FIFO order *is* sequence order and the
-/// (time, sequence) execution contract holds without materializing
-/// sequence numbers at all. The payoff over a per-event heap: push and pop
-/// are O(1) contiguous array moves, and ordering work (heap sift, hash
-/// lookup) is paid once per distinct instant, not once per event — under
-/// fixed latency that is once per tick for hundreds of events.
-///
-/// Buckets and their FIFO capacity are recycled through a free list, so
-/// steady-state scheduling allocates nothing.
-struct Simulator::Queue {
-  enum : uint32_t { KDeliver = 0, KTimer = 1, KAction = 2 };
-
-  struct Bucket {
-    SimTime Time = 0;
-    uint32_t Head = 0; ///< Next unread index into Fifo.
-    std::vector<Event> Fifo;
-  };
-
-  std::vector<Bucket> Buckets;       ///< Slot pool; capacity retained.
-  std::vector<uint32_t> FreeBuckets; ///< Recycled Buckets slots.
-  std::vector<uint32_t> TimeHeap;    ///< Bucket slots, min-heap by Time.
-  std::unordered_map<SimTime, uint32_t> ByTime; ///< Instant -> bucket slot.
-
-  /// One-entry lookup cache: under fixed latency every push in a tick
-  /// targets the same instant, so this short-circuits the hash lookup.
-  SimTime CachedTime = 0;
-  uint32_t CachedBucket = UINT32_MAX;
-
-  std::vector<ActionFn> Actions;
-  std::vector<uint32_t> FreeActions;
-
-  /// Timer bookkeeping as two bitmaps indexed by TimerId (ids are assigned
-  /// densely from 1): Live marks timers armed but not yet popped,
-  /// Cancelled marks live timers whose firing was revoked. Both bits are
-  /// dropped when the timer's event is popped on *any* path (fire,
-  /// cancelled, dead process), and cancelTimer() flips Cancelled only
-  /// while Live is set, so cancelling an unknown or already-fired id is a
-  /// no-op rather than a leak. Two bits per timer ever armed — the only
-  /// queue state that grows with a run's length, at 1/4 byte per timer.
-  std::vector<uint64_t> TimerLive;
-  std::vector<uint64_t> TimerCancelled;
-  size_t TimerPending = 0; ///< Live population count, kept incrementally.
-
-  ~Queue() {
-    // Hand parked payload references in undrained buckets back to their
-    // refcounts (and thus to the body pool) before the pool is retired.
-    for (uint32_t Slot : TimeHeap) {
-      Bucket &B = Buckets[Slot];
-      for (size_t I = B.Head, N = B.Fifo.size(); I != N; ++I)
-        if (B.Fifo[I].Kind == KDeliver)
-          MessageRef::adopt(B.Fifo[I].Body);
-    }
-  }
-
-  bool empty() const { return TimeHeap.empty(); }
-
-  /// The bucket holding instant \p Time, created (and heap-inserted) on
-  /// first use.
-  uint32_t bucketFor(SimTime Time) {
-    if (CachedBucket != UINT32_MAX && CachedTime == Time)
-      return CachedBucket;
-    auto [It, IsNew] = ByTime.try_emplace(Time, 0);
-    if (IsNew) {
-      uint32_t Slot;
-      if (!FreeBuckets.empty()) {
-        Slot = FreeBuckets.back();
-        FreeBuckets.pop_back();
-      } else {
-        Slot = static_cast<uint32_t>(Buckets.size());
-        Buckets.emplace_back();
-      }
-      Buckets[Slot].Time = Time;
-      It->second = Slot;
-      heapPush(Slot);
-    }
-    CachedTime = Time;
-    CachedBucket = It->second;
-    return CachedBucket;
-  }
-
-  void push(SimTime Time, const Event &E) {
-    Buckets[bucketFor(Time)].Fifo.push_back(E);
-  }
-
-  void heapPush(uint32_t Slot) {
-    size_t I = TimeHeap.size();
-    TimeHeap.push_back(Slot);
-    SimTime T = Buckets[Slot].Time;
-    while (I > 0) {
-      size_t Parent = (I - 1) / 2;
-      if (Buckets[TimeHeap[Parent]].Time <= T)
-        break;
-      TimeHeap[I] = TimeHeap[Parent];
-      I = Parent;
-    }
-    TimeHeap[I] = Slot;
-  }
-
-  /// Retires the exhausted front bucket: recycles its slot (FIFO capacity
-  /// retained) and re-establishes the heap over the remaining instants.
-  void retireFront() {
-    uint32_t Slot = TimeHeap.front();
-    Bucket &B = Buckets[Slot];
-    assert(B.Head == B.Fifo.size() && "retiring a non-empty bucket");
-    ByTime.erase(B.Time);
-    if (CachedBucket == Slot)
-      CachedBucket = UINT32_MAX;
-    B.Fifo.clear();
-    B.Head = 0;
-    FreeBuckets.push_back(Slot);
-
-    uint32_t Last = TimeHeap.back();
-    TimeHeap.pop_back();
-    size_t N = TimeHeap.size();
-    if (N == 0)
-      return;
-    SimTime LastTime = Buckets[Last].Time;
-    size_t I = 0;
-    for (;;) {
-      size_t Child = 2 * I + 1;
-      if (Child >= N)
-        break;
-      if (Child + 1 < N &&
-          Buckets[TimeHeap[Child + 1]].Time < Buckets[TimeHeap[Child]].Time)
-        ++Child;
-      if (Buckets[TimeHeap[Child]].Time >= LastTime)
-        break;
-      TimeHeap[I] = TimeHeap[Child];
-      I = Child;
-    }
-    TimeHeap[I] = Last;
-  }
-
-  uint32_t allocAction(ActionFn Action) {
-    if (!FreeActions.empty()) {
-      uint32_t Slot = FreeActions.back();
-      FreeActions.pop_back();
-      Actions[Slot] = std::move(Action);
-      return Slot;
-    }
-    Actions.push_back(std::move(Action));
-    return static_cast<uint32_t>(Actions.size() - 1);
-  }
-
-  ActionFn takeAction(uint64_t Slot) {
-    ActionFn A = std::move(Actions[Slot]);
-    Actions[Slot] = nullptr;
-    FreeActions.push_back(static_cast<uint32_t>(Slot));
-    return A;
-  }
-
-  /// Marks \p Id live (armTimer). Ids are dense, so the bitmaps grow by
-  /// amortized O(1).
-  void markTimerArmed(TimerId Id) {
-    size_t Word = Id / 64;
-    if (Word >= TimerLive.size()) {
-      TimerLive.resize(Word + 1, 0);
-      TimerCancelled.resize(Word + 1, 0);
-    }
-    TimerLive[Word] |= uint64_t(1) << (Id % 64);
-    ++TimerPending;
-  }
-
-  /// Revokes a live timer; unknown/fired/cancelled ids are no-ops.
-  void markTimerCancelled(TimerId Id) {
-    size_t Word = Id / 64;
-    if (Word < TimerLive.size() && (TimerLive[Word] >> (Id % 64)) & 1)
-      TimerCancelled[Word] |= uint64_t(1) << (Id % 64);
-  }
-
-  /// Drops \p Id's bookkeeping at pop; returns true when it should fire.
-  bool collectTimer(TimerId Id) {
-    size_t Word = Id / 64;
-    uint64_t Mask = uint64_t(1) << (Id % 64);
-    assert((TimerLive[Word] & Mask) && "popping a timer that was never live");
-    TimerLive[Word] &= ~Mask;
-    --TimerPending;
-    bool Cancelled = (TimerCancelled[Word] & Mask) != 0;
-    TimerCancelled[Word] &= ~Mask;
-    return !Cancelled;
-  }
-};
 
 /// Context implementation bound to one (simulator, process) pair for the
 /// duration of a single hook invocation.
@@ -260,6 +66,8 @@ public:
 
   Rng &rng() override { return S.ActorRng; }
 
+  uint32_t stateSlot() const override { return S.stateSlotOf(P); }
+
   void observe(const std::string &Key, int64_t Value) override {
     if (S.TraceLev == TraceLevel::Off)
       return;
@@ -279,18 +87,42 @@ private:
   ProcessId P;
 };
 
-Simulator::Simulator(uint64_t Seed)
-    : KernelRng(Seed), ActorRng(KernelRng.split()),
+Simulator::Simulator(uint64_t MasterSeed)
+    : Seed(MasterSeed), KernelRng(MasterSeed), ActorRng(KernelRng.split()),
       Latency(std::make_unique<FixedLatency>(1)),
       FixedDelay(Latency->fixedTicks()), Bodies(new BodyPool()),
-      Pending(std::make_unique<Queue>()) {}
+      Pending(std::make_unique<CalendarQueue>()) {}
 
 Simulator::~Simulator() {
-  // Drain queued payloads back into the pool first, then retire it: the
+  // Drain queued payloads back into the pools first, then retire them: a
   // pool either dies now (every body home) or switches to self-deleting
   // retired mode so MessageRefs that outlive this simulator stay valid.
+  // The engine's lane queues can park main-pool bodies (environment-phase
+  // sends), so the engine must drain before the main pool retires.
   Pending.reset();
+  Sharded.reset();
   BodyPool::retire(Bodies);
+}
+
+void Simulator::setShards(unsigned K) {
+  assert(K >= 1 && "shard count must be positive");
+  assert(Processes.empty() && "setShards() must precede the first spawn");
+  assert(!Sharded && "shard count can only be set once");
+  Sharded = std::make_unique<detail::ShardEngine>(*this, K);
+}
+
+unsigned Simulator::shards() const { return Sharded ? Sharded->K : 0; }
+
+const SimStats &Simulator::stats() const {
+  uint64_t Hits = Bodies->hits();
+  uint64_t Misses = Bodies->misses();
+  if (Sharded) {
+    Hits += Sharded->poolHits();
+    Misses += Sharded->poolMisses();
+  }
+  Stats.BodyPoolHits = Hits;
+  Stats.BodyPoolMisses = Misses;
+  return Stats;
 }
 
 void Simulator::setLatencyModel(std::unique_ptr<LatencyModel> Model) {
@@ -329,6 +161,16 @@ ProcessId Simulator::spawn(std::unique_ptr<Actor> A) {
   Processes.push_back(ProcessRecord{std::move(A), true});
   UpSet.push_back(P); // Ids strictly increase, so UpSet stays sorted.
 
+  // Claim a state slot: LIFO reuse keeps the slab working set dense.
+  uint32_t Slot;
+  if (!FreeSlots.empty()) {
+    Slot = FreeSlots.back();
+    FreeSlots.pop_back();
+  } else {
+    Slot = NextSlot++;
+  }
+  SlotOfPid.push_back(Slot);
+
   if (TraceLev != TraceLevel::Off) {
     TraceEvent E;
     E.Kind = TraceKind::Join;
@@ -340,8 +182,12 @@ ProcessId Simulator::spawn(std::unique_ptr<Actor> A) {
   if (OnUpHook)
     OnUpHook(P);
 
-  ContextImpl Ctx(*this, P);
-  Raw->onStart(Ctx);
+  if (Sharded) {
+    Sharded->startActor(P, Raw);
+  } else {
+    ContextImpl Ctx(*this, P);
+    Raw->onStart(Ctx);
+  }
   return P;
 }
 
@@ -355,6 +201,11 @@ void Simulator::markDown(ProcessId P, bool Crashed) {
   auto It = std::lower_bound(UpSet.begin(), UpSet.end(), P);
   assert(It != UpSet.end() && *It == P && "up-set out of sync");
   UpSet.erase(It);
+
+  // Release the state slot for reuse. The departed process keeps its index
+  // (post-mortem reads stay valid until a new tenant bumps the slab
+  // generation).
+  FreeSlots.push_back(SlotOfPid[P]);
 
   if (TraceLev != TraceLevel::Off) {
     TraceEvent E;
@@ -373,8 +224,12 @@ void Simulator::leave(ProcessId P) {
     return;
   BodyPool::Scope PoolScope(Bodies); // onStop/hooks may makeBody().
   Actor *Raw = Processes[P].TheActor.get();
-  ContextImpl Ctx(*this, P);
-  Raw->onStop(Ctx);
+  if (Sharded) {
+    Sharded->stopActor(P, Raw);
+  } else {
+    ContextImpl Ctx(*this, P);
+    Raw->onStop(Ctx);
+  }
   markDown(P, /*Crashed=*/false);
 }
 
@@ -423,40 +278,34 @@ void Simulator::forEachNeighbor(ProcessId P,
       F(Q);
 }
 
-size_t Simulator::pendingTimers() const { return Pending->TimerPending; }
+size_t Simulator::pendingTimers() const {
+  return Sharded ? Sharded->pendingTimers() : Pending->TimerPending;
+}
 
 void Simulator::pushDeliver(SimTime Time, ProcessId Src, ProcessId Dst,
                             MessageRef Body) {
-  Event E;
-  E.A = Src;
-  E.B = Dst;
-  E.Body = Body.detach(); // Parked +1; re-adopted at pop or queue teardown.
-  E.Kind = Queue::KDeliver;
-  Pending->push(Time, E);
+  // Parked +1; re-adopted at pop or queue teardown.
+  Pending->push(Time, SimEvent::deliver(static_cast<uint32_t>(Src),
+                                        static_cast<uint32_t>(Dst),
+                                        Body.detach()));
 }
 
 void Simulator::pushTimer(SimTime Time, ProcessId P, TimerId Id) {
-  Event E;
-  E.A = P;
-  E.B = Id;
-  E.Body = nullptr;
-  E.Kind = Queue::KTimer;
-  Pending->push(Time, E);
+  Pending->push(Time, SimEvent::timer(static_cast<uint32_t>(P), Id));
 }
 
 void Simulator::pushAction(SimTime Time, ActionFn Action) {
   if (Action.usesHeap())
     ++Stats.InlineFnHeapFallbacks;
-  Event E;
-  E.A = Pending->allocAction(std::move(Action));
-  E.B = 0;
-  E.Body = nullptr;
-  E.Kind = Queue::KAction;
-  Pending->push(Time, E);
+  Pending->push(Time, SimEvent::action(Pending->allocAction(std::move(Action))));
 }
 
 void Simulator::sendMessage(ProcessId From, ProcessId To, MessageRef Body) {
   assert(Body && "message body must not be null");
+  if (Sharded) {
+    Sharded->envSend(From, To, std::move(Body));
+    return;
+  }
   // Non-atomic refcounts and pool recycling are only safe while a body
   // stays inside the simulator whose pool allocated it (heap-fallback
   // bodies, pool() == null, may enter from outside).
@@ -498,6 +347,10 @@ void Simulator::injectStimulus(ProcessId To, MessageRef Body) {
   assert(Body && "stimulus body must not be null");
   assert((!Body->pool() || Body->pool() == Bodies) &&
          "stimulus body crossed Simulator instances");
+  if (Sharded) {
+    Sharded->envStimulus(To, std::move(Body));
+    return;
+  }
   // Stimuli ship payload too: account their weight on the same counter as
   // sendMessage so PayloadUnits covers everything the harness injects.
   Stats.PayloadUnits += Body->weight();
@@ -559,11 +412,13 @@ void Simulator::fireTimer(ProcessId P, TimerId Id) {
 }
 
 StopReason Simulator::run(RunLimits Limits) {
+  if (Sharded)
+    return Sharded->run(Limits);
   HaltRequested = false;
   // Everything an event handler allocates with makeBody() during this run
   // draws from (and recycles into) this simulator's pool.
   BodyPool::Scope PoolScope(Bodies);
-  Queue &Q = *Pending;
+  CalendarQueue &Q = *Pending;
   while (!Q.empty()) {
     if (HaltRequested)
       return StopReason::Halted;
@@ -582,24 +437,24 @@ StopReason Simulator::run(RunLimits Limits) {
     for (;;) {
       // Re-index every step: handlers may grow the bucket pool and the
       // FIFO itself, invalidating references but never indices.
-      Queue::Bucket &B = Q.Buckets[Slot];
+      CalendarQueue::Bucket &B = Q.Buckets[Slot];
       if (B.Head == B.Fifo.size())
         break;
       if (HaltRequested)
         return StopReason::Halted;
       if (Stats.EventsExecuted >= Limits.MaxEvents)
         return StopReason::EventLimit;
-      Event E = B.Fifo[B.Head++];
+      SimEvent E = B.Fifo[B.Head++];
       ++Stats.EventsExecuted;
-      switch (E.Kind) {
-      case Queue::KDeliver:
-        deliver(E.A, E.B, MessageRef::adopt(E.Body));
+      switch (E.kind()) {
+      case CalendarQueue::KDeliver:
+        deliver(E.A, E.B, MessageRef::adopt(E.body()));
         break;
-      case Queue::KTimer:
+      case CalendarQueue::KTimer:
         // Drop the cancellation bookkeeping on every pop path, fired or
         // not, so it never outlives the timers it describes.
-        if (Q.collectTimer(E.B))
-          fireTimer(E.A, E.B);
+        if (Q.collectTimer(E.timerId()))
+          fireTimer(E.A, E.timerId());
         break;
       default: {
         auto Action = Q.takeAction(E.A);

@@ -72,8 +72,16 @@ public:
   /// Cancels a pending timer; ignores already-fired or unknown ids.
   virtual void cancelTimer(TimerId Id) = 0;
 
-  /// Deterministic randomness for the algorithm (shared simulator stream).
+  /// Deterministic randomness for the algorithm (shared simulator stream;
+  /// a private per-process stream in sharded runs).
   virtual Rng &rng() = 0;
+
+  /// The actor's dense *state slot*: an index into the kernel's recycled
+  /// slot space, for protocol state kept in StateSlab arrays. Every live
+  /// process owns exactly one slot; slots are reused LIFO after departure,
+  /// so slot indices stay proportional to the live population no matter how
+  /// many processes ever existed. Stable for the process's whole lifetime.
+  virtual uint32_t stateSlot() const = 0;
 
   /// Records an algorithm output in the trace (e.g. the decided aggregate).
   virtual void observe(const std::string &Key, int64_t Value) = 0;

@@ -46,6 +46,11 @@
 
 namespace dyndist {
 
+namespace detail {
+struct CalendarQueue;
+struct ShardEngine;
+} // namespace detail
+
 /// Supplies the overlay neighborhood of each up process. Installed by the
 /// dynamic-system layer; the default (when none is installed) is a full
 /// mesh over all up processes, i.e. the static-system corner where locality
@@ -150,6 +155,21 @@ public:
   /// Passing nullptr restores the default full mesh.
   void setTopologyProvider(const TopologyProvider *Provider);
 
+  /// Switches the kernel into space-sharded execution with \p K shards
+  /// (process P lives on shard P % K). Must be called before the first
+  /// spawn. Sharded runs are a *different* deterministic contract than the
+  /// legacy single-stream schedule: each process draws from a private
+  /// seed-derived random stream and same-instant events execute in
+  /// canonical (destination, push-instant, pusher, push-order) order, so a
+  /// sharded run is byte-identical for the same seed at *any* shard count
+  /// (1, 2, 4, ...) and any worker-thread arrangement — but not to the
+  /// legacy schedule. Run limits and halt() are honored at instant
+  /// boundaries. See docs/MODEL.md §7.
+  void setShards(unsigned K);
+
+  /// The configured shard count; 0 in legacy single-stream mode.
+  unsigned shards() const;
+
   /// Optional hook invoked right after a process joins / right after it
   /// leaves or crashes; the dynamic-system layer uses these to keep the
   /// overlay in sync with membership.
@@ -204,12 +224,9 @@ public:
   const Trace &trace() const { return Log; }
 
   /// Message-economy counters. The pool counters are snapshotted from the
-  /// body pool on each call; everything else is maintained inline.
-  const SimStats &stats() const {
-    Stats.BodyPoolHits = Bodies->hits();
-    Stats.BodyPoolMisses = Bodies->misses();
-    return Stats;
-  }
+  /// body pool(s) on each call — in sharded mode the per-lane pools fold
+  /// in — everything else is maintained inline.
+  const SimStats &stats() const;
 
   /// Kernel randomness (environment stream; actors draw from a split).
   Rng &rng() { return KernelRng; }
@@ -218,6 +235,14 @@ public:
   /// post-run inspection); null for unknown ids. O(1).
   Actor *actorFor(ProcessId P) const {
     return P < Processes.size() ? Processes[P].TheActor.get() : nullptr;
+  }
+
+  /// The dense state slot of \p P (see Context::stateSlot()): assigned at
+  /// spawn, recycled LIFO after departure. A departed process keeps its
+  /// last slot index for post-mortem inspection; StateSlab generations
+  /// detect reuse. O(1).
+  uint32_t stateSlotOf(ProcessId P) const {
+    return P < SlotOfPid.size() ? SlotOfPid[P] : 0;
   }
 
   /// Sends a message on behalf of \p From (used by Context and by drivers
@@ -247,10 +272,9 @@ public:
   size_t pendingTimers() const;
 
 private:
-  struct Event;
-  struct Queue;
   class ContextImpl;
   friend class ContextImpl;
+  friend struct detail::ShardEngine;
 
   void deliver(ProcessId Src, ProcessId Dst, MessageRef Body);
   void fireTimer(ProcessId P, TimerId Id);
@@ -263,6 +287,7 @@ private:
 
   SimTime Clock = 0;
   TimerId NextTimer = 0;
+  uint64_t Seed = 0; ///< Master seed; sharded mode derives per-actor streams.
   bool HaltRequested = false;
   TraceLevel TraceLev = TraceLevel::Full;
 
@@ -296,9 +321,21 @@ private:
   /// spawn appends (ids strictly increase), markDown erases in place.
   std::vector<ProcessId> UpSet;
 
+  /// State-slot bookkeeping (Context::stateSlot()): dense indices into the
+  /// protocol-state slabs, recycled LIFO on departure so the slot space
+  /// stays proportional to the live population under churn.
+  std::vector<uint32_t> SlotOfPid; ///< Pid -> its (last) state slot.
+  std::vector<uint32_t> FreeSlots; ///< LIFO recycler.
+  uint32_t NextSlot = 0;
+
   // Owned via unique_ptr because the queue internals (calendar buckets,
-  // action pool, timer bookkeeping) are private to Simulator.cpp.
-  std::unique_ptr<Queue> Pending;
+  // action pool, timer bookkeeping) live in an internal header. In sharded
+  // mode Pending holds only environment actions; protocol events live in
+  // the per-shard calendars inside the engine.
+  std::unique_ptr<detail::CalendarQueue> Pending;
+
+  /// Non-null iff setShards() switched this kernel into sharded mode.
+  std::unique_ptr<detail::ShardEngine> Sharded;
 
   Trace Log;
   /// Mutable so stats() (const) can fold the live pool counters in.

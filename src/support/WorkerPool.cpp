@@ -1,0 +1,67 @@
+//===- WorkerPool.cpp - Persistent worker threads ----------------------------===//
+//
+// Part of the dyndist project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dyndist/support/WorkerPool.h"
+
+using namespace dyndist;
+
+WorkerPool::~WorkerPool() {
+  {
+    std::unique_lock<std::mutex> Lock(Mu);
+    ShuttingDown = true;
+  }
+  WakeCv.notify_all();
+  for (std::thread &T : Threads)
+    T.join();
+}
+
+void WorkerPool::ensureWorkers(unsigned N) {
+  while (Threads.size() < N)
+    Threads.emplace_back([this] { workerMain(); });
+}
+
+void WorkerPool::drainJobs(std::unique_lock<std::mutex> &Lock) {
+  while (NextJob < JobCount) {
+    unsigned Index = NextJob++;
+    ++InFlight;
+    Lock.unlock();
+    Job(Index);
+    Lock.lock();
+    --InFlight;
+  }
+}
+
+void WorkerPool::run(unsigned Jobs, FunctionRef<void(unsigned)> JobFn) {
+  if (Threads.empty() || Jobs <= 1) {
+    for (unsigned I = 0; I != Jobs; ++I)
+      JobFn(I);
+    return;
+  }
+  std::unique_lock<std::mutex> Lock(Mu);
+  Job = JobFn;
+  JobCount = Jobs;
+  NextJob = 0;
+  ++Phase;
+  WakeCv.notify_all();
+  drainJobs(Lock); // The caller works too.
+  DoneCv.wait(Lock, [this] { return NextJob == JobCount && InFlight == 0; });
+  Job = FunctionRef<void(unsigned)>();
+  JobCount = 0;
+}
+
+void WorkerPool::workerMain() {
+  std::unique_lock<std::mutex> Lock(Mu);
+  uint64_t SeenPhase = 0;
+  for (;;) {
+    WakeCv.wait(Lock, [&] { return ShuttingDown || Phase != SeenPhase; });
+    if (ShuttingDown)
+      return;
+    SeenPhase = Phase;
+    drainJobs(Lock);
+    if (NextJob == JobCount && InFlight == 0)
+      DoneCv.notify_one();
+  }
+}

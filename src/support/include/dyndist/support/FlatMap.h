@@ -1,0 +1,183 @@
+//===- dyndist/support/FlatMap.h - Sorted flat-vector map -------*- C++ -*-===//
+//
+// Part of the dyndist project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A sorted flat-vector map: the std::map subset the protocol state
+/// actually uses, stored as one contiguous `std::vector<std::pair<K, V>>`
+/// ordered by key. Enumeration ascends exactly like std::map, so code (and
+/// recorded traces) that iterate a FlatMap produce byte-identical output to
+/// the tree-map implementation they replace — while lookups are a cache-
+/// friendly binary search over one allocation, clear() retains capacity,
+/// and whole-map unions are linear two-pointer merges instead of per-key
+/// tree inserts.
+///
+/// Intended for the small-to-medium keyed aggregates of the protocol layer
+/// (gossip contribution sets, peer-sampling views, heard-from tables):
+/// populations up to a few thousand keys where contiguity beats the
+/// tree's per-node pointer chasing at every size.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNDIST_SUPPORT_FLATMAP_H
+#define DYNDIST_SUPPORT_FLATMAP_H
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace dyndist {
+
+/// \tparam Storage the underlying sorted sequence: std::vector by default,
+/// or an InlineVec<std::pair<KeyT, ValueT>, N> when the map is a record in
+/// a StateSlab and its common population should live inline in the slab.
+template <typename KeyT, typename ValueT,
+          typename Storage = std::vector<std::pair<KeyT, ValueT>>>
+class FlatMap {
+public:
+  using value_type = std::pair<KeyT, ValueT>;
+  using iterator = typename Storage::iterator;
+  using const_iterator = typename Storage::const_iterator;
+
+  FlatMap() = default;
+  FlatMap(FlatMap &&) = default;
+  FlatMap &operator=(FlatMap &&) = default;
+  // Copies carry the entries only, never the merge scratch.
+  FlatMap(const FlatMap &Other) : Entries(Other.Entries) {}
+  FlatMap &operator=(const FlatMap &Other) {
+    Entries = Other.Entries;
+    return *this;
+  }
+
+  iterator begin() { return Entries.begin(); }
+  iterator end() { return Entries.end(); }
+  const_iterator begin() const { return Entries.begin(); }
+  const_iterator end() const { return Entries.end(); }
+
+  size_t size() const { return Entries.size(); }
+  bool empty() const { return Entries.empty(); }
+  void clear() { Entries.clear(); } // Capacity retained, like the slabs.
+  void reserve(size_t N) { Entries.reserve(N); }
+
+  iterator find(const KeyT &Key) {
+    iterator It = lowerBound(Key);
+    return (It != Entries.end() && It->first == Key) ? It : Entries.end();
+  }
+  const_iterator find(const KeyT &Key) const {
+    const_iterator It = lowerBound(Key);
+    return (It != Entries.end() && It->first == Key) ? It : Entries.end();
+  }
+
+  size_t count(const KeyT &Key) const { return contains(Key) ? 1 : 0; }
+
+  bool contains(const KeyT &Key) const {
+    const_iterator It = lowerBound(Key);
+    return It != Entries.end() && It->first == Key;
+  }
+
+  /// Inserts (Key, Value) when Key is absent; the resident entry wins
+  /// otherwise — std::map::emplace semantics.
+  std::pair<iterator, bool> emplace(const KeyT &Key, ValueT Value) {
+    iterator It = lowerBound(Key);
+    if (It != Entries.end() && It->first == Key)
+      return {It, false};
+    It = Entries.emplace(It, Key, std::move(Value));
+    return {It, true};
+  }
+
+  /// std::map::try_emplace — identical to emplace() for this subset.
+  std::pair<iterator, bool> try_emplace(const KeyT &Key, ValueT Value) {
+    return emplace(Key, std::move(Value));
+  }
+
+  /// Hinted insert. The one hint the callers use — `end()` while building
+  /// in ascending key order — appends in O(1); any other hint degrades to
+  /// a plain emplace.
+  iterator emplace_hint(const_iterator Hint, const KeyT &Key, ValueT Value) {
+    if (Hint == Entries.end() &&
+        (Entries.empty() || Entries.back().first < Key)) {
+      Entries.emplace_back(Key, std::move(Value));
+      return Entries.end() - 1;
+    }
+    return emplace(Key, std::move(Value)).first;
+  }
+
+  /// Insert-or-default then reference, std::map::operator[].
+  ValueT &operator[](const KeyT &Key) {
+    iterator It = lowerBound(Key);
+    if (It == Entries.end() || It->first != Key)
+      It = Entries.emplace(It, Key, ValueT{});
+    return It->second;
+  }
+
+  size_t erase(const KeyT &Key) {
+    iterator It = lowerBound(Key);
+    if (It == Entries.end() || It->first != Key)
+      return 0;
+    Entries.erase(It);
+    return 1;
+  }
+
+  iterator erase(const_iterator It) { return Entries.erase(It); }
+
+  /// Linear two-pointer union with \p Other: keys already present keep
+  /// their resident value (the emplace-loop semantics), absent keys are
+  /// inserted in order. One pass, at most one reallocation — the whole
+  /// point of keeping both sides sorted.
+  void mergeFrom(const FlatMap &Other) {
+    if (Other.empty())
+      return;
+    if (Entries.empty()) {
+      Entries = Other.Entries;
+      return;
+    }
+    Scratch.clear();
+    Scratch.reserve(Entries.size() + Other.Entries.size());
+    const_iterator A = Entries.begin(), AEnd = Entries.end();
+    const_iterator B = Other.Entries.begin(), BEnd = Other.Entries.end();
+    while (A != AEnd || B != BEnd) {
+      if (B == BEnd || (A != AEnd && A->first < B->first)) {
+        Scratch.push_back(*A++);
+      } else if (A == AEnd || B->first < A->first) {
+        Scratch.push_back(*B++);
+      } else {
+        Scratch.push_back(*A++); // Resident value wins on key collision.
+        ++B;
+      }
+    }
+    Entries.clear();
+    Entries.reserve(Scratch.size());
+    for (const value_type &E : Scratch)
+      Entries.push_back(E);
+    Scratch.clear(); // Contents copied out; capacity retained.
+  }
+
+  friend bool operator==(const FlatMap &L, const FlatMap &R) {
+    return L.Entries == R.Entries;
+  }
+
+private:
+  iterator lowerBound(const KeyT &Key) {
+    return std::lower_bound(
+        Entries.begin(), Entries.end(), Key,
+        [](const value_type &E, const KeyT &K) { return E.first < K; });
+  }
+  const_iterator lowerBound(const KeyT &Key) const {
+    return std::lower_bound(
+        Entries.begin(), Entries.end(), Key,
+        [](const value_type &E, const KeyT &K) { return E.first < K; });
+  }
+
+  Storage Entries;
+  /// Merge buffer, retained so steady-state mergeFrom() allocates nothing.
+  /// Always a plain vector: it is transient, so it must not widen a slab
+  /// record when Storage is an InlineVec.
+  std::vector<value_type> Scratch;
+};
+
+} // namespace dyndist
+
+#endif // DYNDIST_SUPPORT_FLATMAP_H

@@ -1,0 +1,84 @@
+//===- dyndist/support/StateSlab.h - Slot-indexed actor state ---*- C++ -*-===//
+//
+// Part of the dyndist project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Contiguous struct-of-arrays storage for hot per-process protocol state.
+/// A slab is one dense `std::vector<T>` indexed by the kernel's recycled
+/// *state slot* (Context::stateSlot()): every live process owns exactly one
+/// slot, slots are reused LIFO after departure (the Graph free-list
+/// discipline), so the working set of N live processes is N consecutive-ish
+/// records in one allocation — regardless of how many processes ever
+/// existed. Spawn/crash cost is O(1) slab bookkeeping: acquiring a slot
+/// bumps its generation and reset()s the record in place (capacity
+/// retained), nothing is allocated or freed.
+///
+/// Generations make post-mortem inspection safe: an actor keeps the
+/// (slot, generation) handle it acquired, and find() yields null once the
+/// slot has been recycled to a newer tenant — until then the departed
+/// actor's state remains readable, exactly like the kernel's process table.
+///
+/// T must provide `void reset()` clearing it to the freshly-constructed
+/// state while retaining any spilled capacity.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNDIST_SUPPORT_STATESLAB_H
+#define DYNDIST_SUPPORT_STATESLAB_H
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace dyndist {
+
+/// A (slot, generation) claim ticket on a slab record. Value 0/0 is the
+/// never-acquired sentinel: generations start at 1.
+struct SlabHandle {
+  uint32_t Slot = 0;
+  uint32_t Gen = 0;
+
+  bool valid() const { return Gen != 0; }
+};
+
+template <typename T> class StateSlab {
+public:
+  /// Claims \p Slot for a new tenant: grows the slab on first sight of the
+  /// slot, bumps the generation, and reset()s the record in place.
+  SlabHandle acquire(uint32_t Slot) {
+    if (Slot >= Slots.size()) {
+      Slots.resize(Slot + 1);
+      Gens.resize(Slot + 1, 0);
+    }
+    Slots[Slot].reset();
+    return SlabHandle{Slot, ++Gens[Slot]};
+  }
+
+  /// The record behind a live handle. Asserts the handle's tenancy: using
+  /// a stale handle for writes is a protocol bug, not a soft error.
+  T &at(SlabHandle H) {
+    assert(H.valid() && H.Slot < Slots.size() && Gens[H.Slot] == H.Gen &&
+           "stale or foreign slab handle");
+    return Slots[H.Slot];
+  }
+
+  /// Read access that tolerates staleness: null once the slot has been
+  /// recycled to a newer tenant (or was never acquired).
+  const T *find(SlabHandle H) const {
+    if (!H.valid() || H.Slot >= Slots.size() || Gens[H.Slot] != H.Gen)
+      return nullptr;
+    return &Slots[H.Slot];
+  }
+
+  size_t size() const { return Slots.size(); }
+
+private:
+  std::vector<T> Slots;
+  std::vector<uint32_t> Gens;
+};
+
+} // namespace dyndist
+
+#endif // DYNDIST_SUPPORT_STATESLAB_H

@@ -1,0 +1,78 @@
+//===- dyndist/support/WorkerPool.h - Persistent worker threads -*- C++ -*-===//
+//
+// Part of the dyndist project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small persistent thread pool for fork-join parallel phases: the
+/// sharded simulation kernel dispatches one job per shard each tick and
+/// blocks until all complete. Threads are created once and parked on a
+/// condition variable between phases, so a phase costs two lock
+/// handshakes, not a thread spawn. Job indices are claimed dynamically;
+/// callers must make jobs order-independent (the sharded kernel's lanes
+/// touch disjoint state, so any claiming order yields the same result).
+///
+/// The calling thread participates: run(N, F) executes jobs on the caller
+/// plus up to workerCount() workers. With no workers it degenerates to a
+/// plain loop, which is also the single-shard fast path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNDIST_SUPPORT_WORKERPOOL_H
+#define DYNDIST_SUPPORT_WORKERPOOL_H
+
+#include "dyndist/support/FunctionRef.h"
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dyndist {
+
+/// Fork-join pool; see file comment.
+class WorkerPool {
+public:
+  WorkerPool() = default;
+  WorkerPool(const WorkerPool &) = delete;
+  WorkerPool &operator=(const WorkerPool &) = delete;
+  ~WorkerPool();
+
+  /// Grows the pool to at least \p N parked worker threads (never
+  /// shrinks). Safe to call repeatedly; must not race run().
+  void ensureWorkers(unsigned N);
+
+  /// Runs Job(0) .. Job(Jobs-1) across the caller and the workers;
+  /// returns when every job finished. Jobs must not call run() on the
+  /// same pool.
+  void run(unsigned Jobs, FunctionRef<void(unsigned)> Job);
+
+  /// Number of parked worker threads.
+  unsigned workerCount() const {
+    return static_cast<unsigned>(Threads.size());
+  }
+
+private:
+  void workerMain();
+  /// Claims and executes jobs until none remain; called with \p Lock held,
+  /// returns with it held.
+  void drainJobs(std::unique_lock<std::mutex> &Lock);
+
+  std::mutex Mu;
+  std::condition_variable WakeCv; ///< Workers park here between phases.
+  std::condition_variable DoneCv; ///< run() waits here for completion.
+  std::vector<std::thread> Threads;
+
+  FunctionRef<void(unsigned)> Job; ///< Valid while a phase is live.
+  uint64_t Phase = 0;              ///< Bumped per run(); wakes workers.
+  unsigned JobCount = 0;
+  unsigned NextJob = 0;
+  unsigned InFlight = 0; ///< Claimed but not yet finished.
+  bool ShuttingDown = false;
+};
+
+} // namespace dyndist
+
+#endif // DYNDIST_SUPPORT_WORKERPOOL_H

@@ -1,0 +1,179 @@
+//===- dyndist-kernel-smoke.cpp - sharded-kernel invariance smoke ---------===//
+//
+// Part of the dyndist project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Runs the gossip + churn KernelLoad once per requested shard count and
+// prints one digest line per rung: the six schedule counters, the stop
+// reason, and the pending-timer count. Every sharded rung (K >= 1) must
+// produce the same digest — the space-sharded engine's schedule is
+// byte-identical at any K — so the tool exits 1 on the first mismatch.
+// The legacy rung (K = 0) is printed for reference but excluded from the
+// comparison: it is a different (also deterministic) schedule.
+//
+// tools/verify.sh drives this twice: at n = 10^5 in the plain pass, and
+// threaded-vs-inline (DYNDIST_SHARD_THREADS=1) under ThreadSanitizer,
+// comparing the two outputs byte-for-byte.
+//
+//   dyndist-kernel-smoke [options]
+//     --processes <n>     initial population      (default 100000)
+//     --horizon <t>       run end                 (default 60)
+//     --shards <list>     comma list, e.g. 0,1,2,4 (default 1,2,4)
+//     --gossip-every <g>  gossip timer period     (default 4)
+//     --fanout <f>        gossip fanout           (default 2)
+//     --churn-every <c>   crash/respawn period    (default 25)
+//     --seed <s>          workload seed           (default 42)
+//
+//===----------------------------------------------------------------------===//
+
+#include "dyndist/runtime/KernelLoad.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace dyndist;
+
+namespace {
+
+[[noreturn]] void usageError(const char *Message) {
+  std::fprintf(stderr, "dyndist-kernel-smoke: %s\n", Message);
+  std::exit(2);
+}
+
+uint64_t parseU64(const char *Text, const char *Flag) {
+  char *End = nullptr;
+  unsigned long long Value = std::strtoull(Text, &End, 10);
+  if (End == Text || *End != '\0')
+    usageError((std::string("bad value for ") + Flag).c_str());
+  return Value;
+}
+
+std::vector<unsigned> parseShardList(const char *Text) {
+  std::vector<unsigned> Shards;
+  const char *Cursor = Text;
+  while (*Cursor != '\0') {
+    char *End = nullptr;
+    unsigned long Value = std::strtoul(Cursor, &End, 10);
+    if (End == Cursor)
+      usageError("bad --shards list");
+    Shards.push_back(static_cast<unsigned>(Value));
+    Cursor = End;
+    if (*Cursor == ',')
+      ++Cursor;
+    else if (*Cursor != '\0')
+      usageError("bad --shards list");
+  }
+  if (Shards.empty())
+    usageError("--shards list is empty");
+  return Shards;
+}
+
+const char *stopName(StopReason Stop) {
+  switch (Stop) {
+  case StopReason::QueueExhausted:
+    return "queue-exhausted";
+  case StopReason::TimeLimit:
+    return "time-limit";
+  case StopReason::EventLimit:
+    return "event-limit";
+  case StopReason::Halted:
+    return "halted";
+  }
+  return "unknown";
+}
+
+/// The schedule digest: everything about a run that the K-invariance
+/// contract pins down. Allocation-economy counters (BodyPool hits/misses)
+/// legitimately vary with K — per-lane pool freelists are an execution
+/// arrangement, not a schedule property — so they are not part of this.
+struct Digest {
+  uint64_t Sent, Delivered, Dropped, Payload, Timers, Events;
+  StopReason Stop;
+  size_t PendingTimers;
+
+  bool operator==(const Digest &) const = default;
+};
+
+Digest digestOf(const KernelLoadResult &R) {
+  return {R.Stats.MessagesSent,   R.Stats.MessagesDelivered,
+          R.Stats.MessagesDropped, R.Stats.PayloadUnits,
+          R.Stats.TimersFired,     R.Stats.EventsExecuted,
+          R.Stop,                  R.PendingTimers};
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  KernelLoadConfig Cfg;
+  Cfg.Processes = 100000;
+  Cfg.Horizon = 60;
+  Cfg.GossipEvery = 4;
+  Cfg.GossipFanout = 2;
+  Cfg.ChurnEvery = 25;
+  std::vector<unsigned> Shards = {1, 2, 4};
+
+  for (int I = 1; I < argc; ++I) {
+    const char *Arg = argv[I];
+    auto next = [&]() -> const char * {
+      if (I + 1 >= argc)
+        usageError((std::string("missing value after ") + Arg).c_str());
+      return argv[++I];
+    };
+    if (std::strcmp(Arg, "--processes") == 0)
+      Cfg.Processes = static_cast<size_t>(parseU64(next(), Arg));
+    else if (std::strcmp(Arg, "--horizon") == 0)
+      Cfg.Horizon = parseU64(next(), Arg);
+    else if (std::strcmp(Arg, "--shards") == 0)
+      Shards = parseShardList(next());
+    else if (std::strcmp(Arg, "--gossip-every") == 0)
+      Cfg.GossipEvery = parseU64(next(), Arg);
+    else if (std::strcmp(Arg, "--fanout") == 0)
+      Cfg.GossipFanout = static_cast<unsigned>(parseU64(next(), Arg));
+    else if (std::strcmp(Arg, "--churn-every") == 0)
+      Cfg.ChurnEvery = parseU64(next(), Arg);
+    else if (std::strcmp(Arg, "--seed") == 0)
+      Cfg.Seed = parseU64(next(), Arg);
+    else if (std::strcmp(Arg, "--help") == 0) {
+      std::printf("usage: dyndist-kernel-smoke [--processes n] [--horizon t]\n"
+                  "         [--shards 0,1,2,4] [--gossip-every g] [--fanout f]\n"
+                  "         [--churn-every c] [--seed s]\n");
+      return 0;
+    } else
+      usageError((std::string("unknown option ") + Arg).c_str());
+  }
+
+  bool HaveReference = false;
+  Digest Reference{};
+  unsigned ReferenceK = 0;
+  for (unsigned K : Shards) {
+    Cfg.Shards = K;
+    KernelLoadResult R = runKernelLoad(Cfg, TraceLevel::Off);
+    Digest D = digestOf(R);
+    std::printf("shards=%u events=%llu sent=%llu delivered=%llu dropped=%llu "
+                "payload=%llu timers=%llu stop=%s pending=%zu\n",
+                K, (unsigned long long)D.Events, (unsigned long long)D.Sent,
+                (unsigned long long)D.Delivered,
+                (unsigned long long)D.Dropped,
+                (unsigned long long)D.Payload,
+                (unsigned long long)D.Timers, stopName(D.Stop),
+                D.PendingTimers);
+    if (K == 0)
+      continue; // Legacy rung: a different schedule, reference only.
+    if (!HaveReference) {
+      HaveReference = true;
+      Reference = D;
+      ReferenceK = K;
+    } else if (!(D == Reference)) {
+      std::fprintf(stderr,
+                   "dyndist-kernel-smoke: shards=%u digest differs from "
+                   "shards=%u — K-invariance violated\n",
+                   K, ReferenceK);
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -1,14 +1,16 @@
 #!/bin/sh
-# Tier-1 verification: build + ctest in the plain configuration, then the
-# bench regression gate (dyndist-bench-report --check against the checked-in
-# message baseline, using the build-verify binaries), then a strict-warnings
+# Tier-1 verification: build + ctest in the plain configuration plus an
+# n=10^5 sharded-kernel invariance smoke, then the bench regression gate
+# (dyndist-bench-report --check --shard against the checked-in message and
+# shard baselines, using the build-verify binaries), then a strict-warnings
 # build (-DDYNDIST_WERROR=ON, -Wall -Wextra -Werror), then the same test
 # suite under AddressSanitizer (-DDYNDIST_SANITIZE=address), under
 # UndefinedBehaviorSanitizer (-DDYNDIST_SANITIZE=undefined) — which polices
 # the flat graph's raw-pointer views, the intrusive payload refcounts, and
 # the InlineFunction buffer arithmetic — and under ThreadSanitizer
 # (-DDYNDIST_SANITIZE=thread), which keeps the SweepRunner's multi-threaded
-# seed sharding honest.
+# seed sharding and the sharded kernel's fork-join lanes honest (including
+# a threaded-vs-inline shard digest comparison).
 #
 # Usage: tools/verify.sh [--skip-asan] [--asan-only] [--skip-ubsan]
 #                        [--ubsan-only] [--skip-tsan] [--tsan-only]
@@ -73,19 +75,40 @@ run_build() {
   cmake --build "$dir" -j "$JOBS"
 }
 
-[ "$RUN_PLAIN" = 1 ] && run_suite build-verify
+if [ "$RUN_PLAIN" = 1 ]; then
+  run_suite build-verify
+  # Sharded-kernel K-invariance at benchmark scale (n = 10^5): every
+  # sharded rung must print the same schedule digest; the tool exits 1
+  # on the first mismatch. ctest covers the same contract at n <= 10^4.
+  echo "== sharded-kernel smoke, n=10^5 (build-verify)"
+  build-verify/tools/dyndist-kernel-smoke \
+    --processes 100000 --horizon 60 --shards 0,1,2,4
+fi
 if [ "$RUN_BENCH_CHECK" = 1 ]; then
   # The gate needs the build-verify bench binaries; build them if this run
   # skipped the plain pass. The throwaway report stays in build-verify/ so
   # the checked-in BENCH_kernel.json is never clobbered by a gate run.
   [ "$RUN_PLAIN" = 1 ] || run_build build-verify
   echo "== bench regression gate (build-verify)"
-  tools/dyndist-bench-report --check --build-dir build-verify \
+  tools/dyndist-bench-report --check --shard --build-dir build-verify \
     --out build-verify/bench-check.json
 fi
 [ "$RUN_WERROR" = 1 ] && run_build build-werror -DDYNDIST_WERROR=ON
 [ "$RUN_ASAN" = 1 ] && run_suite build-asan -DDYNDIST_SANITIZE=address
 [ "$RUN_UBSAN" = 1 ] && UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
   run_suite build-ubsan -DDYNDIST_SANITIZE=undefined
-[ "$RUN_TSAN" = 1 ] && run_suite build-tsan -DDYNDIST_SANITIZE=thread
+if [ "$RUN_TSAN" = 1 ]; then
+  run_suite build-tsan -DDYNDIST_SANITIZE=thread
+  # Shard-invariance digest under TSan: the threaded barrier/merge paths
+  # race-checked at K = 4 must produce byte-identical digests to the fully
+  # inline (DYNDIST_SHARD_THREADS=1) execution of the same workload.
+  echo "== shard-invariance digest under TSan (build-tsan)"
+  build-tsan/tools/dyndist-kernel-smoke \
+    --processes 10000 --horizon 100 --shards 1,4 \
+    > build-tsan/kernel-smoke-threaded.txt
+  DYNDIST_SHARD_THREADS=1 build-tsan/tools/dyndist-kernel-smoke \
+    --processes 10000 --horizon 100 --shards 1,4 \
+    > build-tsan/kernel-smoke-inline.txt
+  cmp build-tsan/kernel-smoke-threaded.txt build-tsan/kernel-smoke-inline.txt
+fi
 echo "== verify OK"
