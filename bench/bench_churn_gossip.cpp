@@ -17,6 +17,9 @@
 #include "dyndist/aggregation/Token.h"
 #include "dyndist/runtime/KernelLoad.h"
 #include "dyndist/runtime/SweepRunner.h"
+#include "dyndist/runtime/TraceQuery.h"
+#include "dyndist/sim/TraceColumnar.h"
+#include "dyndist/sim/TraceIO.h"
 #include "dyndist/support/Stats.h"
 #include "dyndist/support/StringUtils.h"
 
@@ -254,6 +257,130 @@ BENCHMARK(BM_KernelShardedMillion)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
+// --- Trace sink section (google-benchmark) --------------------------------
+//
+// The trace-archival hot path: stream the exact trace_full record sequence
+// of BM_KernelChurnGossip through each on-disk sink, and aggregate the
+// archived columnar file back through the sharded query engine. The record
+// stream is captured once (in memory) so items/sec is purely the sink's
+// serialization + write cost, not kernel time. tools/dyndist-bench-report
+// --trace runs these and merges them into BENCH_kernel.json, gating
+// columnar-vs-text on a minimum speedup.
+
+/// TraceSink that collects into an in-memory Trace (capture fixture).
+struct CollectSink final : TraceSink {
+  Trace T;
+  void append(const TraceEvent &E) override { T.append(TraceEvent(E)); }
+};
+
+/// The trace_full record stream of BM_KernelChurnGossip, captured once per
+/// process.
+const Trace &churnGossipFullTrace() {
+  static const Trace T = [] {
+    CollectSink Sink;
+    KernelLoadConfig Cfg = churnGossipLoad();
+    Cfg.Sink = &Sink;
+    runKernelLoad(Cfg, TraceLevel::Full);
+    return std::move(Sink.T);
+  }();
+  return T;
+}
+
+constexpr const char *TraceSinkBenchPath = "bench_trace_sink.tmp";
+constexpr const char *TraceQueryBenchPath = "bench_trace_query.dytr";
+
+uint64_t fileSize(const char *Path) {
+  std::FILE *F = std::fopen(Path, "rb");
+  if (!F)
+    return 0;
+  std::fseek(F, 0, SEEK_END);
+  long Size = std::ftell(F);
+  std::fclose(F);
+  return Size > 0 ? static_cast<uint64_t>(Size) : 0;
+}
+
+/// Streams the captured record sequence through \p Sink-like W (open,
+/// append xN, close); items/sec is trace records archived per second.
+template <typename SinkT>
+void runTraceSinkBench(benchmark::State &State) {
+  const Trace &T = churnGossipFullTrace();
+  uint64_t Records = 0;
+  for (auto _ : State) {
+    SinkT Sink;
+    Status S = Sink.open(TraceSinkBenchPath);
+    if (!S.ok()) {
+      State.SkipWithError("sink open failed");
+      return;
+    }
+    for (const TraceEvent &E : T.events())
+      Sink.append(E);
+    S = Sink.close();
+    if (!S.ok()) {
+      State.SkipWithError("sink close failed");
+      return;
+    }
+    Records += T.events().size();
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(Records));
+  State.counters["bytes_per_event"] =
+      T.events().empty()
+          ? 0.0
+          : static_cast<double>(fileSize(TraceSinkBenchPath)) /
+                static_cast<double>(T.events().size());
+  std::remove(TraceSinkBenchPath);
+}
+
+void BM_TraceSinkText(benchmark::State &State) {
+  runTraceSinkBench<JsonLinesTraceSink>(State);
+}
+BENCHMARK(BM_TraceSinkText)->Unit(benchmark::kMillisecond);
+
+void BM_TraceSinkColumnar(benchmark::State &State) {
+  runTraceSinkBench<ColumnarTraceWriter>(State);
+}
+BENCHMARK(BM_TraceSinkColumnar)->Unit(benchmark::kMillisecond);
+
+/// group-by kind over the archived columnar trace at K scan threads;
+/// events_per_second_wall is the honest cross-thread rate (items_per_second
+/// only bills the main thread's CPU clock).
+void BM_QueryAggregate(benchmark::State &State) {
+  const Trace &T = churnGossipFullTrace();
+  static const bool Written = [&] {
+    return writeColumnarTraceFile(T, TraceQueryBenchPath).ok();
+  }();
+  auto Src = TraceQuerySource::open(TraceQueryBenchPath);
+  if (!Written || !Src.ok()) {
+    State.SkipWithError("cannot open columnar query fixture");
+    return;
+  }
+  TraceFilter Filter;
+  QueryOptions Opts;
+  Opts.Threads = static_cast<unsigned>(State.range(0));
+  uint64_t Events = 0;
+  auto Begin = std::chrono::steady_clock::now();
+  for (auto _ : State) {
+    auto R = queryGroupBy(**Src, Filter, GroupField::Kind, Opts);
+    if (!R.ok()) {
+      State.SkipWithError("query failed");
+      return;
+    }
+    benchmark::DoNotOptimize(*R);
+    Events += (*Src)->totalEvents();
+  }
+  double Wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - Begin)
+          .count();
+  State.SetItemsProcessed(static_cast<int64_t>(Events));
+  State.counters["events_per_second_wall"] =
+      Wall > 0.0 ? static_cast<double>(Events) / Wall : 0.0;
+}
+BENCHMARK(BM_QueryAggregate)
+    ->ArgName("threads")
+    ->Arg(1)
+    ->Arg(4)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
 // --- Messaging allocation section (google-benchmark) ----------------------
 //
 // Micro-benchmarks for the per-message and per-timer allocation cost of the
@@ -414,6 +541,8 @@ int main(int argc, char **argv) {
       ::benchmark::Initialize(&argc, argv);
       ::benchmark::RunSpecifiedBenchmarks();
       ::benchmark::Shutdown();
+      std::remove(TraceSinkBenchPath);
+      std::remove(TraceQueryBenchPath);
       return 0;
     }
   }

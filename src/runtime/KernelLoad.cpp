@@ -75,6 +75,8 @@ KernelLoadResult dyndist::runKernelLoad(const KernelLoadConfig &Cfg,
   if (Cfg.Shards > 0)
     S.setShards(Cfg.Shards);
   S.setTraceLevel(Level);
+  if (Cfg.Sink)
+    S.setTraceSink(Cfg.Sink);
   for (size_t I = 0; I != Cfg.Processes; ++I)
     S.spawn(std::make_unique<LoadActor>(Cfg));
   for (unsigned I = 0; I != Cfg.FloodSeeds; ++I)

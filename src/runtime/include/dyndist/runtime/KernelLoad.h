@@ -57,6 +57,12 @@ struct KernelLoadConfig {
   unsigned FloodSeeds = 0;
   unsigned FloodFanout = 0;
   uint64_t FloodTtl = 0;
+
+  /// Optional streaming trace sink (not owned; must outlive the run).
+  /// When set, records the TraceLevel admits stream to the sink instead of
+  /// the in-memory trace (Simulator::setTraceSink), and TraceRecords
+  /// reports 0 — the events live in the sink's output.
+  TraceSink *Sink = nullptr;
 };
 
 /// Outcome of a kernel-load run.

@@ -173,7 +173,7 @@ public:
     TE.Subject = P;
     TE.Key = Key;
     TE.Value = Value;
-    E.S.Log.append(std::move(TE));
+    E.S.record(std::move(TE));
   }
 
   void leaveSystem() override { E.S.leave(P); }
@@ -272,7 +272,7 @@ void ShardEngine::envSend(ProcessId From, ProcessId To, MessageRef Body) {
     TE.Subject = From;
     TE.Peer = To;
     TE.MsgKind = Body->kind();
-    S.Log.append(std::move(TE));
+    S.record(std::move(TE));
   }
 
   Rng &R = ActorRngs[From];
@@ -285,7 +285,7 @@ void ShardEngine::envSend(ProcessId From, ProcessId To, MessageRef Body) {
       Lost.Subject = To;
       Lost.Peer = From;
       Lost.MsgKind = Body->kind();
-      S.Log.append(std::move(Lost));
+      S.record(std::move(Lost));
     }
     return;
   }
@@ -727,7 +727,7 @@ void ShardEngine::mergeTraces() {
     ++TraceRunCur[Best];
     size_t &Cur = TraceBufCur[Best];
     for (uint32_t I = 0; I != Count; ++I)
-      S.Log.append(std::move(Ln.TraceBuf[Cur++]));
+      S.record(std::move(Ln.TraceBuf[Cur++]));
   }
   for (Lane &Ln : Lanes) {
     Ln.TraceBuf.clear();

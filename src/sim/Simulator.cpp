@@ -77,7 +77,7 @@ public:
     E.Subject = P;
     E.Key = Key;
     E.Value = Value;
-    S.Log.append(std::move(E));
+    S.record(std::move(E));
   }
 
   void leaveSystem() override { S.leave(P); }
@@ -176,7 +176,7 @@ ProcessId Simulator::spawn(std::unique_ptr<Actor> A) {
     E.Kind = TraceKind::Join;
     E.Time = Clock;
     E.Subject = P;
-    Log.append(std::move(E));
+    record(std::move(E));
   }
 
   if (OnUpHook)
@@ -212,7 +212,7 @@ void Simulator::markDown(ProcessId P, bool Crashed) {
     E.Kind = Crashed ? TraceKind::Crash : TraceKind::Leave;
     E.Time = Clock;
     E.Subject = P;
-    Log.append(std::move(E));
+    record(std::move(E));
   }
 
   if (OnDownHook)
@@ -321,7 +321,7 @@ void Simulator::sendMessage(ProcessId From, ProcessId To, MessageRef Body) {
     TE.Subject = From;
     TE.Peer = To;
     TE.MsgKind = Body->kind();
-    Log.append(std::move(TE));
+    record(std::move(TE));
   }
 
   if (LossRate > 0.0 && KernelRng.nextBernoulli(LossRate)) {
@@ -333,7 +333,7 @@ void Simulator::sendMessage(ProcessId From, ProcessId To, MessageRef Body) {
       Lost.Subject = To;
       Lost.Peer = From;
       Lost.MsgKind = Body->kind();
-      Log.append(std::move(Lost));
+      record(std::move(Lost));
     }
     return;
   }
@@ -384,7 +384,7 @@ void Simulator::deliver(ProcessId Src, ProcessId Dst, MessageRef Body) {
       TE.Subject = Dst;
       TE.Peer = Src;
       TE.MsgKind = Body->kind();
-      Log.append(std::move(TE));
+      record(std::move(TE));
     }
     return;
   }
@@ -396,7 +396,7 @@ void Simulator::deliver(ProcessId Src, ProcessId Dst, MessageRef Body) {
     TE.Subject = Dst;
     TE.Peer = Src;
     TE.MsgKind = Body->kind();
-    Log.append(std::move(TE));
+    record(std::move(TE));
   }
   ContextImpl Ctx(*this, Dst);
   A->onMessage(Ctx, Src, *Body);

@@ -8,12 +8,13 @@
 
 #include "dyndist/support/StringUtils.h"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 
 using namespace dyndist;
 
-static const char *kindName(TraceKind K) {
+const char *dyndist::traceKindName(TraceKind K) {
   switch (K) {
   case TraceKind::Join:
     return "join";
@@ -33,7 +34,7 @@ static const char *kindName(TraceKind K) {
   return "?";
 }
 
-static bool kindFromName(const std::string &Name, TraceKind &Out) {
+bool dyndist::traceKindFromName(const std::string &Name, TraceKind &Out) {
   if (Name == "join")
     Out = TraceKind::Join;
   else if (Name == "leave")
@@ -53,26 +54,54 @@ static bool kindFromName(const std::string &Name, TraceKind &Out) {
   return true;
 }
 
-static std::string escapeString(const std::string &S) {
-  std::string Out;
+void dyndist::appendEscapedTraceString(std::string &Out, std::string_view S) {
+  static const char Hex[] = "0123456789abcdef";
   for (char C : S) {
-    if (C == '"' || C == '\\')
-      Out += '\\';
-    Out += C;
+    unsigned char U = static_cast<unsigned char>(C);
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (U < 0x20) {
+        // Remaining control bytes: \u00XX so a record can never be split
+        // or truncated by its own key.
+        Out += "\\u00";
+        Out += Hex[U >> 4];
+        Out += Hex[U & 0xF];
+      } else {
+        Out += C;
+      }
+    }
   }
-  return Out;
+}
+
+void dyndist::appendTraceJsonLine(std::string &Out, const TraceEvent &E) {
+  std::string Key;
+  appendEscapedTraceString(Key, E.Key);
+  Out += format("{\"kind\":\"%s\",\"t\":%llu,\"subject\":%llu,"
+                "\"peer\":%llu,\"msg\":%d,\"key\":\"%s\",\"value\":%lld}\n",
+                traceKindName(E.Kind), (unsigned long long)E.Time,
+                (unsigned long long)E.Subject, (unsigned long long)E.Peer,
+                E.MsgKind, Key.c_str(), (long long)E.Value);
 }
 
 std::string dyndist::traceToJsonLines(const Trace &T) {
   std::string Out;
-  for (const TraceEvent &E : T.events()) {
-    Out += format("{\"kind\":\"%s\",\"t\":%llu,\"subject\":%llu,"
-                  "\"peer\":%llu,\"msg\":%d,\"key\":\"%s\",\"value\":%lld}\n",
-                  kindName(E.Kind), (unsigned long long)E.Time,
-                  (unsigned long long)E.Subject, (unsigned long long)E.Peer,
-                  E.MsgKind, escapeString(E.Key).c_str(),
-                  (long long)E.Value);
-  }
+  for (const TraceEvent &E : T.events())
+    appendTraceJsonLine(Out, E);
   return Out;
 }
 
@@ -97,7 +126,13 @@ public:
       ++Pos;
     if (Pos == Start)
       return false;
-    Out = std::strtoull(Line.c_str() + Start, nullptr, 10);
+    errno = 0;
+    char *End = nullptr;
+    Out = std::strtoull(Line.c_str() + Start, &End, 10);
+    // A digit run longer than uint64_t saturates strtoull to UINT64_MAX;
+    // reject it instead of letting an absurd value round-trip.
+    if (errno == ERANGE || End != Line.c_str() + Pos)
+      return false;
     return true;
   }
 
@@ -108,8 +143,27 @@ public:
     uint64_t Magnitude = 0;
     if (!number(Magnitude))
       return false;
-    Out = Negative ? -static_cast<int64_t>(Magnitude)
+    // int64_t range check: magnitude up to 2^63 when negative, 2^63-1 when
+    // positive (the serializer never emits more).
+    uint64_t Limit = Negative ? (1ULL << 63) : ((1ULL << 63) - 1);
+    if (Magnitude > Limit)
+      return false;
+    // Negate in the unsigned domain: -int64_t(2^63) would be UB, while
+    // unsigned wraparound followed by the cast yields INT64_MIN exactly.
+    Out = Negative ? static_cast<int64_t>(0 - Magnitude)
                    : static_cast<int64_t>(Magnitude);
+    return true;
+  }
+
+  bool hexNibble(char C, unsigned &Out) {
+    if (C >= '0' && C <= '9')
+      Out = static_cast<unsigned>(C - '0');
+    else if (C >= 'a' && C <= 'f')
+      Out = static_cast<unsigned>(C - 'a' + 10);
+    else if (C >= 'A' && C <= 'F')
+      Out = static_cast<unsigned>(C - 'A' + 10);
+    else
+      return false;
     return true;
   }
 
@@ -119,9 +173,49 @@ public:
     ++Pos;
     Out.clear();
     while (Pos < Line.size() && Line[Pos] != '"') {
-      if (Line[Pos] == '\\' && Pos + 1 < Line.size())
+      char C = Line[Pos];
+      if (C != '\\') {
+        Out += C;
         ++Pos;
-      Out += Line[Pos++];
+        continue;
+      }
+      if (Pos + 1 >= Line.size())
+        return false;
+      char Esc = Line[Pos + 1];
+      Pos += 2;
+      switch (Esc) {
+      case '"':
+        Out += '"';
+        break;
+      case '\\':
+        Out += '\\';
+        break;
+      case 'n':
+        Out += '\n';
+        break;
+      case 'r':
+        Out += '\r';
+        break;
+      case 't':
+        Out += '\t';
+        break;
+      case 'u': {
+        // \u00XX — only the control-byte range this writer emits.
+        if (Pos + 4 > Line.size() || Line[Pos] != '0' || Line[Pos + 1] != '0')
+          return false;
+        unsigned Hi = 0, Lo = 0;
+        if (!hexNibble(Line[Pos + 2], Hi) || !hexNibble(Line[Pos + 3], Lo))
+          return false;
+        Out += static_cast<char>((Hi << 4) | Lo);
+        Pos += 4;
+        break;
+      }
+      default:
+        // Legacy escape form (pre control-char escaping): a backslash
+        // before any other byte passed that byte through verbatim. Keep
+        // old archived traces readable.
+        Out += Esc;
+      }
     }
     if (Pos >= Line.size())
       return false;
@@ -154,18 +248,21 @@ Result<Trace> dyndist::traceFromJsonLines(const std::string &Text) {
 
     LineScanner Scan(Line);
     std::string KindName, Key;
-    uint64_t Time = 0, Subject = 0, Peer = 0, Msg = 0;
-    int64_t Value = 0;
+    uint64_t Time = 0, Subject = 0, Peer = 0;
+    int64_t Msg = 0, Value = 0;
     TraceKind Kind;
+    // msg is written with %d, so it can be negative; parse it signed and
+    // range-check it back into int.
     bool Ok = Scan.literal("{\"kind\":") && Scan.quotedString(KindName) &&
               Scan.literal(",\"t\":") && Scan.number(Time) &&
               Scan.literal(",\"subject\":") && Scan.number(Subject) &&
               Scan.literal(",\"peer\":") && Scan.number(Peer) &&
-              Scan.literal(",\"msg\":") && Scan.number(Msg) &&
+              Scan.literal(",\"msg\":") && Scan.signedNumber(Msg) &&
               Scan.literal(",\"key\":") && Scan.quotedString(Key) &&
               Scan.literal(",\"value\":") && Scan.signedNumber(Value) &&
               Scan.literal("}") && Scan.atEnd() &&
-              kindFromName(KindName, Kind);
+              traceKindFromName(KindName, Kind) && Msg >= INT32_MIN &&
+              Msg <= INT32_MAX;
     if (!Ok)
       return Error(Error::Code::InvalidArgument,
                    format("malformed trace line %zu", LineNo));
@@ -187,15 +284,24 @@ Result<Trace> dyndist::traceFromJsonLines(const std::string &Text) {
 }
 
 Status dyndist::writeTraceFile(const Trace &T, const std::string &Path) {
-  std::FILE *F = std::fopen(Path.c_str(), "w");
+  std::string Temp = Path + ".tmp";
+  std::FILE *F = std::fopen(Temp.c_str(), "w");
   if (!F)
     return Error(Error::Code::InvalidArgument,
-                 "cannot open for writing: " + Path);
+                 "cannot open for writing: " + Temp);
   std::string Data = traceToJsonLines(T);
   size_t Written = std::fwrite(Data.data(), 1, Data.size(), F);
+  bool Flushed = std::fflush(F) == 0 && !std::ferror(F);
   std::fclose(F);
-  if (Written != Data.size())
-    return Error(Error::Code::InvalidArgument, "short write to " + Path);
+  if (Written != Data.size() || !Flushed) {
+    std::remove(Temp.c_str());
+    return Error(Error::Code::InvalidArgument, "short write to " + Temp);
+  }
+  if (std::rename(Temp.c_str(), Path.c_str()) != 0) {
+    std::remove(Temp.c_str());
+    return Error(Error::Code::InvalidArgument,
+                 "cannot rename " + Temp + " to " + Path);
+  }
   return Status::success();
 }
 
@@ -209,6 +315,65 @@ Result<Trace> dyndist::readTraceFile(const std::string &Path) {
   size_t Got;
   while ((Got = std::fread(Buffer, 1, sizeof(Buffer), F)) > 0)
     Data.append(Buffer, Got);
+  bool ReadError = std::ferror(F) != 0;
   std::fclose(F);
+  if (ReadError)
+    return Error(Error::Code::InvalidArgument,
+                 "read error (not EOF) in " + Path);
   return traceFromJsonLines(Data);
+}
+
+//===----------------------------------------------------------------------===//
+// JsonLinesTraceSink
+//===----------------------------------------------------------------------===//
+
+JsonLinesTraceSink::~JsonLinesTraceSink() {
+  if (File) {
+    // Open at destruction means close() was never called: abandon the run,
+    // leave no partial file behind.
+    std::fclose(File);
+    std::remove(TempPath.c_str());
+  }
+}
+
+Status JsonLinesTraceSink::open(const std::string &Path) {
+  if (File)
+    return Error(Error::Code::InvalidArgument, "sink already open");
+  FinalPath = Path;
+  TempPath = Path + ".tmp";
+  File = std::fopen(TempPath.c_str(), "w");
+  if (!File)
+    return Error(Error::Code::InvalidArgument,
+                 "cannot open for writing: " + TempPath);
+  Events = 0;
+  WriteFailed = false;
+  return Status::success();
+}
+
+void JsonLinesTraceSink::append(const TraceEvent &E) {
+  if (!File || WriteFailed)
+    return;
+  LineBuf.clear();
+  appendTraceJsonLine(LineBuf, E);
+  if (std::fwrite(LineBuf.data(), 1, LineBuf.size(), File) != LineBuf.size())
+    WriteFailed = true;
+  ++Events;
+}
+
+Status JsonLinesTraceSink::close() {
+  if (!File)
+    return Error(Error::Code::InvalidArgument, "sink not open");
+  bool Flushed = std::fflush(File) == 0 && !std::ferror(File);
+  std::fclose(File);
+  File = nullptr;
+  if (WriteFailed || !Flushed) {
+    std::remove(TempPath.c_str());
+    return Error(Error::Code::InvalidArgument, "short write to " + TempPath);
+  }
+  if (std::rename(TempPath.c_str(), FinalPath.c_str()) != 0) {
+    std::remove(TempPath.c_str());
+    return Error(Error::Code::InvalidArgument,
+                 "cannot rename " + TempPath + " to " + FinalPath);
+  }
+  return Status::success();
 }

@@ -37,6 +37,7 @@
 #include "dyndist/sim/Latency.h"
 #include "dyndist/sim/Message.h"
 #include "dyndist/sim/Trace.h"
+#include "dyndist/sim/TraceSink.h"
 #include "dyndist/sim/Types.h"
 #include "dyndist/support/InlineFunction.h"
 #include "dyndist/support/Random.h"
@@ -150,6 +151,18 @@ public:
 
   /// The current recording level.
   TraceLevel traceLevel() const { return TraceLev; }
+
+  /// Installs a streaming trace sink (not owned; must outlive the run or
+  /// be detached with nullptr). While a sink is installed, every record the
+  /// active TraceLevel admits is streamed to the sink *instead of* being
+  /// accumulated in trace() — the production-scale path for runs whose
+  /// full trace would not fit in memory. Records arrive at the sink in
+  /// exactly the order trace() would have held them (for sharded runs, the
+  /// barrier's ascending-destination merge order).
+  void setTraceSink(TraceSink *S) { Sink = S; }
+
+  /// The installed streaming sink, or null.
+  TraceSink *traceSink() const { return Sink; }
 
   /// Installs the topology provider (not owned; must outlive the run).
   /// Passing nullptr restores the default full mesh.
@@ -285,6 +298,16 @@ private:
   void pushAction(SimTime Time, ActionFn Action);
   void markDown(ProcessId P, bool Crashed);
 
+  /// Routes one admitted trace record: to the streaming sink when one is
+  /// installed, else into the in-memory Log. Every emission site funnels
+  /// through here so the sink sees exactly what the Log would have.
+  void record(TraceEvent &&E) {
+    if (Sink)
+      Sink->append(E);
+    else
+      Log.append(std::move(E));
+  }
+
   SimTime Clock = 0;
   TimerId NextTimer = 0;
   uint64_t Seed = 0; ///< Master seed; sharded mode derives per-actor streams.
@@ -338,6 +361,8 @@ private:
   std::unique_ptr<detail::ShardEngine> Sharded;
 
   Trace Log;
+  /// Streaming trace consumer; non-null diverts recording away from Log.
+  TraceSink *Sink = nullptr;
   /// Mutable so stats() (const) can fold the live pool counters in.
   mutable SimStats Stats;
 };

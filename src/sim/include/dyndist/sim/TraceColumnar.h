@@ -1,0 +1,197 @@
+//===- dyndist/sim/TraceColumnar.h - Binary columnar traces -----*- C++ -*-===//
+//
+// Part of the dyndist project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Append-only binary columnar trace format: the production-scale
+/// counterpart of the JSON-lines TraceIO. Events are framed into chunks of
+/// at most 64K records; within a chunk each field lives in its own column
+/// block (kind / time / subject / peer / msg / key / value + a per-chunk
+/// string table for keys), times are delta + varint encoded, and every
+/// chunk header carries its min/max time and a kind bitmap so readers can
+/// skip whole chunks without decoding them. A fixed-size index footer at
+/// the end of the file lets an mmap reader locate every chunk in O(1)
+/// without scanning.
+///
+/// Byte layout (all integers little-endian):
+///
+///   file   := magic8 "DYTRCOL1" , chunk* , index , tail32
+///   chunk  := "CHNK" u32LE , EventCount u32 , MinTime u64 , MaxTime u64 ,
+///             KindMask u32 , BlockBytes u32[8] , block[8]
+///   blocks := kinds (u8 per event)
+///             times (varint of delta from previous event; first event's
+///                    delta is from MinTime, which equals its time, so the
+///                    first delta is 0)
+///             subjects (varint of Subject+1; InvalidProcess wraps to 0)
+///             peers    (varint of Peer+1;    InvalidProcess wraps to 0)
+///             msgs     (zigzag varint of MsgKind)
+///             keyids   (varint; 0 = empty key, else 1-based string-table
+///                       index in first-appearance order)
+///             values   (zigzag varint of Value)
+///             strtab   (varint count , { varint len , bytes }*)
+///   index  := { Offset u64 , MinTime u64 , MaxTime u64 , EventCount u32 ,
+///               KindMask u32 }  -- one 32-byte entry per chunk
+///   tail32 := IndexOffset u64 , ChunkCount u64 , TotalEvents u64 ,
+///             magic8 "DYTRCIDX"
+///
+/// The chunk framing is a pure function of the event stream: the same
+/// sequence of records produces byte-identical files regardless of how the
+/// producer batched its appends. Combined with the kernel's schedule
+/// determinism this makes whole-file digests pinnable across shard counts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNDIST_SIM_TRACECOLUMNAR_H
+#define DYNDIST_SIM_TRACECOLUMNAR_H
+
+#include "dyndist/sim/Trace.h"
+#include "dyndist/sim/TraceSink.h"
+#include "dyndist/support/FunctionRef.h"
+#include "dyndist/support/Result.h"
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace dyndist {
+
+/// Per-chunk frame metadata, as recorded in both the chunk header and the
+/// index footer. Query engines use MinTime/MaxTime/KindMask to skip chunks
+/// that cannot contain matching events.
+struct ColumnarChunkInfo {
+  uint64_t Offset = 0;    ///< Chunk header position in the file.
+  uint64_t MinTime = 0;   ///< Time of the chunk's first event.
+  uint64_t MaxTime = 0;   ///< Time of the chunk's last event.
+  uint32_t EventCount = 0;
+  uint32_t KindMask = 0;  ///< Bit (1 << kind) set when the chunk holds one.
+};
+
+/// A decoded event whose Key points into the reader's scan buffer: valid
+/// only for the duration of the visitor call, never owns memory.
+struct TraceEventView {
+  TraceKind Kind = TraceKind::Join;
+  SimTime Time = 0;
+  ProcessId Subject = InvalidProcess;
+  ProcessId Peer = InvalidProcess;
+  int MsgKind = 0;
+  std::string_view Key;
+  int64_t Value = 0;
+};
+
+/// Streaming columnar writer. Usable standalone or as a kernel TraceSink
+/// (Simulator::setTraceSink). Writes to \p Path + ".tmp" and renames over
+/// \p Path on close(), so a crashed producer never leaves a half-written
+/// file that parses.
+class ColumnarTraceWriter final : public TraceSink {
+public:
+  /// Chunk capacity. 64K events keeps chunks around a few hundred KB
+  /// encoded — large enough to amortize framing, small enough that a query
+  /// shard is fine-grained.
+  static constexpr uint32_t EventsPerChunk = 65536;
+
+  ColumnarTraceWriter() = default;
+  ColumnarTraceWriter(const ColumnarTraceWriter &) = delete;
+  ColumnarTraceWriter &operator=(const ColumnarTraceWriter &) = delete;
+  ~ColumnarTraceWriter() override;
+
+  /// Starts writing to \p Path + ".tmp".
+  Status open(const std::string &Path);
+
+  /// Appends one record. Times must be nondecreasing (the Trace contract);
+  /// a violation is deferred as an error reported by close().
+  void append(const TraceEvent &E) override;
+
+  /// Flushes the open chunk, writes the index footer and tail, checks for
+  /// write errors, and renames the temp file over the final path.
+  Status close();
+
+  /// Records appended since open().
+  uint64_t eventsWritten() const { return TotalEvents; }
+
+private:
+  void flushChunk();
+
+  std::FILE *File = nullptr;
+  std::string FinalPath;
+  std::string TempPath;
+  bool WriteFailed = false;
+  bool OrderViolated = false;
+
+  // Open-chunk accumulation state.
+  std::string Kinds, Times, Subjects, Peers, Msgs, KeyIds, Values, StrTab;
+  std::unordered_map<std::string, uint32_t> KeyTable;
+  uint32_t ChunkEvents = 0;
+  uint32_t ChunkStrings = 0;
+  uint64_t ChunkMinTime = 0;
+  uint64_t PrevTime = 0;
+  uint32_t KindMask = 0;
+
+  std::vector<ColumnarChunkInfo> Index;
+  uint64_t FileOffset = 0;
+  uint64_t TotalEvents = 0;
+  std::string Scratch;
+};
+
+/// Random-access columnar reader over an mmap'ed (or, when mmap is
+/// unavailable, fully buffered) file. open() validates the whole frame
+/// structure — magic, tail, index bounds, chunk headers, cross-chunk time
+/// monotonicity — so scanChunk only has to bounds-check varint payloads.
+///
+/// scanChunk is const and touches only immutable state: any number of
+/// threads may scan distinct (or the same) chunks concurrently, which is
+/// what the sharded query engine does.
+class ColumnarTraceReader {
+public:
+  /// Opens and validates \p Path. Returns a shared handle so query workers
+  /// can share one mapping.
+  static Result<std::shared_ptr<ColumnarTraceReader>>
+  open(const std::string &Path);
+
+  ColumnarTraceReader(const ColumnarTraceReader &) = delete;
+  ColumnarTraceReader &operator=(const ColumnarTraceReader &) = delete;
+  ~ColumnarTraceReader();
+
+  size_t chunkCount() const { return Index.size(); }
+  const ColumnarChunkInfo &chunk(size_t I) const { return Index[I]; }
+  uint64_t totalEvents() const { return Total; }
+
+  /// Decodes chunk \p I in event order, calling \p Visit once per event.
+  /// The TraceEventView's Key points into the mapped file and is valid only
+  /// during the visit. Fails with InvalidArgument on corrupt column data.
+  Status scanChunk(size_t I,
+                   FunctionRef<void(const TraceEventView &)> Visit) const;
+
+private:
+  ColumnarTraceReader() = default;
+
+  const unsigned char *Data = nullptr;
+  size_t Size = 0;
+  bool Mapped = false;          ///< Data came from mmap (else owned buffer).
+  std::vector<unsigned char> Owned;
+  std::vector<ColumnarChunkInfo> Index;
+  uint64_t Total = 0;
+};
+
+/// True when \p Path starts with the columnar magic. False on any read
+/// failure (the subsequent open reports the real error).
+bool isColumnarTraceFile(const std::string &Path);
+
+/// Writes \p T as a columnar file (atomic temp + rename).
+Status writeColumnarTraceFile(const Trace &T, const std::string &Path);
+
+/// Reads a columnar file into an in-memory Trace. Fails (never asserts) on
+/// corrupt data, including time-order violations.
+Result<Trace> readColumnarTraceFile(const std::string &Path);
+
+/// Reads \p Path in whichever trace format it is: columnar when the magic
+/// matches, JSON-lines otherwise.
+Result<Trace> readAnyTraceFile(const std::string &Path);
+
+} // namespace dyndist
+
+#endif // DYNDIST_SIM_TRACECOLUMNAR_H

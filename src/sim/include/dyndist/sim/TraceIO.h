@@ -15,17 +15,43 @@
 ///   {"kind":"join","t":12,"subject":3,"peer":18446744073709551615,
 ///    "msg":0,"key":"","value":0}
 ///
+/// Keys are escaped as JSON strings: `\"`, `\\`, `\n`, `\r`, `\t`, and
+/// `\u00XX` for the remaining control bytes, so a key containing a newline
+/// can never split a record across lines. The parser also accepts the
+/// pre-escape legacy form (backslash before `"` or `\` only, raw control
+/// bytes impossible to round-trip but never emitted), keeping old archived
+/// traces readable.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DYNDIST_SIM_TRACEIO_H
 #define DYNDIST_SIM_TRACEIO_H
 
 #include "dyndist/sim/Trace.h"
+#include "dyndist/sim/TraceSink.h"
 #include "dyndist/support/Result.h"
 
+#include <cstdio>
 #include <string>
+#include <string_view>
 
 namespace dyndist {
+
+/// The wire name of \p K ("join", "send", ...).
+const char *traceKindName(TraceKind K);
+
+/// Parses a wire kind name; returns false when \p Name is not a kind.
+bool traceKindFromName(const std::string &Name, TraceKind &Out);
+
+/// Appends the JSON string-escaped form of \p S (without surrounding
+/// quotes) to \p Out: `\"`, `\\`, `\n`, `\r`, `\t`, `\u00XX` for other
+/// control bytes.
+void appendEscapedTraceString(std::string &Out, std::string_view S);
+
+/// Appends the JSON-lines record for \p E (including trailing newline) to
+/// \p Out. All serializers (in-memory, streaming sink) share this so the
+/// byte format cannot drift.
+void appendTraceJsonLine(std::string &Out, const TraceEvent &E);
 
 /// Renders \p T as JSON lines (one TraceEvent per line, trailing newline).
 std::string traceToJsonLines(const Trace &T);
@@ -35,12 +61,47 @@ std::string traceToJsonLines(const Trace &T);
 /// Trace invariant).
 Result<Trace> traceFromJsonLines(const std::string &Text);
 
-/// Writes \p T to \p Path; fails with InvalidArgument when the file cannot
-/// be opened.
+/// Writes \p T to \p Path atomically: the data is written to \p Path +
+/// ".tmp" and renamed over \p Path only after a clean flush, so a short
+/// write never leaves a corrupt partial trace behind. Fails with
+/// InvalidArgument when the file cannot be opened or the write is short.
 Status writeTraceFile(const Trace &T, const std::string &Path);
 
-/// Reads a trace from \p Path.
+/// Reads a trace from \p Path. A mid-stream read error fails with a Status
+/// (it is never silently treated as EOF).
 Result<Trace> readTraceFile(const std::string &Path);
+
+/// Streaming JSON-lines sink: appends records to \p Path + ".tmp" as they
+/// arrive and renames over \p Path on close(), giving the same atomicity
+/// contract as writeTraceFile without holding the trace in memory.
+class JsonLinesTraceSink final : public TraceSink {
+public:
+  JsonLinesTraceSink() = default;
+  JsonLinesTraceSink(const JsonLinesTraceSink &) = delete;
+  JsonLinesTraceSink &operator=(const JsonLinesTraceSink &) = delete;
+  ~JsonLinesTraceSink() override;
+
+  /// Starts writing to \p Path + ".tmp". Fails when the temp file cannot
+  /// be created.
+  Status open(const std::string &Path);
+
+  void append(const TraceEvent &E) override;
+
+  /// Flushes, checks for write errors, and renames the temp file over the
+  /// final path. After close() the sink can be open()ed again.
+  Status close();
+
+  /// Records appended since open().
+  uint64_t eventsWritten() const { return Events; }
+
+private:
+  std::FILE *File = nullptr;
+  std::string FinalPath;
+  std::string TempPath;
+  std::string LineBuf;
+  uint64_t Events = 0;
+  bool WriteFailed = false;
+};
 
 } // namespace dyndist
 

@@ -1,0 +1,46 @@
+//===- dyndist/sim/TraceSink.h - Streaming trace consumers ------*- C++ -*-===//
+//
+// Part of the dyndist project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A TraceSink consumes trace records as the kernel emits them, instead of
+/// the kernel accumulating them in its in-memory Trace. Sinks exist for the
+/// production-scale path: a multi-million-event run at TraceLevel::Full
+/// cannot afford (and does not need) an in-core std::vector<TraceEvent> —
+/// it needs the records streamed to disk in a format the offline query
+/// tools can shard over.
+///
+/// Contract:
+///  - Simulator::setTraceSink(S) routes every record the active TraceLevel
+///    admits to S->append() *instead of* the in-memory Trace. trace() stays
+///    empty while a sink is installed; checkers run offline on the file.
+///  - Records arrive in nondecreasing Time order, exactly the order the
+///    in-memory Trace would have recorded (for the sharded engine, the
+///    barrier's ascending-destination merge order). A sink never reorders.
+///  - The sink is not owned by the simulator and must outlive it (or be
+///    detached with setTraceSink(nullptr) first).
+///  - append() must not throw and must not call back into the simulator.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNDIST_SIM_TRACESINK_H
+#define DYNDIST_SIM_TRACESINK_H
+
+#include "dyndist/sim/Trace.h"
+
+namespace dyndist {
+
+/// Abstract consumer of streamed trace records.
+class TraceSink {
+public:
+  virtual ~TraceSink() = default;
+
+  /// Consumes one record. Records arrive in nondecreasing Time order.
+  virtual void append(const TraceEvent &E) = 0;
+};
+
+} // namespace dyndist
+
+#endif // DYNDIST_SIM_TRACESINK_H

@@ -1,0 +1,436 @@
+//===- TraceColumnarTest.cpp - columnar trace format tests ----------------===//
+//
+// Part of the dyndist project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dyndist/sim/TraceColumnar.h"
+
+#include "dyndist/runtime/KernelLoad.h"
+#include "dyndist/sim/Simulator.h"
+#include "dyndist/sim/TraceIO.h"
+#include "dyndist/support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <unordered_set>
+
+#include <unistd.h>
+
+using namespace dyndist;
+
+namespace {
+
+// Pid-unique so concurrent ctest processes from this binary don't race
+// on a shared fixture file.
+const std::string TestPathStr = "/tmp/dyndist_columnar_test." +
+                                std::to_string(::getpid()) + ".dytr";
+const char *TestPath = TestPathStr.c_str();
+
+/// Deletes the fixture file (and its temp) after each test.
+struct FileGuard {
+  ~FileGuard() {
+    std::remove(TestPath);
+    std::remove((std::string(TestPath) + ".tmp").c_str());
+  }
+};
+
+/// Adversarial key pool: quotes, backslashes, newlines, empty, long,
+/// control bytes, repeated (string-table hits).
+std::string randomKey(Rng &R) {
+  switch (R.nextBelow(8)) {
+  case 0:
+    return "";
+  case 1:
+    return "plain.key";
+  case 2:
+    return "with\"quote";
+  case 3:
+    return "back\\slash";
+  case 4:
+    return "new\nline\r\t";
+  case 5:
+    return std::string("\x01\x02\x1f ctrl");
+  case 6:
+    return std::string(300, 'k'); // Long key.
+  default:
+    return "shared." + std::to_string(R.nextBelow(4));
+  }
+}
+
+/// A random trace with nondecreasing times and adversarial field values.
+/// Leave/Crash only ever target currently-joined subjects (Trace::append
+/// asserts presence bookkeeping).
+Trace randomTrace(uint64_t Seed, size_t Events) {
+  Rng R(Seed);
+  Trace T;
+  std::unordered_set<ProcessId> Joined;
+  SimTime Clock = 0;
+  for (size_t I = 0; I != Events; ++I) {
+    if (R.nextBernoulli(0.3))
+      Clock += R.nextBelow(1000); // Occasional large gaps.
+    TraceEvent E;
+    E.Kind = static_cast<TraceKind>(R.nextBelow(7));
+    E.Time = Clock;
+    E.Subject = R.nextBernoulli(0.1) ? InvalidProcess : R.nextBelow(1000);
+    if (E.Kind == TraceKind::Leave || E.Kind == TraceKind::Crash) {
+      if (!Joined.count(E.Subject))
+        E.Kind = TraceKind::Join;
+      else
+        Joined.erase(E.Subject);
+    }
+    if (E.Kind == TraceKind::Join)
+      Joined.insert(E.Subject);
+    E.Peer = R.nextBernoulli(0.3) ? InvalidProcess : R.nextBelow(1000);
+    E.MsgKind = R.nextBernoulli(0.1) ? -static_cast<int>(R.nextBelow(1000))
+                                     : static_cast<int>(R.nextBelow(1000));
+    E.Key = randomKey(R);
+    switch (R.nextBelow(5)) {
+    case 0:
+      E.Value = INT64_MIN;
+      break;
+    case 1:
+      E.Value = INT64_MAX;
+      break;
+    case 2:
+      E.Value = -static_cast<int64_t>(R.nextBelow(1U << 20));
+      break;
+    default:
+      E.Value = static_cast<int64_t>(R.nextBelow(1U << 20));
+    }
+    T.append(std::move(E));
+  }
+  return T;
+}
+
+void expectTracesEqual(const Trace &A, const Trace &B) {
+  ASSERT_EQ(A.events().size(), B.events().size());
+  for (size_t I = 0; I != A.events().size(); ++I) {
+    const TraceEvent &X = A.events()[I], &Y = B.events()[I];
+    ASSERT_EQ(static_cast<int>(X.Kind), static_cast<int>(Y.Kind)) << I;
+    ASSERT_EQ(X.Time, Y.Time) << I;
+    ASSERT_EQ(X.Subject, Y.Subject) << I;
+    ASSERT_EQ(X.Peer, Y.Peer) << I;
+    ASSERT_EQ(X.MsgKind, Y.MsgKind) << I;
+    ASSERT_EQ(X.Key, Y.Key) << I;
+    ASSERT_EQ(X.Value, Y.Value) << I;
+  }
+}
+
+std::vector<unsigned char> readFileBytes(const std::string &Path) {
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  EXPECT_NE(F, nullptr);
+  std::vector<unsigned char> Data;
+  unsigned char Buf[4096];
+  size_t Got;
+  while ((Got = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Data.insert(Data.end(), Buf, Buf + Got);
+  std::fclose(F);
+  return Data;
+}
+
+void writeFileBytes(const std::string &Path,
+                    const std::vector<unsigned char> &Data) {
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  ASSERT_NE(F, nullptr);
+  if (!Data.empty()) { // fwrite(nullptr, ...) is UB even for zero bytes.
+    ASSERT_EQ(std::fwrite(Data.data(), 1, Data.size(), F), Data.size());
+  }
+  std::fclose(F);
+}
+
+} // namespace
+
+// Property: Trace -> columnar -> Trace is the identity, and the text
+// format agrees, for randomized traces with adversarial keys and extreme
+// values.
+TEST(TraceColumnar, RandomizedRoundTripBothFormats) {
+  FileGuard G;
+  for (uint64_t Seed = 1; Seed <= 12; ++Seed) {
+    Trace T = randomTrace(Seed, 500 + Seed * 137);
+    ASSERT_TRUE(writeColumnarTraceFile(T, TestPath).ok());
+    auto FromColumnar = readColumnarTraceFile(TestPath);
+    ASSERT_TRUE(FromColumnar.ok()) << FromColumnar.error().str();
+    expectTracesEqual(T, *FromColumnar);
+
+    auto FromText = traceFromJsonLines(traceToJsonLines(T));
+    ASSERT_TRUE(FromText.ok()) << FromText.error().str();
+    expectTracesEqual(*FromColumnar, *FromText);
+  }
+}
+
+TEST(TraceColumnar, EmptyTraceRoundTrips) {
+  FileGuard G;
+  Trace T;
+  ASSERT_TRUE(writeColumnarTraceFile(T, TestPath).ok());
+  auto R = readColumnarTraceFile(TestPath);
+  ASSERT_TRUE(R.ok()) << R.error().str();
+  EXPECT_TRUE(R->events().empty());
+  EXPECT_TRUE(isColumnarTraceFile(TestPath));
+}
+
+// Chunk framing: > 64K events spill into multiple chunks whose metadata
+// (count, time extent, kind bitmap) matches the events they frame.
+TEST(TraceColumnar, MultiChunkFramingAndMetadata) {
+  FileGuard G;
+  const size_t Events = 150'000; // 3 chunks: 64K + 64K + remainder.
+  Trace T = randomTrace(99, Events);
+  ASSERT_TRUE(writeColumnarTraceFile(T, TestPath).ok());
+
+  auto Reader = ColumnarTraceReader::open(TestPath);
+  ASSERT_TRUE(Reader.ok()) << Reader.error().str();
+  EXPECT_EQ((*Reader)->totalEvents(), Events);
+  ASSERT_EQ((*Reader)->chunkCount(), 3u);
+  EXPECT_EQ((*Reader)->chunk(0).EventCount,
+            ColumnarTraceWriter::EventsPerChunk);
+  EXPECT_EQ((*Reader)->chunk(1).EventCount,
+            ColumnarTraceWriter::EventsPerChunk);
+  EXPECT_EQ((*Reader)->chunk(2).EventCount,
+            Events - 2 * ColumnarTraceWriter::EventsPerChunk);
+
+  size_t At = 0;
+  for (size_t C = 0; C != 3; ++C) {
+    const ColumnarChunkInfo &Info = (*Reader)->chunk(C);
+    uint32_t Mask = 0;
+    SimTime MinT = ~0ULL, MaxT = 0;
+    size_t Count = 0;
+    Status S = (*Reader)->scanChunk(C, [&](const TraceEventView &V) {
+      const TraceEvent &E = T.events()[At++];
+      ASSERT_EQ(V.Time, E.Time);
+      ASSERT_EQ(V.Key, E.Key);
+      Mask |= 1u << static_cast<unsigned>(V.Kind);
+      MinT = std::min(MinT, V.Time);
+      MaxT = std::max(MaxT, V.Time);
+      ++Count;
+    });
+    ASSERT_TRUE(S.ok()) << S.error().str();
+    EXPECT_EQ(Count, Info.EventCount);
+    EXPECT_EQ(Mask, Info.KindMask);
+    EXPECT_EQ(MinT, Info.MinTime);
+    EXPECT_EQ(MaxT, Info.MaxTime);
+  }
+  EXPECT_EQ(At, Events);
+}
+
+// The chunk framing is a pure function of the event stream: writing the
+// same events through a sink one-by-one or via writeColumnarTraceFile
+// produces byte-identical files.
+TEST(TraceColumnar, FramingIsAppendScheduleInvariant) {
+  FileGuard G;
+  Trace T = randomTrace(7, 70'000);
+  ASSERT_TRUE(writeColumnarTraceFile(T, TestPath).ok());
+  auto Bytes1 = readFileBytes(TestPath);
+
+  std::string Path2 = std::string(TestPath) + ".b";
+  ColumnarTraceWriter W;
+  ASSERT_TRUE(W.open(Path2).ok());
+  for (const TraceEvent &E : T.events())
+    W.append(E);
+  ASSERT_TRUE(W.close().ok());
+  auto Bytes2 = readFileBytes(Path2);
+  std::remove(Path2.c_str());
+  EXPECT_EQ(Bytes1, Bytes2);
+}
+
+// A kernel run with a columnar sink streams exactly the events an
+// unsinked run accumulates in trace(), and trace() stays empty.
+TEST(TraceColumnar, SinkMatchesInMemoryTraceInLiveSimulator) {
+  FileGuard G;
+  KernelLoadConfig Cfg;
+  Cfg.Processes = 200;
+  Cfg.Horizon = 80;
+  Cfg.GossipEvery = 4;
+  Cfg.GossipFanout = 2;
+  Cfg.ChurnEvery = 25;
+
+  // Reference run: in-memory trace.
+  KernelLoadResult InMem = runKernelLoad(Cfg, TraceLevel::Full);
+  ASSERT_GT(InMem.TraceRecords, 0u);
+
+  std::string SinkPath = std::string(TestPath) + ".sink";
+  ColumnarTraceWriter W;
+  ASSERT_TRUE(W.open(SinkPath).ok());
+  KernelLoadConfig SinkCfg = Cfg;
+  SinkCfg.Sink = &W;
+  KernelLoadResult Sunk = runKernelLoad(SinkCfg, TraceLevel::Full);
+  ASSERT_TRUE(W.close().ok());
+
+  // Sink mode: same schedule, no in-memory records.
+  EXPECT_EQ(Sunk.Stats.EventsExecuted, InMem.Stats.EventsExecuted);
+  EXPECT_EQ(Sunk.TraceRecords, 0u);
+  EXPECT_EQ(W.eventsWritten(), InMem.TraceRecords);
+  std::remove(SinkPath.c_str());
+}
+
+// Sharded runs produce byte-identical columnar files at any K (the same
+// contract dyndist-kernel-smoke --trace-digest pins at scale).
+TEST(TraceColumnar, ShardCountInvariantFiles) {
+  FileGuard G;
+  std::vector<unsigned char> Reference;
+  for (unsigned K : {1u, 2u, 4u}) {
+    KernelLoadConfig Cfg;
+    Cfg.Processes = 300;
+    Cfg.Horizon = 60;
+    Cfg.GossipEvery = 4;
+    Cfg.GossipFanout = 2;
+    Cfg.ChurnEvery = 25;
+    Cfg.Shards = K;
+    ColumnarTraceWriter W;
+    ASSERT_TRUE(W.open(TestPath).ok());
+    Cfg.Sink = &W;
+    runKernelLoad(Cfg, TraceLevel::Full);
+    ASSERT_TRUE(W.close().ok());
+    auto Bytes = readFileBytes(TestPath);
+    EXPECT_GT(Bytes.size(), 40u);
+    if (Reference.empty())
+      Reference = Bytes;
+    else
+      EXPECT_EQ(Bytes, Reference) << "shards=" << K;
+  }
+}
+
+// Out-of-order appends are a deferred close() error, never a crash or a
+// silently-written file.
+TEST(TraceColumnar, OutOfOrderAppendRejectedAtClose) {
+  FileGuard G;
+  ColumnarTraceWriter W;
+  ASSERT_TRUE(W.open(TestPath).ok());
+  W.append({TraceKind::Join, 10, 1, InvalidProcess, 0, "", 0});
+  W.append({TraceKind::Join, 5, 2, InvalidProcess, 0, "", 0});
+  Status S = W.close();
+  ASSERT_FALSE(S.ok());
+  EXPECT_NE(S.error().Message.find("out of time order"), std::string::npos);
+  EXPECT_EQ(std::fopen(TestPath, "r"), nullptr); // Nothing left behind.
+}
+
+// An unclosed writer (abandoned run) leaves no file at all.
+TEST(TraceColumnar, AbandonedWriterLeavesNoFiles) {
+  {
+    ColumnarTraceWriter W;
+    ASSERT_TRUE(W.open(TestPath).ok());
+    W.append({TraceKind::Join, 0, 1, InvalidProcess, 0, "", 0});
+  }
+  EXPECT_EQ(std::fopen(TestPath, "r"), nullptr);
+  EXPECT_EQ(std::fopen((std::string(TestPath) + ".tmp").c_str(), "r"),
+            nullptr);
+}
+
+//===----------------------------------------------------------------------===//
+// Corrupt-file suite: every mutilation is a clean Status error, never a
+// crash, assert, or silently-truncated result.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Writes a healthy two-chunk file and returns its bytes.
+std::vector<unsigned char> healthyFileBytes() {
+  Trace T = randomTrace(5, 70'000);
+  EXPECT_TRUE(writeColumnarTraceFile(T, TestPath).ok());
+  return readFileBytes(TestPath);
+}
+
+void expectOpenFails(const std::vector<unsigned char> &Bytes,
+                     const char *Label) {
+  writeFileBytes(TestPath, Bytes);
+  auto R = ColumnarTraceReader::open(TestPath);
+  EXPECT_FALSE(R.ok()) << Label;
+  if (!R.ok()) {
+    EXPECT_NE(R.error().Message.find("corrupt"), std::string::npos) << Label;
+  }
+}
+
+} // namespace
+
+TEST(TraceColumnar, CorruptFilesRejectedCleanly) {
+  FileGuard G;
+  std::vector<unsigned char> Good = healthyFileBytes();
+
+  // Truncations at every structural boundary.
+  for (size_t Keep :
+       {size_t(0), size_t(4), size_t(8), size_t(40), Good.size() / 2,
+        Good.size() - 1, Good.size() - 33}) {
+    std::vector<unsigned char> Cut(Good.begin(), Good.begin() + Keep);
+    expectOpenFails(Cut, "truncation");
+  }
+
+  // Bad file magic.
+  {
+    auto Bad = Good;
+    Bad[0] ^= 0xFF;
+    expectOpenFails(Bad, "file magic");
+  }
+  // Bad tail magic.
+  {
+    auto Bad = Good;
+    Bad[Bad.size() - 1] ^= 0xFF;
+    expectOpenFails(Bad, "tail magic");
+  }
+  // Index offset pointing into nowhere.
+  {
+    auto Bad = Good;
+    Bad[Bad.size() - 32] ^= 0x5A;
+    expectOpenFails(Bad, "index offset");
+  }
+  // Chunk magic destroyed.
+  {
+    auto Bad = Good;
+    Bad[8] ^= 0xFF;
+    expectOpenFails(Bad, "chunk magic");
+  }
+  // Chunk event count disagrees with the index.
+  {
+    auto Bad = Good;
+    Bad[12] ^= 0x01;
+    expectOpenFails(Bad, "chunk event count");
+  }
+}
+
+TEST(TraceColumnar, CorruptColumnPayloadRejectedCleanly) {
+  FileGuard G;
+  std::vector<unsigned char> Good = healthyFileBytes();
+
+  // Flip bytes inside the first chunk's column payload (past the 60-byte
+  // chunk header at offset 8). Frame metadata stays intact, so open()
+  // succeeds and the damage must surface as a scanChunk error or as
+  // different-but-bounded decoded values — never a crash or overrun.
+  size_t PayloadStart = 8 + 60;
+  Rng R(17);
+  for (int Trial = 0; Trial != 24; ++Trial) {
+    auto Bad = Good;
+    size_t At = PayloadStart + R.nextBelow(2000);
+    Bad[At] ^= static_cast<unsigned char>(1 + R.nextBelow(255));
+    writeFileBytes(TestPath, Bad);
+    auto Opened = ColumnarTraceReader::open(TestPath);
+    if (!Opened.ok())
+      continue; // Damage hit something open() validates: fine.
+    size_t Seen = 0;
+    Status S = (*Opened)->scanChunk(0, [&](const TraceEventView &V) {
+      ++Seen;
+      (void)V;
+    });
+    // Either a clean decode error or a full decode; both are acceptable,
+    // crashing is not.
+    if (S.ok()) {
+      EXPECT_EQ(Seen, (*Opened)->chunk(0).EventCount);
+    }
+  }
+}
+
+TEST(TraceColumnar, ReadAnyDispatchesOnMagic) {
+  FileGuard G;
+  Trace T = randomTrace(3, 200);
+
+  ASSERT_TRUE(writeColumnarTraceFile(T, TestPath).ok());
+  auto FromColumnar = readAnyTraceFile(TestPath);
+  ASSERT_TRUE(FromColumnar.ok());
+  expectTracesEqual(T, *FromColumnar);
+
+  std::string TextPath = std::string(TestPath) + ".jsonl";
+  ASSERT_TRUE(writeTraceFile(T, TextPath).ok());
+  EXPECT_FALSE(isColumnarTraceFile(TextPath));
+  auto FromText = readAnyTraceFile(TextPath);
+  ASSERT_TRUE(FromText.ok());
+  expectTracesEqual(T, *FromText);
+  std::remove(TextPath.c_str());
+}

@@ -112,6 +112,137 @@ TEST(TraceIO, FileRoundTrip) {
   EXPECT_FALSE(writeTraceFile(T, "/nonexistent/dir/x.jsonl").ok());
 }
 
+// Regression: escapeString used to escape only '"' and '\\', so a key with
+// a newline split the record across two lines and made the file
+// unparseable. Control characters must be escaped and decoded.
+TEST(TraceIO, ControlCharacterKeysRoundTrip) {
+  Trace T;
+  T.append({TraceKind::Join, 0, 1, InvalidProcess, 0, "", 0});
+  T.append({TraceKind::Observe, 1, 1, InvalidProcess, 0,
+            "line1\nline2\rtab\there", 1});
+  T.append({TraceKind::Observe, 2, 1, InvalidProcess, 0,
+            std::string("nul\x01\x1f bytes"), 2});
+  std::string Text = traceToJsonLines(T);
+  // One record per line: the newline inside the key must not split it.
+  size_t Lines = 0;
+  for (char C : Text)
+    Lines += C == '\n';
+  EXPECT_EQ(Lines, 3u);
+  EXPECT_NE(Text.find("\\n"), std::string::npos);
+  EXPECT_NE(Text.find("\\u0001"), std::string::npos);
+
+  auto Parsed = traceFromJsonLines(Text);
+  ASSERT_TRUE(Parsed.ok()) << Parsed.error().str();
+  EXPECT_EQ(Parsed->events()[1].Key, "line1\nline2\rtab\there");
+  EXPECT_EQ(Parsed->events()[2].Key, std::string("nul\x01\x1f bytes"));
+}
+
+// Files written before control-char escaping (backslash only before '"'
+// and '\\') must stay readable.
+TEST(TraceIO, LegacyEscapeFormatStillParses) {
+  std::string Legacy =
+      "{\"kind\":\"observe\",\"t\":1,\"subject\":1,\"peer\":0,\"msg\":0,"
+      "\"key\":\"weird\\\"key\\\\with stuff\",\"value\":5}\n";
+  auto Parsed = traceFromJsonLines(Legacy);
+  ASSERT_TRUE(Parsed.ok()) << Parsed.error().str();
+  EXPECT_EQ(Parsed->events()[0].Key, "weird\"key\\with stuff");
+}
+
+// Regression: LineScanner::number let strtoull saturate on out-of-range
+// digit runs, so t=2^64 round-tripped to UINT64_MAX instead of being
+// rejected.
+TEST(TraceIO, NumericOverflowRejected) {
+  // 2^64 = 18446744073709551616 overflows uint64_t.
+  auto R1 = traceFromJsonLines(
+      "{\"kind\":\"join\",\"t\":18446744073709551616,\"subject\":0,"
+      "\"peer\":0,\"msg\":0,\"key\":\"\",\"value\":0}\n");
+  ASSERT_FALSE(R1.ok());
+  EXPECT_NE(R1.error().Message.find("malformed"), std::string::npos);
+
+  // UINT64_MAX itself is representable and must still parse (it is how
+  // InvalidProcess serializes).
+  auto R2 = traceFromJsonLines(
+      "{\"kind\":\"join\",\"t\":0,\"subject\":18446744073709551615,"
+      "\"peer\":18446744073709551615,\"msg\":0,\"key\":\"\",\"value\":0}\n");
+  ASSERT_TRUE(R2.ok()) << R2.error().str();
+  EXPECT_EQ(R2->events()[0].Subject, InvalidProcess);
+
+  // value is int64: magnitude 2^63 is only valid with a minus sign.
+  auto R3 = traceFromJsonLines(
+      "{\"kind\":\"observe\",\"t\":0,\"subject\":0,\"peer\":0,\"msg\":0,"
+      "\"key\":\"\",\"value\":9223372036854775808}\n");
+  ASSERT_FALSE(R3.ok());
+  auto R4 = traceFromJsonLines(
+      "{\"kind\":\"observe\",\"t\":0,\"subject\":0,\"peer\":0,\"msg\":0,"
+      "\"key\":\"\",\"value\":-9223372036854775808}\n");
+  ASSERT_TRUE(R4.ok()) << R4.error().str();
+  EXPECT_EQ(R4->events()[0].Value, INT64_MIN);
+}
+
+// Regression: msg is serialized with %d (negative kinds are legal) but the
+// parser read it as an unsigned field, so any negative msg failed to
+// round-trip.
+TEST(TraceIO, NegativeMsgKindRoundTrips) {
+  Trace T;
+  T.append({TraceKind::Send, 0, 1, 2, -42, "", 0});
+  auto Parsed = traceFromJsonLines(traceToJsonLines(T));
+  ASSERT_TRUE(Parsed.ok()) << Parsed.error().str();
+  EXPECT_EQ(Parsed->events()[0].MsgKind, -42);
+
+  // Out-of-int32-range msg is rejected, not truncated.
+  auto R = traceFromJsonLines(
+      "{\"kind\":\"send\",\"t\":0,\"subject\":1,\"peer\":2,\"msg\":"
+      "2147483648,\"key\":\"\",\"value\":0}\n");
+  ASSERT_FALSE(R.ok());
+}
+
+// Regression: readTraceFile treated a mid-stream fread error as EOF and
+// silently returned a truncated (here: empty) trace. Reading a directory
+// makes fread fail without fopen failing.
+TEST(TraceIO, ReadErrorIsNotSilentEof) {
+  auto R = readTraceFile("/tmp");
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.error().Message.find("read error"), std::string::npos);
+}
+
+// writeTraceFile is atomic: the data lands in Path + ".tmp" first and the
+// temp never survives, success or failure.
+TEST(TraceIO, WriteIsAtomicAndLeavesNoTemp) {
+  Trace T = makeSampleTrace();
+  std::string Path = "/tmp/dyndist_trace_atomic_test.jsonl";
+  ASSERT_TRUE(writeTraceFile(T, Path).ok());
+  EXPECT_EQ(std::fopen((Path + ".tmp").c_str(), "r"), nullptr);
+  auto Parsed = readTraceFile(Path);
+  ASSERT_TRUE(Parsed.ok());
+  EXPECT_EQ(Parsed->events().size(), T.events().size());
+  std::remove(Path.c_str());
+}
+
+// The streaming sink writes the same bytes traceToJsonLines produces and
+// honors the same temp + rename contract.
+TEST(TraceIO, JsonLinesSinkMatchesBatchSerialization) {
+  Trace T = makeSampleTrace();
+  std::string Path = "/tmp/dyndist_trace_sink_test.jsonl";
+  JsonLinesTraceSink Sink;
+  ASSERT_TRUE(Sink.open(Path).ok());
+  for (const TraceEvent &E : T.events())
+    Sink.append(E);
+  EXPECT_EQ(Sink.eventsWritten(), T.events().size());
+  ASSERT_TRUE(Sink.close().ok());
+  EXPECT_EQ(std::fopen((Path + ".tmp").c_str(), "r"), nullptr);
+
+  std::FILE *F = std::fopen(Path.c_str(), "r");
+  ASSERT_NE(F, nullptr);
+  std::string Data;
+  char Buf[4096];
+  size_t Got;
+  while ((Got = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Data.append(Buf, Got);
+  std::fclose(F);
+  EXPECT_EQ(Data, traceToJsonLines(T));
+  std::remove(Path.c_str());
+}
+
 TEST(TraceIO, RealSimulationTraceRoundTrips) {
   class Chatter : public Actor {
   public:

@@ -1,0 +1,370 @@
+//===- TraceQueryTest.cpp - sharded trace query tests ---------------------===//
+//
+// Part of the dyndist project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dyndist/runtime/TraceQuery.h"
+
+#include "dyndist/sim/TraceIO.h"
+#include "dyndist/support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <unordered_set>
+
+#include <unistd.h>
+#include <map>
+#include <set>
+
+using namespace dyndist;
+
+namespace {
+
+// Pid-unique so concurrent ctest processes from this binary don't race
+// on a shared fixture file.
+const std::string PathStem =
+    "/tmp/dyndist_query_test." + std::to_string(::getpid());
+const std::string ColPathStr = PathStem + ".dytr";
+const std::string TextPathStr = PathStem + ".jsonl";
+const char *ColPath = ColPathStr.c_str();
+const char *TextPath = TextPathStr.c_str();
+
+struct FileGuard {
+  ~FileGuard() {
+    std::remove(ColPath);
+    std::remove(TextPath);
+  }
+};
+
+/// Deterministic random trace big enough to span several chunks, so the
+/// parallel scan actually shards.
+Trace buildTrace(uint64_t Seed, size_t Events) {
+  Rng R(Seed);
+  Trace T;
+  std::unordered_set<ProcessId> Joined;
+  SimTime Clock = 0;
+  for (size_t I = 0; I != Events; ++I) {
+    if (R.nextBernoulli(0.2))
+      Clock += R.nextBelow(50);
+    TraceEvent E;
+    E.Kind = static_cast<TraceKind>(R.nextBelow(7));
+    E.Time = Clock;
+    E.Subject = R.nextBelow(40);
+    if (E.Kind == TraceKind::Leave || E.Kind == TraceKind::Crash) {
+      if (!Joined.count(E.Subject))
+        E.Kind = TraceKind::Join;
+      else
+        Joined.erase(E.Subject);
+    }
+    if (E.Kind == TraceKind::Join)
+      Joined.insert(E.Subject);
+    E.Peer = R.nextBernoulli(0.2) ? InvalidProcess : R.nextBelow(40);
+    E.MsgKind = static_cast<int>(R.nextBelow(6)) - 2;
+    E.Key = R.nextBernoulli(0.3) ? "metric." + std::to_string(R.nextBelow(5))
+                                 : std::string();
+    E.Value = static_cast<int64_t>(R.nextBelow(200)) - 100;
+    T.append(std::move(E));
+  }
+  return T;
+}
+
+/// Writes \p T in both formats and opens both sources.
+struct Sources {
+  std::shared_ptr<TraceQuerySource> Col, Text;
+};
+
+Sources openBoth(const Trace &T) {
+  EXPECT_TRUE(writeColumnarTraceFile(T, ColPath).ok());
+  EXPECT_TRUE(writeTraceFile(T, TextPath).ok());
+  auto C = TraceQuerySource::open(ColPath);
+  auto X = TraceQuerySource::open(TextPath);
+  EXPECT_TRUE(C.ok());
+  EXPECT_TRUE(X.ok());
+  EXPECT_TRUE((*C)->isColumnar());
+  EXPECT_FALSE((*X)->isColumnar());
+  return {*C, *X};
+}
+
+} // namespace
+
+// queryFilter against brute force: the engine's output is exactly the
+// JSON lines of the matching events, in order, from either format.
+TEST(TraceQuery, FilterMatchesBruteForce) {
+  FileGuard G;
+  Trace T = buildTrace(11, 140'000); // 3 chunks.
+  Sources S = openBoth(T);
+
+  TraceFilter F;
+  F.Kind = TraceKind::Send;
+  F.Subject = 7;
+  F.FromTime = 100;
+  F.ToTime = 600'000;
+
+  std::string Expected;
+  for (const TraceEvent &E : T.events()) {
+    if (E.Kind != TraceKind::Send || E.Subject != 7 || E.Time < 100 ||
+        E.Time > 600'000)
+      continue;
+    appendTraceJsonLine(Expected, E);
+  }
+
+  QueryOptions O;
+  O.Threads = 3;
+  auto FromCol = queryFilter(*S.Col, F, O);
+  auto FromText = queryFilter(*S.Text, F, O);
+  ASSERT_TRUE(FromCol.ok()) << FromCol.error().str();
+  ASSERT_TRUE(FromText.ok()) << FromText.error().str();
+  EXPECT_EQ(*FromCol, Expected);
+  EXPECT_EQ(*FromText, Expected);
+}
+
+TEST(TraceQuery, FilterLimitCapsInEventOrder) {
+  FileGuard G;
+  Trace T = buildTrace(12, 70'000);
+  Sources S = openBoth(T);
+
+  TraceFilter F;
+  QueryOptions O;
+  O.Threads = 4;
+  O.Limit = 10;
+  auto R = queryFilter(*S.Col, F, O);
+  ASSERT_TRUE(R.ok());
+
+  std::string Expected;
+  for (size_t I = 0; I != 10; ++I)
+    appendTraceJsonLine(Expected, T.events()[I]);
+  EXPECT_EQ(*R, Expected);
+}
+
+// group-by against a brute-force std::map aggregation, every field.
+TEST(TraceQuery, GroupByMatchesBruteForce) {
+  FileGuard G;
+  Trace T = buildTrace(13, 90'000);
+  Sources S = openBoth(T);
+
+  TraceFilter F; // Match-all.
+  QueryOptions O;
+  O.Threads = 4;
+  O.TimeBucketWidth = 250;
+
+  // Brute force for subject.
+  struct Agg {
+    uint64_t Count = 0;
+    int64_t Sum = 0;
+  };
+  std::map<ProcessId, Agg> Expected;
+  for (const TraceEvent &E : T.events()) {
+    Agg &A = Expected[E.Subject];
+    ++A.Count;
+    A.Sum += E.Value;
+  }
+
+  auto R = queryGroupBy(*S.Col, F, GroupField::Subject, O);
+  ASSERT_TRUE(R.ok()) << R.error().str();
+  // Count the data rows (header + one per group) and spot-check totals.
+  size_t Rows = 0;
+  uint64_t CountTotal = 0;
+  size_t Pos = 0;
+  bool Header = true;
+  while (Pos < R->size()) {
+    size_t Eol = R->find('\n', Pos);
+    std::string Line = R->substr(Pos, Eol - Pos);
+    Pos = Eol + 1;
+    if (Header) {
+      EXPECT_NE(Line.find("count"), std::string::npos);
+      Header = false;
+      continue;
+    }
+    ++Rows;
+    // Columns: group \t count \t value_sum \t t_min \t t_max.
+    size_t Tab1 = Line.find('\t'), Tab2 = Line.find('\t', Tab1 + 1);
+    CountTotal += std::stoull(Line.substr(Tab1 + 1, Tab2 - Tab1 - 1));
+  }
+  EXPECT_EQ(Rows, Expected.size());
+  EXPECT_EQ(CountTotal, T.events().size());
+
+  // Both formats and every group field render identically.
+  for (GroupField Field :
+       {GroupField::Kind, GroupField::Subject, GroupField::Peer,
+        GroupField::Msg, GroupField::Key, GroupField::TimeBucket}) {
+    auto A = queryGroupBy(*S.Col, F, Field, O);
+    auto B = queryGroupBy(*S.Text, F, Field, O);
+    ASSERT_TRUE(A.ok() && B.ok());
+    EXPECT_EQ(*A, *B) << static_cast<int>(Field);
+  }
+}
+
+// The determinism contract: byte-identical output at every thread count.
+TEST(TraceQuery, OutputIsThreadCountInvariant) {
+  FileGuard G;
+  Trace T = buildTrace(14, 200'000); // 4 chunks.
+  Sources S = openBoth(T);
+
+  TraceFilter F;
+  F.Kind = TraceKind::Deliver;
+  std::string Ref;
+  for (unsigned Threads : {1u, 2u, 3u, 8u, 16u}) {
+    QueryOptions O;
+    O.Threads = Threads;
+    auto Filtered = queryFilter(*S.Col, F, O);
+    auto Grouped = queryGroupBy(*S.Col, F, GroupField::Msg, O);
+    auto Top = queryTopK(*S.Col, F, GroupField::Subject, O);
+    auto Stats = queryStats(*S.Col, F, O);
+    ASSERT_TRUE(Filtered.ok() && Grouped.ok() && Top.ok() && Stats.ok());
+    std::string All = *Filtered + *Grouped + *Top + *Stats;
+    if (Ref.empty())
+      Ref = All;
+    else
+      EXPECT_EQ(All, Ref) << "threads=" << Threads;
+  }
+}
+
+// Chunk pruning must not change results: a narrow time window whose
+// matches sit entirely in the last chunk returns exactly those events.
+TEST(TraceQuery, ChunkPruningPreservesResults) {
+  FileGuard G;
+  Trace T = buildTrace(15, 140'000);
+  Sources S = openBoth(T);
+
+  SimTime Last = T.events().back().Time;
+  TraceFilter F;
+  F.FromTime = Last; // Only the final-time events.
+
+  std::string Expected;
+  for (const TraceEvent &E : T.events())
+    if (E.Time >= Last)
+      appendTraceJsonLine(Expected, E);
+
+  QueryOptions O;
+  O.Threads = 4;
+  auto R = queryFilter(*S.Col, F, O);
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(*R, Expected);
+
+  // A kind absent from the trace's bitmap prunes everything to zero rows.
+  TraceFilter None;
+  None.Kind = TraceKind::Join;
+  None.ToTime = 0;
+  None.FromTime = 0;
+  auto Stats = queryStats(*S.Col, None, O);
+  ASSERT_TRUE(Stats.ok());
+  EXPECT_NE(Stats->find("events\t"), std::string::npos);
+}
+
+// top-k: descending count, ties broken by ascending group value, capped.
+TEST(TraceQuery, TopKOrderingAndCap) {
+  FileGuard G;
+  Trace T;
+  // Subject 3 appears 5 times, subject 1 and 2 appear 3 times each (tie),
+  // subject 9 once.
+  for (int I = 0; I != 5; ++I)
+    T.append({TraceKind::Send, static_cast<SimTime>(I), 3, 0, 0, "", 0});
+  for (int I = 0; I != 3; ++I)
+    T.append({TraceKind::Send, 10, 2, 0, 0, "", 0});
+  for (int I = 0; I != 3; ++I)
+    T.append({TraceKind::Send, 11, 1, 0, 0, "", 0});
+  T.append({TraceKind::Send, 12, 9, 0, 0, "", 0});
+  Sources S = openBoth(T);
+
+  QueryOptions O;
+  O.TopK = 3;
+  TraceFilter F;
+  auto R = queryTopK(*S.Col, F, GroupField::Subject, O);
+  ASSERT_TRUE(R.ok()) << R.error().str();
+  // Expect rows for 3 (count 5), then 1 before 2 (tie -> ascending), and
+  // subject 9 cut off by the cap.
+  size_t P3 = R->find("\n3\t");
+  size_t P1 = R->find("\n1\t");
+  size_t P2 = R->find("\n2\t");
+  EXPECT_NE(P3, std::string::npos);
+  EXPECT_NE(P1, std::string::npos);
+  EXPECT_NE(P2, std::string::npos);
+  EXPECT_LT(P3, P1);
+  EXPECT_LT(P1, P2);
+  EXPECT_EQ(R->find("\n9\t"), std::string::npos);
+}
+
+// stats: totals agree with brute force.
+TEST(TraceQuery, StatsMatchBruteForce) {
+  FileGuard G;
+  Trace T = buildTrace(16, 70'000);
+  Sources S = openBoth(T);
+
+  uint64_t Sends = 0;
+  int64_t Sum = 0;
+  std::set<ProcessId> Subjects;
+  for (const TraceEvent &E : T.events()) {
+    Sends += E.Kind == TraceKind::Send;
+    Sum += E.Value;
+    Subjects.insert(E.Subject);
+  }
+
+  QueryOptions O;
+  O.Threads = 4;
+  TraceFilter F;
+  auto R = queryStats(*S.Col, F, O);
+  ASSERT_TRUE(R.ok()) << R.error().str();
+  EXPECT_NE(R->find("events\t" + std::to_string(T.events().size())),
+            std::string::npos);
+  EXPECT_NE(R->find("kind_send\t" + std::to_string(Sends)),
+            std::string::npos);
+  EXPECT_NE(R->find("subjects\t" + std::to_string(Subjects.size())),
+            std::string::npos);
+  EXPECT_NE(R->find("value_sum\t" + std::to_string(Sum)),
+            std::string::npos);
+
+  auto FromText = queryStats(*S.Text, F, O);
+  ASSERT_TRUE(FromText.ok());
+  EXPECT_EQ(*R, *FromText);
+}
+
+// Negative msg kinds sort numerically in group-by output (the offset-binary
+// transform), not by unsigned bit pattern.
+TEST(TraceQuery, NegativeMsgKindsSortNumerically) {
+  FileGuard G;
+  Trace T;
+  T.append({TraceKind::Send, 0, 1, 2, 5, "", 0});
+  T.append({TraceKind::Send, 1, 1, 2, -3, "", 0});
+  T.append({TraceKind::Send, 2, 1, 2, 0, "", 0});
+  T.append({TraceKind::Send, 3, 1, 2, -3, "", 0});
+  Sources S = openBoth(T);
+
+  QueryOptions O;
+  TraceFilter F;
+  auto R = queryGroupBy(*S.Col, F, GroupField::Msg, O);
+  ASSERT_TRUE(R.ok()) << R.error().str();
+  size_t PNeg = R->find("\n-3\t");
+  size_t PZero = R->find("\n0\t");
+  size_t PFive = R->find("\n5\t");
+  ASSERT_NE(PNeg, std::string::npos);
+  ASSERT_NE(PZero, std::string::npos);
+  ASSERT_NE(PFive, std::string::npos);
+  EXPECT_LT(PNeg, PZero);
+  EXPECT_LT(PZero, PFive);
+}
+
+TEST(TraceQuery, GroupFieldNamesParse) {
+  GroupField F;
+  EXPECT_TRUE(groupFieldFromName("kind", F));
+  EXPECT_EQ(F, GroupField::Kind);
+  EXPECT_TRUE(groupFieldFromName("subject", F));
+  EXPECT_TRUE(groupFieldFromName("peer", F));
+  EXPECT_TRUE(groupFieldFromName("msg", F));
+  EXPECT_TRUE(groupFieldFromName("key", F));
+  EXPECT_TRUE(groupFieldFromName("time", F));
+  EXPECT_EQ(F, GroupField::TimeBucket);
+  EXPECT_FALSE(groupFieldFromName("bogus", F));
+}
+
+TEST(TraceQuery, OpenRejectsMissingAndGarbage) {
+  EXPECT_FALSE(TraceQuerySource::open("/nonexistent/q.dytr").ok());
+  const char *Bad = "/tmp/dyndist_query_garbage.bin";
+  std::FILE *F = std::fopen(Bad, "wb");
+  ASSERT_NE(F, nullptr);
+  std::fputs("DYTRCOL1 but then garbage", F);
+  std::fclose(F);
+  EXPECT_FALSE(TraceQuerySource::open(Bad).ok());
+  std::remove(Bad);
+}

@@ -24,10 +24,28 @@
 //     --fanout <f>        gossip fanout           (default 2)
 //     --churn-every <c>   crash/respawn period    (default 25)
 //     --seed <s>          workload seed           (default 42)
+//     --trace-digest      columnar trace-digest mode (see below)
+//     --trace-out <path>  archive mode: one run, columnar trace to <path>
+//
+// --trace-digest switches from schedule-counter digests to whole-file
+// columnar trace digests: each sharded rung streams the workload through a
+// ColumnarTraceWriter sink at TraceLevel::Full and ::Lifecycle and prints
+// an FNV-1a digest of each file's bytes. All rungs must produce identical
+// files (the sharded schedule is byte-identical at any K, and the chunk
+// framing is a pure function of the event stream); additionally, the
+// lifecycle-kind projection of the Full file rewritten through a fresh
+// writer must equal the Lifecycle file byte-for-byte (TraceLevel changes
+// recording, never the schedule). Exit 1 on the first mismatch.
+//
+// --trace-out <path> is the archive mode verify.sh uses to fabricate large
+// query fixtures: one run at the first listed shard count, streamed
+// through a columnar sink to <path> at TraceLevel::Full, event count on
+// stdout. No invariance comparison — just the file.
 //
 //===----------------------------------------------------------------------===//
 
 #include "dyndist/runtime/KernelLoad.h"
+#include "dyndist/sim/TraceColumnar.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -105,6 +123,162 @@ Digest digestOf(const KernelLoadResult &R) {
           R.Stop,                  R.PendingTimers};
 }
 
+/// FNV-1a over the whole file; the digest the columnar pins compare.
+bool fileDigest(const char *Path, uint64_t &Out) {
+  std::FILE *F = std::fopen(Path, "rb");
+  if (!F)
+    return false;
+  uint64_t H = 1469598103934665603ULL;
+  unsigned char Buf[65536];
+  size_t Got;
+  while ((Got = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    for (size_t I = 0; I != Got; ++I) {
+      H ^= Buf[I];
+      H *= 1099511628211ULL;
+    }
+  bool Bad = std::ferror(F) != 0;
+  std::fclose(F);
+  Out = H;
+  return !Bad;
+}
+
+/// Streams one workload run through a columnar sink at \p Level and fills
+/// the file's digest. Returns false (with a message) on any failure.
+bool runWithColumnarSink(KernelLoadConfig Cfg, TraceLevel Level,
+                         const char *Path, uint64_t &DigestOut,
+                         uint64_t &EventsOut) {
+  ColumnarTraceWriter W;
+  if (Status S = W.open(Path); !S) {
+    std::fprintf(stderr, "dyndist-kernel-smoke: %s\n", S.error().str().c_str());
+    return false;
+  }
+  Cfg.Sink = &W;
+  runKernelLoad(Cfg, Level);
+  EventsOut = W.eventsWritten();
+  if (Status S = W.close(); !S) {
+    std::fprintf(stderr, "dyndist-kernel-smoke: %s\n", S.error().str().c_str());
+    return false;
+  }
+  if (!fileDigest(Path, DigestOut)) {
+    std::fprintf(stderr, "dyndist-kernel-smoke: cannot digest %s\n", Path);
+    return false;
+  }
+  return true;
+}
+
+int runTraceDigestMode(KernelLoadConfig Cfg,
+                       const std::vector<unsigned> &Shards) {
+  const char *FullPath = "kernel-smoke-full.dytr";
+  const char *LifePath = "kernel-smoke-lifecycle.dytr";
+  const char *ProjPath = "kernel-smoke-projected.dytr";
+  auto Cleanup = [&] {
+    std::remove(FullPath);
+    std::remove(LifePath);
+    std::remove(ProjPath);
+  };
+
+  bool HaveReference = false;
+  uint64_t RefFull = 0, RefLife = 0;
+  unsigned ReferenceK = 0;
+  for (unsigned K : Shards) {
+    if (K == 0)
+      continue; // The digest pin is a sharded-schedule contract.
+    Cfg.Shards = K;
+    uint64_t FullDigest = 0, LifeDigest = 0, FullEvents = 0, LifeEvents = 0;
+    if (!runWithColumnarSink(Cfg, TraceLevel::Full, FullPath, FullDigest,
+                             FullEvents) ||
+        !runWithColumnarSink(Cfg, TraceLevel::Lifecycle, LifePath, LifeDigest,
+                             LifeEvents)) {
+      Cleanup();
+      return 2;
+    }
+    std::printf("shards=%u full=%016llx (%llu events) "
+                "lifecycle=%016llx (%llu events)\n",
+                K, (unsigned long long)FullDigest,
+                (unsigned long long)FullEvents,
+                (unsigned long long)LifeDigest,
+                (unsigned long long)LifeEvents);
+    if (!HaveReference) {
+      HaveReference = true;
+      RefFull = FullDigest;
+      RefLife = LifeDigest;
+      ReferenceK = K;
+    } else if (FullDigest != RefFull || LifeDigest != RefLife) {
+      std::fprintf(stderr,
+                   "dyndist-kernel-smoke: shards=%u columnar digest differs "
+                   "from shards=%u — K-invariance violated\n",
+                   K, ReferenceK);
+      Cleanup();
+      return 1;
+    }
+  }
+  if (!HaveReference) {
+    Cleanup();
+    return 0;
+  }
+
+  // TraceLevel invariance: projecting the Full file down to lifecycle
+  // kinds and re-encoding must reproduce the Lifecycle file exactly
+  // (framing is a pure function of the event stream).
+  auto Reader = ColumnarTraceReader::open(FullPath);
+  if (!Reader) {
+    std::fprintf(stderr, "dyndist-kernel-smoke: %s\n",
+                 Reader.error().str().c_str());
+    Cleanup();
+    return 2;
+  }
+  ColumnarTraceWriter Proj;
+  if (Status S = Proj.open(ProjPath); !S) {
+    std::fprintf(stderr, "dyndist-kernel-smoke: %s\n", S.error().str().c_str());
+    Cleanup();
+    return 2;
+  }
+  for (size_t I = 0, N = (*Reader)->chunkCount(); I != N; ++I) {
+    Status S = (*Reader)->scanChunk(I, [&](const TraceEventView &V) {
+      if (V.Kind != TraceKind::Join && V.Kind != TraceKind::Leave &&
+          V.Kind != TraceKind::Crash && V.Kind != TraceKind::Observe)
+        return;
+      TraceEvent E;
+      E.Kind = V.Kind;
+      E.Time = V.Time;
+      E.Subject = V.Subject;
+      E.Peer = V.Peer;
+      E.MsgKind = V.MsgKind;
+      E.Key = std::string(V.Key);
+      E.Value = V.Value;
+      Proj.append(E);
+    });
+    if (!S) {
+      std::fprintf(stderr, "dyndist-kernel-smoke: %s\n",
+                   S.error().str().c_str());
+      Cleanup();
+      return 2;
+    }
+  }
+  if (Status S = Proj.close(); !S) {
+    std::fprintf(stderr, "dyndist-kernel-smoke: %s\n", S.error().str().c_str());
+    Cleanup();
+    return 2;
+  }
+  uint64_t ProjDigest = 0;
+  if (!fileDigest(ProjPath, ProjDigest)) {
+    std::fprintf(stderr, "dyndist-kernel-smoke: cannot digest %s\n", ProjPath);
+    Cleanup();
+    return 2;
+  }
+  std::printf("projection=%016llx\n", (unsigned long long)ProjDigest);
+  if (ProjDigest != RefLife) {
+    std::fprintf(stderr,
+                 "dyndist-kernel-smoke: lifecycle projection of the Full "
+                 "trace differs from the Lifecycle trace — TraceLevel "
+                 "invariance violated\n");
+    Cleanup();
+    return 1;
+  }
+  Cleanup();
+  return 0;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -115,6 +289,8 @@ int main(int argc, char **argv) {
   Cfg.GossipFanout = 2;
   Cfg.ChurnEvery = 25;
   std::vector<unsigned> Shards = {1, 2, 4};
+  bool TraceDigest = false;
+  const char *TraceOut = nullptr;
 
   for (int I = 1; I < argc; ++I) {
     const char *Arg = argv[I];
@@ -137,14 +313,32 @@ int main(int argc, char **argv) {
       Cfg.ChurnEvery = parseU64(next(), Arg);
     else if (std::strcmp(Arg, "--seed") == 0)
       Cfg.Seed = parseU64(next(), Arg);
+    else if (std::strcmp(Arg, "--trace-digest") == 0)
+      TraceDigest = true;
+    else if (std::strcmp(Arg, "--trace-out") == 0)
+      TraceOut = next();
     else if (std::strcmp(Arg, "--help") == 0) {
       std::printf("usage: dyndist-kernel-smoke [--processes n] [--horizon t]\n"
                   "         [--shards 0,1,2,4] [--gossip-every g] [--fanout f]\n"
-                  "         [--churn-every c] [--seed s]\n");
+                  "         [--churn-every c] [--seed s] [--trace-digest]\n"
+                  "         [--trace-out path]\n");
       return 0;
     } else
       usageError((std::string("unknown option ") + Arg).c_str());
   }
+
+  if (TraceOut != nullptr) {
+    Cfg.Shards = Shards.front();
+    uint64_t Digest = 0, Events = 0;
+    if (!runWithColumnarSink(Cfg, TraceLevel::Full, TraceOut, Digest, Events))
+      return 2;
+    std::printf("wrote %s: %llu events, digest=%016llx\n", TraceOut,
+                (unsigned long long)Events, (unsigned long long)Digest);
+    return 0;
+  }
+
+  if (TraceDigest)
+    return runTraceDigestMode(Cfg, Shards);
 
   bool HaveReference = false;
   Digest Reference{};

@@ -7,7 +7,8 @@
 // Runs one one-time-query experiment from the command line: declare a
 // system class, pick an algorithm (or let the solvability oracle choose),
 // set the churn regime, and get the checker's verdict — optionally
-// archiving the full execution trace as JSON lines.
+// archiving the full execution trace as JSON lines or the binary columnar
+// format.
 //
 //   dyndist-query [options]
 //     --arrival finite:<n> | bounded:<b> | bounded-unknown:<b> | infinite
@@ -21,14 +22,35 @@
 //     --horizon <t>          run end               (default 900)
 //     --seed <s>             experiment seed       (default 1)
 //     --chain                chain-attach overlay (unbounded diameter)
-//     --trace-out <path>     dump the execution trace as JSON lines
+//     --trace-out <path>     dump the execution trace
+//     --trace-format text|columnar   archive format (default text)
+//
+// Analysis mode — sharded filter/aggregation over an archived trace (text
+// or columnar, auto-detected), deterministic at any --threads:
+//
+//   dyndist-query query <filter|group-by|top-k|stats> <trace-file> [opts]
+//     --kind <name>       keep only events of this kind
+//     --subject <id>      keep only this subject
+//     --peer <id>         keep only this peer
+//     --msg <m>           keep only this message kind
+//     --key <k>           keep only this observation key
+//     --from <t> --to <t> inclusive time window
+//     --by <field>        group-by/top-k field: kind|subject|peer|msg|
+//                         key|time                        (default kind)
+//     --bucket <w>        time bucket width for --by time (default 100)
+//     --k <n>             top-k group count               (default 10)
+//     --limit <n>         filter output cap               (default all)
+//     --threads <n>       scan concurrency (0 = auto)     (default 1)
 //
 //===----------------------------------------------------------------------===//
 
 #include "dyndist/aggregation/Experiment.h"
+#include "dyndist/runtime/TraceQuery.h"
+#include "dyndist/sim/TraceColumnar.h"
 #include "dyndist/sim/TraceIO.h"
 #include "dyndist/support/StringUtils.h"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -58,7 +80,25 @@ void printHelp() {
       "  --horizon <t>       run end (default 900)\n"
       "  --seed <s>          experiment seed (default 1)\n"
       "  --chain             chain-attach overlay (grows the diameter)\n"
-      "  --trace-out <path>  dump the trace as JSON lines\n");
+      "  --trace-out <path>  dump the trace\n"
+      "  --trace-format text|columnar  archive format (default text)\n"
+      "\n"
+      "analysis mode (see also --help output header):\n"
+      "  dyndist-query query <filter|group-by|top-k|stats> <trace-file>\n"
+      "    [--kind k] [--subject p] [--peer p] [--msg m] [--key k]\n"
+      "    [--from t] [--to t] [--by field] [--bucket w] [--k n]\n"
+      "    [--limit n] [--threads n]\n");
+}
+
+/// Parses a full nonnegative decimal \p Text; rejects overflow (strtoull
+/// would silently saturate to UINT64_MAX) and trailing garbage.
+bool parseU64Checked(const char *Text, uint64_t &Out) {
+  if (*Text < '0' || *Text > '9')
+    return false;
+  errno = 0;
+  char *End = nullptr;
+  Out = std::strtoull(Text, &End, 10);
+  return errno != ERANGE && End != Text && *End == '\0';
 }
 
 /// Splits "name:number"; returns true and fills \p Num on match.
@@ -66,16 +106,103 @@ bool splitSpec(const std::string &Arg, const char *Name, uint64_t &Num) {
   std::string Prefix = std::string(Name) + ":";
   if (Arg.rfind(Prefix, 0) != 0)
     return false;
-  char *End = nullptr;
-  Num = std::strtoull(Arg.c_str() + Prefix.size(), &End, 10);
-  if (!End || *End != '\0' || Num == 0)
+  if (!parseU64Checked(Arg.c_str() + Prefix.size(), Num) || Num == 0)
     usageError("bad numeric suffix in '" + Arg + "'");
   return true;
+}
+
+/// Runs the analysis mode: dyndist-query query <subcommand> <file> [opts].
+int runQueryMode(int argc, char **argv) {
+  if (argc < 4)
+    usageError("usage: dyndist-query query "
+               "<filter|group-by|top-k|stats> <trace-file> [options]");
+  std::string Subcommand = argv[2];
+  std::string Path = argv[3];
+  TraceFilter Filter;
+  QueryOptions Opts;
+  GroupField Field = GroupField::Kind;
+
+  auto NextArg = [&](int &I) -> const char * {
+    if (I + 1 >= argc)
+      usageError(std::string("missing value after ") + argv[I]);
+    return argv[++I];
+  };
+  auto NextU64 = [&](int &I) -> uint64_t {
+    int At = I;
+    uint64_t V = 0;
+    if (!parseU64Checked(NextArg(I), V))
+      usageError(std::string("bad numeric value after ") + argv[At]);
+    return V;
+  };
+
+  for (int I = 4; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg == "--kind") {
+      TraceKind K;
+      std::string Name = NextArg(I);
+      if (!traceKindFromName(Name, K))
+        usageError("unknown trace kind '" + Name + "'");
+      Filter.Kind = K;
+    } else if (Arg == "--subject") {
+      Filter.Subject = NextU64(I);
+    } else if (Arg == "--peer") {
+      Filter.Peer = NextU64(I);
+    } else if (Arg == "--msg") {
+      Filter.Msg = static_cast<int>(std::strtoll(NextArg(I), nullptr, 10));
+    } else if (Arg == "--key") {
+      Filter.Key = std::string(NextArg(I));
+    } else if (Arg == "--from") {
+      Filter.FromTime = NextU64(I);
+    } else if (Arg == "--to") {
+      Filter.ToTime = NextU64(I);
+    } else if (Arg == "--by") {
+      std::string Name = NextArg(I);
+      if (!groupFieldFromName(Name, Field))
+        usageError("unknown group field '" + Name + "'");
+    } else if (Arg == "--bucket") {
+      Opts.TimeBucketWidth = NextU64(I);
+    } else if (Arg == "--k") {
+      Opts.TopK = static_cast<size_t>(NextU64(I));
+    } else if (Arg == "--limit") {
+      Opts.Limit = NextU64(I);
+    } else if (Arg == "--threads") {
+      Opts.Threads = static_cast<unsigned>(NextU64(I));
+    } else {
+      usageError("unknown query option '" + Arg + "'");
+    }
+  }
+
+  auto Src = TraceQuerySource::open(Path);
+  if (!Src.ok()) {
+    std::fprintf(stderr, "dyndist-query: %s\n", Src.error().str().c_str());
+    return 2;
+  }
+
+  Result<std::string> Out = [&]() -> Result<std::string> {
+    if (Subcommand == "filter")
+      return queryFilter(**Src, Filter, Opts);
+    if (Subcommand == "group-by")
+      return queryGroupBy(**Src, Filter, Field, Opts);
+    if (Subcommand == "top-k")
+      return queryTopK(**Src, Filter, Field, Opts);
+    if (Subcommand == "stats")
+      return queryStats(**Src, Filter, Opts);
+    usageError("unknown query subcommand '" + Subcommand + "'");
+  }();
+  if (!Out.ok()) {
+    std::fprintf(stderr, "dyndist-query: %s\n", Out.error().str().c_str());
+    return 2;
+  }
+  std::fwrite(Out->data(), 1, Out->size(), stdout);
+  return 0;
 }
 
 } // namespace
 
 int main(int argc, char **argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "query") == 0)
+    return runQueryMode(argc, argv);
+
   ExperimentConfig Cfg;
   Cfg.Class = {ArrivalModel::boundedConcurrency(28),
                KnowledgeModel::knownDiameter(10)};
@@ -85,6 +212,7 @@ int main(int argc, char **argv) {
   Cfg.Gossip.Rounds = 50;
   Cfg.Gossip.RoundEvery = 2;
   std::string TraceOut;
+  bool TraceColumnarFmt = false;
 
   auto NextArg = [&](int &I) -> std::string {
     if (I + 1 >= argc)
@@ -155,6 +283,14 @@ int main(int argc, char **argv) {
       Cfg.Attach = AttachMode::Chain;
     } else if (Arg == "--trace-out") {
       TraceOut = NextArg(I);
+    } else if (Arg == "--trace-format") {
+      std::string Fmt = NextArg(I);
+      if (Fmt == "columnar")
+        TraceColumnarFmt = true;
+      else if (Fmt == "text")
+        TraceColumnarFmt = false;
+      else
+        usageError("unknown trace format '" + Fmt + "'");
     } else {
       usageError("unknown option '" + Arg + "'");
     }
@@ -186,7 +322,10 @@ int main(int argc, char **argv) {
   std::printf("verdict      : %s\n", R.Verdict.valid() ? "VALID" : "INVALID");
 
   if (!TraceOut.empty() && R.RecordedTrace) {
-    if (Status S = writeTraceFile(*R.RecordedTrace, TraceOut); !S) {
+    Status S = TraceColumnarFmt
+                   ? writeColumnarTraceFile(*R.RecordedTrace, TraceOut)
+                   : writeTraceFile(*R.RecordedTrace, TraceOut);
+    if (!S) {
       std::fprintf(stderr, "dyndist-query: %s\n", S.error().str().c_str());
       return 2;
     }

@@ -10,7 +10,7 @@
 // controlled variable: the same recorded world, any algorithm, paired
 // comparisons across builds.
 //
-//   dyndist-replay --trace <file.jsonl> [options]
+//   dyndist-replay --trace <file> [options]
 //     --algorithm flood|echo|gossip   (default flood)
 //     --ttl <n>                       flood TTL (default 8)
 //     --issuer <id>                   replayed issuer id (default: the
@@ -18,6 +18,8 @@
 //     --query-at <t>                  issue time (default 200)
 //     --horizon <t>                   run end (default: trace end + 500)
 //     --degree <k>                    overlay degree (default 3)
+//     --trace-format auto|text|columnar  input format (default auto:
+//                                        sniff the columnar magic)
 //
 //===----------------------------------------------------------------------===//
 
@@ -27,6 +29,7 @@
 #include "dyndist/arrival/Replay.h"
 #include "dyndist/core/OneTimeQuery.h"
 #include "dyndist/graph/Overlay.h"
+#include "dyndist/sim/TraceColumnar.h"
 #include "dyndist/sim/TraceIO.h"
 
 #include <cstdio>
@@ -63,7 +66,7 @@ ProcessId longestLivedMember(const Trace &T, SimTime Horizon) {
 } // namespace
 
 int main(int argc, char **argv) {
-  std::string TracePath, Algorithm = "flood";
+  std::string TracePath, Algorithm = "flood", TraceFormat = "auto";
   uint64_t Ttl = 8;
   ProcessId Issuer = InvalidProcess;
   SimTime QueryAt = 200;
@@ -91,13 +94,23 @@ int main(int argc, char **argv) {
       Horizon = std::strtoull(NextArg(I).c_str(), nullptr, 10);
     else if (Arg == "--degree")
       Degree = std::strtoull(NextArg(I).c_str(), nullptr, 10);
+    else if (Arg == "--trace-format")
+      TraceFormat = NextArg(I);
     else
       usageError("unknown option '" + Arg + "'");
   }
   if (TracePath.empty())
-    usageError("--trace <file.jsonl> is required");
+    usageError("--trace <file> is required");
 
-  auto Loaded = readTraceFile(TracePath);
+  Result<Trace> Loaded = [&]() -> Result<Trace> {
+    if (TraceFormat == "auto")
+      return readAnyTraceFile(TracePath);
+    if (TraceFormat == "text")
+      return readTraceFile(TracePath);
+    if (TraceFormat == "columnar")
+      return readColumnarTraceFile(TracePath);
+    usageError("unknown trace format '" + TraceFormat + "'");
+  }();
   if (!Loaded.ok())
     usageError(Loaded.error().str());
   const Trace &Source = *Loaded;

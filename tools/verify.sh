@@ -1,8 +1,10 @@
 #!/bin/sh
 # Tier-1 verification: build + ctest in the plain configuration plus an
-# n=10^5 sharded-kernel invariance smoke, then the bench regression gate
-# (dyndist-bench-report --check --shard against the checked-in message and
-# shard baselines, using the build-verify binaries), then a strict-warnings
+# n=10^5 sharded-kernel invariance smoke, an n=10^4 columnar trace-digest
+# pin, and a >=10^7-event sharded-query thread-invariance cmp, then the
+# bench regression gate (dyndist-bench-report --check --shard --trace
+# against the checked-in message/shard baselines and the columnar-sink
+# speedup floor, using the build-verify binaries), then a strict-warnings
 # build (-DDYNDIST_WERROR=ON, -Wall -Wextra -Werror), then the same test
 # suite under AddressSanitizer (-DDYNDIST_SANITIZE=address), under
 # UndefinedBehaviorSanitizer (-DDYNDIST_SANITIZE=undefined) — which polices
@@ -83,6 +85,27 @@ if [ "$RUN_PLAIN" = 1 ]; then
   echo "== sharded-kernel smoke, n=10^5 (build-verify)"
   build-verify/tools/dyndist-kernel-smoke \
     --processes 100000 --horizon 60 --shards 0,1,2,4
+  # Columnar trace-digest pin at n = 10^4: Full/Lifecycle columnar files
+  # byte-identical across shard counts, and the lifecycle projection of
+  # the Full file equal to the Lifecycle file (TraceLevel invariance).
+  # ctest covers the same contract at n = 2000.
+  echo "== columnar trace-digest smoke, n=10^4 (build-verify)"
+  build-verify/tools/dyndist-kernel-smoke \
+    --processes 10000 --horizon 60 --shards 1,2,4 --trace-digest
+  # Sharded-query determinism at production scale: a >= 10^7-event
+  # columnar archive aggregated at two thread counts must render
+  # byte-identical output (positional slots + serial chunk-order merge).
+  echo "== sharded trace-query thread-invariance, >=10^7 events (build-verify)"
+  build-verify/tools/dyndist-kernel-smoke \
+    --processes 100000 --horizon 120 --shards 4 \
+    --trace-out build-verify/query-big.dytr
+  build-verify/tools/dyndist-query query group-by build-verify/query-big.dytr \
+    --by subject --threads 1 > build-verify/query-big-t1.txt
+  build-verify/tools/dyndist-query query group-by build-verify/query-big.dytr \
+    --by subject --threads 4 > build-verify/query-big-t4.txt
+  cmp build-verify/query-big-t1.txt build-verify/query-big-t4.txt
+  rm -f build-verify/query-big.dytr \
+    build-verify/query-big-t1.txt build-verify/query-big-t4.txt
 fi
 if [ "$RUN_BENCH_CHECK" = 1 ]; then
   # The gate needs the build-verify bench binaries; build them if this run
@@ -90,7 +113,7 @@ if [ "$RUN_BENCH_CHECK" = 1 ]; then
   # the checked-in BENCH_kernel.json is never clobbered by a gate run.
   [ "$RUN_PLAIN" = 1 ] || run_build build-verify
   echo "== bench regression gate (build-verify)"
-  tools/dyndist-bench-report --check --shard --build-dir build-verify \
+  tools/dyndist-bench-report --check --shard --trace --build-dir build-verify \
     --out build-verify/bench-check.json
 fi
 [ "$RUN_WERROR" = 1 ] && run_build build-werror -DDYNDIST_WERROR=ON
