@@ -1,0 +1,35 @@
+//===- BenchBuildInfo.h - Per-binary build-type context stamp ---*- C++ -*-===//
+//
+// Part of the dyndist project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// google-benchmark's "library_build_type" context key describes how the
+/// *benchmark library* was compiled (the system package reports "debug"),
+/// not this binary — so a report built from it cannot tell whether the
+/// recorded rates came from an optimized build. Every bench main calls
+/// addBuildTypeContext() to stamp the binary's own compile mode into the
+/// JSON context; dyndist-bench-report reads the key and warns loudly (and
+/// annotates the report) when the stamp says unoptimized.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNDIST_BENCH_BUILD_INFO_H
+#define DYNDIST_BENCH_BUILD_INFO_H
+
+#include <benchmark/benchmark.h>
+
+namespace dyndist_bench {
+
+inline void addBuildTypeContext() {
+#ifdef __OPTIMIZE__
+  benchmark::AddCustomContext("dyndist_optimized_build", "1");
+#else
+  benchmark::AddCustomContext("dyndist_optimized_build", "0");
+#endif
+}
+
+} // namespace dyndist_bench
+
+#endif // DYNDIST_BENCH_BUILD_INFO_H

@@ -23,6 +23,8 @@
 #include "dyndist/support/Stats.h"
 #include "dyndist/support/StringUtils.h"
 
+#include "BenchBuildInfo.h"
+
 #include <benchmark/benchmark.h>
 
 #include <array>
@@ -538,6 +540,7 @@ BENCHMARK(BM_TimerScheduleBurst)->Unit(benchmark::kMillisecond);
 int main(int argc, char **argv) {
   for (int I = 1; I < argc; ++I) {
     if (std::string_view(argv[I]).rfind("--benchmark", 0) == 0) {
+      dyndist_bench::addBuildTypeContext();
       ::benchmark::Initialize(&argc, argv);
       ::benchmark::RunSpecifiedBenchmarks();
       ::benchmark::Shutdown();

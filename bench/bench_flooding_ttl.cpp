@@ -22,6 +22,8 @@
 #include "dyndist/runtime/SweepRunner.h"
 #include "dyndist/support/StringUtils.h"
 
+#include "BenchBuildInfo.h"
+
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
@@ -125,6 +127,7 @@ BENCHMARK_CAPTURE(BM_KernelFloodTtl, n1000_trace_full, TraceLevel::Full)
 int main(int argc, char **argv) {
   for (int I = 1; I < argc; ++I) {
     if (std::string_view(argv[I]).rfind("--benchmark", 0) == 0) {
+      dyndist_bench::addBuildTypeContext();
       ::benchmark::Initialize(&argc, argv);
       ::benchmark::RunSpecifiedBenchmarks();
       ::benchmark::Shutdown();

@@ -20,6 +20,8 @@
 #include "dyndist/support/Stats.h"
 #include "dyndist/support/StringUtils.h"
 
+#include "BenchBuildInfo.h"
+
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
@@ -217,6 +219,7 @@ BENCHMARK(BM_OverlayGossipDigest)->Unit(benchmark::kMillisecond);
 int main(int argc, char **argv) {
   for (int I = 1; I < argc; ++I) {
     if (std::string_view(argv[I]).rfind("--benchmark", 0) == 0) {
+      dyndist_bench::addBuildTypeContext();
       ::benchmark::Initialize(&argc, argv);
       ::benchmark::RunSpecifiedBenchmarks();
       ::benchmark::Shutdown();

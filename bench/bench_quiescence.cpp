@@ -26,6 +26,8 @@
 #include "dyndist/support/Stats.h"
 #include "dyndist/support/StringUtils.h"
 
+#include "BenchBuildInfo.h"
+
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -116,6 +118,7 @@ int main(int argc, char **argv) {
   for (int I = 1; I < argc; ++I) {
     if (std::string_view(argv[I]).rfind("--benchmark", 0) == 0) {
       registerSweepBenchmarks();
+      dyndist_bench::addBuildTypeContext();
       ::benchmark::Initialize(&argc, argv);
       ::benchmark::RunSpecifiedBenchmarks();
       ::benchmark::Shutdown();

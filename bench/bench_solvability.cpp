@@ -24,6 +24,8 @@
 #include "dyndist/runtime/SweepRunner.h"
 #include "dyndist/support/StringUtils.h"
 
+#include "BenchBuildInfo.h"
+
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -136,6 +138,7 @@ int main(int argc, char **argv) {
   for (int I = 1; I < argc; ++I) {
     if (std::string_view(argv[I]).rfind("--benchmark", 0) == 0) {
       registerSweepBenchmarks();
+      dyndist_bench::addBuildTypeContext();
       ::benchmark::Initialize(&argc, argv);
       ::benchmark::RunSpecifiedBenchmarks();
       ::benchmark::Shutdown();

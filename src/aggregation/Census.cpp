@@ -82,10 +82,12 @@ std::vector<CensusPoint> dyndist::collectCensusSeries(const Trace &T,
                                                       AggregateKind Kind) {
   // Round windows: each issue record up to the next issue (or Horizon).
   std::vector<SimTime> Issues;
-  for (const TraceEvent &E : T.events())
-    if (E.Kind == TraceKind::Observe && E.Subject == Issuer &&
-        E.Key == OtqIssueKey)
-      Issues.push_back(E.Time);
+  const uint32_t IssueId = T.keys().find(OtqIssueKey);
+  if (IssueId != 0)
+    for (const TraceRecord &R : T.records())
+      if (R.kind() == TraceKind::Observe && R.subject() == Issuer &&
+          R.keyId() == IssueId)
+        Issues.push_back(R.Time);
 
   std::vector<CensusPoint> Series;
   for (size_t I = 0; I != Issues.size(); ++I) {

@@ -15,11 +15,11 @@ using namespace dyndist;
 std::vector<MembershipEvent>
 dyndist::extractMembershipSchedule(const Trace &T) {
   std::vector<MembershipEvent> Out;
-  for (const TraceEvent &E : T.events()) {
+  for (const TraceRecord &E : T.records()) {
     MembershipEvent M;
     M.At = E.Time;
-    M.Original = E.Subject;
-    switch (E.Kind) {
+    M.Original = E.subject();
+    switch (E.kind()) {
     case TraceKind::Join:
       M.What = MembershipEvent::Kind::Join;
       break;

@@ -60,11 +60,14 @@ dyndist::makeFloodSetFactory(std::shared_ptr<const FloodSetConfig> Config,
 FloodSetOutcome dyndist::collectFloodSetOutcome(const Trace &T) {
   FloodSetOutcome Out;
   Out.Participants = T.presence().size();
-  for (const TraceEvent &E : T.events()) {
-    if (E.Kind != TraceKind::Observe || E.Key != FloodSetDecideKey)
+  const uint32_t DecideId = T.keys().find(FloodSetDecideKey);
+  if (DecideId == 0)
+    return Out;
+  for (const TraceRecord &R : T.records()) {
+    if (R.kind() != TraceKind::Observe || R.keyId() != DecideId)
       continue;
     ++Out.Decided;
-    Out.DistinctDecisions.insert(E.Value);
+    Out.DistinctDecisions.insert(R.Value);
   }
   return Out;
 }

@@ -147,16 +147,18 @@ void RotatingConsensusActor::onTimer(Context &Ctx, TimerId Id) {
 std::vector<ConsensusRecord>
 dyndist::collectRotatingOutcome(const Trace &T) {
   std::map<ProcessId, ConsensusRecord> ByClient;
-  for (const TraceEvent &E : T.events()) {
-    if (E.Kind != TraceKind::Observe)
+  const uint32_t ProposeId = T.keys().find(ConsensusProposeKey);
+  const uint32_t DecideId = T.keys().find(ConsensusDecideKey);
+  for (const TraceRecord &E : T.records()) {
+    if (E.kind() != TraceKind::Observe)
       continue;
-    if (E.Key == ConsensusProposeKey) {
-      ConsensusRecord &R = ByClient[E.Subject];
-      R.Client = E.Subject;
+    if (ProposeId != 0 && E.keyId() == ProposeId) {
+      ConsensusRecord &R = ByClient[E.subject()];
+      R.Client = E.subject();
       R.Proposed = E.Value;
-    } else if (E.Key == ConsensusDecideKey) {
-      ConsensusRecord &R = ByClient[E.Subject];
-      R.Client = E.Subject;
+    } else if (DecideId != 0 && E.keyId() == DecideId) {
+      ConsensusRecord &R = ByClient[E.subject()];
+      R.Client = E.subject();
       R.Decided = true;
       R.Decision = E.Value;
     }

@@ -22,6 +22,10 @@ size_t MembershipActor::SuspectedView::count(ProcessId P) const {
 
 void MembershipActor::onStart(Context &Ctx) {
   Handle = States->acquire(Ctx.stateSlot());
+  // Intern once while in a serial phase; the message/timer hooks run in
+  // parallel lanes where interning is off-limits.
+  SuspectKeyId = Ctx.traceKeyId(MemberSuspectKey);
+  RestoreKeyId = Ctx.traceKeyId(MemberRestoreKey);
   heartbeatRound(Ctx);
 }
 
@@ -43,7 +47,7 @@ void MembershipActor::onMessage(Context &Ctx, ProcessId From,
   if (It->Suspect) {
     It->Suspect = false;
     --S.SuspectCount;
-    Ctx.observe(MemberRestoreKey, static_cast<int64_t>(From));
+    Ctx.observe(RestoreKeyId, static_cast<int64_t>(From));
   }
 }
 
@@ -99,7 +103,7 @@ void MembershipActor::heartbeatRound(Context &Ctx) {
     if (!E.Suspect) {
       E.Suspect = true;
       ++S.SuspectCount;
-      Ctx.observe(MemberSuspectKey, static_cast<int64_t>(E.Pid));
+      Ctx.observe(SuspectKeyId, static_cast<int64_t>(E.Pid));
     }
   }
 

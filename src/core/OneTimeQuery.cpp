@@ -81,16 +81,22 @@ QueryVerdict dyndist::checkOneTimeQuery(const Trace &T, ProcessId Issuer,
                                         AggregateKind Kind) {
   QueryVerdict V;
 
+  // Resolve the checker keys once; a key absent from the table means no
+  // such observation exists anywhere in the trace.
+  const uint32_t ResultId = T.keys().find(OtqResultKey);
+  const uint32_t IncludeId = T.keys().find(OtqIncludeKey);
+  const uint32_t ValueId = T.keys().find(OtqValueKey);
+
   // Clause 1: find the first result report in [IssueTime, Horizon].
-  for (const TraceEvent &E : T.events()) {
-    if (E.Kind != TraceKind::Observe || E.Subject != Issuer ||
-        E.Key != OtqResultKey)
+  for (const TraceRecord &R : T.records()) {
+    if (R.kind() != TraceKind::Observe ||
+        R.subject() != Issuer || ResultId == 0 || R.keyId() != ResultId)
       continue;
-    if (E.Time < IssueTime || E.Time > Horizon)
+    if (R.Time < IssueTime || R.Time > Horizon)
       continue;
     V.Terminated = true;
-    V.ResponseTime = E.Time;
-    V.Aggregate = E.Value;
+    V.ResponseTime = R.Time;
+    V.Aggregate = R.Value;
     break;
   }
   if (!V.Terminated)
@@ -98,22 +104,23 @@ QueryVerdict dyndist::checkOneTimeQuery(const Trace &T, ProcessId Issuer,
 
   // Contributor set: include records by the issuer up to the response.
   std::set<ProcessId> Included;
-  for (const TraceEvent &E : T.events()) {
-    if (E.Kind != TraceKind::Observe || E.Subject != Issuer ||
-        E.Key != OtqIncludeKey)
+  for (const TraceRecord &R : T.records()) {
+    if (R.kind() != TraceKind::Observe ||
+        R.subject() != Issuer || IncludeId == 0 || R.keyId() != IncludeId)
       continue;
-    if (E.Time < IssueTime || E.Time > V.ResponseTime)
+    if (R.Time < IssueTime || R.Time > V.ResponseTime)
       continue;
-    Included.insert(static_cast<ProcessId>(E.Value));
+    Included.insert(static_cast<ProcessId>(R.Value));
   }
   V.IncludedCount = Included.size();
 
   // Declared inputs: first otq.value observation per process.
   std::map<ProcessId, int64_t> Inputs;
-  for (const TraceEvent &E : T.events()) {
-    if (E.Kind != TraceKind::Observe || E.Key != OtqValueKey)
+  for (const TraceRecord &R : T.records()) {
+    if (R.kind() != TraceKind::Observe || ValueId == 0 ||
+        R.keyId() != ValueId)
       continue;
-    Inputs.try_emplace(E.Subject, E.Value);
+    Inputs.try_emplace(R.subject(), R.Value);
   }
 
   // Clause 2: completeness over the required set.

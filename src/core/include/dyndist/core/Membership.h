@@ -155,6 +155,10 @@ private:
   /// Reused merge buffer for the per-round entry rebuild.
   std::vector<NbrEntry> MergeScratch;
   TimerId RoundTimer = 0;
+  /// Observation keys pre-interned at onStart so the hot hooks record
+  /// through the allocation-free observe(id, value) path.
+  uint32_t SuspectKeyId = 0;
+  uint32_t RestoreKeyId = 0;
 };
 
 /// Factory for ChurnDriver / manual spawns. All actors from one factory

@@ -89,7 +89,7 @@ KernelLoadResult dyndist::runKernelLoad(const KernelLoadConfig &Cfg,
   KernelLoadResult R;
   R.Stop = S.run(L);
   R.Stats = S.stats();
-  R.TraceRecords = S.trace().events().size();
+  R.TraceRecords = S.trace().records().size();
   R.PendingTimers = S.pendingTimers();
   return R;
 }

@@ -57,21 +57,23 @@ TraceQuerySource::open(const std::string &Path) {
   if (!Loaded.ok())
     return Loaded.error();
   Src->Text = Loaded.take();
-  const auto &Events = Src->Text.events();
-  Src->Total = Events.size();
+  // POD records, not events(): worker threads scan chunks concurrently and
+  // the lazy TraceEvent cache is not thread-safe to materialize.
+  const auto &Records = Src->Text.records();
+  Src->Total = Records.size();
   // Slice into synthetic chunks with the same frame metadata a columnar
   // writer would have recorded, so pruning and sharding are format-blind.
-  for (size_t Start = 0; Start < Events.size();
+  for (size_t Start = 0; Start < Records.size();
        Start += ColumnarTraceWriter::EventsPerChunk) {
     size_t End =
-        std::min(Events.size(), Start + ColumnarTraceWriter::EventsPerChunk);
+        std::min(Records.size(), Start + ColumnarTraceWriter::EventsPerChunk);
     ColumnarChunkInfo Info;
     Info.Offset = Start; // Event index, not a byte offset; unused by queries.
-    Info.MinTime = Events[Start].Time;
-    Info.MaxTime = Events[End - 1].Time;
+    Info.MinTime = Records[Start].Time;
+    Info.MaxTime = Records[End - 1].Time;
     Info.EventCount = static_cast<uint32_t>(End - Start);
     for (size_t I = Start; I != End; ++I)
-      Info.KindMask |= 1u << static_cast<unsigned>(Events[I].Kind);
+      Info.KindMask |= 1u << static_cast<unsigned>(Records[I].kind());
     Src->TextChunkStart.push_back(Start);
     Src->Chunks.push_back(Info);
   }
@@ -84,19 +86,20 @@ Status TraceQuerySource::scanChunk(
     return Columnar->scanChunk(I, Visit);
   if (I >= Chunks.size())
     return Error(Error::Code::InvalidArgument, "chunk index out of range");
-  const auto &Events = Text.events();
+  const auto &Records = Text.records();
+  const TraceKeyTable &Keys = Text.keys();
   size_t Start = TextChunkStart[I];
   size_t End = Start + Chunks[I].EventCount;
   for (size_t E = Start; E != End; ++E) {
-    const TraceEvent &Ev = Events[E];
+    const TraceRecord &R = Records[E];
     TraceEventView V;
-    V.Kind = Ev.Kind;
-    V.Time = Ev.Time;
-    V.Subject = Ev.Subject;
-    V.Peer = Ev.Peer;
-    V.MsgKind = Ev.MsgKind;
-    V.Key = Ev.Key;
-    V.Value = Ev.Value;
+    V.Kind = R.kind();
+    V.Time = R.Time;
+    V.Subject = R.subject();
+    V.Peer = R.peer();
+    V.MsgKind = R.MsgKind;
+    V.Key = Keys.name(R.keyId());
+    V.Value = R.Value;
     Visit(V);
   }
   return Status::success();

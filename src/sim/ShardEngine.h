@@ -111,9 +111,15 @@ struct ShardEngine {
     /// Parked payload references to release, grouped by owning lane;
     /// double-buffered by round parity (written round R, drained R+1).
     std::vector<std::vector<const MessageBody *>> Defer[2];
-    std::vector<TraceEvent> TraceBuf; ///< Records of this round.
+    std::vector<TraceRecord> TraceBuf; ///< POD records of this round.
     /// (destination, record count) runs into TraceBuf, ascending.
     std::vector<std::pair<ProcessId, uint32_t>> TraceRuns;
+    /// Observe keys seen during the parallel sub-phase that were not yet
+    /// in the simulator's key table (the table is frozen while lanes run).
+    /// Each fixup is (TraceBuf index, PendingKeys index); the merge
+    /// barrier interns the strings serially and patches the records.
+    std::vector<std::string> PendingKeys;
+    std::vector<std::pair<uint32_t, uint32_t>> KeyFixups;
     std::vector<ProcessId> Leaves; ///< Deferred leaveSystem() calls.
     std::vector<uint32_t> Counts;  ///< Counting-sort histogram scratch.
     std::vector<SimEvent> Sorted;  ///< Canonically ordered bucket scratch.

@@ -105,13 +105,34 @@ public:
   void observe(const std::string &Key, int64_t Value) override {
     if (E.S.TraceLev == TraceLevel::Off)
       return;
-    TraceEvent TE;
-    TE.Kind = TraceKind::Observe;
-    TE.Time = Now;
-    TE.Subject = P;
-    TE.Key = Key;
-    TE.Value = Value;
-    Ln.TraceBuf.push_back(std::move(TE));
+    // The key table is frozen during the parallel sub-phase (lanes read it
+    // concurrently, only serial phases intern). A key not interned yet is
+    // recorded with id 0 and patched at the merge barrier.
+    uint32_t Id = E.S.Log.keys().find(Key);
+    if (Id == 0 && !Key.empty()) {
+      Ln.KeyFixups.push_back({static_cast<uint32_t>(Ln.TraceBuf.size()),
+                              static_cast<uint32_t>(Ln.PendingKeys.size())});
+      Ln.PendingKeys.push_back(Key);
+    }
+    Ln.TraceBuf.push_back(TraceRecord::make(TraceKind::Observe, Now, P,
+                                            InvalidProcess, 0, Id, Value));
+  }
+
+  void observe(uint32_t KeyId, int64_t Value) override {
+    if (E.S.TraceLev == TraceLevel::Off)
+      return;
+    Ln.TraceBuf.push_back(TraceRecord::make(TraceKind::Observe, Now, P,
+                                            InvalidProcess, 0, KeyId, Value));
+  }
+
+  uint32_t traceKeyId(const std::string &Key) override {
+    // Lane hooks may only *look up*: interning would race with the other
+    // lanes reading the frozen table. Pre-intern in onStart/onStop.
+    uint32_t Id = E.S.Log.keys().find(Key);
+    assert((Id != 0 || Key.empty()) &&
+           "traceKeyId() in a lane hook requires a key already interned in "
+           "a serial phase (pre-intern in onStart)");
+    return Id;
   }
 
   void leaveSystem() override {
@@ -167,13 +188,18 @@ public:
   void observe(const std::string &Key, int64_t Value) override {
     if (E.S.TraceLev == TraceLevel::Off)
       return;
-    TraceEvent TE;
-    TE.Kind = TraceKind::Observe;
-    TE.Time = E.S.Clock;
-    TE.Subject = P;
-    TE.Key = Key;
-    TE.Value = Value;
-    E.S.record(std::move(TE));
+    observe(E.S.Log.keys().intern(Key), Value);
+  }
+
+  void observe(uint32_t KeyId, int64_t Value) override {
+    if (E.S.TraceLev == TraceLevel::Off)
+      return;
+    E.S.record(TraceRecord::make(TraceKind::Observe, E.S.Clock, P,
+                                 InvalidProcess, 0, KeyId, Value));
+  }
+
+  uint32_t traceKeyId(const std::string &Key) override {
+    return E.S.Log.keys().intern(Key);
   }
 
   void leaveSystem() override { E.S.leave(P); }
@@ -265,28 +291,16 @@ void ShardEngine::envSend(ProcessId From, ProcessId To, MessageRef Body) {
   ++S.Stats.MessagesSent;
   S.Stats.PayloadUnits += Body->weight();
 
-  if (S.TraceLev == TraceLevel::Full) {
-    TraceEvent TE;
-    TE.Kind = TraceKind::Send;
-    TE.Time = S.Clock;
-    TE.Subject = From;
-    TE.Peer = To;
-    TE.MsgKind = Body->kind();
-    S.record(std::move(TE));
-  }
+  if (S.TraceLev == TraceLevel::Full)
+    S.record(
+        TraceRecord::make(TraceKind::Send, S.Clock, From, To, Body->kind()));
 
   Rng &R = ActorRngs[From];
   if (S.LossRate > 0.0 && R.nextBernoulli(S.LossRate)) {
     ++S.Stats.MessagesDropped;
-    if (S.TraceLev == TraceLevel::Full) {
-      TraceEvent Lost;
-      Lost.Kind = TraceKind::Drop;
-      Lost.Time = S.Clock;
-      Lost.Subject = To;
-      Lost.Peer = From;
-      Lost.MsgKind = Body->kind();
-      S.record(std::move(Lost));
-    }
+    if (S.TraceLev == TraceLevel::Full)
+      S.record(
+          TraceRecord::make(TraceKind::Drop, S.Clock, To, From, Body->kind()));
     return;
   }
 
@@ -384,28 +398,16 @@ void ShardEngine::laneSend(unsigned LaneIdx, ProcessId From, ProcessId To,
   Ln.Stats.PayloadUnits += Body->weight();
 
   const bool Full = S.TraceLev == TraceLevel::Full;
-  if (Full) {
-    TraceEvent TE;
-    TE.Kind = TraceKind::Send;
-    TE.Time = S.Clock;
-    TE.Subject = From;
-    TE.Peer = To;
-    TE.MsgKind = Body->kind();
-    Ln.TraceBuf.push_back(std::move(TE));
-  }
+  if (Full)
+    Ln.TraceBuf.push_back(
+        TraceRecord::make(TraceKind::Send, S.Clock, From, To, Body->kind()));
 
   Rng &R = ActorRngs[From];
   if (S.LossRate > 0.0 && R.nextBernoulli(S.LossRate)) {
     ++Ln.Stats.MessagesDropped;
-    if (Full) {
-      TraceEvent Lost;
-      Lost.Kind = TraceKind::Drop;
-      Lost.Time = S.Clock;
-      Lost.Subject = To;
-      Lost.Peer = From;
-      Lost.MsgKind = Body->kind();
-      Ln.TraceBuf.push_back(std::move(Lost));
-    }
+    if (Full)
+      Ln.TraceBuf.push_back(
+          TraceRecord::make(TraceKind::Drop, S.Clock, To, From, Body->kind()));
     return;
   }
 
@@ -651,27 +653,15 @@ void ShardEngine::executeBucket(unsigned LaneIdx, SimTime T) {
           Defer[ownerLaneOf(Body)].push_back(Body);
         if (A) {
           ++Delivered;
-          if (Full) {
-            TraceEvent TE;
-            TE.Kind = TraceKind::Deliver;
-            TE.Time = T;
-            TE.Subject = Dst;
-            TE.Peer = E.A;
-            TE.MsgKind = Body->kind();
-            Ln.TraceBuf.push_back(std::move(TE));
-          }
+          if (Full)
+            Ln.TraceBuf.push_back(TraceRecord::make(TraceKind::Deliver, T, Dst,
+                                                    E.A, Body->kind()));
           A->onMessage(Ctx, E.A, *Body);
         } else {
           ++Dropped;
-          if (Full) {
-            TraceEvent TE;
-            TE.Kind = TraceKind::Drop;
-            TE.Time = T;
-            TE.Subject = Dst;
-            TE.Peer = E.A;
-            TE.MsgKind = Body->kind();
-            Ln.TraceBuf.push_back(std::move(TE));
-          }
+          if (Full)
+            Ln.TraceBuf.push_back(
+                TraceRecord::make(TraceKind::Drop, T, Dst, E.A, Body->kind()));
         }
         if (Own)
           MessageRef::adopt(Body); // Adopt-and-drop: releases the parked +1.
@@ -703,6 +693,20 @@ void ShardEngine::executeBucket(unsigned LaneIdx, SimTime T) {
 //===----------------------------------------------------------------------===//
 
 void ShardEngine::mergeTraces() {
+  // First patch records whose Observe key was unknown while the table was
+  // frozen: intern the stashed strings serially, before any record leaves
+  // its lane. The ids interned here may differ across shard counts (they
+  // depend on which lane reached the barrier with which key first), but
+  // every serialized form is id-independent — JSON emits the strings, the
+  // columnar writer rebuilds per-chunk ids in record order — so files stay
+  // byte-identical at any K.
+  for (Lane &Ln : Lanes) {
+    for (const std::pair<uint32_t, uint32_t> &Fix : Ln.KeyFixups)
+      Ln.TraceBuf[Fix.first].setKeyId(
+          S.Log.keys().intern(Ln.PendingKeys[Fix.second]));
+    Ln.KeyFixups.clear();
+    Ln.PendingKeys.clear();
+  }
   // Each lane's TraceRuns ascend by destination and destinations are
   // disjoint across lanes (residue classes), so a tie-free K-way merge by
   // run head reassembles the canonical record order.
@@ -727,7 +731,7 @@ void ShardEngine::mergeTraces() {
     ++TraceRunCur[Best];
     size_t &Cur = TraceBufCur[Best];
     for (uint32_t I = 0; I != Count; ++I)
-      S.record(std::move(Ln.TraceBuf[Cur++]));
+      S.record(Ln.TraceBuf[Cur++]);
   }
   for (Lane &Ln : Lanes) {
     Ln.TraceBuf.clear();

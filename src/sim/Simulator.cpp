@@ -71,13 +71,18 @@ public:
   void observe(const std::string &Key, int64_t Value) override {
     if (S.TraceLev == TraceLevel::Off)
       return;
-    TraceEvent E;
-    E.Kind = TraceKind::Observe;
-    E.Time = S.Clock;
-    E.Subject = P;
-    E.Key = Key;
-    E.Value = Value;
-    S.record(std::move(E));
+    observe(S.Log.keys().intern(Key), Value);
+  }
+
+  void observe(uint32_t KeyId, int64_t Value) override {
+    if (S.TraceLev == TraceLevel::Off)
+      return;
+    S.record(TraceRecord::make(TraceKind::Observe, S.Clock, P,
+                               InvalidProcess, 0, KeyId, Value));
+  }
+
+  uint32_t traceKeyId(const std::string &Key) override {
+    return S.Log.keys().intern(Key);
   }
 
   void leaveSystem() override { S.leave(P); }
@@ -94,14 +99,25 @@ Simulator::Simulator(uint64_t MasterSeed)
       Pending(std::make_unique<CalendarQueue>()) {}
 
 Simulator::~Simulator() {
-  // Drain queued payloads back into the pools first, then retire them: a
-  // pool either dies now (every body home) or switches to self-deleting
-  // retired mode so MessageRefs that outlive this simulator stay valid.
-  // The engine's lane queues can park main-pool bodies (environment-phase
-  // sends), so the engine must drain before the main pool retires.
+  // Deliver any still-buffered sink records first (the sink outlives us by
+  // contract), then drain queued payloads back into the pools and retire
+  // them: a pool either dies now (every body home) or switches to
+  // self-deleting retired mode so MessageRefs that outlive this simulator
+  // stay valid. The engine's lane queues can park main-pool bodies
+  // (environment-phase sends), so the engine must drain before the main
+  // pool retires.
+  flushTraceSink();
   Pending.reset();
   Sharded.reset();
   BodyPool::retire(Bodies);
+}
+
+void Simulator::flushTraceSink() {
+  if (SinkBuf.empty())
+    return;
+  if (Sink)
+    Sink->appendBatch(SinkBuf.data(), SinkBuf.size(), Log.keys());
+  SinkBuf.clear();
 }
 
 void Simulator::setShards(unsigned K) {
@@ -171,13 +187,8 @@ ProcessId Simulator::spawn(std::unique_ptr<Actor> A) {
   }
   SlotOfPid.push_back(Slot);
 
-  if (TraceLev != TraceLevel::Off) {
-    TraceEvent E;
-    E.Kind = TraceKind::Join;
-    E.Time = Clock;
-    E.Subject = P;
-    record(std::move(E));
-  }
+  if (TraceLev != TraceLevel::Off)
+    record(TraceRecord::make(TraceKind::Join, Clock, P));
 
   if (OnUpHook)
     OnUpHook(P);
@@ -207,13 +218,9 @@ void Simulator::markDown(ProcessId P, bool Crashed) {
   // generation).
   FreeSlots.push_back(SlotOfPid[P]);
 
-  if (TraceLev != TraceLevel::Off) {
-    TraceEvent E;
-    E.Kind = Crashed ? TraceKind::Crash : TraceKind::Leave;
-    E.Time = Clock;
-    E.Subject = P;
-    record(std::move(E));
-  }
+  if (TraceLev != TraceLevel::Off)
+    record(TraceRecord::make(Crashed ? TraceKind::Crash : TraceKind::Leave,
+                             Clock, P));
 
   if (OnDownHook)
     OnDownHook(P);
@@ -314,27 +321,14 @@ void Simulator::sendMessage(ProcessId From, ProcessId To, MessageRef Body) {
   ++Stats.MessagesSent;
   Stats.PayloadUnits += Body->weight();
 
-  if (TraceLev == TraceLevel::Full) {
-    TraceEvent TE;
-    TE.Kind = TraceKind::Send;
-    TE.Time = Clock;
-    TE.Subject = From;
-    TE.Peer = To;
-    TE.MsgKind = Body->kind();
-    record(std::move(TE));
-  }
+  if (TraceLev == TraceLevel::Full)
+    record(TraceRecord::make(TraceKind::Send, Clock, From, To, Body->kind()));
 
   if (LossRate > 0.0 && KernelRng.nextBernoulli(LossRate)) {
     ++Stats.MessagesDropped;
-    if (TraceLev == TraceLevel::Full) {
-      TraceEvent Lost;
-      Lost.Kind = TraceKind::Drop;
-      Lost.Time = Clock;
-      Lost.Subject = To;
-      Lost.Peer = From;
-      Lost.MsgKind = Body->kind();
-      record(std::move(Lost));
-    }
+    if (TraceLev == TraceLevel::Full)
+      record(
+          TraceRecord::make(TraceKind::Drop, Clock, To, From, Body->kind()));
     return;
   }
 
@@ -377,27 +371,15 @@ void Simulator::deliver(ProcessId Src, ProcessId Dst, MessageRef Body) {
   Actor *A = isUp(Dst) ? Processes[Dst].TheActor.get() : nullptr;
   if (!A) {
     ++Stats.MessagesDropped;
-    if (TraceLev == TraceLevel::Full) {
-      TraceEvent TE;
-      TE.Kind = TraceKind::Drop;
-      TE.Time = Clock;
-      TE.Subject = Dst;
-      TE.Peer = Src;
-      TE.MsgKind = Body->kind();
-      record(std::move(TE));
-    }
+    if (TraceLev == TraceLevel::Full)
+      record(
+          TraceRecord::make(TraceKind::Drop, Clock, Dst, Src, Body->kind()));
     return;
   }
   ++Stats.MessagesDelivered;
-  if (TraceLev == TraceLevel::Full) {
-    TraceEvent TE;
-    TE.Kind = TraceKind::Deliver;
-    TE.Time = Clock;
-    TE.Subject = Dst;
-    TE.Peer = Src;
-    TE.MsgKind = Body->kind();
-    record(std::move(TE));
-  }
+  if (TraceLev == TraceLevel::Full)
+    record(
+        TraceRecord::make(TraceKind::Deliver, Clock, Dst, Src, Body->kind()));
   ContextImpl Ctx(*this, Dst);
   A->onMessage(Ctx, Src, *Body);
 }
@@ -412,8 +394,14 @@ void Simulator::fireTimer(ProcessId P, TimerId Id) {
 }
 
 StopReason Simulator::run(RunLimits Limits) {
-  if (Sharded)
-    return Sharded->run(Limits);
+  StopReason R = Sharded ? Sharded->run(Limits) : runLegacy(Limits);
+  // Any records still buffered for an installed sink belong to this run;
+  // push them out so the caller sees a complete file/trace after run().
+  flushTraceSink();
+  return R;
+}
+
+StopReason Simulator::runLegacy(RunLimits Limits) {
   HaltRequested = false;
   // Everything an event handler allocates with makeBody() during this run
   // draws from (and recycles into) this simulator's pool.

@@ -11,29 +11,133 @@
 
 using namespace dyndist;
 
-void Trace::append(TraceEvent E) {
-  assert((Events.empty() || Events.back().Time <= E.Time) &&
-         "trace records must be appended in time order");
-  switch (E.Kind) {
+namespace {
+
+/// Retired record buffers recycled across Trace instances. Thread-local: a
+/// Simulator and its trace are single-threaded objects, and the pool must
+/// not serialize unrelated simulators running on different threads. The
+/// point is the mapped pages: a full-trace run accumulates tens of MB of
+/// records, and above glibc's mmap-threshold cap that storage is returned
+/// to the kernel on free — so without recycling, every fresh Simulator
+/// re-faults (and growth-copies) the whole buffer again, which costs more
+/// than the appends themselves.
+constexpr size_t PoolMaxBuffers = 4;
+constexpr size_t PoolMinRecords = 1024; ///< Don't pool trivial buffers.
+
+using BufferPool = std::vector<std::vector<TraceRecord>>;
+
+/// The pool is reached through a trivially-destructible thread-local
+/// pointer slot rather than directly, because Trace destructors can run
+/// *after* the thread's TLS teardown: a Trace held in a function-local
+/// static (e.g. a captured fixture) is destroyed in the static-destruction
+/// phase, which the standard sequences after all main-thread thread-local
+/// destructors. PoolOwner nulls the slot when the pool itself dies, so
+/// such late destructors observe null and skip recycling instead of
+/// pushing into a destroyed vector.
+BufferPool *&poolSlot() {
+  thread_local BufferPool *Slot = nullptr;
+  return Slot;
+}
+
+struct PoolOwner {
+  BufferPool Buffers;
+  PoolOwner() { poolSlot() = &Buffers; }
+  ~PoolOwner() { poolSlot() = nullptr; }
+};
+
+BufferPool *recordBufferPool() {
+  // After Owner's destructor has run, the initialization guard stays set:
+  // re-entry skips construction and the slot reads back null.
+  thread_local PoolOwner Owner;
+  return poolSlot();
+}
+
+} // namespace
+
+Trace::Trace() {
+  BufferPool *Pool = recordBufferPool();
+  if (Pool && !Pool->empty()) {
+    Records = std::move(Pool->back());
+    Pool->pop_back();
+  }
+}
+
+Trace::~Trace() {
+  BufferPool *Pool = recordBufferPool();
+  if (!Pool || Records.capacity() < PoolMinRecords ||
+      Pool->size() >= PoolMaxBuffers)
+    return;
+  Records.clear();
+  Pool->push_back(std::move(Records));
+}
+
+void Trace::appendRecord(const TraceRecord &R) {
+  // Deferred-error contract, mirroring ColumnarTraceWriter: a record that
+  // goes back in time is dropped and latched, never silently stored where
+  // it would corrupt downstream framing.
+  if (!Records.empty() && R.Time < Records.back().Time) {
+    OrderViolated = true;
+    return;
+  }
+  switch (R.kind()) {
   case TraceKind::Join: {
-    PresenceInterval &I = Intervals[E.Subject];
-    I.JoinTime = E.Time;
+    // Join subjects ascend (ids are assigned in spawn order), so this is an
+    // O(1) append on the kernel path; replayed traces may hit the general
+    // insert.
+    PresenceInterval &I = Intervals[R.subject()];
+    I.JoinTime = R.Time;
     I.EndTime.reset();
     I.Crashed = false;
     break;
   }
   case TraceKind::Leave:
   case TraceKind::Crash: {
-    auto It = Intervals.find(E.Subject);
+    auto It = Intervals.find(R.subject());
     assert(It != Intervals.end() && "leave/crash for a process never joined");
-    It->second.EndTime = E.Time;
-    It->second.Crashed = E.Kind == TraceKind::Crash;
+    It->second.EndTime = R.Time;
+    It->second.Crashed = R.kind() == TraceKind::Crash;
     break;
   }
   default:
     break;
   }
-  Events.push_back(std::move(E));
+  Records.push_back(R);
+}
+
+void Trace::append(TraceEvent E) {
+  appendRecord(TraceRecord::make(E.Kind, E.Time, E.Subject, E.Peer, E.MsgKind,
+                                 Keys.intern(E.Key), E.Value));
+}
+
+void Trace::appendBatch(const TraceRecord *R, size_t N,
+                        const TraceKeyTable &ForeignKeys) {
+  for (size_t I = 0; I != N; ++I) {
+    TraceRecord Rec = R[I];
+    if (uint32_t Id = Rec.keyId())
+      Rec.setKeyId(Keys.intern(std::string(ForeignKeys.name(Id))));
+    appendRecord(Rec);
+  }
+}
+
+TraceEvent Trace::materialize(const TraceRecord &R) const {
+  TraceEvent E;
+  E.Kind = R.kind();
+  E.Time = R.Time;
+  E.Subject = R.subject();
+  E.Peer = R.peer();
+  E.MsgKind = R.MsgKind;
+  E.Key = std::string(Keys.name(R.keyId()));
+  E.Value = R.Value;
+  return E;
+}
+
+const std::vector<TraceEvent> &Trace::events() const {
+  // The cache is always a materialized prefix of Records: appends only grow
+  // Records, and clear() resets both, so extending the missing suffix keeps
+  // the two in lockstep without rebuilding.
+  for (size_t I = EventsCache.size(), N = Records.size(); I != N; ++I)
+    EventsCache.push_back(materialize(Records[I]));
+  return EventsCache;
 }
 
 std::vector<ProcessId> Trace::membersAt(SimTime T) const {
@@ -82,29 +186,46 @@ size_t Trace::maxConcurrency() const {
 
 std::vector<TraceEvent> Trace::observations(const std::string &Key) const {
   std::vector<TraceEvent> Out;
-  for (const TraceEvent &E : Events)
-    if (E.Kind == TraceKind::Observe && E.Key == Key)
-      Out.push_back(E);
+  uint32_t Id = Keys.find(Key);
+  if (Id == 0 && !Key.empty())
+    return Out; // Never interned: no record can carry it.
+  for (const TraceRecord &R : Records)
+    if (R.kind() == TraceKind::Observe && R.keyId() == Id)
+      Out.push_back(materialize(R));
   return Out;
 }
 
 std::optional<TraceEvent>
 Trace::firstObservation(ProcessId Subject, const std::string &Key) const {
-  for (const TraceEvent &E : Events)
-    if (E.Kind == TraceKind::Observe && E.Subject == Subject && E.Key == Key)
-      return E;
+  uint32_t Id = Keys.find(Key);
+  if (Id == 0 && !Key.empty())
+    return std::nullopt;
+  if (auto R = firstObservationRecord(Subject, Id))
+    return materialize(*R);
+  return std::nullopt;
+}
+
+std::optional<TraceRecord>
+Trace::firstObservationRecord(ProcessId Subject, uint32_t KeyId) const {
+  for (const TraceRecord &R : Records)
+    if (R.kind() == TraceKind::Observe && R.subject() == Subject &&
+        R.keyId() == KeyId)
+      return R;
   return std::nullopt;
 }
 
 size_t Trace::countKind(TraceKind Kind) const {
   size_t N = 0;
-  for (const TraceEvent &E : Events)
-    if (E.Kind == Kind)
+  for (const TraceRecord &R : Records)
+    if (R.kind() == Kind)
       ++N;
   return N;
 }
 
 void Trace::clear() {
-  Events.clear();
+  Records.clear();
   Intervals.clear();
+  EventsCache.clear();
+  OrderViolated = false;
+  // Keys retained: protocol-held interned ids survive a clear().
 }

@@ -9,6 +9,7 @@
 #include "dyndist/sim/TraceIO.h"
 #include "dyndist/support/StringUtils.h"
 
+#include <algorithm>
 #include <cstring>
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -142,6 +143,7 @@ Status ColumnarTraceWriter::open(const std::string &Path) {
   PrevTime = 0;
   Index.clear();
   KeyTable.clear();
+  BatchIdMap.clear();
   TotalEvents = 0;
   if (std::fwrite(FileMagic, 1, sizeof(FileMagic), File) != sizeof(FileMagic))
     WriteFailed = true;
@@ -185,6 +187,58 @@ void ColumnarTraceWriter::append(const TraceEvent &E) {
   ++TotalEvents;
   if (ChunkEvents == EventsPerChunk)
     flushChunk();
+}
+
+void ColumnarTraceWriter::appendBatch(const TraceRecord *R, size_t N,
+                                      const TraceKeyTable &Keys) {
+  if (!File)
+    return;
+  if (BatchIdMap.size() < Keys.size() + 1)
+    BatchIdMap.resize(Keys.size() + 1, 0);
+  for (size_t I = 0; I != N; ++I) {
+    const TraceRecord &Rec = R[I];
+    // Same deferred order check as append(): drop the offender, latch the
+    // error for close().
+    if (TotalEvents > 0 && Rec.Time < PrevTime) {
+      OrderViolated = true;
+      continue;
+    }
+    uint64_t Delta = ChunkEvents == 0 ? 0 : Rec.Time - PrevTime;
+    if (ChunkEvents == 0)
+      ChunkMinTime = Rec.Time;
+    PrevTime = Rec.Time;
+    Kinds += static_cast<char>(static_cast<uint8_t>(Rec.kind()));
+    KindMask |= 1u << static_cast<unsigned>(Rec.kind());
+    putVarint(Times, Delta);
+    // widen() + 1 reproduces the per-event bytes: InvalidProcess wraps to 0.
+    putVarint(Subjects, Rec.subject() + 1);
+    putVarint(Peers, Rec.peer() + 1);
+    putVarint(Msgs, zigzag(Rec.MsgKind));
+    uint32_t TableId = Rec.keyId();
+    if (TableId == 0) {
+      KeyIds += '\0'; // varint 0 = empty key.
+    } else {
+      uint32_t ChunkId = BatchIdMap[TableId];
+      if (ChunkId == 0) {
+        std::string_view Name = Keys.name(TableId);
+        auto [It, Inserted] =
+            KeyTable.try_emplace(std::string(Name), ChunkStrings + 1);
+        if (Inserted) {
+          ++ChunkStrings;
+          putVarint(StrTab, Name.size());
+          StrTab += Name;
+        }
+        ChunkId = It->second;
+        BatchIdMap[TableId] = ChunkId;
+      }
+      putVarint(KeyIds, ChunkId);
+    }
+    putVarint(Values, zigzag(Rec.Value));
+    ++ChunkEvents;
+    ++TotalEvents;
+    if (ChunkEvents == EventsPerChunk)
+      flushChunk();
+  }
 }
 
 void ColumnarTraceWriter::flushChunk() {
@@ -235,6 +289,7 @@ void ColumnarTraceWriter::flushChunk() {
   Values.clear();
   StrTab.clear();
   KeyTable.clear();
+  std::fill(BatchIdMap.begin(), BatchIdMap.end(), 0u);
   ChunkEvents = 0;
   ChunkStrings = 0;
   KindMask = 0;
@@ -525,11 +580,13 @@ bool dyndist::isColumnarTraceFile(const std::string &Path) {
 
 Status dyndist::writeColumnarTraceFile(const Trace &T,
                                        const std::string &Path) {
+  if (T.timeOrderViolated())
+    return Error(Error::Code::InvalidArgument,
+                 "trace events out of time order");
   ColumnarTraceWriter W;
   if (Status S = W.open(Path); !S)
     return S;
-  for (const TraceEvent &E : T.events())
-    W.append(E);
+  W.appendBatch(T.records().data(), T.records().size(), T.keys());
   return W.close();
 }
 

@@ -88,20 +88,40 @@ void dyndist::appendEscapedTraceString(std::string &Out, std::string_view S) {
   }
 }
 
-void dyndist::appendTraceJsonLine(std::string &Out, const TraceEvent &E) {
-  std::string Key;
-  appendEscapedTraceString(Key, E.Key);
+namespace {
+
+/// The one line formatter both overloads (and therefore every serializer)
+/// funnel through, so the byte format cannot drift between the string-keyed
+/// and POD paths.
+void appendTraceJsonFields(std::string &Out, TraceKind Kind, SimTime Time,
+                           ProcessId Subject, ProcessId Peer, int MsgKind,
+                           std::string_view Key, int64_t Value) {
+  std::string Escaped;
+  appendEscapedTraceString(Escaped, Key);
   Out += format("{\"kind\":\"%s\",\"t\":%llu,\"subject\":%llu,"
                 "\"peer\":%llu,\"msg\":%d,\"key\":\"%s\",\"value\":%lld}\n",
-                traceKindName(E.Kind), (unsigned long long)E.Time,
-                (unsigned long long)E.Subject, (unsigned long long)E.Peer,
-                E.MsgKind, Key.c_str(), (long long)E.Value);
+                traceKindName(Kind), (unsigned long long)Time,
+                (unsigned long long)Subject, (unsigned long long)Peer,
+                MsgKind, Escaped.c_str(), (long long)Value);
+}
+
+} // namespace
+
+void dyndist::appendTraceJsonLine(std::string &Out, const TraceEvent &E) {
+  appendTraceJsonFields(Out, E.Kind, E.Time, E.Subject, E.Peer, E.MsgKind,
+                        E.Key, E.Value);
+}
+
+void dyndist::appendTraceJsonLine(std::string &Out, const TraceRecord &R,
+                                  const TraceKeyTable &Keys) {
+  appendTraceJsonFields(Out, R.kind(), R.Time, R.subject(), R.peer(),
+                        R.MsgKind, Keys.name(R.keyId()), R.Value);
 }
 
 std::string dyndist::traceToJsonLines(const Trace &T) {
   std::string Out;
-  for (const TraceEvent &E : T.events())
-    appendTraceJsonLine(Out, E);
+  for (const TraceRecord &R : T.records())
+    appendTraceJsonLine(Out, R, T.keys());
   return Out;
 }
 
@@ -275,7 +295,7 @@ Result<Trace> dyndist::traceFromJsonLines(const std::string &Text) {
     E.MsgKind = static_cast<int>(Msg);
     E.Key = std::move(Key);
     E.Value = Value;
-    if (!T.events().empty() && T.events().back().Time > E.Time)
+    if (!T.records().empty() && T.records().back().Time > E.Time)
       return Error(Error::Code::InvalidArgument,
                    format("trace line %zu goes back in time", LineNo));
     T.append(std::move(E));
@@ -284,6 +304,9 @@ Result<Trace> dyndist::traceFromJsonLines(const std::string &Text) {
 }
 
 Status dyndist::writeTraceFile(const Trace &T, const std::string &Path) {
+  if (T.timeOrderViolated())
+    return Error(Error::Code::InvalidArgument,
+                 "trace events out of time order");
   std::string Temp = Path + ".tmp";
   std::FILE *F = std::fopen(Temp.c_str(), "w");
   if (!F)
@@ -358,6 +381,18 @@ void JsonLinesTraceSink::append(const TraceEvent &E) {
   if (std::fwrite(LineBuf.data(), 1, LineBuf.size(), File) != LineBuf.size())
     WriteFailed = true;
   ++Events;
+}
+
+void JsonLinesTraceSink::appendBatch(const TraceRecord *R, size_t N,
+                                     const TraceKeyTable &Keys) {
+  if (!File || WriteFailed)
+    return;
+  LineBuf.clear();
+  for (size_t I = 0; I != N; ++I)
+    appendTraceJsonLine(LineBuf, R[I], Keys);
+  if (std::fwrite(LineBuf.data(), 1, LineBuf.size(), File) != LineBuf.size())
+    WriteFailed = true;
+  Events += N;
 }
 
 Status JsonLinesTraceSink::close() {

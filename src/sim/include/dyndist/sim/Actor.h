@@ -86,6 +86,27 @@ public:
   /// Records an algorithm output in the trace (e.g. the decided aggregate).
   virtual void observe(const std::string &Key, int64_t Value) = 0;
 
+  /// Allocation-free observe: records with a key id previously obtained
+  /// from traceKeyId(). Protocols that observe a fixed key pre-intern it
+  /// once (typically in onStart) and pass the id on the hot path. The base
+  /// default records with an empty key (id 0); kernel-backed contexts
+  /// override with the real id-resolved path.
+  virtual void observe(uint32_t KeyId, int64_t Value) {
+    (void)KeyId;
+    observe(std::string(), Value);
+  }
+
+  /// Interns \p Key into the simulator's trace key table and returns its
+  /// dense id for use with observe(uint32_t, int64_t). Stable for the whole
+  /// run (the table survives Trace::clear()). In sharded runs this must be
+  /// called from a serial phase (onStart/onStop); lane-phase hooks can only
+  /// look up keys already interned. The base default returns 0 (the empty
+  /// key), matching the base observe(uint32_t) fallback.
+  virtual uint32_t traceKeyId(const std::string &Key) {
+    (void)Key;
+    return 0;
+  }
+
   /// Departs the system gracefully at the current instant; no further hooks
   /// run for this actor.
   virtual void leaveSystem() = 0;

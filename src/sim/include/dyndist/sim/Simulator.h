@@ -158,11 +158,22 @@ public:
   /// accumulated in trace() — the production-scale path for runs whose
   /// full trace would not fit in memory. Records arrive at the sink in
   /// exactly the order trace() would have held them (for sharded runs, the
-  /// barrier's ascending-destination merge order).
-  void setTraceSink(TraceSink *S) { Sink = S; }
+  /// barrier's ascending-destination merge order), delivered in flat POD
+  /// batches through TraceSink::appendBatch. Any records still buffered
+  /// for the previous sink are flushed to it before the switch.
+  void setTraceSink(TraceSink *S) {
+    flushTraceSink();
+    Sink = S;
+  }
 
   /// The installed streaming sink, or null.
   TraceSink *traceSink() const { return Sink; }
+
+  /// Delivers any records buffered for the installed sink. run() flushes
+  /// on every exit path and the destructor flushes too, so this is only
+  /// needed when inspecting sink output mid-run (e.g. between spawns
+  /// before the first run()).
+  void flushTraceSink();
 
   /// Installs the topology provider (not owned; must outlive the run).
   /// Passing nullptr restores the default full mesh.
@@ -298,14 +309,22 @@ private:
   void pushAction(SimTime Time, ActionFn Action);
   void markDown(ProcessId P, bool Crashed);
 
-  /// Routes one admitted trace record: to the streaming sink when one is
-  /// installed, else into the in-memory Log. Every emission site funnels
-  /// through here so the sink sees exactly what the Log would have.
-  void record(TraceEvent &&E) {
-    if (Sink)
-      Sink->append(E);
-    else
-      Log.append(std::move(E));
+  /// Records buffered per appendBatch() flush toward an installed sink:
+  /// amortizes the virtual sink dispatch ~64K:1 on the Full-trace hot path.
+  static constexpr size_t SinkBatchRecords = 65536;
+
+  /// Routes one admitted trace record: into the sink batch buffer when a
+  /// sink is installed, else straight into the in-memory Log. Every
+  /// emission site funnels through here so the sink sees exactly what the
+  /// Log would have.
+  void record(const TraceRecord &R) {
+    if (Sink) {
+      SinkBuf.push_back(R);
+      if (SinkBuf.size() == SinkBatchRecords)
+        flushTraceSink();
+    } else {
+      Log.appendRecord(R);
+    }
   }
 
   SimTime Clock = 0;
@@ -360,9 +379,15 @@ private:
   /// Non-null iff setShards() switched this kernel into sharded mode.
   std::unique_ptr<detail::ShardEngine> Sharded;
 
+  StopReason runLegacy(RunLimits Limits);
+
   Trace Log;
   /// Streaming trace consumer; non-null diverts recording away from Log.
   TraceSink *Sink = nullptr;
+  /// Pending records for the sink (flat POD buffer, flushed in batches).
+  /// Key ids resolve against Log's key table, which keeps interning even
+  /// while a sink diverts the records themselves.
+  std::vector<TraceRecord> SinkBuf;
   /// Mutable so stats() (const) can fold the live pool counters in.
   mutable SimStats Stats;
 };

@@ -13,16 +13,27 @@
 /// class of systems" is always a statement verified against a recorded
 /// execution rather than trusted from the algorithm.
 ///
+/// Storage model: records are trivially-copyable 32-byte TraceRecords whose
+/// Observe keys are interned to dense u32 ids in the trace's TraceKeyTable.
+/// Strings cross the API boundary only — hot emission paths move PODs. The
+/// string-keyed TraceEvent remains as the compatibility view (events(),
+/// observations(), the JSON-lines wire format).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DYNDIST_SIM_TRACE_H
 #define DYNDIST_SIM_TRACE_H
 
 #include "dyndist/sim/Types.h"
+#include "dyndist/support/FlatMap.h"
 
-#include <map>
+#include <cassert>
+#include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
+#include <type_traits>
+#include <unordered_map>
 #include <vector>
 
 namespace dyndist {
@@ -51,7 +62,8 @@ enum class TraceKind {
   Observe, ///< Subject reported an algorithm output (Key, Value).
 };
 
-/// One trace record. Field meaning depends on Kind; unused fields are 0.
+/// One trace record in the compatibility (string-keyed) view. Field meaning
+/// depends on Kind; unused fields are 0.
 struct TraceEvent {
   TraceKind Kind;
   SimTime Time = 0;
@@ -61,6 +73,110 @@ struct TraceEvent {
   std::string Key;
   int64_t Value = 0;
 };
+
+/// Dense interner mapping Observe keys to u32 ids. Id 0 is reserved for the
+/// empty key; real keys get ids 1, 2, ... in first-intern order, bounded by
+/// 2^24 - 1 so an id packs into TraceRecord::KindAndKey next to the kind.
+///
+/// Threading: intern() mutates and must only run in serial phases (the
+/// sharded engine's barrier / environment sub-phase). find() and name() are
+/// const and safe to call concurrently on a table no one is interning into —
+/// which is what lane-phase observes and multi-threaded query scans do.
+class TraceKeyTable {
+public:
+  TraceKeyTable() : Names(1) {} // Names[0] = the empty key.
+
+  /// Largest assignable id (24-bit packed field).
+  static constexpr uint32_t MaxKeys = (1u << 24) - 1;
+
+  /// Returns the id of \p Key, interning it first if new. Serial-phase only.
+  uint32_t intern(const std::string &Key) {
+    if (Key.empty())
+      return 0;
+    auto [It, Inserted] =
+        Ids.try_emplace(Key, static_cast<uint32_t>(Names.size()));
+    if (Inserted) {
+      assert(Names.size() <= MaxKeys && "trace key-id space exhausted");
+      Names.push_back(Key);
+    }
+    return It->second;
+  }
+
+  /// The id of \p Key, or 0 when it was never interned. Note 0 is also the
+  /// empty key's id: a caller that must distinguish "unknown" checks
+  /// !Key.empty() itself. Safe concurrently while no intern() runs.
+  uint32_t find(const std::string &Key) const {
+    if (Key.empty())
+      return 0;
+    auto It = Ids.find(Key);
+    return It == Ids.end() ? 0 : It->second;
+  }
+
+  /// The key string of \p Id ("" for id 0). The view is invalidated by the
+  /// next intern().
+  std::string_view name(uint32_t Id) const {
+    assert(Id < Names.size() && "unknown trace key id");
+    return Names[Id];
+  }
+
+  /// Number of interned (non-empty) keys; valid ids are [0, size()].
+  size_t size() const { return Names.size() - 1; }
+
+private:
+  std::vector<std::string> Names;
+  std::unordered_map<std::string, uint32_t> Ids;
+};
+
+/// The POD trace record: the storage and emission format. 32 bytes,
+/// trivially copyable, no heap — the kernel's record hot path is a plain
+/// vector push of one of these. Subject/Peer are stored narrow (the kernel
+/// already bounds process ids to u32 for its event nodes); InvalidProcess
+/// narrows to UINT32_MAX and widens back losslessly. The kind and the
+/// interned key id share one word: kind in the low 8 bits, key id in the
+/// high 24.
+struct TraceRecord {
+  SimTime Time = 0;
+  int64_t Value = 0;
+  uint32_t SubjectId = UINT32_MAX;
+  uint32_t PeerId = UINT32_MAX;
+  int32_t MsgKind = 0;
+  uint32_t KindAndKey = 0;
+
+  TraceKind kind() const { return static_cast<TraceKind>(KindAndKey & 0xFF); }
+  uint32_t keyId() const { return KindAndKey >> 8; }
+  void setKeyId(uint32_t Id) { KindAndKey = (KindAndKey & 0xFFu) | (Id << 8); }
+
+  ProcessId subject() const { return widen(SubjectId); }
+  ProcessId peer() const { return widen(PeerId); }
+
+  static uint32_t narrow(ProcessId P) {
+    assert((P == InvalidProcess || P < UINT32_MAX) &&
+           "process id exceeds the trace record's u32 field");
+    return P == InvalidProcess ? UINT32_MAX : static_cast<uint32_t>(P);
+  }
+
+  static ProcessId widen(uint32_t P) {
+    return P == UINT32_MAX ? InvalidProcess : static_cast<ProcessId>(P);
+  }
+
+  static TraceRecord make(TraceKind K, SimTime T, ProcessId Subject,
+                          ProcessId Peer = InvalidProcess, int Msg = 0,
+                          uint32_t KeyId = 0, int64_t Value = 0) {
+    TraceRecord R;
+    R.Time = T;
+    R.Value = Value;
+    R.SubjectId = narrow(Subject);
+    R.PeerId = narrow(Peer);
+    R.MsgKind = Msg;
+    R.KindAndKey = static_cast<uint32_t>(K) | (KeyId << 8);
+    return R;
+  }
+};
+
+static_assert(std::is_trivially_copyable_v<TraceRecord>,
+              "TraceRecord must stay a POD for flat-buffer batching");
+static_assert(sizeof(TraceRecord) <= 32,
+              "TraceRecord must stay within 32 bytes");
 
 /// Presence interval of a process: [JoinTime, EndTime), with EndTime absent
 /// while the process is still up at the end of the run.
@@ -81,17 +197,57 @@ struct PresenceInterval {
   }
 };
 
-/// The recorded execution.
+/// The recorded execution: a flat vector of POD TraceRecords plus the key
+/// table their Observe ids resolve against. The string-keyed TraceEvent API
+/// (events(), observations(), firstObservation()) is a compatibility view
+/// materialized on demand.
 class Trace {
 public:
-  /// Appends one record (called by the simulator).
+  /// A fresh trace adopts a retired record buffer from a thread-local
+  /// recycling pool when one is available; the destructor donates the
+  /// buffer back. Keeping the vector alive keeps its pages mapped, so a
+  /// fresh Simulator appends into already-faulted memory instead of
+  /// re-faulting (and growth-copying) tens of MB per run.
+  Trace();
+  ~Trace();
+  Trace(Trace &&) = default;
+  Trace &operator=(Trace &&) = default;
+  Trace(const Trace &) = default;
+  Trace &operator=(const Trace &) = default;
+
+  /// Appends one record (the kernel's hot path). An out-of-time-order
+  /// record is dropped and latched as a deferred error (the same contract
+  /// as the columnar writer): check timeOrderViolated() — the file writers
+  /// do, and refuse to serialize a misordered trace.
+  void appendRecord(const TraceRecord &R);
+
+  /// Compatibility append: interns \p E.Key and forwards to appendRecord().
   void append(TraceEvent E);
 
-  /// All records in time order.
-  const std::vector<TraceEvent> &events() const { return Events; }
+  /// Appends \p N records whose key ids resolve against a *foreign* table
+  /// \p Keys, re-interning each key into this trace's table.
+  void appendBatch(const TraceRecord *R, size_t N, const TraceKeyTable &Keys);
 
-  /// Presence interval per process that ever joined.
-  const std::map<ProcessId, PresenceInterval> &presence() const {
+  /// All records in time order (the fast API).
+  const std::vector<TraceRecord> &records() const { return Records; }
+
+  /// The key table Observe records' keyId() fields resolve against.
+  const TraceKeyTable &keys() const { return Keys; }
+  TraceKeyTable &keys() { return Keys; }
+
+  /// True once an out-of-order append was rejected. The misordered record
+  /// is not stored; serializers fail instead of writing a corrupt frame.
+  bool timeOrderViolated() const { return OrderViolated; }
+
+  /// All records in time order, as string-keyed TraceEvents. Compatibility
+  /// shim: the vector is materialized lazily from records() and cached, so
+  /// the first call after appends pays a linear conversion. Not safe to
+  /// call concurrently with itself or with appends (the cache mutates);
+  /// concurrent readers use records() + keys().
+  const std::vector<TraceEvent> &events() const;
+
+  /// Presence interval per process that ever joined, ascending by id.
+  const FlatMap<ProcessId, PresenceInterval> &presence() const {
     return Intervals;
   }
 
@@ -116,15 +272,28 @@ public:
   std::optional<TraceEvent> firstObservation(ProcessId Subject,
                                              const std::string &Key) const;
 
+  /// First Observe record with interned key \p KeyId by \p Subject, if any
+  /// (the allocation-free variant checkers use in their scan loops).
+  std::optional<TraceRecord> firstObservationRecord(ProcessId Subject,
+                                                    uint32_t KeyId) const;
+
   /// Count of records with the given kind.
   size_t countKind(TraceKind Kind) const;
 
-  /// Discards all records (used when reusing a simulator across runs).
+  /// Discards all records (used when reusing a simulator across runs). The
+  /// key table is retained: ids handed out to protocols stay valid.
   void clear();
 
 private:
-  std::vector<TraceEvent> Events;
-  std::map<ProcessId, PresenceInterval> Intervals;
+  TraceEvent materialize(const TraceRecord &R) const;
+
+  std::vector<TraceRecord> Records;
+  TraceKeyTable Keys;
+  FlatMap<ProcessId, PresenceInterval> Intervals;
+  bool OrderViolated = false;
+  /// Lazy events() cache: always a materialized prefix of Records (appends
+  /// only extend Records; clear() resets both).
+  mutable std::vector<TraceEvent> EventsCache;
 };
 
 } // namespace dyndist

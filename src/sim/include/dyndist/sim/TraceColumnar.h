@@ -106,6 +106,15 @@ public:
   /// a violation is deferred as an error reported by close().
   void append(const TraceEvent &E) override;
 
+  /// Batched POD entry point: encodes straight from the record batch,
+  /// mapping interned table ids onto the per-chunk string table (ids map
+  /// 1:1 in first-appearance order, so the emitted bytes are identical to
+  /// feeding the same record stream through append() one event at a time).
+  /// All batches of one file must resolve against the same key table; the
+  /// per-event path may interleave freely.
+  void appendBatch(const TraceRecord *R, size_t N,
+                   const TraceKeyTable &Keys) override;
+
   /// Flushes the open chunk, writes the index footer and tail, checks for
   /// write errors, and renames the temp file over the final path.
   Status close();
@@ -125,6 +134,10 @@ private:
   // Open-chunk accumulation state.
   std::string Kinds, Times, Subjects, Peers, Msgs, KeyIds, Values, StrTab;
   std::unordered_map<std::string, uint32_t> KeyTable;
+  /// appendBatch()'s table-id -> chunk-string-id cache; 0 = not yet seen
+  /// this chunk. KeyTable stays authoritative (mixed append paths cohere);
+  /// the cache skips its string hashing on repeat keys. Reset per chunk.
+  std::vector<uint32_t> BatchIdMap;
   uint32_t ChunkEvents = 0;
   uint32_t ChunkStrings = 0;
   uint64_t ChunkMinTime = 0;

@@ -53,6 +53,11 @@ void appendEscapedTraceString(std::string &Out, std::string_view S);
 /// byte format cannot drift.
 void appendTraceJsonLine(std::string &Out, const TraceEvent &E);
 
+/// Same line format from a POD record whose key id resolves against
+/// \p Keys; byte-identical to the TraceEvent overload.
+void appendTraceJsonLine(std::string &Out, const TraceRecord &R,
+                         const TraceKeyTable &Keys);
+
 /// Renders \p T as JSON lines (one TraceEvent per line, trailing newline).
 std::string traceToJsonLines(const Trace &T);
 
@@ -86,6 +91,11 @@ public:
   Status open(const std::string &Path);
 
   void append(const TraceEvent &E) override;
+
+  /// Serializes the whole batch into one buffer and writes it with a
+  /// single fwrite, amortizing the per-record libc call.
+  void appendBatch(const TraceRecord *R, size_t N,
+                   const TraceKeyTable &Keys) override;
 
   /// Flushes, checks for write errors, and renames the temp file over the
   /// final path. After close() the sink can be open()ed again.

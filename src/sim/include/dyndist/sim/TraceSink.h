@@ -8,20 +8,27 @@
 /// A TraceSink consumes trace records as the kernel emits them, instead of
 /// the kernel accumulating them in its in-memory Trace. Sinks exist for the
 /// production-scale path: a multi-million-event run at TraceLevel::Full
-/// cannot afford (and does not need) an in-core std::vector<TraceEvent> —
-/// it needs the records streamed to disk in a format the offline query
-/// tools can shard over.
+/// cannot afford (and does not need) an in-core record vector — it needs
+/// the records streamed to disk in a format the offline query tools can
+/// shard over.
 ///
 /// Contract:
 ///  - Simulator::setTraceSink(S) routes every record the active TraceLevel
-///    admits to S->append() *instead of* the in-memory Trace. trace() stays
-///    empty while a sink is installed; checkers run offline on the file.
+///    admits to S *instead of* the in-memory Trace. trace() stays empty
+///    while a sink is installed; checkers run offline on the file.
 ///  - Records arrive in nondecreasing Time order, exactly the order the
 ///    in-memory Trace would have recorded (for the sharded engine, the
 ///    barrier's ascending-destination merge order). A sink never reorders.
+///  - The kernel delivers records through appendBatch() in flat POD batches
+///    (currently up to 64K records) to amortize the virtual dispatch; a
+///    batch preserves emission order, and batch boundaries carry no meaning
+///    — the concatenation of all batches is the record stream. Batches are
+///    flushed at run() exit, at sink replacement, and at simulator
+///    destruction, so a sink always sees the complete stream.
 ///  - The sink is not owned by the simulator and must outlive it (or be
 ///    detached with setTraceSink(nullptr) first).
-///  - append() must not throw and must not call back into the simulator.
+///  - append()/appendBatch() must not throw and must not call back into
+///    the simulator.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -39,6 +46,25 @@ public:
 
   /// Consumes one record. Records arrive in nondecreasing Time order.
   virtual void append(const TraceEvent &E) = 0;
+
+  /// Consumes \p N records whose keyId() fields resolve against \p Keys.
+  /// The default materializes string-keyed TraceEvents and forwards to
+  /// append(); high-throughput sinks override to encode straight from the
+  /// POD batch.
+  virtual void appendBatch(const TraceRecord *R, size_t N,
+                           const TraceKeyTable &Keys) {
+    TraceEvent E;
+    for (size_t I = 0; I != N; ++I) {
+      E.Kind = R[I].kind();
+      E.Time = R[I].Time;
+      E.Subject = R[I].subject();
+      E.Peer = R[I].peer();
+      E.MsgKind = R[I].MsgKind;
+      E.Key.assign(Keys.name(R[I].keyId()));
+      E.Value = R[I].Value;
+      append(E);
+    }
+  }
 };
 
 } // namespace dyndist

@@ -25,6 +25,7 @@
 #define DYNDIST_SUPPORT_FLATMAP_H
 
 #include <algorithm>
+#include <cassert>
 #include <cstddef>
 #include <utility>
 #include <vector>
@@ -72,6 +73,14 @@ public:
   }
 
   size_t count(const KeyT &Key) const { return contains(Key) ? 1 : 0; }
+
+  /// std::map::at for present keys. Absence is a caller bug (asserted), not
+  /// an exception: the library builds keep asserts on in every build type.
+  const ValueT &at(const KeyT &Key) const {
+    const_iterator It = find(Key);
+    assert(It != Entries.end() && "FlatMap::at(): key not present");
+    return It->second;
+  }
 
   bool contains(const KeyT &Key) const {
     const_iterator It = lowerBound(Key);

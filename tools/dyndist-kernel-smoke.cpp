@@ -42,6 +42,14 @@
 // through a columnar sink to <path> at TraceLevel::Full, event count on
 // stdout. No invariance comparison — just the file.
 //
+// --trace-cmp pins the batched sink path against the per-event one: for
+// each listed shard count the workload runs twice at TraceLevel::Full,
+// once with the ColumnarTraceWriter installed directly (records arrive in
+// ~64K appendBatch() batches) and once through a wrapper that forces the
+// per-event append(TraceEvent) path. The two files must be byte-identical
+// — batch boundaries carry no meaning in the columnar format. Exit 1 on
+// the first digest mismatch.
+//
 //===----------------------------------------------------------------------===//
 
 #include "dyndist/runtime/KernelLoad.h"
@@ -164,6 +172,82 @@ bool runWithColumnarSink(KernelLoadConfig Cfg, TraceLevel Level,
     return false;
   }
   return true;
+}
+
+/// Forces the per-event path of \p W: the inherited default appendBatch()
+/// materializes each record into a TraceEvent and calls append(), so a run
+/// through this sink exercises exactly the legacy one-virtual-call-per-
+/// record protocol against the same writer.
+class PerEventSink final : public TraceSink {
+public:
+  explicit PerEventSink(ColumnarTraceWriter &W) : W(W) {}
+  void append(const TraceEvent &E) override { W.append(E); }
+
+private:
+  ColumnarTraceWriter &W;
+};
+
+int runTraceCmpMode(KernelLoadConfig Cfg,
+                    const std::vector<unsigned> &Shards) {
+  const char *BatchPath = "kernel-smoke-batched.dytr";
+  const char *EventPath = "kernel-smoke-perevent.dytr";
+  auto Cleanup = [&] {
+    std::remove(BatchPath);
+    std::remove(EventPath);
+  };
+  for (unsigned K : Shards) {
+    Cfg.Shards = K;
+    uint64_t BatchDigest = 0, BatchEvents = 0;
+    if (!runWithColumnarSink(Cfg, TraceLevel::Full, BatchPath, BatchDigest,
+                             BatchEvents)) {
+      Cleanup();
+      return 2;
+    }
+
+    ColumnarTraceWriter W;
+    if (Status S = W.open(EventPath); !S) {
+      std::fprintf(stderr, "dyndist-kernel-smoke: %s\n",
+                   S.error().str().c_str());
+      Cleanup();
+      return 2;
+    }
+    PerEventSink Wrapper(W);
+    KernelLoadConfig EventCfg = Cfg;
+    EventCfg.Sink = &Wrapper;
+    runKernelLoad(EventCfg, TraceLevel::Full);
+    uint64_t EventEvents = W.eventsWritten();
+    if (Status S = W.close(); !S) {
+      std::fprintf(stderr, "dyndist-kernel-smoke: %s\n",
+                   S.error().str().c_str());
+      Cleanup();
+      return 2;
+    }
+    uint64_t EventDigest = 0;
+    if (!fileDigest(EventPath, EventDigest)) {
+      std::fprintf(stderr, "dyndist-kernel-smoke: cannot digest %s\n",
+                   EventPath);
+      Cleanup();
+      return 2;
+    }
+
+    std::printf("shards=%u batched=%016llx (%llu events) "
+                "per-event=%016llx (%llu events)\n",
+                K, (unsigned long long)BatchDigest,
+                (unsigned long long)BatchEvents,
+                (unsigned long long)EventDigest,
+                (unsigned long long)EventEvents);
+    if (BatchDigest != EventDigest || BatchEvents != EventEvents) {
+      std::fprintf(stderr,
+                   "dyndist-kernel-smoke: shards=%u batched columnar file "
+                   "differs from per-event file — batch boundaries leaked "
+                   "into the encoding\n",
+                   K);
+      Cleanup();
+      return 1;
+    }
+  }
+  Cleanup();
+  return 0;
 }
 
 int runTraceDigestMode(KernelLoadConfig Cfg,
@@ -290,6 +374,7 @@ int main(int argc, char **argv) {
   Cfg.ChurnEvery = 25;
   std::vector<unsigned> Shards = {1, 2, 4};
   bool TraceDigest = false;
+  bool TraceCmp = false;
   const char *TraceOut = nullptr;
 
   for (int I = 1; I < argc; ++I) {
@@ -315,13 +400,15 @@ int main(int argc, char **argv) {
       Cfg.Seed = parseU64(next(), Arg);
     else if (std::strcmp(Arg, "--trace-digest") == 0)
       TraceDigest = true;
+    else if (std::strcmp(Arg, "--trace-cmp") == 0)
+      TraceCmp = true;
     else if (std::strcmp(Arg, "--trace-out") == 0)
       TraceOut = next();
     else if (std::strcmp(Arg, "--help") == 0) {
       std::printf("usage: dyndist-kernel-smoke [--processes n] [--horizon t]\n"
                   "         [--shards 0,1,2,4] [--gossip-every g] [--fanout f]\n"
                   "         [--churn-every c] [--seed s] [--trace-digest]\n"
-                  "         [--trace-out path]\n");
+                  "         [--trace-cmp] [--trace-out path]\n");
       return 0;
     } else
       usageError((std::string("unknown option ") + Arg).c_str());
@@ -336,6 +423,9 @@ int main(int argc, char **argv) {
                 (unsigned long long)Events, (unsigned long long)Digest);
     return 0;
   }
+
+  if (TraceCmp)
+    return runTraceCmpMode(Cfg, Shards);
 
   if (TraceDigest)
     return runTraceDigestMode(Cfg, Shards);

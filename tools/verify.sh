@@ -1,7 +1,8 @@
 #!/bin/sh
 # Tier-1 verification: build + ctest in the plain configuration plus an
 # n=10^5 sharded-kernel invariance smoke, an n=10^4 columnar trace-digest
-# pin, and a >=10^7-event sharded-query thread-invariance cmp, then the
+# pin, an n=10^4 batched-vs-per-event columnar sink cmp, and a
+# >=10^7-event sharded-query thread-invariance cmp, then the
 # bench regression gate (dyndist-bench-report --check --shard --trace
 # against the checked-in message/shard baselines and the columnar-sink
 # speedup floor, using the build-verify binaries), then a strict-warnings
@@ -92,6 +93,13 @@ if [ "$RUN_PLAIN" = 1 ]; then
   echo "== columnar trace-digest smoke, n=10^4 (build-verify)"
   build-verify/tools/dyndist-kernel-smoke \
     --processes 10000 --horizon 60 --shards 1,2,4 --trace-digest
+  # Batched-vs-per-event sink pin at n = 10^4: streaming the trace through
+  # the columnar writer's appendBatch fast path must produce a file
+  # byte-identical to feeding it one materialized event at a time, at every
+  # shard count. ctest covers the same contract at n = 2000.
+  echo "== batched-vs-per-event columnar sink cmp, n=10^4 (build-verify)"
+  build-verify/tools/dyndist-kernel-smoke \
+    --processes 10000 --horizon 60 --shards 1,2,4 --trace-cmp
   # Sharded-query determinism at production scale: a >= 10^7-event
   # columnar archive aggregated at two thread counts must render
   # byte-identical output (positional slots + serial chunk-order merge).
