@@ -1,0 +1,308 @@
+//===- Lexer.cpp - Lightweight C++ lexer for dyndist-lint -----------------===//
+//
+// Part of the dyndist project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dyndist/analysis/Lexer.h"
+
+namespace dyndist {
+namespace analysis {
+
+namespace {
+
+bool isIdentStart(char C) {
+  return (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') || C == '_';
+}
+
+bool isIdentBody(char C) { return isIdentStart(C) || (C >= '0' && C <= '9'); }
+
+bool isDigit(char C) { return C >= '0' && C <= '9'; }
+
+/// Strips comment leaders (`/`, `!`, `*`, `<`) and surrounding whitespace
+/// from one physical line of comment text.
+std::string trimCommentLine(std::string_view S) {
+  size_t B = 0, E = S.size();
+  while (B < E && (S[B] == ' ' || S[B] == '\t'))
+    ++B;
+  while (B < E && (S[B] == '/' || S[B] == '!' || S[B] == '*' || S[B] == '<'))
+    ++B;
+  while (B < E && (S[B] == ' ' || S[B] == '\t'))
+    ++B;
+  while (E > B && (S[E - 1] == ' ' || S[E - 1] == '\t' || S[E - 1] == '\r' ||
+                   S[E - 1] == '*' || S[E - 1] == '/'))
+    --E;
+  return std::string(S.substr(B, E - B));
+}
+
+class LexerImpl {
+public:
+  explicit LexerImpl(std::string_view Src) : Src(Src) {}
+
+  LexedFile run() {
+    while (Pos < Src.size())
+      step();
+    return std::move(Out);
+  }
+
+private:
+  std::string_view Src;
+  size_t Pos = 0;
+  uint32_t Line = 1;
+  uint32_t Col = 1;
+  /// Line number of the last emitted code token; used to decide whether a
+  /// comment is trailing (FollowsCode).
+  uint32_t LastTokenLine = 0;
+  /// True once a non-whitespace, non-comment character has been seen on the
+  /// current line — gates preprocessor detection (`#` must lead its line).
+  bool LineHasCode = false;
+  LexedFile Out;
+
+  char cur() const { return Src[Pos]; }
+  char peek(size_t N = 1) const {
+    return Pos + N < Src.size() ? Src[Pos + N] : '\0';
+  }
+
+  void advance() {
+    if (Src[Pos] == '\n') {
+      ++Line;
+      Col = 1;
+      LineHasCode = false;
+    } else {
+      ++Col;
+    }
+    ++Pos;
+  }
+
+  void emit(Tok Kind, std::string Text, uint32_t L, uint32_t C) {
+    Out.Tokens.push_back({Kind, std::move(Text), L, C});
+    LastTokenLine = L;
+  }
+
+  void step() {
+    char C = cur();
+    if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+      advance();
+      return;
+    }
+    if (C == '/' && peek() == '/') {
+      lexLineComment();
+      return;
+    }
+    if (C == '/' && peek() == '*') {
+      lexBlockComment();
+      return;
+    }
+    if (C == '#' && !LineHasCode) {
+      lexPreprocessor();
+      return;
+    }
+    LineHasCode = true;
+    if (isIdentStart(C)) {
+      lexIdentOrRawString();
+      return;
+    }
+    if (isDigit(C)) {
+      lexNumber();
+      return;
+    }
+    if (C == '"') {
+      lexString();
+      return;
+    }
+    if (C == '\'') {
+      lexCharLit();
+      return;
+    }
+    lexPunct();
+  }
+
+  void lexLineComment() {
+    uint32_t L = Line;
+    bool Follows = (LastTokenLine == L);
+    size_t Start = Pos;
+    while (Pos < Src.size() && cur() != '\n')
+      advance();
+    Out.Comments.push_back(
+        {trimCommentLine(Src.substr(Start, Pos - Start)), L, Follows});
+  }
+
+  void lexBlockComment() {
+    uint32_t L = Line;
+    bool Follows = (LastTokenLine == L);
+    advance(); // '/'
+    advance(); // '*'
+    size_t LineStart = Pos;
+    uint32_t CurLine = L;
+    auto flush = [&](size_t End) {
+      std::string T = trimCommentLine(Src.substr(LineStart, End - LineStart));
+      if (!T.empty() || CurLine == L)
+        Out.Comments.push_back({std::move(T), CurLine, CurLine == L && Follows});
+    };
+    while (Pos < Src.size()) {
+      if (cur() == '*' && peek() == '/') {
+        flush(Pos);
+        advance();
+        advance();
+        return;
+      }
+      if (cur() == '\n') {
+        flush(Pos);
+        advance();
+        CurLine = Line;
+        LineStart = Pos;
+        continue;
+      }
+      advance();
+    }
+    flush(Pos); // Unterminated: keep what we have.
+  }
+
+  /// Swallows a whole preprocessor directive, honoring `\` line
+  /// continuations and embedded block comments. Nothing is emitted.
+  void lexPreprocessor() {
+    while (Pos < Src.size()) {
+      char C = cur();
+      if (C == '\\' && (peek() == '\n' || (peek() == '\r' && peek(2) == '\n'))) {
+        advance(); // backslash
+        while (Pos < Src.size() && cur() != '\n')
+          advance();
+        if (Pos < Src.size())
+          advance(); // newline: directive continues
+        continue;
+      }
+      if (C == '/' && peek() == '*') {
+        lexBlockComment();
+        continue;
+      }
+      if (C == '/' && peek() == '/') {
+        lexLineComment();
+        return; // a line comment ends the directive
+      }
+      if (C == '\n') {
+        advance();
+        return;
+      }
+      advance();
+    }
+  }
+
+  void lexIdentOrRawString() {
+    uint32_t L = Line, C = Col;
+    size_t Start = Pos;
+    while (Pos < Src.size() && isIdentBody(cur()))
+      advance();
+    std::string_view Text = Src.substr(Start, Pos - Start);
+    // Raw-string literal: R"..." with an optional encoding prefix. The whole
+    // literal becomes a single opaque String token.
+    if (Pos < Src.size() && cur() == '"' &&
+        (Text == "R" || Text == "u8R" || Text == "uR" || Text == "LR")) {
+      lexRawString(L, C);
+      return;
+    }
+    emit(Tok::Ident, std::string(Text), L, C);
+  }
+
+  void lexRawString(uint32_t L, uint32_t C) {
+    advance(); // opening quote
+    size_t DelimStart = Pos;
+    while (Pos < Src.size() && cur() != '(')
+      advance();
+    std::string Closer;
+    Closer.reserve(Pos - DelimStart + 2);
+    Closer.push_back(')');
+    Closer.append(Src.substr(DelimStart, Pos - DelimStart));
+    Closer.push_back('"');
+    while (Pos < Src.size()) {
+      if (cur() == ')' && Src.compare(Pos, Closer.size(), Closer) == 0) {
+        for (size_t I = 0; I < Closer.size(); ++I)
+          advance();
+        break;
+      }
+      advance();
+    }
+    emit(Tok::String, "<raw-string>", L, C);
+  }
+
+  void lexString() {
+    uint32_t L = Line, C = Col;
+    advance(); // opening quote
+    while (Pos < Src.size() && cur() != '"' && cur() != '\n') {
+      if (cur() == '\\' && Pos + 1 < Src.size())
+        advance();
+      advance();
+    }
+    if (Pos < Src.size() && cur() == '"')
+      advance();
+    emit(Tok::String, "<string>", L, C);
+  }
+
+  void lexCharLit() {
+    uint32_t L = Line, C = Col;
+    advance(); // opening quote
+    while (Pos < Src.size() && cur() != '\'' && cur() != '\n') {
+      if (cur() == '\\' && Pos + 1 < Src.size())
+        advance();
+      advance();
+    }
+    if (Pos < Src.size() && cur() == '\'')
+      advance();
+    emit(Tok::CharLit, "<char>", L, C);
+  }
+
+  void lexNumber() {
+    uint32_t L = Line, C = Col;
+    size_t Start = Pos;
+    while (Pos < Src.size()) {
+      char Ch = cur();
+      if (isIdentBody(Ch) || Ch == '.') {
+        advance();
+        continue;
+      }
+      // Digit separator: 50'000.
+      if (Ch == '\'' && isIdentBody(peek())) {
+        advance();
+        advance();
+        continue;
+      }
+      // Exponent sign: 1e-5, 0x1p+3.
+      if ((Ch == '+' || Ch == '-') && Pos > Start) {
+        char Prev = Src[Pos - 1];
+        if (Prev == 'e' || Prev == 'E' || Prev == 'p' || Prev == 'P') {
+          advance();
+          continue;
+        }
+      }
+      break;
+    }
+    emit(Tok::Number, std::string(Src.substr(Start, Pos - Start)), L, C);
+  }
+
+  void lexPunct() {
+    uint32_t L = Line, C = Col;
+    char Ch = cur();
+    // Only `::` and `->` are combined; everything else is one char per
+    // token (see Lexer.h).
+    if (Ch == ':' && peek() == ':') {
+      advance();
+      advance();
+      emit(Tok::Punct, "::", L, C);
+      return;
+    }
+    if (Ch == '-' && peek() == '>') {
+      advance();
+      advance();
+      emit(Tok::Punct, "->", L, C);
+      return;
+    }
+    advance();
+    emit(Tok::Punct, std::string(1, Ch), L, C);
+  }
+};
+
+} // namespace
+
+LexedFile lex(std::string_view Source) { return LexerImpl(Source).run(); }
+
+} // namespace analysis
+} // namespace dyndist

@@ -1,0 +1,1330 @@
+//===- Linter.cpp - Determinism & phase-safety rule engine ----------------===//
+//
+// Part of the dyndist project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Implementation layout (one pass per concern, all per-file except D5):
+//
+//   commentPass     suppressions + phase markers + lane regions (S1 checks)
+//   containerPass   container declarations: unordered vars (D1 decl check),
+//                   pointer-element sequences, pointer-keyed ordered
+//                   containers (D3), comparator-less pointer sorts (D3)
+//   rulePass        linear token checks: D1 iteration, D2 sources, D4 RNG
+//   structuralPass  scope tracker: function defs/decls, classes, call sites
+//   attachMarkers   bind markers to functions/classes (M1 checks)
+//   phasePass       global BFS over the name-based call graph (D5)
+//
+// The scanner is deliberately token-level, not a parser: it recognizes just
+// enough structure (balanced groups, function signatures, ctor-init lists,
+// class bodies) to attribute calls to enclosing functions. Anything it
+// cannot classify degrades to "skip one token", never to a crash or a
+// finding.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dyndist/analysis/Linter.h"
+
+#include "dyndist/analysis/Lexer.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace dyndist {
+namespace analysis {
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Rule catalog
+//===----------------------------------------------------------------------===//
+
+const std::vector<RuleInfo> Catalog = {
+    {"D1", Severity::Error,
+     "iteration over an unordered container / unproven unordered "
+     "declaration in src/",
+     "keyed lookup is legal; iterate a sorted snapshot or FlatMap instead, "
+     "or prove the container is lookup-only with allow(D1) + reason"},
+    {"D2", Severity::Error,
+     "nondeterminism source banned in src/ (rand, time, wall clock, thread "
+     "id, getenv)",
+     "derive all variability from the seeded SplitMix64 stream; config "
+     "reads belong in entry points carrying allow(D2) + reason"},
+    {"D3", Severity::Error, "ordering keyed by raw pointer value",
+     "key by a stable id (ProcessId, slot index) or pass an explicit "
+     "by-value comparator"},
+    {"D4", Severity::Error,
+     "raw std RNG engine outside src/support/Random.cpp",
+     "use dyndist::Rng / SplitMix64 positional derivation "
+     "(support/Random.h)"},
+    {"D5", Severity::Error,
+     "serial-only call reachable from a lane-phase region",
+     "move the call into a serial barrier sub-phase, or pre-stage the data "
+     "before the parallel fan-out"},
+    {"S1", Severity::Error, "malformed dyndist-lint suppression",
+     "grammar: // dyndist-lint: allow(D1[,D2]) <reason - mandatory>"},
+    {"M1", Severity::Error, "phase marker could not be applied",
+     "place DYNDIST_* markers directly above a function or class "
+     "declaration; region BEGIN/END must pair up inside one file"},
+};
+
+Severity severityOf(std::string_view Rule) {
+  for (const RuleInfo &R : Catalog)
+    if (R.Id == Rule)
+      return R.DefaultSeverity;
+  return Severity::Error;
+}
+
+std::string hintOf(std::string_view Rule) {
+  for (const RuleInfo &R : Catalog)
+    if (R.Id == Rule)
+      return std::string(R.FixHint);
+  return {};
+}
+
+bool isKnownRule(std::string_view Id) {
+  for (const RuleInfo &R : Catalog)
+    if (R.Id == Id)
+      return true;
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// Name tables
+//===----------------------------------------------------------------------===//
+
+const std::set<std::string, std::less<>> UnorderedTypeNames = {
+    "unordered_map", "unordered_set", "unordered_multimap",
+    "unordered_multiset"};
+
+const std::set<std::string, std::less<>> OrderedAssocNames = {
+    "map", "set", "multimap", "multiset", "FlatMap", "less"};
+
+const std::set<std::string, std::less<>> PtrSeqNames = {"vector", "deque",
+                                                        "array", "InlineVec"};
+
+/// Only the begin family: every iteration needs a begin, while a bare
+/// `.end()` is the legal sentinel of `find() != end()` lookups.
+const std::set<std::string, std::less<>> IterMemberNames = {
+    "begin", "cbegin", "rbegin", "crbegin"};
+
+const std::set<std::string, std::less<>> RngEngineNames = {
+    "mt19937",        "mt19937_64",   "minstd_rand",
+    "minstd_rand0",   "random_device", "default_random_engine",
+    "knuth_b",        "ranlux24",     "ranlux48",
+    "ranlux24_base",  "ranlux48_base"};
+
+/// Identifiers that look like calls but are control flow / operators.
+const std::set<std::string, std::less<>> NonCallKeywords = {
+    "if",     "for",       "while",    "switch",   "return",  "sizeof",
+    "alignof", "alignas",  "decltype", "noexcept", "catch",   "new",
+    "delete", "throw",     "case",     "default",  "do",      "else",
+    "goto",   "defined",   "typeid",   "co_await", "co_return",
+    "co_yield", "requires", "static_assert", "assert"};
+
+/// The only file allowed to name raw std RNG engines (D4).
+constexpr std::string_view RandomImplFile = "src/support/Random.cpp";
+
+/// Files allowed to name std::chrono wall clocks inside src/ (D2). Empty by
+/// design: additions go through code review, one path per line.
+const std::set<std::string, std::less<>> ClockAllowlistFiles = {};
+
+//===----------------------------------------------------------------------===//
+// Internal data model
+//===----------------------------------------------------------------------===//
+
+enum class Tree : uint8_t { Src, Tools, Bench, Tests, Other };
+
+Tree treeOf(std::string_view Path) {
+  auto Slash = Path.find('/');
+  std::string_view Head = Slash == std::string_view::npos
+                              ? Path
+                              : Path.substr(0, Slash);
+  if (Head == "src")
+    return Tree::Src;
+  if (Head == "tools")
+    return Tree::Tools;
+  if (Head == "bench")
+    return Tree::Bench;
+  if (Head == "tests")
+    return Tree::Tests;
+  return Tree::Other;
+}
+
+struct SuppressionRec {
+  uint32_t TargetLine = 0;
+  std::set<std::string> Rules;
+  std::string Reason;
+};
+
+enum class MarkerKind : uint8_t { SerialOnly, SerialContext, LanePhase };
+
+struct MarkerRec {
+  MarkerKind Kind;
+  uint32_t CommentLine = 0;
+  uint32_t TargetLine = 0;
+  std::string Reason;
+};
+
+struct RegionRec {
+  uint32_t BeginLine = 0;
+  uint32_t EndLine = 0;
+};
+
+struct CallRec {
+  std::string Name;
+  uint32_t Line = 0;
+  uint32_t Col = 0;
+};
+
+struct FnRec {
+  std::string Name;
+  std::string Qual; ///< Immediate `Class::` qualifier of out-of-line defs.
+  uint32_t SigLine = 0;
+  uint32_t BodyBegin = 0;
+  uint32_t BodyEnd = 0;
+  bool IsDef = false;
+  bool SerialOnly = false;
+  bool SerialCtx = false;
+  bool LanePhase = false;
+  std::vector<CallRec> Calls;
+};
+
+struct ClsRec {
+  std::string Name;
+  uint32_t HeadLine = 0;
+  uint32_t BodyBegin = 0;
+  uint32_t BodyEnd = 0;
+  // Class-level phase markers; also applied to out-of-line member
+  // definitions (matched by `Class::` qualifier) in phasePass.
+  bool SerialOnly = false;
+  bool SerialCtx = false;
+  bool LanePhase = false;
+};
+
+struct FileData {
+  std::string Path;
+  Tree T = Tree::Other;
+  LexedFile Lx;
+  std::set<std::string> UnorderedVars; ///< Names of unordered-typed vars.
+  std::set<std::string> PtrVars;       ///< Names of pointer-element seqs.
+  std::vector<SuppressionRec> Sups;
+  std::vector<MarkerRec> Markers;
+  std::vector<RegionRec> Regions;
+  std::vector<FnRec> Fns;
+  std::vector<ClsRec> Classes;
+};
+
+//===----------------------------------------------------------------------===//
+// Small token helpers
+//===----------------------------------------------------------------------===//
+
+/// \p I must index a `(`, `[` or `{` token. Returns the index one past the
+/// matching closer (mismatched closers are tolerated; end-of-file closes
+/// everything).
+size_t skipGroup(const std::vector<Token> &T, size_t I) {
+  size_t Depth = 0;
+  for (size_t J = I; J < T.size(); ++J) {
+    if (T[J].Kind != Tok::Punct || T[J].Text.size() != 1)
+      continue;
+    char C = T[J].Text[0];
+    if (C == '(' || C == '[' || C == '{')
+      ++Depth;
+    else if (C == ')' || C == ']' || C == '}') {
+      if (Depth > 0 && --Depth == 0)
+        return J + 1;
+    }
+  }
+  return T.size();
+}
+
+struct AngleSkip {
+  bool Ok = false;
+  size_t End = 0;
+};
+
+/// \p I must index a `<`. Attempts to balance template angles; bails (Ok =
+/// false) on tokens that prove this `<` is a comparison (`;`, `?`, a brace,
+/// an unmatched group closer) or after a 512-token span.
+AngleSkip skipAngles(const std::vector<Token> &T, size_t I) {
+  int Depth = 0;
+  for (size_t J = I; J < T.size() && J < I + 512; ++J) {
+    if (T[J].Kind != Tok::Punct)
+      continue;
+    const std::string &S = T[J].Text;
+    if (S == "<") {
+      ++Depth;
+    } else if (S == ">") {
+      if (--Depth == 0)
+        return {true, J + 1};
+    } else if (S == "(" || S == "[") {
+      J = skipGroup(T, J) - 1;
+    } else if (S == ";" || S == "?" || S == "{" || S == "}" || S == ")" ||
+               S == "]") {
+      return {false, I + 1};
+    }
+  }
+  return {false, I + 1};
+}
+
+std::string trim(std::string_view S) {
+  size_t B = 0, E = S.size();
+  while (B < E && (S[B] == ' ' || S[B] == '\t'))
+    ++B;
+  while (E > B && (S[E - 1] == ' ' || S[E - 1] == '\t'))
+    --E;
+  return std::string(S.substr(B, E - B));
+}
+
+bool startsWith(std::string_view S, std::string_view Prefix) {
+  return S.size() >= Prefix.size() && S.substr(0, Prefix.size()) == Prefix;
+}
+
+/// First token line strictly greater than \p Line, or 0 if none — the
+/// "next code line" a comment-only suppression/marker applies to.
+uint32_t nextCodeLine(const std::vector<Token> &T, uint32_t Line) {
+  for (const Token &Tk : T)
+    if (Tk.Line > Line)
+      return Tk.Line;
+  return 0;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Linter::Impl
+//===----------------------------------------------------------------------===//
+
+struct Linter::Impl {
+  std::vector<std::pair<std::string, std::string>> Sources;
+  std::vector<std::string> EnabledRules;
+
+  std::vector<Finding> Findings;
+
+  void emitFinding(std::string Rule, const std::string &File, uint32_t Line,
+                   uint32_t Col, std::string Message) {
+    Finding F;
+    F.Sev = severityOf(Rule);
+    F.FixHint = hintOf(Rule);
+    F.Rule = std::move(Rule);
+    F.File = File;
+    F.Line = Line;
+    F.Col = Col;
+    F.Message = std::move(Message);
+    Findings.push_back(std::move(F));
+  }
+
+  void commentPass(FileData &FD);
+  void containerPass(FileData &FD);
+  void rulePass(FileData &FD);
+  void structuralPass(FileData &FD);
+  size_t tryFunction(FileData &FD, size_t I, bool &PushedFn);
+  void attachMarkers(FileData &FD);
+  void phasePass(std::vector<FileData> &Files);
+  void applySuppressions(std::vector<FileData> &Files);
+
+  LintResult run();
+};
+
+//===----------------------------------------------------------------------===//
+// Pass 1: comments — suppressions, markers, regions
+//===----------------------------------------------------------------------===//
+
+void Linter::Impl::commentPass(FileData &FD) {
+  std::vector<uint32_t> RegionStack; // BEGIN comment lines awaiting END
+  for (const Comment &C : FD.Lx.Comments) {
+    const std::string &Text = C.Text;
+    if (startsWith(Text, "dyndist-lint:")) {
+      std::string Rest = trim(Text.substr(std::string_view("dyndist-lint:").size()));
+      if (!startsWith(Rest, "allow(")) {
+        emitFinding("S1", FD.Path, C.Line, 1,
+                    "unrecognized dyndist-lint directive (only 'allow(...)' "
+                    "exists)");
+        continue;
+      }
+      size_t Close = Rest.find(')');
+      if (Close == std::string::npos) {
+        emitFinding("S1", FD.Path, C.Line, 1,
+                    "suppression is missing the closing ')'");
+        continue;
+      }
+      SuppressionRec S;
+      bool BadId = false;
+      std::string Ids = Rest.substr(6, Close - 6);
+      size_t P = 0;
+      while (P <= Ids.size()) {
+        size_t Comma = Ids.find(',', P);
+        std::string Id =
+            trim(Ids.substr(P, Comma == std::string::npos ? std::string::npos
+                                                          : Comma - P));
+        if (!Id.empty()) {
+          if (!isKnownRule(Id)) {
+            emitFinding("S1", FD.Path, C.Line, 1,
+                        "unknown rule id '" + Id + "' in allow(...)");
+            BadId = true;
+          } else if (Id == "S1" || Id == "M1") {
+            emitFinding("S1", FD.Path, C.Line, 1,
+                        "grammar diagnostics (" + Id +
+                            ") cannot be suppressed");
+            BadId = true;
+          } else {
+            S.Rules.insert(Id);
+          }
+        }
+        if (Comma == std::string::npos)
+          break;
+        P = Comma + 1;
+      }
+      std::string Reason = trim(Rest.substr(Close + 1));
+      while (!Reason.empty() &&
+             (Reason[0] == '-' || Reason[0] == ':' || Reason[0] == ' '))
+        Reason.erase(Reason.begin());
+      if (Reason.empty()) {
+        emitFinding("S1", FD.Path, C.Line, 1,
+                    "suppression is missing its mandatory reason");
+        continue;
+      }
+      if (S.Rules.empty()) {
+        if (!BadId)
+          emitFinding("S1", FD.Path, C.Line, 1,
+                      "allow(...) lists no rule ids");
+        continue;
+      }
+      if (BadId)
+        continue;
+      S.Reason = std::move(Reason);
+      S.TargetLine =
+          C.FollowsCode ? C.Line : nextCodeLine(FD.Lx.Tokens, C.Line);
+      if (S.TargetLine != 0)
+        FD.Sups.push_back(std::move(S));
+      continue;
+    }
+
+    // Phase markers. Longest token first so LANE_REGION_* never matches as
+    // a prefix of something shorter.
+    struct MarkerName {
+      std::string_view Token;
+      int Kind; // 0..2 = MarkerKind, 3 = region begin, 4 = region end
+    };
+    static const MarkerName Names[] = {
+        {"DYNDIST_LANE_REGION_BEGIN", 3},
+        {"DYNDIST_LANE_REGION_END", 4},
+        {"DYNDIST_SERIAL_CONTEXT", 1},
+        {"DYNDIST_SERIAL_ONLY", 0},
+        {"DYNDIST_LANE_PHASE", 2},
+    };
+    for (const MarkerName &MN : Names) {
+      if (!startsWith(Text, MN.Token))
+        continue;
+      std::string Rest = Text.substr(MN.Token.size());
+      // Reject identifier-ish continuations (DYNDIST_SERIAL_ONLY_FOO).
+      if (!Rest.empty() && Rest[0] != ' ' && Rest[0] != '\t' &&
+          Rest[0] != ':' && Rest[0] != '-' && Rest[0] != '.')
+        continue;
+      std::string Reason = trim(Rest);
+      while (!Reason.empty() &&
+             (Reason[0] == ':' || Reason[0] == '-' || Reason[0] == ' '))
+        Reason.erase(Reason.begin());
+      if (MN.Kind == 3) {
+        RegionStack.push_back(C.Line);
+      } else if (MN.Kind == 4) {
+        if (RegionStack.empty()) {
+          emitFinding("M1", FD.Path, C.Line, 1,
+                      "DYNDIST_LANE_REGION_END without a matching BEGIN");
+        } else {
+          FD.Regions.push_back({RegionStack.back(), C.Line});
+          RegionStack.pop_back();
+        }
+      } else {
+        MarkerRec M;
+        M.Kind = static_cast<MarkerKind>(MN.Kind);
+        M.CommentLine = C.Line;
+        M.TargetLine =
+            C.FollowsCode ? C.Line : nextCodeLine(FD.Lx.Tokens, C.Line);
+        M.Reason = std::move(Reason);
+        FD.Markers.push_back(std::move(M));
+      }
+      break;
+    }
+  }
+  for (uint32_t L : RegionStack)
+    emitFinding("M1", FD.Path, L, 1,
+                "DYNDIST_LANE_REGION_BEGIN without a matching END");
+}
+
+//===----------------------------------------------------------------------===//
+// Pass 2: container declarations — D1 decl check, D3, pointer sequences
+//===----------------------------------------------------------------------===//
+
+void Linter::Impl::containerPass(FileData &FD) {
+  const std::vector<Token> &T = FD.Lx.Tokens;
+
+  // Alias pre-pass: `using X = ...unordered_map<...>...;` makes X a
+  // trigger name for the declaration scan below.
+  std::set<std::string> UnorderedAliases;
+  for (size_t I = 0; I + 3 < T.size(); ++I) {
+    if (!T[I].isIdent("using") || T[I + 1].Kind != Tok::Ident ||
+        !T[I + 2].is("="))
+      continue;
+    for (size_t J = I + 3; J < T.size() && !T[J].is(";"); ++J)
+      if (T[J].Kind == Tok::Ident && UnorderedTypeNames.count(T[J].Text)) {
+        UnorderedAliases.insert(T[I + 1].Text);
+        break;
+      }
+  }
+
+  for (size_t I = 0; I < T.size(); ++I) {
+    if (T[I].Kind != Tok::Ident)
+      continue;
+    const std::string &Name = T[I].Text;
+    bool IsUnordered =
+        UnorderedTypeNames.count(Name) || UnorderedAliases.count(Name);
+    bool IsOrderedAssoc = OrderedAssocNames.count(Name) != 0;
+    bool IsPtrSeq = PtrSeqNames.count(Name) != 0;
+    if (!IsUnordered && !IsOrderedAssoc && !IsPtrSeq)
+      continue;
+    if (I > 0 && (T[I - 1].is(".") || T[I - 1].is("->")))
+      continue; // member access, not a type name
+
+    // Template argument list (required for builtin names, optional for
+    // aliases). Collect top-level argument token ranges.
+    size_t AfterType = I + 1;
+    std::vector<std::pair<size_t, size_t>> Args; // [first, last] inclusive
+    if (I + 1 < T.size() && T[I + 1].is("<")) {
+      AngleSkip A = skipAngles(T, I + 1);
+      if (!A.Ok)
+        continue; // comparison, not a template
+      AfterType = A.End;
+      int Depth = 0;
+      size_t ArgBegin = I + 2;
+      for (size_t J = I + 1; J < A.End; ++J) {
+        if (T[J].Kind != Tok::Punct)
+          continue;
+        const std::string &S = T[J].Text;
+        if (S == "<")
+          ++Depth;
+        else if (S == ">") {
+          if (--Depth == 0 && J > ArgBegin)
+            Args.push_back({ArgBegin, J - 1});
+        } else if (S == "(" || S == "[") {
+          J = skipGroup(T, J) - 1;
+        } else if (S == "," && Depth == 1) {
+          if (J > ArgBegin)
+            Args.push_back({ArgBegin, J - 1});
+          ArgBegin = J + 1;
+        }
+      }
+    } else if (!(IsUnordered && UnorderedAliases.count(Name))) {
+      continue; // builtin container name without template args: not a type
+    }
+
+    bool FirstArgIsPtr =
+        !Args.empty() && T[Args.front().second].is("*");
+
+    if (IsOrderedAssoc && FirstArgIsPtr)
+      emitFinding("D3", FD.Path, T[I].Line, T[I].Col,
+                  "ordered container '" + Name +
+                      "' keyed by a raw pointer: iteration order follows "
+                      "allocator addresses, which vary run to run");
+
+    // Variable / member name after the type (through refs and cv).
+    size_t K = AfterType;
+    while (K < T.size() &&
+           (T[K].is("*") || T[K].is("&") || T[K].isIdent("const")))
+      ++K;
+    if (K + 1 >= T.size() || T[K].Kind != Tok::Ident)
+      continue;
+    const Token &Term = T[K + 1];
+    bool IsDecl = Term.is(";") || Term.is("=") || Term.is("{") ||
+                  Term.is(",") || Term.is(")") || Term.is("[");
+    if (!IsDecl)
+      continue;
+    bool IsParam = Term.is(")") || Term.is(",");
+    if (IsUnordered) {
+      FD.UnorderedVars.insert(T[K].Text);
+      if (FD.T == Tree::Src && !IsParam)
+        emitFinding("D1", FD.Path, T[I].Line, T[I].Col,
+                    "unordered container '" + T[K].Text +
+                        "' declared in src/: hash iteration order must "
+                        "never reach a schedule or serialized artifact");
+    }
+    if (IsPtrSeq && FirstArgIsPtr)
+      FD.PtrVars.insert(T[K].Text);
+  }
+
+  // Comparator-less sorts of pointer sequences (the second half of D3).
+  for (size_t I = 0; I + 1 < T.size(); ++I) {
+    if (T[I].Kind != Tok::Ident || !T[I + 1].is("("))
+      continue;
+    const std::string &Name = T[I].Text;
+    size_t MaxNoCompArgs;
+    if (Name == "sort" || Name == "stable_sort")
+      MaxNoCompArgs = 2;
+    else if (Name == "partial_sort" || Name == "nth_element")
+      MaxNoCompArgs = 3;
+    else
+      continue;
+    if (I > 0 && (T[I - 1].is(".") || T[I - 1].is("->")))
+      continue; // Container.sort() members are out of scope here
+    size_t Close = skipGroup(T, I + 1);
+    size_t NArgs = 1;
+    bool TouchesPtrVar = false;
+    size_t Depth = 0;
+    for (size_t J = I + 1; J < Close; ++J) {
+      if (T[J].Kind == Tok::Punct && T[J].Text.size() == 1) {
+        char C = T[J].Text[0];
+        if (C == '(' || C == '[' || C == '{')
+          ++Depth;
+        else if (C == ')' || C == ']' || C == '}')
+          --Depth;
+        else if (C == ',' && Depth == 1)
+          ++NArgs;
+      } else if (T[J].Kind == Tok::Ident && FD.PtrVars.count(T[J].Text)) {
+        TouchesPtrVar = true;
+      }
+    }
+    if (TouchesPtrVar && NArgs <= MaxNoCompArgs)
+      emitFinding("D3", FD.Path, T[I].Line, T[I].Col,
+                  "'" + Name +
+                      "' over a pointer sequence without a comparator "
+                      "orders by address, which varies run to run");
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Pass 3: linear token rules — D1 iteration, D2, D4
+//===----------------------------------------------------------------------===//
+
+void Linter::Impl::rulePass(FileData &FD) {
+  const std::vector<Token> &T = FD.Lx.Tokens;
+  for (size_t I = 0; I < T.size(); ++I) {
+    if (T[I].Kind != Tok::Ident)
+      continue;
+    const std::string &Text = T[I].Text;
+
+    // --- D1: iteration over a tracked unordered variable ------------------
+    if (FD.UnorderedVars.count(Text) && I + 3 < T.size() &&
+        (T[I + 1].is(".") || T[I + 1].is("->")) &&
+        T[I + 2].Kind == Tok::Ident && IterMemberNames.count(T[I + 2].Text) &&
+        T[I + 3].is("("))
+      emitFinding("D1", FD.Path, T[I].Line, T[I].Col,
+                  "iterator over unordered container '" + Text +
+                      "': visit order depends on the hash function and "
+                      "load factor");
+    if (IterMemberNames.count(Text) && I + 3 < T.size() && T[I + 1].is("(") &&
+        T[I + 2].Kind == Tok::Ident &&
+        FD.UnorderedVars.count(T[I + 2].Text) && T[I + 3].is(")"))
+      emitFinding("D1", FD.Path, T[I + 2].Line, T[I + 2].Col,
+                  "iterator over unordered container '" + T[I + 2].Text +
+                      "': visit order depends on the hash function and "
+                      "load factor");
+    if (Text == "for" && I + 1 < T.size() && T[I + 1].is("(")) {
+      size_t Close = skipGroup(T, I + 1);
+      // Find the first top-level ':' (range-for) or ';' (classic for).
+      size_t Depth = 0;
+      size_t RangeExpr = 0;
+      for (size_t J = I + 2; J + 1 < Close; ++J) {
+        if (T[J].Kind != Tok::Punct)
+          continue;
+        const std::string &S = T[J].Text;
+        if (S.size() == 1) {
+          char C = S[0];
+          if (C == '(' || C == '[' || C == '{')
+            ++Depth;
+          else if (C == ')' || C == ']' || C == '}')
+            --Depth;
+          else if (Depth == 0 && C == ';')
+            break; // classic for
+          else if (Depth == 0 && C == ':') {
+            RangeExpr = J + 1;
+            break;
+          }
+        }
+      }
+      if (RangeExpr != 0)
+        for (size_t J = RangeExpr; J + 1 < Close; ++J)
+          if (T[J].Kind == Tok::Ident && FD.UnorderedVars.count(T[J].Text)) {
+            emitFinding("D1", FD.Path, T[J].Line, T[J].Col,
+                        "range-for over unordered container '" + T[J].Text +
+                            "': visit order depends on the hash function "
+                            "and load factor");
+            break;
+          }
+    }
+
+    // --- D2: nondeterminism sources, src/ only ----------------------------
+    if (FD.T == Tree::Src) {
+      bool MemberAccess =
+          I > 0 && (T[I - 1].is(".") || T[I - 1].is("->"));
+      bool QualifiedNonStd = I > 1 && T[I - 1].is("::") &&
+                             !(T[I - 2].isIdent("std"));
+      bool NextParen = I + 1 < T.size() && T[I + 1].is("(");
+      if ((Text == "rand" || Text == "srand") && NextParen && !MemberAccess &&
+          !QualifiedNonStd)
+        emitFinding("D2", FD.Path, T[I].Line, T[I].Col,
+                    "'" + Text +
+                        "' draws from hidden global state; schedules must "
+                        "derive from the run seed alone");
+      if ((Text == "time" || Text == "clock") && NextParen && !MemberAccess &&
+          !QualifiedNonStd)
+        emitFinding("D2", FD.Path, T[I].Line, T[I].Col,
+                    "'" + Text +
+                        "()' reads wall-clock state, which differs every "
+                        "run");
+      if ((Text == "steady_clock" || Text == "system_clock" ||
+           Text == "high_resolution_clock") &&
+          !ClockAllowlistFiles.count(FD.Path))
+        emitFinding("D2", FD.Path, T[I].Line, T[I].Col,
+                    "std::chrono::" + Text +
+                        " in src/: simulated time (SimTime) is the only "
+                        "clock the kernel may observe");
+      if (Text == "get_id" && NextParen)
+        emitFinding("D2", FD.Path, T[I].Line, T[I].Col,
+                    "thread ids vary across runs and thread counts; key "
+                    "work by lane index instead");
+      if (Text == "getenv" && NextParen && !MemberAccess && !QualifiedNonStd)
+        emitFinding("D2", FD.Path, T[I].Line, T[I].Col,
+                    "'getenv' makes behavior depend on ambient environment; "
+                    "only designated config entry points may read it");
+    }
+
+    // --- D4: raw std RNG engines ------------------------------------------
+    if (RngEngineNames.count(Text) && FD.Path != RandomImplFile)
+      emitFinding("D4", FD.Path, T[I].Line, T[I].Col,
+                  "raw RNG engine 'std::" + Text +
+                      "' outside src/support/Random.cpp breaks positional "
+                      "seed derivation");
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Pass 4: structure — functions, classes, calls
+//===----------------------------------------------------------------------===//
+
+namespace {
+struct ScopeEnt {
+  char Kind; // 'n' namespace, 'c' class, 'f' function, 'b' block
+  size_t Idx = 0;
+};
+} // namespace
+
+void Linter::Impl::structuralPass(FileData &FD) {
+  const std::vector<Token> &T = FD.Lx.Tokens;
+  std::vector<ScopeEnt> Stack;
+
+  auto atDeclScope = [&Stack] {
+    for (const ScopeEnt &S : Stack)
+      if (S.Kind == 'f' || S.Kind == 'b')
+        return false;
+    return true;
+  };
+  auto currentFn = [&]() -> FnRec * {
+    for (auto It = Stack.rbegin(); It != Stack.rend(); ++It)
+      if (It->Kind == 'f')
+        return &FD.Fns[It->Idx];
+    return nullptr;
+  };
+
+  size_t I = 0;
+  const size_t N = T.size();
+  while (I < N) {
+    const Token &Tk = T[I];
+    if (Tk.Kind == Tok::Punct && Tk.Text == "}") {
+      if (!Stack.empty()) {
+        const ScopeEnt &S = Stack.back();
+        if (S.Kind == 'f')
+          FD.Fns[S.Idx].BodyEnd = Tk.Line;
+        else if (S.Kind == 'c')
+          FD.Classes[S.Idx].BodyEnd = Tk.Line;
+        Stack.pop_back();
+      }
+      ++I;
+      continue;
+    }
+
+    if (!atDeclScope()) {
+      // Function-body scope: record calls, push plain blocks.
+      if (Tk.Kind == Tok::Punct && Tk.Text == "{") {
+        Stack.push_back({'b', 0});
+        ++I;
+        continue;
+      }
+      if (Tk.Kind == Tok::Ident && I + 1 < N && T[I + 1].is("(") &&
+          !NonCallKeywords.count(Tk.Text)) {
+        if (FnRec *F = currentFn())
+          F->Calls.push_back({Tk.Text, Tk.Line, Tk.Col});
+      }
+      ++I;
+      continue;
+    }
+
+    // --- Declaration scope ------------------------------------------------
+    if (Tk.isIdent("namespace")) {
+      size_t J = I + 1;
+      while (J < N && (T[J].Kind == Tok::Ident || T[J].is("::")))
+        ++J;
+      if (J < N && T[J].is("=")) { // namespace alias
+        while (J < N && !T[J].is(";"))
+          ++J;
+        I = J + 1;
+        continue;
+      }
+      if (J < N && T[J].is("{")) {
+        Stack.push_back({'n', 0});
+        I = J + 1;
+        continue;
+      }
+      I = J;
+      continue;
+    }
+    if (Tk.isIdent("extern") && I + 2 < N && T[I + 1].Kind == Tok::String &&
+        T[I + 2].is("{")) {
+      Stack.push_back({'n', 0});
+      I += 3;
+      continue;
+    }
+    if (Tk.isIdent("template") && I + 1 < N && T[I + 1].is("<")) {
+      AngleSkip A = skipAngles(T, I + 1);
+      I = A.Ok ? A.End : I + 2;
+      continue;
+    }
+    if (Tk.isIdent("enum")) {
+      size_t J = I + 1;
+      while (J < N && !T[J].is("{") && !T[J].is(";"))
+        ++J;
+      I = (J < N && T[J].is("{")) ? skipGroup(T, J) : J + 1;
+      continue;
+    }
+    if (Tk.isIdent("using") || Tk.isIdent("typedef")) {
+      size_t J = I + 1;
+      while (J < N && !T[J].is(";"))
+        ++J;
+      I = J + 1;
+      continue;
+    }
+    if (Tk.isIdent("class") || Tk.isIdent("struct") || Tk.isIdent("union")) {
+      uint32_t HeadLine = Tk.Line;
+      std::string LastIdent;
+      size_t J = I + 1;
+      bool SawBase = false;
+      while (J < N && !T[J].is("{") && !T[J].is(";")) {
+        if (T[J].is("[")) {
+          J = skipGroup(T, J);
+          continue;
+        }
+        if (T[J].is("<")) {
+          AngleSkip A = skipAngles(T, J);
+          J = A.Ok ? A.End : J + 1;
+          continue;
+        }
+        if (T[J].Kind == Tok::Ident && !SawBase &&
+            T[J].Text != "final" && T[J].Text != "alignas")
+          LastIdent = T[J].Text;
+        if (T[J].is(":"))
+          SawBase = true;
+        ++J;
+      }
+      if (J < N && T[J].is("{")) {
+        FD.Classes.push_back({LastIdent, HeadLine, T[J].Line, 0});
+        Stack.push_back({'c', FD.Classes.size() - 1});
+        I = J + 1;
+      } else {
+        I = J + 1; // forward declaration
+      }
+      continue;
+    }
+    if (Tk.Kind == Tok::Ident && I + 1 < N && T[I + 1].is("(") &&
+        !NonCallKeywords.count(Tk.Text)) {
+      bool PushedFn = false;
+      size_t Next = tryFunction(FD, I, PushedFn);
+      if (PushedFn)
+        Stack.push_back({'f', FD.Fns.size() - 1});
+      I = Next;
+      continue;
+    }
+    if (Tk.Kind == Tok::Punct && Tk.Text == "{") {
+      Stack.push_back({'b', 0}); // brace initializer at decl scope
+      ++I;
+      continue;
+    }
+    ++I;
+  }
+}
+
+/// Called with T[I] an identifier directly followed by '('. Recognizes
+/// function declarations and definitions; returns the index scanning should
+/// resume at. On a definition, appends an FnRec with IsDef and sets
+/// \p PushedFn so the caller opens a function scope at the body brace.
+size_t Linter::Impl::tryFunction(FileData &FD, size_t I, bool &PushedFn) {
+  const std::vector<Token> &T = FD.Lx.Tokens;
+  const size_t N = T.size();
+  std::string Name = T[I].Text;
+  if (I > 0 && T[I - 1].is("~"))
+    Name = "~" + Name;
+  std::string Qual;
+  if (I >= 2 && T[I - 1].is("::") && T[I - 2].Kind == Tok::Ident)
+    Qual = T[I - 2].Text;
+  uint32_t SigLine = T[I].Line;
+
+  auto record = [&](bool IsDef, uint32_t BodyBegin) {
+    FnRec F;
+    F.Name = Name;
+    F.Qual = Qual;
+    F.SigLine = SigLine;
+    F.IsDef = IsDef;
+    F.BodyBegin = BodyBegin;
+    FD.Fns.push_back(std::move(F));
+  };
+
+  size_t J = skipGroup(T, I + 1); // past the parameter list
+  while (J < N) {
+    const Token &P = T[J];
+    if (P.Kind == Tok::Ident) {
+      ++J;
+      if (J < N && T[J].is("(") &&
+          (T[J - 1].isIdent("noexcept") || T[J - 1].isIdent("throw") ||
+           T[J - 1].isIdent("requires")))
+        J = skipGroup(T, J);
+      continue;
+    }
+    if (P.is("::") || P.is("*") || P.is("&") || P.is("->")) {
+      ++J;
+      continue;
+    }
+    if (P.is("<")) {
+      AngleSkip A = skipAngles(T, J);
+      if (!A.Ok)
+        return I + 1;
+      J = A.End;
+      continue;
+    }
+    if (P.is("[")) {
+      J = skipGroup(T, J);
+      continue;
+    }
+    if (P.is("=")) { // = 0 / = default / = delete
+      while (J < N && !T[J].is(";"))
+        ++J;
+      record(false, 0);
+      return J + 1;
+    }
+    if (P.is(";")) {
+      record(false, 0);
+      return J + 1;
+    }
+    if (P.is("{")) {
+      record(true, P.Line);
+      PushedFn = true;
+      return J + 1;
+    }
+    if (P.is(":")) { // constructor initializer list
+      ++J;
+      bool SawName = false;
+      while (J < N) {
+        const Token &Q = T[J];
+        if (Q.is("{") && !SawName) {
+          record(true, Q.Line);
+          PushedFn = true;
+          return J + 1;
+        }
+        if (Q.is("(") || Q.is("{")) {
+          J = skipGroup(T, J);
+          SawName = false;
+          if (J < N && T[J].is(","))
+            ++J;
+          continue;
+        }
+        if (Q.Kind == Tok::Ident || Q.is("::")) {
+          SawName = true;
+          ++J;
+          continue;
+        }
+        if (Q.is("<")) {
+          AngleSkip A = skipAngles(T, J);
+          if (!A.Ok)
+            return I + 1;
+          J = A.End;
+          continue;
+        }
+        if (Q.is(".") || Q.is(",")) {
+          ++J;
+          if (Q.is(","))
+            SawName = false;
+          continue;
+        }
+        return I + 1;
+      }
+      return I + 1;
+    }
+    return I + 1; // not a function after all
+  }
+  return I + 1;
+}
+
+//===----------------------------------------------------------------------===//
+// Pass 5: marker attachment
+//===----------------------------------------------------------------------===//
+
+void Linter::Impl::attachMarkers(FileData &FD) {
+  constexpr uint32_t Tolerance = 2; // template<> lines, attributes
+  for (const MarkerRec &M : FD.Markers) {
+    if (M.TargetLine == 0) {
+      emitFinding("M1", FD.Path, M.CommentLine, 1,
+                  "phase marker has no following declaration to attach to");
+      continue;
+    }
+    // Best function and best class candidate at/just after the target.
+    uint32_t BestFnLine = 0, BestClsLine = 0;
+    for (const FnRec &F : FD.Fns)
+      if (F.SigLine >= M.TargetLine && F.SigLine <= M.TargetLine + Tolerance)
+        if (BestFnLine == 0 || F.SigLine < BestFnLine)
+          BestFnLine = F.SigLine;
+    for (const ClsRec &C : FD.Classes)
+      if (C.HeadLine >= M.TargetLine && C.HeadLine <= M.TargetLine + Tolerance)
+        if (BestClsLine == 0 || C.HeadLine < BestClsLine)
+          BestClsLine = C.HeadLine;
+
+    auto apply = [&M](FnRec &F) {
+      switch (M.Kind) {
+      case MarkerKind::SerialOnly:
+        F.SerialOnly = true;
+        break;
+      case MarkerKind::SerialContext:
+        F.SerialCtx = true;
+        break;
+      case MarkerKind::LanePhase:
+        F.LanePhase = true;
+        break;
+      }
+    };
+
+    // Ties (one-line `struct S { void f(); };`) prefer the class: a marker
+    // above a class head is meant for the whole class.
+    if (BestClsLine != 0 && (BestFnLine == 0 || BestClsLine <= BestFnLine)) {
+      for (ClsRec &C : FD.Classes) {
+        if (C.HeadLine != BestClsLine)
+          continue;
+        switch (M.Kind) {
+        case MarkerKind::SerialOnly:
+          C.SerialOnly = true;
+          break;
+        case MarkerKind::SerialContext:
+          C.SerialCtx = true;
+          break;
+        case MarkerKind::LanePhase:
+          C.LanePhase = true;
+          break;
+        }
+        for (FnRec &F : FD.Fns)
+          if (F.SigLine >= C.BodyBegin &&
+              (C.BodyEnd == 0 || F.SigLine <= C.BodyEnd))
+            apply(F);
+        break;
+      }
+      continue;
+    }
+    if (BestFnLine != 0) {
+      for (FnRec &F : FD.Fns)
+        if (F.SigLine == BestFnLine)
+          apply(F);
+      continue;
+    }
+    emitFinding("M1", FD.Path, M.CommentLine, 1,
+                "phase marker does not attach to any function or class "
+                "declaration (looked at line " +
+                    std::to_string(M.TargetLine) + ")");
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Pass 6: D5 — lane-phase reachability
+//===----------------------------------------------------------------------===//
+
+void Linter::Impl::phasePass(std::vector<FileData> &Files) {
+  // Name-based serial-only set and definition index, src/ only: the engine
+  // and everything it can dispatch into live there; test-local actors are
+  // exercised dynamically by the digest tests instead.
+  struct SerialOrigin {
+    std::string File;
+    uint32_t Line = 0;
+  };
+  // Class-level markers reach out-of-line member definitions in other
+  // files via the `Class::` qualifier.
+  std::map<std::string, const ClsRec *> MarkedClasses;
+  for (const FileData &FD : Files) {
+    if (FD.T != Tree::Src)
+      continue;
+    for (const ClsRec &C : FD.Classes)
+      if ((C.SerialOnly || C.SerialCtx || C.LanePhase) && !C.Name.empty())
+        MarkedClasses.emplace(C.Name, &C);
+  }
+  if (!MarkedClasses.empty())
+    for (FileData &FD : Files) {
+      if (FD.T != Tree::Src)
+        continue;
+      for (FnRec &F : FD.Fns) {
+        if (F.Qual.empty())
+          continue;
+        auto It = MarkedClasses.find(F.Qual);
+        if (It == MarkedClasses.end())
+          continue;
+        F.SerialOnly |= It->second->SerialOnly;
+        F.SerialCtx |= It->second->SerialCtx;
+        F.LanePhase |= It->second->LanePhase;
+      }
+    }
+
+  std::map<std::string, SerialOrigin> SerialOnly;
+  std::map<std::string, std::vector<std::pair<size_t, size_t>>> Defs;
+  for (size_t FI = 0; FI < Files.size(); ++FI) {
+    FileData &FD = Files[FI];
+    if (FD.T != Tree::Src)
+      continue;
+    for (size_t I = 0; I < FD.Fns.size(); ++I) {
+      const FnRec &F = FD.Fns[I];
+      if (F.SerialOnly && !SerialOnly.count(F.Name))
+        SerialOnly[F.Name] = {FD.Path, F.SigLine};
+      if (F.IsDef)
+        Defs[F.Name].push_back({FI, I});
+    }
+  }
+  if (SerialOnly.empty())
+    return;
+
+  std::set<std::pair<size_t, size_t>> Visited;
+  std::set<std::string> Reported; // "file:line:name" dedup
+  std::deque<std::tuple<size_t, size_t, std::string>> Work; // file, fn, path
+
+  auto processCall = [&](const FileData &FD, const CallRec &C,
+                         const std::string &Path) {
+    auto SI = SerialOnly.find(C.Name);
+    if (SI != SerialOnly.end()) {
+      std::string Key =
+          FD.Path + ":" + std::to_string(C.Line) + ":" + C.Name;
+      if (Reported.insert(Key).second)
+        emitFinding("D5", FD.Path, C.Line, C.Col,
+                    "call to serial-only '" + C.Name + "' (marked at " +
+                        SI->second.File + ":" +
+                        std::to_string(SI->second.Line) +
+                        ") is reachable from lane phase via " + Path);
+      return;
+    }
+    auto DI = Defs.find(C.Name);
+    if (DI == Defs.end())
+      return;
+    for (const auto &[DF, DIdx] : DI->second) {
+      const FnRec &Target = Files[DF].Fns[DIdx];
+      if (Target.SerialCtx || Target.SerialOnly)
+        continue;
+      if (Visited.insert({DF, DIdx}).second)
+        Work.push_back({DF, DIdx, Path + " -> " + C.Name});
+    }
+  };
+
+  // Roots: lane-phase-marked definitions...
+  for (size_t FI = 0; FI < Files.size(); ++FI) {
+    if (Files[FI].T != Tree::Src)
+      continue;
+    for (size_t I = 0; I < Files[FI].Fns.size(); ++I) {
+      const FnRec &F = Files[FI].Fns[I];
+      if (F.LanePhase && F.IsDef && Visited.insert({FI, I}).second)
+        Work.push_back({FI, I, F.Name});
+    }
+    // ...and calls inside DYNDIST_LANE_REGION brackets.
+    for (const RegionRec &R : Files[FI].Regions)
+      for (const FnRec &F : Files[FI].Fns)
+        for (const CallRec &C : F.Calls)
+          if (C.Line > R.BeginLine && C.Line < R.EndLine)
+            processCall(Files[FI], C,
+                        "lane region at " + Files[FI].Path + ":" +
+                            std::to_string(R.BeginLine));
+  }
+
+  while (!Work.empty()) {
+    auto [FI, I, Path] = Work.front();
+    Work.pop_front();
+    const FnRec &F = Files[FI].Fns[I];
+    for (const CallRec &C : F.Calls)
+      processCall(Files[FI], C, Path);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Pass 7: suppressions, filtering, ordering
+//===----------------------------------------------------------------------===//
+
+void Linter::Impl::applySuppressions(std::vector<FileData> &Files) {
+  // file -> line -> suppression
+  std::map<std::string, std::map<uint32_t, const SuppressionRec *>> Index;
+  for (const FileData &FD : Files)
+    for (const SuppressionRec &S : FD.Sups)
+      Index[FD.Path][S.TargetLine] = &S;
+  for (Finding &F : Findings) {
+    auto FIt = Index.find(F.File);
+    if (FIt == Index.end())
+      continue;
+    auto LIt = FIt->second.find(F.Line);
+    if (LIt == FIt->second.end())
+      continue;
+    if (LIt->second->Rules.count(F.Rule)) {
+      F.Suppressed = true;
+      F.SuppressReason = LIt->second->Reason;
+    }
+  }
+}
+
+LintResult Linter::Impl::run() {
+  Findings.clear();
+  std::vector<FileData> Files;
+  Files.reserve(Sources.size());
+  for (const auto &[Path, Contents] : Sources) {
+    FileData FD;
+    FD.Path = Path;
+    FD.T = treeOf(Path);
+    FD.Lx = lex(Contents);
+    Files.push_back(std::move(FD));
+  }
+  for (FileData &FD : Files) {
+    commentPass(FD);
+    containerPass(FD);
+    rulePass(FD);
+    structuralPass(FD);
+    attachMarkers(FD);
+  }
+  phasePass(Files);
+  applySuppressions(Files);
+
+  if (!EnabledRules.empty()) {
+    std::set<std::string> Keep(EnabledRules.begin(), EnabledRules.end());
+    Keep.insert("S1"); // grammar checks are never off
+    Keep.insert("M1");
+    Findings.erase(std::remove_if(Findings.begin(), Findings.end(),
+                                  [&Keep](const Finding &F) {
+                                    return !Keep.count(F.Rule);
+                                  }),
+                   Findings.end());
+  }
+
+  std::sort(Findings.begin(), Findings.end(),
+            [](const Finding &A, const Finding &B) {
+              return std::tie(A.File, A.Line, A.Col, A.Rule) <
+                     std::tie(B.File, B.Line, B.Col, B.Rule);
+            });
+
+  LintResult R;
+  R.Findings = std::move(Findings);
+  R.FilesScanned = static_cast<uint32_t>(Files.size());
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Public interface
+//===----------------------------------------------------------------------===//
+
+Linter::Linter() : P(new Impl) {}
+Linter::~Linter() { delete P; }
+
+void Linter::setEnabledRules(std::vector<std::string> Rules) {
+  P->EnabledRules = std::move(Rules);
+}
+
+void Linter::addSource(std::string Path, std::string_view Contents) {
+  P->Sources.emplace_back(std::move(Path), std::string(Contents));
+}
+
+LintResult Linter::run() { return P->run(); }
+
+const std::vector<RuleInfo> &ruleCatalog() { return Catalog; }
+
+namespace {
+void jsonEscape(std::ostream &OS, std::string_view S) {
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      OS << "\\\"";
+      break;
+    case '\\':
+      OS << "\\\\";
+      break;
+    case '\n':
+      OS << "\\n";
+      break;
+    case '\t':
+      OS << "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20)
+        OS << ' ';
+      else
+        OS << C;
+    }
+  }
+}
+} // namespace
+
+std::string toJson(const LintResult &R, std::string_view Root) {
+  std::ostringstream OS;
+  std::map<std::string, uint32_t> ByRule;
+  uint32_t Suppressed = 0;
+  for (const Finding &F : R.Findings) {
+    ++ByRule[F.Rule];
+    Suppressed += F.Suppressed ? 1u : 0u;
+  }
+  OS << "{\n  \"tool\": \"dyndist-lint\",\n  \"schema_version\": 1,\n";
+  OS << "  \"root\": \"";
+  jsonEscape(OS, Root);
+  OS << "\",\n  \"files_scanned\": " << R.FilesScanned << ",\n";
+  OS << "  \"counts\": {\"total\": " << R.Findings.size()
+     << ", \"unsuppressed\": " << R.unsuppressedCount()
+     << ", \"suppressed\": " << Suppressed << ", \"by_rule\": {";
+  bool FirstRule = true;
+  for (const auto &[Rule, Count] : ByRule) {
+    if (!FirstRule)
+      OS << ", ";
+    FirstRule = false;
+    OS << '"' << Rule << "\": " << Count;
+  }
+  OS << "}},\n  \"findings\": [";
+  bool FirstFinding = true;
+  for (const Finding &F : R.Findings) {
+    if (!FirstFinding)
+      OS << ',';
+    FirstFinding = false;
+    OS << "\n    {\"rule\": \"" << F.Rule << "\", \"severity\": \""
+       << (F.Sev == Severity::Error ? "error" : "warning")
+       << "\", \"file\": \"";
+    jsonEscape(OS, F.File);
+    OS << "\", \"line\": " << F.Line << ", \"col\": " << F.Col
+       << ", \"message\": \"";
+    jsonEscape(OS, F.Message);
+    OS << "\", \"fix_hint\": \"";
+    jsonEscape(OS, F.FixHint);
+    OS << "\", \"suppressed\": " << (F.Suppressed ? "true" : "false");
+    if (F.Suppressed) {
+      OS << ", \"suppress_reason\": \"";
+      jsonEscape(OS, F.SuppressReason);
+      OS << '"';
+    }
+    OS << '}';
+  }
+  OS << (R.Findings.empty() ? "]\n}\n" : "\n  ]\n}\n");
+  return OS.str();
+}
+
+std::string formatDiagnostic(const Finding &F) {
+  std::ostringstream OS;
+  OS << F.File << ':' << F.Line << ':' << F.Col << ": "
+     << (F.Sev == Severity::Error ? "error" : "warning") << ": [" << F.Rule
+     << "] " << F.Message;
+  if (F.Suppressed)
+    OS << " [suppressed: " << F.SuppressReason << ']';
+  if (!F.FixHint.empty())
+    OS << "\n    hint: " << F.FixHint;
+  return OS.str();
+}
+
+} // namespace analysis
+} // namespace dyndist

@@ -1,0 +1,86 @@
+//===- dyndist/analysis/Lexer.h - Lightweight C++ lexer ---------*- C++ -*-===//
+//
+// Part of the dyndist project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, dependency-free lexer for C++ source, built for dyndist-lint's
+/// static determinism and phase-safety checks (docs/LINT.md). It is *not* a
+/// compiler front end: it produces a flat token stream (identifiers,
+/// numbers, literals, punctuation) plus a per-line comment side channel,
+/// which is all the rule engine needs. Design points:
+///
+///   * Comments are captured, not discarded: suppressions
+///     (`dyndist-lint: allow(...)`) and phase markers (`DYNDIST_SERIAL_ONLY`
+///     et al.) are comment-grammar, so every comment is recorded with its
+///     line and whether code precedes it on that line. Block comments are
+///     split into one record per physical line.
+///   * String/char literals (including raw strings) are lexed as single
+///     tokens, so rule keywords appearing inside literals — e.g. the rule
+///     tables of the linter itself, or test fixtures — never trigger rules.
+///   * Preprocessor directives are swallowed whole (with continuations), so
+///     `#include <unordered_map>` is not an identifier sighting.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNDIST_ANALYSIS_LEXER_H
+#define DYNDIST_ANALYSIS_LEXER_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dyndist {
+namespace analysis {
+
+/// Token categories. Punctuation keeps its spelling in Text; `::` and `->`
+/// are combined into single tokens (the rule patterns key on them), all
+/// other punctuation is one character per token (notably `>` is never
+/// combined into `>>`, which keeps template-argument balancing simple).
+enum class Tok : uint8_t {
+  Ident,   ///< Identifier or keyword (the lexer does not distinguish).
+  Number,  ///< Numeric literal, including separators/suffixes.
+  String,  ///< String literal ("", raw, or prefixed) — content opaque.
+  CharLit, ///< Character literal.
+  Punct,   ///< Operator / punctuation.
+};
+
+/// One lexed token. Line and Col are 1-based.
+struct Token {
+  Tok Kind;
+  std::string Text;
+  uint32_t Line = 0;
+  uint32_t Col = 0;
+
+  bool is(std::string_view S) const { return Text == S; }
+  bool isIdent(std::string_view S) const {
+    return Kind == Tok::Ident && Text == S;
+  }
+};
+
+/// One physical line of comment text, with the delimiters and decorative
+/// leaders (`//`, `///`, `*`, `<`) stripped and the result trimmed.
+struct Comment {
+  std::string Text;
+  uint32_t Line = 0;
+  /// True when a code token precedes this comment on the same line (a
+  /// trailing comment); suppression/marker targeting depends on it.
+  bool FollowsCode = false;
+};
+
+/// The result of lexing one file.
+struct LexedFile {
+  std::vector<Token> Tokens;
+  std::vector<Comment> Comments;
+};
+
+/// Lexes \p Source. Never fails: malformed input degrades to best-effort
+/// tokens (an unterminated literal runs to end of file).
+LexedFile lex(std::string_view Source);
+
+} // namespace analysis
+} // namespace dyndist
+
+#endif // DYNDIST_ANALYSIS_LEXER_H

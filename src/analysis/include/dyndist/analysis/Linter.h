@@ -1,0 +1,151 @@
+//===- dyndist/analysis/Linter.h - Determinism/phase-safety lint -*- C++ -*-===//
+//
+// Part of the dyndist project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The dyndist-lint rule engine. It statically enforces the repo's
+/// determinism and phase-safety contracts (docs/LINT.md has the full rule
+/// catalog with rationale and examples):
+///
+///   D1  no iteration over unordered containers; unordered members in src/
+///       must carry a reasoned allow(D1) proving the use is keyed-only
+///   D2  banned nondeterminism sources in src/ (rand, time, wall clocks,
+///       thread ids, getenv outside config entry points)
+///   D3  pointer-order hazards (ordered containers keyed by raw pointer,
+///       comparator-less sorts of pointer sequences)
+///   D4  RNG discipline: std RNG engines only inside src/support/Random.cpp
+///   D5  phase safety: calls to DYNDIST_SERIAL_ONLY functions must not be
+///       reachable from lane-phase regions of the sharded kernel
+///   S1  malformed suppression (missing reason, unknown rule id)
+///   M1  malformed phase marker (no attachable declaration, unmatched
+///       region begin/end)
+///
+/// Suppression grammar (reason is mandatory):
+///
+///     Code();            // dyndist-lint: allow(D1) reason why this is safe
+///     // dyndist-lint: allow(D2,D4) reason — applies to the next code line
+///
+/// Phase-marker grammar: the comment must *begin* with the marker token
+/// (so prose mentions like this paragraph never activate), followed by an
+/// optional `: reason`. Markers attach to the next declaration — a
+/// function signature, or a class head, which applies the marker to every
+/// member function. The four markers:
+///
+///   * `DYNDIST_SERIAL_ONLY` — callable only from serial sub-phases; D5
+///     flags any call to it reachable from lane-phase code.
+///   * `DYNDIST_SERIAL_CONTEXT` — the function/class only ever runs in
+///     serial phases; D5 traversal stops here.
+///   * `DYNDIST_LANE_PHASE` — lane-phase root; D5 traversal starts here.
+///   * `DYNDIST_LANE_REGION_BEGIN` / `DYNDIST_LANE_REGION_END` (each on
+///     its own comment line) — bracket a lane-phase region inside an
+///     otherwise-serial function body; calls between them are D5 roots.
+///
+/// The engine is file-set based: feed every source with addSource() (paths
+/// are repo-relative and decide tree scoping: rules D2/D5 and the D1
+/// declaration check apply to src/ only), then run() returns findings
+/// sorted by (file, line, col, rule). Suppressed findings are retained and
+/// flagged, so reports can show them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNDIST_ANALYSIS_LINTER_H
+#define DYNDIST_ANALYSIS_LINTER_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dyndist {
+namespace analysis {
+
+/// Finding severity. Errors gate the exit code; warnings do too — the
+/// distinction is informational (how likely the finding is a schedule bug
+/// vs. a contract that needs an explicit proof).
+enum class Severity : uint8_t { Error, Warning };
+
+/// Static description of one rule, for --list-rules and docs.
+struct RuleInfo {
+  std::string_view Id;
+  Severity DefaultSeverity;
+  std::string_view Summary;
+  std::string_view FixHint;
+};
+
+/// Returns the full rule catalog (D1..D5, S1, M1), in id order.
+const std::vector<RuleInfo> &ruleCatalog();
+
+/// One diagnostic. File/Line/Col point at the offending token.
+struct Finding {
+  std::string Rule;
+  Severity Sev = Severity::Error;
+  std::string File;
+  uint32_t Line = 0;
+  uint32_t Col = 0;
+  std::string Message;
+  std::string FixHint;
+  bool Suppressed = false;
+  std::string SuppressReason;
+};
+
+/// Aggregate result of a lint run.
+struct LintResult {
+  std::vector<Finding> Findings;
+  uint32_t FilesScanned = 0;
+
+  /// Number of findings that are not suppressed (the exit-code gate).
+  uint32_t unsuppressedCount() const {
+    uint32_t N = 0;
+    for (const Finding &F : Findings)
+      N += F.Suppressed ? 0u : 1u;
+    return N;
+  }
+};
+
+/// The lint driver. Usage:
+///
+///     Linter L;
+///     L.addSource("src/sim/Foo.cpp", Contents);
+///     LintResult R = L.run();
+///
+/// addSource() paths must be repo-relative with '/' separators; the first
+/// path component selects the tree ("src", "tools", "bench", "tests",
+/// "examples") which scopes tree-restricted rules.
+class Linter {
+public:
+  Linter();
+  ~Linter();
+  Linter(const Linter &) = delete;
+  Linter &operator=(const Linter &) = delete;
+
+  /// Restricts the run to a subset of rule ids (e.g. {"D1","D4"}). An empty
+  /// set (the default) enables everything. S1/M1 grammar diagnostics are
+  /// always on: a malformed suppression must never silently pass.
+  void setEnabledRules(std::vector<std::string> Rules);
+
+  /// Registers one source file for analysis. \p Path is the virtual
+  /// repo-relative path (decides tree scoping and appears in diagnostics);
+  /// \p Contents is the full text.
+  void addSource(std::string Path, std::string_view Contents);
+
+  /// Runs all rules over the registered file set.
+  LintResult run();
+
+private:
+  struct Impl;
+  Impl *P;
+};
+
+/// Renders \p R as the dyndist-lint JSON report (schema in docs/LINT.md).
+std::string toJson(const LintResult &R, std::string_view Root);
+
+/// Renders one finding as a `file:line:col: severity: [rule] message`
+/// diagnostic line (plus the fix hint on a follow-up line when present).
+std::string formatDiagnostic(const Finding &F);
+
+} // namespace analysis
+} // namespace dyndist
+
+#endif // DYNDIST_ANALYSIS_LINTER_H

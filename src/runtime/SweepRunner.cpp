@@ -27,6 +27,8 @@ uint64_t dyndist::deriveSweepSeed(uint64_t MasterSeed, uint64_t SeedIndex) {
 unsigned dyndist::resolveSweepThreads(unsigned Requested) {
   if (Requested > 0)
     return Requested;
+  // dyndist-lint: allow(D2) config entry point; thread count never alters
+  // schedule bytes (seed sharding is positional), only execution speed
   if (const char *Env = std::getenv("DYNDIST_THREADS")) {
     char *End = nullptr;
     unsigned long Value = std::strtoul(Env, &End, 10);

@@ -96,7 +96,11 @@ struct CalendarQueue {
   std::vector<Bucket> Buckets;       ///< Slot pool; capacity retained.
   std::vector<uint32_t> FreeBuckets; ///< Recycled Buckets slots.
   std::vector<uint32_t> TimeHeap;    ///< Bucket slots, min-heap by Time.
-  std::unordered_map<SimTime, uint32_t> ByTime; ///< Instant -> bucket slot.
+  /// Instant -> bucket slot. Lookup-only (try_emplace in bucketFor, erase
+  /// in retireFront); pop order always comes from TimeHeap, never from
+  /// hash order.
+  // dyndist-lint: allow(D1) keyed access only; bucket order is TimeHeap's
+  std::unordered_map<SimTime, uint32_t> ByTime;
 
   /// One-entry lookup cache: under fixed latency every push in a tick
   /// targets the same instant, so this short-circuits the hash lookup.

@@ -164,11 +164,20 @@ struct ShardEngine {
   }
 
   // --- Simulator entry points (serial phases only) ---
+  // Each carries a DYNDIST_SERIAL_ONLY marker (grammar in docs/LINT.md):
+  // dyndist-lint flags any call to them reachable from a lane-phase region.
+  // DYNDIST_SERIAL_ONLY: mutates shared membership and rng state.
   void startActor(ProcessId P, Actor *A); ///< Seeds the rng, runs onStart.
-  void stopActor(ProcessId P, Actor *A);  ///< Runs onStop (env context).
+  // DYNDIST_SERIAL_ONLY: runs onStop under the env (serial) context.
+  void stopActor(ProcessId P, Actor *A);
+  // DYNDIST_SERIAL_ONLY: pushes straight into a foreign lane's calendar.
   void envSend(ProcessId From, ProcessId To, MessageRef Body);
+  // DYNDIST_SERIAL_ONLY: pushes straight into a foreign lane's calendar.
   void envStimulus(ProcessId To, MessageRef Body);
+  // DYNDIST_SERIAL_ONLY: arms on the owning lane without deferral.
   TimerId envArmTimer(ProcessId P, SimTime Delay);
+  // DYNDIST_SERIAL_ONLY: may touch any lane's calendar; lanes must cancel
+  // through their own context (LaneContext::cancelTimer).
   void cancelTimerAny(TimerId Id);
   StopReason run(RunLimits Limits);
   size_t pendingTimers() const;
@@ -191,11 +200,17 @@ private:
 
   SimTime nextTime() const;
   bool drainEnv(const RunLimits &Limits, StopReason &Out);
+  // DYNDIST_SERIAL_ONLY: owns the fork/join; never re-entered from a lane.
   void parallelRound(SimTime T);
   void laneJob(unsigned LaneIdx, SimTime T);
   void executeBucket(unsigned LaneIdx, SimTime T);
+  // DYNDIST_SERIAL_ONLY: barrier stats fold into the shared SimStats.
+  void foldLaneStats();
+  // DYNDIST_SERIAL_ONLY: ascending-destination merge; interns deferred keys.
   void mergeTraces();
+  // DYNDIST_SERIAL_ONLY: applies deferred departures at the barrier.
   void applyLeaves();
+  // DYNDIST_SERIAL_ONLY: pusher-ordered outbox drain into the calendars.
   void flushOutboxes();
   void drainDeferred();
   unsigned ownerLaneOf(const MessageBody *Body) const;

@@ -64,6 +64,8 @@ static uint64_t deriveActorSeed(uint64_t MasterSeed, ProcessId P) {
 /// Context handed to hooks running inside a parallel round. Everything it
 /// touches is lane-local or read-only shared state; membership effects
 /// (leaveSystem) are deferred to the barrier.
+// DYNDIST_LANE_PHASE: every member executes on a worker lane; the linter
+// walks calls from here looking for serial-only reachability.
 class ShardEngine::LaneContext final : public Context {
 public:
   LaneContext(ShardEngine &E, Lane &Ln, unsigned LaneIdx, ProcessId P,
@@ -157,6 +159,8 @@ private:
 /// Context for hooks running in the serial phases (onStart at spawn, onStop
 /// at leave): sends and timers go straight into the destination lane's
 /// calendar, and membership effects apply immediately.
+// DYNDIST_SERIAL_CONTEXT: only ever constructed between parallel rounds,
+// so it may intern trace keys and touch shared simulator state freely.
 class ShardEngine::EnvContext final : public Context {
 public:
   EnvContext(ShardEngine &E, ProcessId P) : E(E), P(P) {}
@@ -228,6 +232,8 @@ ShardEngine::ShardEngine(Simulator &Sim, unsigned ShardCount)
   // so K lanes park K-1 workers). DYNDIST_SHARD_THREADS caps the total;
   // "=1" forces fully inline execution — same bytes, one thread — which is
   // how the verify harness cross-checks determinism under TSan.
+  // dyndist-lint: allow(D2) config entry point; the thread budget changes
+  // parallelism only — the TSan harness pins =1 to prove bytes are equal
   const char *Env = std::getenv("DYNDIST_SHARD_THREADS");
   unsigned Budget = K;
   if (Env) {
@@ -528,12 +534,23 @@ void ShardEngine::parallelRound(SimTime T) {
   Parity ^= 1u;
   ProcLimit = S.Processes.size();
   InParallel = true;
+  // DYNDIST_LANE_REGION_BEGIN: the job body below fans out across worker
+  // lanes; everything it reaches must stay off serial-only APIs.
   auto Job = [this, T](unsigned LaneIdx) { laneJob(LaneIdx, T); };
+  // DYNDIST_LANE_REGION_END
   Pool.run(K, Job);
   InParallel = false;
 
   // Barrier, in canonical order: counters, trace, membership, then the
   // mailbox flush that seeds future instants.
+  foldLaneStats();
+  if (S.TraceLev != TraceLevel::Off)
+    mergeTraces();
+  applyLeaves();
+  flushOutboxes();
+}
+
+void ShardEngine::foldLaneStats() {
   for (Lane &Ln : Lanes) {
     SimStats &LS = Ln.Stats;
     S.Stats.MessagesSent += LS.MessagesSent;
@@ -544,12 +561,9 @@ void ShardEngine::parallelRound(SimTime T) {
     S.Stats.EventsExecuted += LS.EventsExecuted;
     LS = SimStats{};
   }
-  if (S.TraceLev != TraceLevel::Off)
-    mergeTraces();
-  applyLeaves();
-  flushOutboxes();
 }
 
+// DYNDIST_LANE_PHASE: runs concurrently on each worker lane.
 void ShardEngine::laneJob(unsigned LaneIdx, SimTime T) {
   Lane &Ln = Lanes[LaneIdx];
   BodyPool::Scope PoolScope(Ln.Bodies);
@@ -568,6 +582,9 @@ void ShardEngine::laneJob(unsigned LaneIdx, SimTime T) {
     executeBucket(LaneIdx, T);
 }
 
+// DYNDIST_LANE_PHASE: runs concurrently on each worker lane; dispatches
+// into actor hooks (onMessage/onTimer), so the whole protocol layer is
+// lane-phase-reachable from here.
 void ShardEngine::executeBucket(unsigned LaneIdx, SimTime T) {
   Lane &Ln = Lanes[LaneIdx];
   CalendarQueue &Q = Ln.Q;

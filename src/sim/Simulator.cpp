@@ -35,6 +35,8 @@ void Actor::onStop(Context &Ctx) { (void)Ctx; }
 
 /// Context implementation bound to one (simulator, process) pair for the
 /// duration of a single hook invocation.
+// DYNDIST_SERIAL_CONTEXT: the legacy kernel runs every hook serially, so
+// this context may intern trace keys and mutate shared state directly.
 class Simulator::ContextImpl : public Context {
 public:
   ContextImpl(Simulator &S, ProcessId P) : S(S), P(P) {}

@@ -125,6 +125,9 @@ using ActionFn = InlineFunction<void(Simulator &)>;
 using MembershipHookFn = InlineFunction<void(ProcessId)>;
 
 /// The deterministic event-driven kernel.
+// DYNDIST_SERIAL_CONTEXT: the legacy single-threaded kernel; every hook,
+// helper and member here runs between ticks of one thread, never on a
+// sharded-engine lane (ShardEngine shares state types, not this class).
 class Simulator {
 public:
   /// Creates a kernel seeded with \p Seed; latency defaults to
@@ -173,6 +176,7 @@ public:
   /// on every exit path and the destructor flushes too, so this is only
   /// needed when inspecting sink output mid-run (e.g. between spawns
   /// before the first run()).
+  // DYNDIST_SERIAL_ONLY: drains the shared record buffer into the sink.
   void flushTraceSink();
 
   /// Installs the topology provider (not owned; must outlive the run).

@@ -89,7 +89,11 @@ public:
   /// Largest assignable id (24-bit packed field).
   static constexpr uint32_t MaxKeys = (1u << 24) - 1;
 
-  /// Returns the id of \p Key, interning it first if new. Serial-phase only.
+  /// Returns the id of \p Key, interning it first if new. Serial-phase
+  /// only: lanes read the table concurrently through find()/name() and
+  /// must defer new keys to the merge barrier (see docs/LINT.md for the
+  /// marker grammar below).
+  // DYNDIST_SERIAL_ONLY: grows Ids/Names, racing concurrent find()/name().
   uint32_t intern(const std::string &Key) {
     if (Key.empty())
       return 0;
@@ -124,6 +128,9 @@ public:
 
 private:
   std::vector<std::string> Names;
+  /// intern()/find() only; enumeration always walks Names, whose order is
+  /// first-intern order, not hash order.
+  // dyndist-lint: allow(D1) keyed access only; Names carries the ordering
   std::unordered_map<std::string, uint32_t> Ids;
 };
 
@@ -219,6 +226,8 @@ public:
   /// record is dropped and latched as a deferred error (the same contract
   /// as the columnar writer): check timeOrderViolated() — the file writers
   /// do, and refuse to serialize a misordered trace.
+  // DYNDIST_SERIAL_ONLY: appends to the shared record vector; lanes buffer
+  // into per-lane TraceBufs merged at the barrier.
   void appendRecord(const TraceRecord &R);
 
   /// Compatibility append: interns \p E.Key and forwards to appendRecord().
@@ -226,6 +235,7 @@ public:
 
   /// Appends \p N records whose key ids resolve against a *foreign* table
   /// \p Keys, re-interning each key into this trace's table.
+  // DYNDIST_SERIAL_ONLY: re-interns foreign keys into the shared table.
   void appendBatch(const TraceRecord *R, size_t N, const TraceKeyTable &Keys);
 
   /// All records in time order (the fast API).

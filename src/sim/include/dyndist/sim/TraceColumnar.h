@@ -133,6 +133,8 @@ private:
 
   // Open-chunk accumulation state.
   std::string Kinds, Times, Subjects, Peers, Msgs, KeyIds, Values, StrTab;
+  // dyndist-lint: allow(D1) try_emplace/clear only; chunk string ids are
+  // assigned in first-appearance order, never by hash iteration
   std::unordered_map<std::string, uint32_t> KeyTable;
   /// appendBatch()'s table-id -> chunk-string-id cache; 0 = not yet seen
   /// this chunk. KeyTable stays authoritative (mixed append paths cohere);

@@ -47,6 +47,8 @@ public:
   /// Runs Job(0) .. Job(Jobs-1) across the caller and the workers;
   /// returns when every job finished. Jobs must not call run() on the
   /// same pool.
+  // DYNDIST_SERIAL_ONLY: nested run() on one pool deadlocks at the latch;
+  // only the serial driver loop may fork.
   void run(unsigned Jobs, FunctionRef<void(unsigned)> Job);
 
   /// Number of parked worker threads.

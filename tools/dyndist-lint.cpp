@@ -1,0 +1,226 @@
+//===- dyndist-lint.cpp - Determinism & phase-safety linter CLI -----------===//
+//
+// Part of the dyndist project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Command-line driver for the src/analysis rule engine (docs/LINT.md):
+//
+//   dyndist-lint [--root DIR] [--json FILE] [--rules D1,D2,...]
+//                [--list-rules] [--quiet] [file...]
+//
+// With no file arguments, walks src/, tools/, bench/, tests/ and examples/
+// under --root (default: the current directory) and lints every .h/.hpp/
+// .cpp/.cc/.cxx file, in sorted path order so output is stable. Explicit
+// file arguments are taken relative to --root.
+//
+// Exit codes: 0 = clean, 1 = unsuppressed findings, 2 = usage/IO error.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dyndist/analysis/Linter.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+using dyndist::analysis::Finding;
+using dyndist::analysis::LintResult;
+using dyndist::analysis::Linter;
+using dyndist::analysis::RuleInfo;
+
+const char *Usage =
+    "usage: dyndist-lint [--root DIR] [--json FILE] [--rules IDS]\n"
+    "                    [--list-rules] [--quiet] [file...]\n"
+    "  --root DIR    repository root to scan (default: .)\n"
+    "  --json FILE   also write the JSON report to FILE ('-' for stdout)\n"
+    "  --rules IDS   comma-separated rule subset, e.g. D1,D4\n"
+    "  --list-rules  print the rule catalog and exit\n"
+    "  --quiet       suppress per-finding diagnostics (summary only)\n";
+
+bool isSourceFile(const fs::path &P) {
+  std::string Ext = P.extension().string();
+  return Ext == ".h" || Ext == ".hpp" || Ext == ".cpp" || Ext == ".cc" ||
+         Ext == ".cxx";
+}
+
+/// The trees the determinism contract covers. examples/ is included when
+/// present; build dirs and third-party material are never walked.
+const char *ScanTrees[] = {"src", "tools", "bench", "tests", "examples"};
+
+std::vector<fs::path> collectFiles(const fs::path &Root) {
+  std::vector<fs::path> Files;
+  for (const char *TreeName : ScanTrees) {
+    fs::path Dir = Root / TreeName;
+    std::error_code EC;
+    if (!fs::is_directory(Dir, EC))
+      continue;
+    for (fs::recursive_directory_iterator It(Dir, EC), End; It != End;
+         It.increment(EC)) {
+      if (EC)
+        break;
+      if (It->is_regular_file(EC) && isSourceFile(It->path()))
+        Files.push_back(It->path());
+    }
+  }
+  std::sort(Files.begin(), Files.end());
+  return Files;
+}
+
+bool readFile(const fs::path &P, std::string &Out) {
+  std::ifstream In(P, std::ios::binary);
+  if (!In)
+    return false;
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  Out = SS.str();
+  return true;
+}
+
+std::vector<std::string> splitCommas(const std::string &S) {
+  std::vector<std::string> Out;
+  size_t P = 0;
+  while (P <= S.size()) {
+    size_t C = S.find(',', P);
+    std::string Piece =
+        S.substr(P, C == std::string::npos ? std::string::npos : C - P);
+    if (!Piece.empty())
+      Out.push_back(Piece);
+    if (C == std::string::npos)
+      break;
+    P = C + 1;
+  }
+  return Out;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  fs::path Root = ".";
+  std::string JsonOut;
+  std::vector<std::string> Rules;
+  std::vector<std::string> ExplicitFiles;
+  bool Quiet = false;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string A = argv[I];
+    auto needValue = [&](const char *Flag) -> const char * {
+      if (I + 1 >= argc) {
+        std::cerr << "dyndist-lint: " << Flag << " needs a value\n" << Usage;
+        std::exit(2);
+      }
+      return argv[++I];
+    };
+    if (A == "--root") {
+      Root = needValue("--root");
+    } else if (A == "--json") {
+      JsonOut = needValue("--json");
+    } else if (A == "--rules") {
+      Rules = splitCommas(needValue("--rules"));
+    } else if (A == "--list-rules") {
+      for (const RuleInfo &R : dyndist::analysis::ruleCatalog())
+        std::cout << R.Id << "  ("
+                  << (R.DefaultSeverity == dyndist::analysis::Severity::Error
+                          ? "error"
+                          : "warning")
+                  << ")  " << R.Summary << "\n      fix: " << R.FixHint
+                  << '\n';
+      return 0;
+    } else if (A == "--quiet") {
+      Quiet = true;
+    } else if (A == "--help" || A == "-h") {
+      std::cout << Usage;
+      return 0;
+    } else if (!A.empty() && A[0] == '-') {
+      std::cerr << "dyndist-lint: unknown option '" << A << "'\n" << Usage;
+      return 2;
+    } else {
+      ExplicitFiles.push_back(A);
+    }
+  }
+
+  auto Start = std::chrono::steady_clock::now();
+
+  std::vector<fs::path> Files;
+  if (ExplicitFiles.empty()) {
+    Files = collectFiles(Root);
+    if (Files.empty()) {
+      std::cerr << "dyndist-lint: no sources found under " << Root << '\n';
+      return 2;
+    }
+  } else {
+    for (const std::string &F : ExplicitFiles)
+      Files.push_back(Root / F);
+  }
+
+  Linter L;
+  L.setEnabledRules(Rules);
+  std::error_code EC;
+  fs::path CanonRoot = fs::weakly_canonical(Root, EC);
+  if (EC)
+    CanonRoot = Root;
+  for (const fs::path &P : Files) {
+    std::string Contents;
+    if (!readFile(P, Contents)) {
+      std::cerr << "dyndist-lint: cannot read " << P << '\n';
+      return 2;
+    }
+    fs::path Canon = fs::weakly_canonical(P, EC);
+    if (EC)
+      Canon = P;
+    fs::path Rel = Canon.lexically_relative(CanonRoot);
+    std::string Virtual =
+        (Rel.empty() || *Rel.begin() == "..") ? P.generic_string()
+                                              : Rel.generic_string();
+    L.addSource(Virtual, Contents);
+  }
+
+  LintResult R = L.run();
+  auto Elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                     std::chrono::steady_clock::now() - Start)
+                     .count();
+
+  // With --json - the report owns stdout; diagnostics and the summary
+  // move to stderr so the output stays machine-parseable.
+  bool JsonOnStdout = JsonOut == "-";
+  std::ostream &Console = JsonOnStdout ? std::cerr : std::cout;
+
+  uint32_t Suppressed = 0;
+  for (const Finding &F : R.Findings) {
+    if (F.Suppressed) {
+      ++Suppressed;
+      continue;
+    }
+    if (!Quiet)
+      Console << dyndist::analysis::formatDiagnostic(F) << '\n';
+  }
+
+  if (!JsonOut.empty()) {
+    std::string Json = dyndist::analysis::toJson(R, Root.generic_string());
+    if (JsonOnStdout) {
+      std::cout << Json;
+    } else {
+      std::ofstream Out(JsonOut, std::ios::binary);
+      if (!Out) {
+        std::cerr << "dyndist-lint: cannot write " << JsonOut << '\n';
+        return 2;
+      }
+      Out << Json;
+    }
+  }
+
+  uint32_t Bad = R.unsuppressedCount();
+  Console << "dyndist-lint: " << R.FilesScanned << " files, " << Bad
+          << " finding" << (Bad == 1 ? "" : "s") << " (" << Suppressed
+          << " suppressed) in " << Elapsed << " ms\n";
+  return Bad == 0 ? 0 : 1;
+}

@@ -1,5 +1,8 @@
 #!/bin/sh
-# Tier-1 verification: build + ctest in the plain configuration plus an
+# Tier-1 verification: the dyndist-lint determinism/phase-safety pass
+# (docs/LINT.md) over src/, tools/, bench/ and tests/ — run FIRST, since
+# it needs only the dependency-free analysis library and fails in
+# milliseconds — then build + ctest in the plain configuration plus an
 # n=10^5 sharded-kernel invariance smoke, an n=10^4 columnar trace-digest
 # pin, an n=10^4 batched-vs-per-event columnar sink cmp, and a
 # >=10^7-event sharded-query thread-invariance cmp, then the
@@ -15,7 +18,8 @@
 # seed sharding and the sharded kernel's fork-join lanes honest (including
 # a threaded-vs-inline shard digest comparison).
 #
-# Usage: tools/verify.sh [--skip-asan] [--asan-only] [--skip-ubsan]
+# Usage: tools/verify.sh [--skip-lint] [--lint-only]
+#                        [--skip-asan] [--asan-only] [--skip-ubsan]
 #                        [--ubsan-only] [--skip-tsan] [--tsan-only]
 #                        [--skip-werror] [--werror-only]
 #                        [--skip-bench-check] [--bench-check-only]
@@ -27,6 +31,7 @@ set -e
 cd "$(dirname "$0")/.."
 JOBS="${DYNDIST_VERIFY_JOBS:-$(nproc 2>/dev/null || echo 2)}"
 
+RUN_LINT=1
 RUN_PLAIN=1
 RUN_BENCH_CHECK=1
 RUN_WERROR=1
@@ -35,22 +40,26 @@ RUN_UBSAN=1
 RUN_TSAN=1
 for arg in "$@"; do
   case "$arg" in
+    --skip-lint) RUN_LINT=0 ;;
+    --lint-only) RUN_PLAIN=0; RUN_BENCH_CHECK=0; RUN_WERROR=0
+                 RUN_ASAN=0; RUN_UBSAN=0; RUN_TSAN=0 ;;
     --skip-asan) RUN_ASAN=0 ;;
-    --asan-only) RUN_PLAIN=0; RUN_BENCH_CHECK=0; RUN_WERROR=0
+    --asan-only) RUN_LINT=0; RUN_PLAIN=0; RUN_BENCH_CHECK=0; RUN_WERROR=0
                  RUN_UBSAN=0; RUN_TSAN=0 ;;
     --skip-ubsan) RUN_UBSAN=0 ;;
-    --ubsan-only) RUN_PLAIN=0; RUN_BENCH_CHECK=0; RUN_WERROR=0
+    --ubsan-only) RUN_LINT=0; RUN_PLAIN=0; RUN_BENCH_CHECK=0; RUN_WERROR=0
                   RUN_ASAN=0; RUN_TSAN=0 ;;
     --skip-tsan) RUN_TSAN=0 ;;
-    --tsan-only) RUN_PLAIN=0; RUN_BENCH_CHECK=0; RUN_WERROR=0
+    --tsan-only) RUN_LINT=0; RUN_PLAIN=0; RUN_BENCH_CHECK=0; RUN_WERROR=0
                  RUN_ASAN=0; RUN_UBSAN=0 ;;
     --skip-werror) RUN_WERROR=0 ;;
-    --werror-only) RUN_PLAIN=0; RUN_BENCH_CHECK=0; RUN_ASAN=0
+    --werror-only) RUN_LINT=0; RUN_PLAIN=0; RUN_BENCH_CHECK=0; RUN_ASAN=0
                    RUN_UBSAN=0; RUN_TSAN=0 ;;
     --skip-bench-check) RUN_BENCH_CHECK=0 ;;
-    --bench-check-only) RUN_PLAIN=0; RUN_WERROR=0; RUN_ASAN=0
+    --bench-check-only) RUN_LINT=0; RUN_PLAIN=0; RUN_WERROR=0; RUN_ASAN=0
                         RUN_UBSAN=0; RUN_TSAN=0 ;;
-    *) echo "usage: tools/verify.sh [--skip-asan] [--asan-only]" \
+    *) echo "usage: tools/verify.sh [--skip-lint] [--lint-only]" \
+            "[--skip-asan] [--asan-only]" \
             "[--skip-ubsan] [--ubsan-only] [--skip-tsan] [--tsan-only]" \
             "[--skip-werror] [--werror-only]" \
             "[--skip-bench-check] [--bench-check-only]" >&2
@@ -78,6 +87,17 @@ run_build() {
   cmake --build "$dir" -j "$JOBS"
 }
 
+if [ "$RUN_LINT" = 1 ]; then
+  # Static determinism/phase-safety gate before anything else: the lint
+  # binary depends only on src/analysis, so it builds and fails fast even
+  # when the rest of the tree does not compile yet.
+  echo "== configuring build-verify (lint)"
+  cmake -B build-verify -S .
+  echo "== building dyndist-lint"
+  cmake --build build-verify -j "$JOBS" --target dyndist-lint
+  echo "== dyndist-lint over src/ tools/ bench/ tests/"
+  build-verify/tools/dyndist-lint --root .
+fi
 if [ "$RUN_PLAIN" = 1 ]; then
   run_suite build-verify
   # Sharded-kernel K-invariance at benchmark scale (n = 10^5): every
