@@ -28,6 +28,12 @@ inline void addBuildTypeContext() {
 #else
   benchmark::AddCustomContext("dyndist_optimized_build", "0");
 #endif
+  // The configured CMAKE_BUILD_TYPE (empty when none was set), injected by
+  // bench/CMakeLists.txt; __OPTIMIZE__ above says whether the compiler
+  // optimized, this says which named configuration asked for it.
+#ifdef DYNDIST_CMAKE_BUILD_TYPE
+  benchmark::AddCustomContext("dyndist_build_type", DYNDIST_CMAKE_BUILD_TYPE);
+#endif
 }
 
 } // namespace dyndist_bench

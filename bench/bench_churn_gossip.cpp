@@ -14,6 +14,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "dyndist/aggregation/Experiment.h"
+#include "dyndist/aggregation/SimArena.h"
 #include "dyndist/aggregation/Token.h"
 #include "dyndist/runtime/KernelLoad.h"
 #include "dyndist/runtime/SweepRunner.h"
@@ -67,7 +68,10 @@ Cell sweep(RecommendedAlgorithm Algo, double JoinRate, int Seeds,
   Sweep.MasterSeed = E4MasterSeed;
   Sweep.SeedCount = static_cast<size_t>(Seeds);
   Sweep.Threads = SweepThreads;
-  auto Partials = runSeedSweep<SeedPartial>(Sweep, [&](SweepSeed Seed) {
+  // One arena per worker: all of a worker's assigned seeds recycle one
+  // simulator shell (byte-identical results; see SimArena.h).
+  auto Partials = runSeedSweepWith<SeedPartial, SimArena>(
+      Sweep, [&](SweepSeed Seed, SimArena &Arena) {
     ExperimentConfig Cfg;
     Cfg.Seed = Seed.Value;
     Cfg.Class = {ArrivalModel::boundedConcurrency(40),
@@ -85,7 +89,7 @@ Cell sweep(RecommendedAlgorithm Algo, double JoinRate, int Seeds,
     Cfg.Gossip.RoundEvery = 2;
     Cfg.Gossip.DigestMode = GossipDigest;
 
-    ExperimentResult R = runQueryExperiment(Cfg);
+    ExperimentResult R = runQueryExperiment(Cfg, &Arena);
     SeedPartial P;
     if (!R.ClassAdmissible || !R.QueryIssued)
       return P;

@@ -23,6 +23,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "dyndist/aggregation/Experiment.h"
+#include "dyndist/aggregation/SimArena.h"
 #include "dyndist/runtime/SweepRunner.h"
 #include "dyndist/support/StringUtils.h"
 
@@ -48,10 +49,13 @@ double validRate(const ExperimentConfig &Base, int Seeds) {
   Sweep.MasterSeed = E5MasterSeed;
   Sweep.SeedCount = static_cast<size_t>(Seeds);
   Sweep.Threads = SweepThreads;
-  auto Outcomes = runSeedSweep<PointOutcome>(Sweep, [&Base](SweepSeed Seed) {
+  // One arena per worker: all of a worker's assigned seeds recycle one
+  // simulator shell (byte-identical results; see SimArena.h).
+  auto Outcomes = runSeedSweepWith<PointOutcome, SimArena>(
+      Sweep, [&Base](SweepSeed Seed, SimArena &Arena) {
     ExperimentConfig Cfg = Base;
     Cfg.Seed = Seed.Value;
-    ExperimentResult R = runQueryExperiment(Cfg);
+    ExperimentResult R = runQueryExperiment(Cfg, &Arena);
     PointOutcome Out;
     if (!R.ClassAdmissible || !R.QueryIssued)
       return Out;

@@ -22,6 +22,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "dyndist/aggregation/Experiment.h"
+#include "dyndist/aggregation/SimArena.h"
 #include "dyndist/runtime/SweepRunner.h"
 #include "dyndist/support/Stats.h"
 #include "dyndist/support/StringUtils.h"
@@ -51,7 +52,7 @@ struct RowOutcome {
   double Latency = 0.0;
 };
 
-RowOutcome runRow(SimTime QueryAt, uint64_t Seed) {
+RowOutcome runRow(SimTime QueryAt, uint64_t Seed, SimArena *Arena) {
   ExperimentConfig Cfg;
   Cfg.Seed = Seed;
   Cfg.Class = {ArrivalModel::finiteArrival(150),
@@ -63,7 +64,7 @@ RowOutcome runRow(SimTime QueryAt, uint64_t Seed) {
   Cfg.QueryAt = QueryAt;
   Cfg.Horizon = 1600;
 
-  ExperimentResult R = runQueryExperiment(Cfg);
+  ExperimentResult R = runQueryExperiment(Cfg, Arena);
   RowOutcome Out;
   if (!R.ClassAdmissible || !R.QueryIssued)
     return Out;
@@ -81,9 +82,12 @@ std::vector<RowOutcome> sweepRow(SimTime QueryAt, int Seeds,
   Sweep.MasterSeed = E3MasterSeed;
   Sweep.SeedCount = static_cast<size_t>(Seeds);
   Sweep.Threads = Threads;
-  return runSeedSweep<RowOutcome>(Sweep, [QueryAt](SweepSeed Seed) {
-    return runRow(QueryAt, Seed.Value);
-  });
+  // One arena per worker: all of a worker's assigned seeds recycle one
+  // simulator shell (byte-identical results; see SimArena.h).
+  return runSeedSweepWith<RowOutcome, SimArena>(
+      Sweep, [QueryAt](SweepSeed Seed, SimArena &Arena) {
+        return runRow(QueryAt, Seed.Value, &Arena);
+      });
 }
 
 // --- Sweep wall-clock section (google-benchmark) --------------------------

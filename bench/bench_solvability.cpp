@@ -21,6 +21,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "dyndist/aggregation/Experiment.h"
+#include "dyndist/aggregation/SimArena.h"
 #include "dyndist/runtime/SweepRunner.h"
 #include "dyndist/support/StringUtils.h"
 
@@ -49,7 +50,8 @@ struct CellOutcome {
   double Coverage = 0.0;
 };
 
-CellOutcome runCell(const SystemClass &Class, uint64_t Seed) {
+CellOutcome runCell(const SystemClass &Class, uint64_t Seed,
+                    SimArena *Arena) {
   ExperimentConfig Cfg;
   Cfg.Seed = Seed;
   Cfg.Class = Class;
@@ -77,7 +79,7 @@ CellOutcome runCell(const SystemClass &Class, uint64_t Seed) {
   Cfg.Gossip.Rounds = 30;
   Cfg.Gossip.RoundEvery = 2;
 
-  ExperimentResult R = runQueryExperiment(Cfg);
+  ExperimentResult R = runQueryExperiment(Cfg, Arena);
   CellOutcome Out;
   if (!R.ClassAdmissible || !R.QueryIssued)
     return Out;
@@ -94,9 +96,12 @@ std::vector<CellOutcome> sweepCell(const SystemClass &Class, int Seeds,
   Sweep.MasterSeed = E1MasterSeed;
   Sweep.SeedCount = static_cast<size_t>(Seeds);
   Sweep.Threads = Threads;
-  return runSeedSweep<CellOutcome>(Sweep, [&Class](SweepSeed Seed) {
-    return runCell(Class, Seed.Value);
-  });
+  // One arena per worker: all of a worker's assigned seeds recycle one
+  // simulator shell (byte-identical results; see SimArena.h).
+  return runSeedSweepWith<CellOutcome, SimArena>(
+      Sweep, [&Class](SweepSeed Seed, SimArena &Arena) {
+        return runCell(Class, Seed.Value, &Arena);
+      });
 }
 
 // --- Sweep wall-clock section (google-benchmark) --------------------------
@@ -120,6 +125,68 @@ void BM_SweepSolvability(benchmark::State &State) {
   State.SetItemsProcessed(static_cast<int64_t>(Ran));
 }
 
+// --- Short-run sweep throughput (fresh vs arena reuse) --------------------
+//
+// The setup-dominated regime the SimArena targets: populate n=100 members,
+// absorb a short churn window, certify admissibility — the lifecycle shape
+// of screening sweeps that tabulate membership/overlay columns rather than
+// query verdicts (the query is scheduled past the horizon, so it never
+// issues; sessions outlive the window). Single-threaded so runs/s isolates
+// per-run cost. reuse=0 pays full DynamicSystem construction and teardown
+// per seed — on the sharded rungs that includes spawning and joining the
+// shard worker pool every run — while reuse=1 recycles one arena shell
+// (parked workers included) across the whole sweep. items/sec is runs per
+// second; dyndist-bench-report --sweep-reuse gates the shards:8 reuse/fresh
+// ratio.
+
+ExperimentConfig shortRunConfig(uint64_t Seed, unsigned Shards) {
+  ExperimentConfig Cfg;
+  Cfg.Seed = Seed;
+  Cfg.Class = SystemClass{ArrivalModel::boundedConcurrency(140),
+                          KnowledgeModel::knownDiameter(D)};
+  Cfg.InitialMembers = 100;
+  Cfg.Shards = Shards;
+  Cfg.Churn.JoinRate = 0.05;
+  Cfg.Churn.MeanSession = 4000;
+  Cfg.Churn.Horizon = 30;
+  Cfg.Horizon = 30;
+  Cfg.QueryAt = Cfg.Horizon + 1;
+  // Throughput regime: nothing reads the diameter column here, so skip the
+  // all-sources-BFS monitor that would otherwise dominate every short run
+  // (identically in both the fresh and reused paths).
+  Cfg.DiameterSampleEvery = 0;
+  return Cfg;
+}
+
+void BM_SweepShortRuns(benchmark::State &State) {
+  const bool Reuse = State.range(0) != 0;
+  const unsigned Shards = static_cast<unsigned>(State.range(1));
+  SweepConfig Sweep;
+  Sweep.MasterSeed = E1MasterSeed;
+  Sweep.SeedCount = 64;
+  Sweep.Threads = 1;
+  uint64_t Ran = 0;
+  for (auto _ : State) {
+    if (Reuse) {
+      auto Out = runSeedSweepWith<ExperimentResult, SimArena>(
+          Sweep, [Shards](SweepSeed Seed, SimArena &Arena) {
+            return runQueryExperiment(shortRunConfig(Seed.Value, Shards),
+                                      &Arena);
+          });
+      Ran += Out.size();
+      benchmark::DoNotOptimize(Out);
+    } else {
+      auto Out =
+          runSeedSweep<ExperimentResult>(Sweep, [Shards](SweepSeed Seed) {
+            return runQueryExperiment(shortRunConfig(Seed.Value, Shards));
+          });
+      Ran += Out.size();
+      benchmark::DoNotOptimize(Out);
+    }
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(Ran));
+}
+
 void registerSweepBenchmarks() {
   auto *Bench = benchmark::RegisterBenchmark("BM_SweepSolvability",
                                              BM_SweepSolvability);
@@ -130,6 +197,21 @@ void registerSweepBenchmarks() {
     Ladder.push_back(HW);
   for (unsigned T : Ladder)
     Bench->Arg(static_cast<int64_t>(T));
+
+  auto *Short = benchmark::RegisterBenchmark("BM_SweepShortRuns",
+                                             BM_SweepShortRuns);
+  Short->ArgNames({"reuse", "shards"})
+      ->Unit(benchmark::kMillisecond)
+      ->UseRealTime();
+  // Serial kernel plus two shard-engine rungs. The construction/teardown
+  // tax the arena amortizes grows with engine weight — the serial rung
+  // recycles allocator capacity and faulted pages only, the sharded rungs
+  // additionally park the worker pool that a fresh run spawns and joins
+  // every seed — so the reuse/fresh ratio climbs across the ladder; the
+  // shards:8 rung carries the gated ratio.
+  for (int64_t Shards : {0, 4, 8})
+    for (int64_t Reuse : {0, 1})
+      Short->Args({Reuse, Shards});
 }
 
 } // namespace

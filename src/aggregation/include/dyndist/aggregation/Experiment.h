@@ -53,6 +53,13 @@ struct ExperimentConfig {
   SimTime QueryAt = 200;
   SimTime Horizon = 900;
 
+  /// Overlay diameter sampling period for the admissibility monitor
+  /// (exact all-sources BFS per sample, so it dominates short runs).
+  /// 0 disables sampling: MaxDiameter reads 0 and a disclosed diameter
+  /// bound is accepted unaudited — throughput sweeps that don't consume
+  /// the diameter column opt out of paying for it.
+  SimTime DiameterSampleEvery = 16;
+
   /// Flooding tuning: 0 means "use the class's derivable TTL" (falling
   /// back to 16 when the class grants nothing — an illegal but measurable
   /// choice used by sensitivity sweeps).
@@ -98,6 +105,17 @@ struct ExperimentResult {
 
 /// Runs one experiment; deterministic in (config, seed).
 ExperimentResult runQueryExperiment(const ExperimentConfig &Config);
+
+class SimArena;
+
+/// As above, optionally recycling \p Arena's simulator shell instead of
+/// constructing and tearing down a full DynamicSystem per run (see
+/// SimArena.h). Passing null is exactly the single-argument overload; with
+/// an arena the result is byte-identical to a fresh run of the same config
+/// — the BodyPoolHits/Misses stat counters excepted (cumulative pool
+/// economy; see Simulator::reset).
+ExperimentResult runQueryExperiment(const ExperimentConfig &Config,
+                                    SimArena *Arena);
 
 } // namespace dyndist
 

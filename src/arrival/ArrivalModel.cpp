@@ -46,13 +46,15 @@ Status ArrivalModel::checkAdmissible(const Trace &T) const {
                           static_cast<unsigned long long>(TotalBound),
                           T.totalArrivals()));
     return Status::success();
-  case ArrivalKind::BoundedConcurrency:
-    if (T.maxConcurrency() > ConcurrencyBound)
+  case ArrivalKind::BoundedConcurrency: {
+    size_t Peak = T.maxConcurrency();
+    if (Peak > ConcurrencyBound)
       return Error(Error::Code::ProtocolViolation,
                    format("concurrency bound %llu exceeded: peak %zu",
                           static_cast<unsigned long long>(ConcurrencyBound),
-                          T.maxConcurrency()));
+                          Peak));
     return Status::success();
+  }
   case ArrivalKind::InfiniteArrival:
     return Status::success();
   }

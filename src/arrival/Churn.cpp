@@ -41,6 +41,25 @@ ChurnDriver::ChurnDriver(ArrivalModel Model, ChurnParams Params,
   assert(Params.MeanSession > 0.0 && "mean session must be positive");
 }
 
+void ChurnDriver::reset(ArrivalModel Model, ChurnParams Params, Rng R) {
+  assert(Params.MeanSession > 0.0 && "mean session must be positive");
+  S->Model = Model;
+  S->Params = Params;
+  S->R = R;
+  S->Arrivals = 0;
+  S->Suppressed = 0;
+  // Factory and the Self token survive: callbacks armed by the *next*
+  // start() capture the same token. The caller guarantees the previous
+  // run's callbacks are gone (the simulator was reset).
+}
+
+void ChurnDriver::setFactory(ActorFactory F) {
+  assert(F && "churn driver needs an actor factory");
+  S->Factory = std::move(F);
+}
+
+std::unique_ptr<Actor> ChurnDriver::makeActor() const { return S->Factory(); }
+
 uint64_t ChurnDriver::arrivals() const { return S->Arrivals; }
 
 uint64_t ChurnDriver::suppressedJoins() const { return S->Suppressed; }

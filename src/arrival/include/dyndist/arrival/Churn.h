@@ -83,6 +83,23 @@ public:
   /// Schedules the join process starting from the current time.
   void start(Simulator &S);
 
+  /// Arena-reset path: rewinds the driver for a new run — fresh model,
+  /// parameters, and random stream, counters zeroed, factory retained.
+  /// Precondition: the owning Simulator has been reset first, so no
+  /// callback armed by the previous run is still queued (the driver's
+  /// shared token stays alive across reset(), and stale attemptJoin
+  /// callbacks would otherwise fire into the next run).
+  // DYNDIST_SERIAL_ONLY: rewrites shared driver state between runs.
+  void reset(ArrivalModel Model, ChurnParams Params, Rng R);
+
+  /// Replaces the actor factory (arena family change between runs).
+  void setFactory(ActorFactory F);
+
+  /// One actor from the installed factory — lets a harness that reuses a
+  /// driver spawn extra processes of the same family (e.g. a query issuer)
+  /// without holding its own factory copy.
+  std::unique_ptr<Actor> makeActor() const;
+
   /// Total processes this driver spawned (including initial population).
   uint64_t arrivals() const;
 

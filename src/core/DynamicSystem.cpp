@@ -46,6 +46,36 @@ DynamicSystem::DynamicSystem(const DynamicSystemConfig &Config,
     armMonitor(Config.DiameterSampleEvery);
 }
 
+void DynamicSystem::reset(const DynamicSystemConfig &NewConfig) {
+  assert(NewConfig.Shards == Config.Shards &&
+         "shard count is baked into the kernel; rebuild for a new K");
+  // A reused latency model is schedule-equivalent to a rebuilt one (all
+  // models are stateless config holders; sampling draws from the caller's
+  // stream), so skip the rebuild when the config matches.
+  const bool SameLatency = NewConfig.Latency == Config.Latency;
+  Config = NewConfig;
+  Sim.reset(Config.Seed);
+  if (!SameLatency)
+    Sim.setLatencyModel(makeLatency(Config.Latency));
+  Sim.setTraceLevel(Config.Tracing);
+  // Constructor draw order, exactly: the overlay takes the kernel stream's
+  // first split, the churn driver its second.
+  Overlay.reset(Config.OverlayDegree, Sim.rng().split(), Config.Attach);
+  Overlay.attachTo(Sim);
+  Driver->reset(Config.Class.Arrival, Config.Churn, Sim.rng().split());
+  Samples.clear();
+  Driver->populateInitial(Sim, Config.InitialMembers);
+  Driver->start(Sim);
+  if (Config.DiameterSampleEvery > 0 && Config.MonitorUntil > 0)
+    armMonitor(Config.DiameterSampleEvery);
+}
+
+void DynamicSystem::reset(const DynamicSystemConfig &NewConfig,
+                          ChurnDriver::ActorFactory Factory) {
+  Driver->setFactory(std::move(Factory));
+  reset(NewConfig);
+}
+
 void DynamicSystem::armMonitor(SimTime At) {
   if (At > Config.MonitorUntil)
     return;

@@ -47,6 +47,11 @@ struct LatencyConfig {
   SimTime Hi = 4;
   double Alpha = 1.5;
   SimTime Cap = 64;
+
+  /// Field-wise equality — the arena-reset path uses it to skip rebuilding
+  /// the latency model when consecutive runs share a configuration.
+  friend bool operator==(const LatencyConfig &, const LatencyConfig &) =
+      default;
 };
 
 /// Everything needed to instantiate a system of a class.
@@ -94,6 +99,24 @@ public:
 
   DynamicSystem(const DynamicSystem &) = delete;
   DynamicSystem &operator=(const DynamicSystem &) = delete;
+
+  /// Arena-reset path: rewinds the whole assembled system for a new run
+  /// under \p NewConfig, reproducing the constructor's effects — same
+  /// random-stream draw order, same spawn/start/monitor sequence — while
+  /// the kernel, overlay graph, and churn driver keep every capacity they
+  /// have faulted. A reset-reused run is byte-identical to a fresh
+  /// construction of the same config (BodyPoolHits/Misses carve-out; see
+  /// Simulator::reset). The shard count is baked into the kernel and must
+  /// not change across resets — arenas rebuild the shell instead. This
+  /// overload keeps the installed actor factory (same protocol family).
+  // DYNDIST_SERIAL_ONLY: rewinds shared kernel state between runs.
+  void reset(const DynamicSystemConfig &NewConfig);
+
+  /// As above, additionally swapping the actor factory (protocol-family
+  /// change between runs).
+  // DYNDIST_SERIAL_ONLY: rewinds shared kernel state between runs.
+  void reset(const DynamicSystemConfig &NewConfig,
+             ChurnDriver::ActorFactory Factory);
 
   /// The event kernel.
   Simulator &sim() { return Sim; }

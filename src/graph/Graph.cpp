@@ -110,9 +110,17 @@ std::vector<ProcessId> Graph::neighbors(ProcessId P) const {
 }
 
 void Graph::clear() {
-  Slots.clear();
+  // Capacity-retaining: slots are vacated (keeping their neighbor vectors'
+  // storage, as removeNode does) and pushed onto the free list in
+  // descending order, so slot 0 is handed out first — a cleared graph
+  // assigns exactly the slots a fresh graph would.
   FreeSlots.clear();
-  SlotOfId.clear();
+  for (uint32_t S = static_cast<uint32_t>(Slots.size()); S--;) {
+    Slots[S].Id = InvalidProcess;
+    Slots[S].Nbrs.clear();
+    FreeSlots.push_back(S);
+  }
+  std::fill(SlotOfId.begin(), SlotOfId.end(), NoSlot);
   NodeIds.clear();
   Edges = 0;
 }

@@ -18,23 +18,45 @@ DynamicOverlay::DynamicOverlay(size_t TargetDegree, Rng R, AttachMode Mode,
 
 void DynamicOverlay::join(ProcessId P) {
   assert(!G.hasNode(P) && "node already in the overlay");
-  std::vector<ProcessId> Members = G.nodes();
-  G.addNode(P);
-  if (Members.empty()) {
+  if (G.nodeCount() == 0) {
+    G.addNode(P);
     LastJoined = P;
     return;
   }
   if (Mode == AttachMode::Chain) {
-    ProcessId Anchor =
-        G.hasNode(LastJoined) && LastJoined != P ? LastJoined : Members.back();
+    ProcessId Anchor = G.hasNode(LastJoined) && LastJoined != P
+                           ? LastJoined
+                           : G.nodesView().back();
+    G.addNode(P);
     G.addEdge(P, Anchor);
     LastJoined = P;
     return;
   }
+  // Uniform attach targets sampled without replacement by rejection against
+  // the picks so far — O(TargetDegree^2) instead of the full membership
+  // copy + Fisher-Yates shuffle this used to do (O(n) per join, and the
+  // dominant cost of populating large systems). Targets are resolved
+  // against the pre-join view, which addNode would invalidate.
+  NeighborView Members = G.nodesView();
   size_t Links = std::min(TargetDegree, Members.size());
-  R.shuffle(Members);
-  for (size_t I = 0; I != Links; ++I)
-    G.addEdge(P, Members[I]);
+  Picks.clear();
+  if (Links == Members.size()) {
+    // Degenerate small system: every member is a target, no draws needed
+    // (the shuffled prefix would have been the same set).
+    Picks.assign(Members.begin(), Members.end());
+  } else {
+    while (Picks.size() != Links) {
+      ProcessId T = Members[R.nextBelow(Members.size())];
+      bool Dup = false;
+      for (ProcessId Seen : Picks)
+        Dup |= Seen == T;
+      if (!Dup)
+        Picks.push_back(T);
+    }
+  }
+  G.addNode(P);
+  for (ProcessId T : Picks)
+    G.addEdge(P, T);
   LastJoined = P;
 }
 
@@ -54,8 +76,9 @@ void DynamicOverlay::leave(ProcessId P) {
     G.removeNode(P);
     // Top orphans back up to the target degree with random links. Degrees
     // stay bounded, but nothing guarantees the replacement links restore
-    // every severed route: connectivity becomes probabilistic.
-    std::vector<ProcessId> Members = G.nodes();
+    // every severed route: connectivity becomes probabilistic. The view
+    // stays valid through the loop — addEdge never touches the node set.
+    NeighborView Members = G.nodesView();
     if (Members.size() < 2)
       return;
     for (ProcessId N : Nbrs) {
@@ -63,7 +86,7 @@ void DynamicOverlay::leave(ProcessId P) {
         continue;
       for (int Attempt = 0;
            Attempt != 8 && G.degree(N) < TargetDegree; ++Attempt) {
-        ProcessId Target = R.pick(Members);
+        ProcessId Target = Members[R.nextBelow(Members.size())];
         if (Target == N || G.hasEdge(N, Target))
           continue;
         G.addEdge(N, Target);
@@ -79,6 +102,17 @@ void DynamicOverlay::seed(Graph Initial) { G = std::move(Initial); }
 
 std::vector<ProcessId> DynamicOverlay::neighborsOf(ProcessId P) const {
   return G.neighbors(P);
+}
+
+void DynamicOverlay::reset(size_t NewTargetDegree, Rng NewR,
+                           AttachMode NewMode, RepairMode NewRepair) {
+  assert(NewTargetDegree >= 1 && "overlay target degree must be >= 1");
+  TargetDegree = NewTargetDegree;
+  R = NewR;
+  Mode = NewMode;
+  Repair = NewRepair;
+  G.clear();
+  LastJoined = InvalidProcess;
 }
 
 void DynamicOverlay::attachTo(Simulator &S) {

@@ -128,7 +128,10 @@ public:
   /// Number of edges.
   size_t edgeCount() const { return Edges; }
 
-  /// Removes everything.
+  /// Removes every node and edge. Capacity-retaining: slots (and their
+  /// neighbor vectors' storage) go onto the free list ordered so that a
+  /// cleared graph assigns the same slot numbers a fresh graph would —
+  /// the arena-reset path reuses overlay graphs across runs.
   void clear();
 
   /// Validates structural invariants (symmetry, sortedness, no self-loops,

@@ -98,6 +98,15 @@ public:
   /// here. Call once after constructing the simulator.
   void attachTo(Simulator &S);
 
+  /// Arena-reset path: re-arms the overlay exactly as the constructor
+  /// would — fresh policy knobs and random stream, empty graph — while the
+  /// graph keeps every slot and neighbor-vector capacity it has faulted.
+  /// Re-attach to the (reset) simulator afterwards.
+  // DYNDIST_SERIAL_ONLY: rewinds shared overlay state between runs.
+  void reset(size_t NewTargetDegree, Rng NewR,
+             AttachMode NewMode = AttachMode::Random,
+             RepairMode NewRepair = RepairMode::PatchPath);
+
 private:
   size_t TargetDegree;
   Rng R;
@@ -105,6 +114,8 @@ private:
   RepairMode Repair;
   Graph G;
   ProcessId LastJoined = InvalidProcess;
+  /// Attach-target scratch, reused across joins (capacity TargetDegree).
+  std::vector<ProcessId> Picks;
 };
 
 } // namespace dyndist

@@ -75,15 +75,24 @@ unsigned resolveSweepThreads(unsigned Requested);
 /// absent or malformed (i.e. "resolve automatically").
 unsigned sweepThreadsFromArgs(int &Argc, char **Argv);
 
+/// Context type for sweeps that carry no per-worker state.
+struct NoSweepContext {};
+
 /// Runs \p Body once per seed, sharded over resolveSweepThreads(Threads)
-/// workers, and returns the per-seed results in seed-index order.
+/// workers, and returns the per-seed results in seed-index order. Each
+/// worker default-constructs one \p Ctx that lives for the worker's whole
+/// slice of the sweep and is handed to every \p Body call on that worker —
+/// the hook the arena-reuse layer rides: `Ctx = SimArena` gives each worker
+/// one recycled simulator shell across all its assigned seeds.
 ///
-/// \p Body must be callable as Result(SweepSeed) and must not touch shared
-/// mutable state (each invocation gets its own derived seed and writes only
-/// its own result slot). The first exception thrown by any shard stops the
-/// sweep and is rethrown on the calling thread.
-template <typename Result, typename Fn>
-std::vector<Result> runSeedSweep(const SweepConfig &Cfg, Fn &&Body) {
+/// Per-worker context does not weaken the determinism contract: a result
+/// must stay a pure function of its SweepSeed, so \p Ctx may only carry
+/// state whose reuse is output-invariant (SimArena's byte-identity
+/// contract). \p Body must be callable as Result(SweepSeed, Ctx &) and must
+/// not touch shared mutable state. The first exception thrown by any shard
+/// stops the sweep and is rethrown on the calling thread.
+template <typename Result, typename Ctx, typename Fn>
+std::vector<Result> runSeedSweepWith(const SweepConfig &Cfg, Fn &&Body) {
   std::vector<Result> Out(Cfg.SeedCount);
   if (Cfg.SeedCount == 0)
     return Out;
@@ -98,12 +107,13 @@ std::vector<Result> runSeedSweep(const SweepConfig &Cfg, Fn &&Body) {
   std::mutex ErrorLock;
 
   auto Work = [&] {
+    Ctx C{};
     for (;;) {
       size_t I = NextIndex.fetch_add(1, std::memory_order_relaxed);
       if (I >= Cfg.SeedCount || Failed.load(std::memory_order_relaxed))
         return;
       try {
-        Out[I] = Body(SweepSeed{I, deriveSweepSeed(Cfg.MasterSeed, I)});
+        Out[I] = Body(SweepSeed{I, deriveSweepSeed(Cfg.MasterSeed, I)}, C);
       } catch (...) {
         std::lock_guard<std::mutex> Guard(ErrorLock);
         if (!FirstError)
@@ -125,6 +135,13 @@ std::vector<Result> runSeedSweep(const SweepConfig &Cfg, Fn &&Body) {
   if (FirstError)
     std::rethrow_exception(FirstError);
   return Out;
+}
+
+/// Context-free compatibility form: Result(SweepSeed), no per-worker state.
+template <typename Result, typename Fn>
+std::vector<Result> runSeedSweep(const SweepConfig &Cfg, Fn &&Body) {
+  return runSeedSweepWith<Result, NoSweepContext>(
+      Cfg, [&Body](SweepSeed S, NoSweepContext &) { return Body(S); });
 }
 
 } // namespace dyndist

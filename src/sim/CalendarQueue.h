@@ -134,6 +134,46 @@ struct CalendarQueue {
     }
   }
 
+  /// Arena-reset path: clears every pending event, action, and timer bit
+  /// while retaining all capacity already faulted — bucket slots, FIFO
+  /// storage, the action pool, and the timer bitmaps. Parked payload
+  /// references in undrained buckets are re-homed to their pools first,
+  /// exactly as the destructor would. Every bucket slot ends on the free
+  /// list (descending, so slot 0 is handed out first, matching a fresh
+  /// queue's allocation order).
+  // DYNDIST_SERIAL_ONLY: tears down shared queue state between runs.
+  void reset() {
+    // Only slots still on the heap can hold content: retireFront() clears
+    // a bucket before free-listing it and bucketFor() hands out clean
+    // slots, so the free-listed majority needs no per-bucket touch-up —
+    // just the canonical free-list rebuild below.
+    for (uint32_t Slot : TimeHeap) {
+      Bucket &B = Buckets[Slot];
+      for (size_t I = B.Head, N = B.Fifo.size(); I != N; ++I)
+        if (B.Fifo[I].kind() == KDeliver)
+          MessageRef::adopt(B.Fifo[I].body());
+      B.Fifo.clear(); // Capacity retained, like retireFront().
+      B.Head = 0;
+    }
+    TimeHeap.clear();
+    ByTime.clear();
+    FreeBuckets.resize(Buckets.size());
+    for (uint32_t I = 0, N = static_cast<uint32_t>(Buckets.size()); I != N;
+         ++I)
+      FreeBuckets[I] = N - 1 - I;
+    CachedTime = 0;
+    CachedBucket = UINT32_MAX;
+    // clear() destroys any undrained callables (their captures must not
+    // leak into the next run) but keeps the vector's storage.
+    Actions.clear();
+    FreeActions.clear();
+    for (uint64_t &W : TimerLive)
+      W = 0;
+    for (uint64_t &W : TimerCancelled)
+      W = 0;
+    TimerPending = 0;
+  }
+
   bool empty() const { return TimeHeap.empty(); }
 
   /// The earliest pending instant; undefined when empty().

@@ -163,6 +163,14 @@ struct ShardEngine {
     return static_cast<unsigned>(P - divK(P) * K);
   }
 
+  /// Arena-reset path (Simulator::reset): clears every lane's calendar,
+  /// outboxes, deferred-release lists, trace scratch, timer bookkeeping,
+  /// stat counters, and the per-process random streams, retaining lane
+  /// pools, queue capacity, and the worker-pool threads. K is immutable —
+  /// a shard-count change rebuilds the whole kernel.
+  // DYNDIST_SERIAL_ONLY: tears down shared lane state between runs.
+  void reset();
+
   // --- Simulator entry points (serial phases only) ---
   // Each carries a DYNDIST_SERIAL_ONLY marker (grammar in docs/LINT.md):
   // dyndist-lint flags any call to them reachable from a lane-phase region.

@@ -270,6 +270,34 @@ ShardEngine::~ShardEngine() {
     BodyPool::retire(P);
 }
 
+void ShardEngine::reset() {
+  assert(!InParallel && "reset during a parallel round");
+  // Settle every parked payload reference first (both parities), exactly
+  // as teardown does — then the queues can drop their remaining events.
+  drainDeferred();
+  for (Lane &Ln : Lanes) {
+    for (Outbox &O : Ln.Out) {
+      for (uint32_t R = 0; R != O.Live; ++R)
+        for (const SimEvent &E : O.Runs[R].Events)
+          if (E.kind() == CalendarQueue::KDeliver)
+            MessageRef::adopt(E.body());
+      O.reset();
+    }
+    Ln.Q.reset();
+    Ln.Stats = SimStats{};
+    Ln.NextLocalTimer = 0;
+    Ln.TraceBuf.clear();
+    Ln.TraceRuns.clear();
+    Ln.PendingKeys.clear();
+    Ln.KeyFixups.clear();
+    Ln.Leaves.clear();
+    // Counts/Sorted are per-round scratch, re-sized on use; keep them.
+  }
+  ActorRngs.clear();
+  Parity = 0;
+  ProcLimit = 0;
+}
+
 //===----------------------------------------------------------------------===//
 // Serial-phase entry points
 //===----------------------------------------------------------------------===//

@@ -114,6 +114,42 @@ Simulator::~Simulator() {
   BodyPool::retire(Bodies);
 }
 
+void Simulator::reset(uint64_t NewSeed) {
+  // Flush-and-detach the sink first: buffered records belong to the run
+  // that produced them, and their key ids resolve against the key table we
+  // are about to reset.
+  flushTraceSink();
+  Sink = nullptr;
+  // Order matters below exactly as in the destructor: the engine's lane
+  // queues can park main-pool bodies (environment-phase sends), so the
+  // engine drains before the main calendar. Nothing retires — every pool
+  // and table keeps its faulted capacity for the next run.
+  if (Sharded)
+    Sharded->reset();
+  Pending->reset();
+  Processes.clear();
+  UpSet.clear();
+  SlotOfPid.clear();
+  FreeSlots.clear();
+  NextSlot = 0;
+  Clock = 0;
+  NextTimer = 0;
+  HaltRequested = false;
+  Log.resetForReuse();
+  Stats = SimStats{};
+  // Re-seed exactly as the constructor: kernel stream from the master
+  // seed, actor stream from its first split.
+  Seed = NewSeed;
+  KernelRng = Rng(NewSeed);
+  ActorRng = KernelRng.split();
+}
+
+Trace Simulator::takeTrace() {
+  Trace Out = std::move(Log);
+  Log = Trace();
+  return Out;
+}
+
 void Simulator::flushTraceSink() {
   if (SinkBuf.empty())
     return;

@@ -148,6 +148,16 @@ std::vector<ProcessId> Trace::membersAt(SimTime T) const {
   return Out;
 }
 
+size_t Trace::membersCountAt(SimTime T) const {
+  size_t N = 0;
+  for (const auto &[P, I] : Intervals) {
+    (void)P;
+    if (I.upAt(T))
+      ++N;
+  }
+  return N;
+}
+
 std::vector<ProcessId> Trace::membersThroughout(SimTime From,
                                                 SimTime To) const {
   std::vector<ProcessId> Out;
@@ -159,9 +169,41 @@ std::vector<ProcessId> Trace::membersThroughout(SimTime From,
 
 size_t Trace::maxConcurrency() const {
   // Sweep join/end instants. Presence is [Join, End): a process whose
-  // interval ends at T is no longer up at T, so ends sort before joins at
+  // interval ends at T is no longer up at T, so ends apply before joins at
   // equal timestamps — consistent with PresenceInterval::upAt().
+  //
+  // Intervals ascends by ProcessId, and live traces assign pids in spawn
+  // order, so the join instants are already sorted: only the end instants
+  // (a small minority when sessions outlive the horizon) need a sort, and
+  // the sweep is a linear merge of the two sequences. Deserialized or
+  // hand-built traces may break the join monotonicity; detect that in the
+  // same pass and fall back to the full delta sort.
+  std::vector<SimTime> Ends;
+  Ends.reserve(Intervals.size());
+  SimTime PrevJoin = 0;
+  bool JoinsSorted = true;
+  for (const auto &[P, I] : Intervals) {
+    (void)P;
+    JoinsSorted &= I.JoinTime >= PrevJoin;
+    PrevJoin = I.JoinTime;
+    if (I.EndTime)
+      Ends.push_back(*I.EndTime);
+  }
   size_t Best = 0, Cur = 0;
+  if (JoinsSorted) {
+    std::sort(Ends.begin(), Ends.end());
+    size_t E = 0;
+    for (const auto &[P, I] : Intervals) {
+      (void)P;
+      while (E != Ends.size() && Ends[E] <= I.JoinTime) {
+        --Cur;
+        ++E;
+      }
+      ++Cur;
+      Best = std::max(Best, Cur);
+    }
+    return Best;
+  }
   std::vector<std::pair<SimTime, int>> Deltas;
   Deltas.reserve(Intervals.size() * 2);
   for (const auto &[P, I] : Intervals) {
@@ -228,4 +270,9 @@ void Trace::clear() {
   EventsCache.clear();
   OrderViolated = false;
   // Keys retained: protocol-held interned ids survive a clear().
+}
+
+void Trace::resetForReuse() {
+  clear();
+  Keys.reset();
 }

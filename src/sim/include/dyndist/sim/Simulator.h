@@ -138,6 +138,34 @@ public:
   Simulator(const Simulator &) = delete;
   Simulator &operator=(const Simulator &) = delete;
 
+  /// Arena-reset path: clears all *runtime* state — clock, pending events
+  /// and actions, timers, processes, the up-set, state slots, the trace
+  /// (including its key table), and the stat counters (the cumulative body
+  /// pool hit/miss counters excepted; see below) — and re-seeds the random
+  /// streams exactly as the constructor would, while retaining every
+  /// capacity already faulted (calendar buckets, body-pool free lists,
+  /// trace buffers, process/slot tables, sharded lane state).
+  ///
+  /// *Configuration* survives: the installed latency model, loss rate,
+  /// trace level, topology provider, membership hooks, and the shard count
+  /// are preserved — callers re-run the same setup cheaply, or call the
+  /// setters again to change it. The trace sink is flushed and detached
+  /// (a fresh kernel has none). A reset-reused run is byte-identical to a
+  /// fresh-construction run of the same seed and configuration: same
+  /// schedule, same trace bytes, same stats — except BodyPoolHits/Misses,
+  /// which are cumulative allocation-economy counters and legitimately
+  /// differ between a cold and a warm pool (the same carve-out the sharded
+  /// kernel's K-invariance contract makes). See docs/MODEL.md §7.
+  // DYNDIST_SERIAL_ONLY: tears down shared kernel state between runs.
+  void reset(uint64_t NewSeed);
+
+  /// Moves the recorded trace out of the kernel, leaving an empty trace
+  /// behind (key table included). The cheap way for a harness to keep a
+  /// run's trace alive past the next reset() without the O(events) copy
+  /// that assigning trace() costs.
+  // DYNDIST_SERIAL_ONLY: swaps the shared trace object between runs.
+  Trace takeTrace();
+
   /// Replaces the latency model (owned by the simulator).
   void setLatencyModel(std::unique_ptr<LatencyModel> Model);
 

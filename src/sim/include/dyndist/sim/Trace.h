@@ -97,13 +97,19 @@ public:
   uint32_t intern(const std::string &Key) {
     if (Key.empty())
       return 0;
+    // Most intern traffic is one key observed in a tight loop (every
+    // spawned actor declares "otq.value", every contributor one include):
+    // a one-entry MRU turns the repeat lookups into a short string compare
+    // instead of a hash + bucket walk.
+    if (LastId != 0 && Key == Names[LastId])
+      return LastId;
     auto [It, Inserted] =
         Ids.try_emplace(Key, static_cast<uint32_t>(Names.size()));
     if (Inserted) {
       assert(Names.size() <= MaxKeys && "trace key-id space exhausted");
       Names.push_back(Key);
     }
-    return It->second;
+    return LastId = It->second;
   }
 
   /// The id of \p Key, or 0 when it was never interned. Note 0 is also the
@@ -126,8 +132,24 @@ public:
   /// Number of interned (non-empty) keys; valid ids are [0, size()].
   size_t size() const { return Names.size() - 1; }
 
+  /// Arena-reset path: forgets every interned key (vector capacity
+  /// retained) so the next run re-interns from a clean table. Required for
+  /// byte-identity across reused runs — interning order is seed-dependent,
+  /// so a retained table would leak one run's id assignment into the next
+  /// run's serialized string table. Ids handed out before the reset are
+  /// invalidated; actors re-intern in onStart.
+  // DYNDIST_SERIAL_ONLY: drops Ids/Names, racing concurrent find()/name().
+  void reset() {
+    Ids.clear();
+    Names.resize(1); // Names[0] stays the empty key.
+    LastId = 0;
+  }
+
 private:
   std::vector<std::string> Names;
+  /// One-entry MRU for intern(); 0 = empty (never points at a stale id:
+  /// reset() rewinds it with Names).
+  uint32_t LastId = 0;
   /// intern()/find() only; enumeration always walks Names, whose order is
   /// first-intern order, not hash order.
   // dyndist-lint: allow(D1) keyed access only; Names carries the ordering
@@ -264,6 +286,10 @@ public:
   /// Processes up at time \p T.
   std::vector<ProcessId> membersAt(SimTime T) const;
 
+  /// Number of processes up at time \p T — membersAt(T).size() without
+  /// materializing the member set.
+  size_t membersCountAt(SimTime T) const;
+
   /// Processes up during the whole closed interval [\p From, \p To].
   std::vector<ProcessId> membersThroughout(SimTime From, SimTime To) const;
 
@@ -293,6 +319,15 @@ public:
   /// Discards all records (used when reusing a simulator across runs). The
   /// key table is retained: ids handed out to protocols stay valid.
   void clear();
+
+  /// Arena-reset path: clear() plus a key-table reset, leaving the trace
+  /// logically indistinguishable from a fresh one while every buffer keeps
+  /// its capacity. Interned ids from before the reset are invalidated (the
+  /// next run's actors re-intern in onStart) — this is what keeps a
+  /// reset-reused run's trace bytes identical to a fresh run's, since
+  /// interning order depends on the seed.
+  // DYNDIST_SERIAL_ONLY: resets the shared key table between runs.
+  void resetForReuse();
 
 private:
   TraceEvent materialize(const TraceRecord &R) const;

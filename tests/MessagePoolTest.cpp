@@ -357,11 +357,15 @@ TEST(Simulator, InjectedStimuliCountTowardPayloadUnits) {
 //===----------------------------------------------------------------------===//
 
 // The full churn + gossip query experiment must produce a byte-identical
-// trace across kernel-internals changes. The digest below was recorded
+// trace across kernel-internals changes. The original digest was recorded
 // from the pre-pool, pre-calendar-queue kernel (shared_ptr payloads,
-// std::function actions, per-event 4-ary heap); any schedule drift —
-// event reordering, a lost or duplicated event, an Rng draw moved — shows
-// up here first. PayloadUnits includes the one injected query stimulus.
+// std::function actions, per-event 4-ary heap) and survived every kernel
+// rewrite since; re-pinned once when DynamicOverlay::join switched from
+// full-membership shuffle to rejection sampling (same uniform attach
+// distribution, different Rng draw sequence — an intentional stream
+// change). Any schedule drift — event reordering, a lost or duplicated
+// event, an Rng draw moved — shows up here first. PayloadUnits includes
+// the one injected query stimulus.
 TEST(DeterminismGolden, ChurnGossipExperimentIsByteIdentical) {
   ExperimentConfig Cfg;
   Cfg.Seed = 0xC0FFEE;
@@ -385,14 +389,14 @@ TEST(DeterminismGolden, ChurnGossipExperimentIsByteIdentical) {
   ExperimentResult R = runQueryExperiment(Cfg);
   ASSERT_TRUE(R.RecordedTrace.has_value());
   std::string Json = traceToJsonLines(*R.RecordedTrace);
-  EXPECT_EQ(Json.size(), 672743u);
-  EXPECT_EQ(fnv1a(Json), 0xcc645fb82a952f23ULL);
-  EXPECT_EQ(R.Stats.MessagesSent, 4082u);
-  EXPECT_EQ(R.Stats.MessagesDelivered, 4035u);
-  EXPECT_EQ(R.Stats.MessagesDropped, 48u);
-  EXPECT_EQ(R.Stats.PayloadUnits, 413295u);
-  EXPECT_EQ(R.Stats.TimersFired, 2049u);
-  EXPECT_EQ(R.Stats.EventsExecuted, 6492u);
+  EXPECT_EQ(Json.size(), 695978u);
+  EXPECT_EQ(fnv1a(Json), 0xcb04ce0bac41ebf2ULL);
+  EXPECT_EQ(R.Stats.MessagesSent, 4234u);
+  EXPECT_EQ(R.Stats.MessagesDelivered, 4175u);
+  EXPECT_EQ(R.Stats.MessagesDropped, 60u);
+  EXPECT_EQ(R.Stats.PayloadUnits, 439789u);
+  EXPECT_EQ(R.Stats.TimersFired, 2130u);
+  EXPECT_EQ(R.Stats.EventsExecuted, 6726u);
 }
 
 TEST(DeterminismGolden, KernelLoadScheduleIsPinned) {

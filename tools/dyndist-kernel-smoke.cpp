@@ -50,8 +50,21 @@
 // — batch boundaries carry no meaning in the columnar format. Exit 1 on
 // the first digest mismatch.
 //
+// --reset-cmp pins the SimArena run-reuse contract: for each listed shard
+// count (including the legacy K=0 kernel) it runs the flood/echo/gossip
+// query experiments over several seeds twice — once fresh-constructed per
+// run, once recycling a single arena across every run — and compares
+// in-memory FNV-1a digests covering the full trace record bytes, the
+// interned key table, the schedule counters, and the verdict. The arena
+// path must be byte-identical to the fresh path (the BodyPoolHits/Misses
+// allocation-economy counters excepted; they are excluded from the
+// digest, as in the K-invariance digest above). Exit 1 on the first
+// mismatch.
+//
 //===----------------------------------------------------------------------===//
 
+#include "dyndist/aggregation/Experiment.h"
+#include "dyndist/aggregation/SimArena.h"
 #include "dyndist/runtime/KernelLoad.h"
 #include "dyndist/sim/TraceColumnar.h"
 
@@ -363,6 +376,135 @@ int runTraceDigestMode(KernelLoadConfig Cfg,
   return 0;
 }
 
+// --- --reset-cmp: fresh vs arena-reused experiment byte-identity ----------
+
+/// Incremental FNV-1a accumulator for the in-memory result digests.
+struct Fnv1a {
+  uint64_t H = 1469598103934665603ULL;
+
+  void bytes(const void *Data, size_t Size) {
+    const unsigned char *P = static_cast<const unsigned char *>(Data);
+    for (size_t I = 0; I != Size; ++I) {
+      H ^= P[I];
+      H *= 1099511628211ULL;
+    }
+  }
+  void u64(uint64_t V) { bytes(&V, sizeof(V)); }
+};
+
+/// Digest of everything a run's output the reset contract pins down: the
+/// verdict, the schedule counters (BodyPoolHits/Misses excluded — the
+/// arena's pool economy legitimately differs cold vs warm), the membership
+/// census fields, the full trace record bytes, and the interned key table
+/// (ids and strings — interning order is part of byte-identity).
+uint64_t experimentDigest(const ExperimentResult &R) {
+  Fnv1a F;
+  F.u64(R.ClassAdmissible);
+  F.u64(R.QueryIssued);
+  F.u64(R.Verdict.Terminated);
+  F.u64(R.Verdict.ResponseTime);
+  F.u64(R.Verdict.Complete);
+  F.u64(R.Verdict.NoInvention);
+  F.u64(R.Verdict.AggregateConsistent);
+  F.u64(R.Verdict.Missed.size());
+  for (ProcessId P : R.Verdict.Missed)
+    F.u64(P);
+  F.u64(R.Verdict.Invented.size());
+  for (ProcessId P : R.Verdict.Invented)
+    F.u64(P);
+  F.bytes(&R.Verdict.Coverage, sizeof(R.Verdict.Coverage));
+  F.u64(R.Verdict.IncludedCount);
+  F.u64(R.Verdict.RequiredCount);
+  F.u64(static_cast<uint64_t>(R.Verdict.Aggregate));
+  F.u64(R.Stats.MessagesSent);
+  F.u64(R.Stats.MessagesDelivered);
+  F.u64(R.Stats.MessagesDropped);
+  F.u64(R.Stats.PayloadUnits);
+  F.u64(R.Stats.TimersFired);
+  F.u64(R.Stats.EventsExecuted);
+  F.u64(R.Stats.InlineFnHeapFallbacks);
+  F.u64(R.MaxDiameter);
+  F.u64(R.DisconnectedSamples);
+  F.u64(R.Arrivals);
+  F.u64(R.MembersAtQuery);
+  F.u64(R.MembersAtResponse);
+  if (R.RecordedTrace) {
+    const Trace &T = *R.RecordedTrace;
+    F.u64(T.records().size());
+    if (!T.records().empty())
+      F.bytes(T.records().data(),
+              T.records().size() * sizeof(TraceRecord));
+    F.u64(T.keys().size());
+    for (uint32_t Id = 1; Id <= T.keys().size(); ++Id) {
+      std::string_view Name = T.keys().name(Id);
+      F.u64(Name.size());
+      F.bytes(Name.data(), Name.size());
+    }
+  }
+  return F.H;
+}
+
+int runResetCmpMode(uint64_t BaseSeed, const std::vector<unsigned> &Shards) {
+  struct FamilyRow {
+    const char *Name;
+    RecommendedAlgorithm Algo;
+  } Families[] = {
+      {"flood", RecommendedAlgorithm::FloodingKnownDiameter},
+      {"echo", RecommendedAlgorithm::EchoTermination},
+      {"gossip", RecommendedAlgorithm::GossipBestEffort},
+  };
+  constexpr int SeedsPerFamily = 3;
+
+  int Exit = 0;
+  for (unsigned K : Shards) {
+    // One arena for the whole shard rung: every run after the first
+    // recycles the shell through reset(), and family transitions exercise
+    // the factory-swap path.
+    SimArena Arena;
+    for (const FamilyRow &Family : Families) {
+      for (int S = 0; S != SeedsPerFamily; ++S) {
+        ExperimentConfig Cfg;
+        Cfg.Seed = BaseSeed + static_cast<uint64_t>(S);
+        Cfg.Class = {ArrivalModel::boundedConcurrency(60),
+                     KnowledgeModel::knownDiameter(8)};
+        Cfg.Algorithm = Family.Algo;
+        Cfg.UseRecommended = false;
+        Cfg.InitialMembers = 30;
+        Cfg.Churn.JoinRate = 0.1;
+        Cfg.Churn.MeanSession = 200;
+        Cfg.Churn.Horizon = 240;
+        Cfg.Shards = K;
+        Cfg.QueryAt = 120;
+        Cfg.Horizon = 300;
+        Cfg.Gossip.ReportAfter = 40;
+        Cfg.Gossip.Rounds = 20;
+        Cfg.Gossip.RoundEvery = 2;
+        Cfg.KeepTrace = true;
+        Cfg.Tracing = TraceLevel::Full;
+
+        uint64_t FreshDigest = experimentDigest(runQueryExperiment(Cfg));
+        uint64_t ReusedDigest =
+            experimentDigest(runQueryExperiment(Cfg, &Arena));
+        std::printf("shards=%u algo=%-6s seed=%llu fresh=%016llx "
+                    "reused=%016llx epoch=%llu\n",
+                    K, Family.Name, (unsigned long long)Cfg.Seed,
+                    (unsigned long long)FreshDigest,
+                    (unsigned long long)ReusedDigest,
+                    (unsigned long long)Arena.epoch());
+        if (FreshDigest != ReusedDigest) {
+          std::fprintf(stderr,
+                       "dyndist-kernel-smoke: shards=%u algo=%s seed=%llu "
+                       "arena-reused run differs from fresh run — reset "
+                       "byte-identity violated\n",
+                       K, Family.Name, (unsigned long long)Cfg.Seed);
+          Exit = 1;
+        }
+      }
+    }
+  }
+  return Exit;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -375,6 +517,7 @@ int main(int argc, char **argv) {
   std::vector<unsigned> Shards = {1, 2, 4};
   bool TraceDigest = false;
   bool TraceCmp = false;
+  bool ResetCmp = false;
   const char *TraceOut = nullptr;
 
   for (int I = 1; I < argc; ++I) {
@@ -402,13 +545,15 @@ int main(int argc, char **argv) {
       TraceDigest = true;
     else if (std::strcmp(Arg, "--trace-cmp") == 0)
       TraceCmp = true;
+    else if (std::strcmp(Arg, "--reset-cmp") == 0)
+      ResetCmp = true;
     else if (std::strcmp(Arg, "--trace-out") == 0)
       TraceOut = next();
     else if (std::strcmp(Arg, "--help") == 0) {
       std::printf("usage: dyndist-kernel-smoke [--processes n] [--horizon t]\n"
                   "         [--shards 0,1,2,4] [--gossip-every g] [--fanout f]\n"
                   "         [--churn-every c] [--seed s] [--trace-digest]\n"
-                  "         [--trace-cmp] [--trace-out path]\n");
+                  "         [--trace-cmp] [--reset-cmp] [--trace-out path]\n");
       return 0;
     } else
       usageError((std::string("unknown option ") + Arg).c_str());
@@ -423,6 +568,9 @@ int main(int argc, char **argv) {
                 (unsigned long long)Events, (unsigned long long)Digest);
     return 0;
   }
+
+  if (ResetCmp)
+    return runResetCmpMode(Cfg.Seed, Shards);
 
   if (TraceCmp)
     return runTraceCmpMode(Cfg, Shards);

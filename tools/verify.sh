@@ -4,11 +4,13 @@
 # it needs only the dependency-free analysis library and fails in
 # milliseconds — then build + ctest in the plain configuration plus an
 # n=10^5 sharded-kernel invariance smoke, an n=10^4 columnar trace-digest
-# pin, an n=10^4 batched-vs-per-event columnar sink cmp, and a
+# pin, an n=10^4 batched-vs-per-event columnar sink cmp, an arena
+# reset-vs-fresh byte-identity cmp, and a
 # >=10^7-event sharded-query thread-invariance cmp, then the
 # bench regression gate (dyndist-bench-report --check --shard --trace
-# against the checked-in message/shard baselines and the columnar-sink
-# speedup floor, using the build-verify binaries), then a strict-warnings
+# --sweep-reuse against the checked-in message/shard baselines, the
+# columnar-sink speedup floor, and the arena-reuse sweep-throughput
+# floor, using the build-verify binaries), then a strict-warnings
 # build (-DDYNDIST_WERROR=ON, -Wall -Wextra -Werror), then the same test
 # suite under AddressSanitizer (-DDYNDIST_SANITIZE=address), under
 # UndefinedBehaviorSanitizer (-DDYNDIST_SANITIZE=undefined) — which polices
@@ -120,6 +122,12 @@ if [ "$RUN_PLAIN" = 1 ]; then
   echo "== batched-vs-per-event columnar sink cmp, n=10^4 (build-verify)"
   build-verify/tools/dyndist-kernel-smoke \
     --processes 10000 --horizon 60 --shards 1,2,4 --trace-cmp
+  # Arena-reuse byte-identity: fresh-constructed query experiments and
+  # arena-reset-reused ones must digest identically for every algorithm
+  # family at every shard count (ctest covers shards 0,1,2; this adds the
+  # 4- and 8-shard rungs — 8 is the gated sweep-reuse bench config).
+  echo "== arena reset-vs-fresh cmp (build-verify)"
+  build-verify/tools/dyndist-kernel-smoke --shards 0,1,2,4,8 --reset-cmp
   # Sharded-query determinism at production scale: a >= 10^7-event
   # columnar archive aggregated at two thread counts must render
   # byte-identical output (positional slots + serial chunk-order merge).
@@ -141,7 +149,8 @@ if [ "$RUN_BENCH_CHECK" = 1 ]; then
   # the checked-in BENCH_kernel.json is never clobbered by a gate run.
   [ "$RUN_PLAIN" = 1 ] || run_build build-verify
   echo "== bench regression gate (build-verify)"
-  tools/dyndist-bench-report --check --shard --trace --build-dir build-verify \
+  tools/dyndist-bench-report --check --shard --trace --sweep-reuse \
+    --build-dir build-verify \
     --out build-verify/bench-check.json
 fi
 [ "$RUN_WERROR" = 1 ] && run_build build-werror -DDYNDIST_WERROR=ON
